@@ -1,0 +1,48 @@
+//! **B4 — cost of reading the synchronization level off a state.**
+//!
+//! The Section 7 vision needs `σ_q` / `U` / CN-bounds computed *online*;
+//! this bench shows the analysis is linear-ish in the account count and
+//! cheap enough to run per operation.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tokensync_core::analysis::{consensus_number_bounds, sync_level};
+use tokensync_core::erc20::Erc20State;
+use tokensync_spec::{AccountId, ProcessId};
+
+/// A state with `n` accounts where every 8th account has a few spenders.
+fn busy_state(n: usize) -> Erc20State {
+    let mut state = Erc20State::from_balances(vec![100; n]);
+    for i in (0..n).step_by(8) {
+        for j in 1..=3 {
+            state.set_allowance(
+                AccountId::new(i),
+                ProcessId::new((i + j) % n),
+                60, // pairwise 60 + 60 > 100: sync states exist
+            );
+        }
+    }
+    state
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state_analysis");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    for n in [16usize, 64, 256, 1024] {
+        let state = busy_state(n);
+        group.bench_with_input(BenchmarkId::new("cn_bounds", n), &state, |b, state| {
+            b.iter(|| consensus_number_bounds(state));
+        });
+        group.bench_with_input(BenchmarkId::new("sync_level", n), &state, |b, state| {
+            b.iter(|| sync_level(state));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

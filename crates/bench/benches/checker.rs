@@ -1,0 +1,62 @@
+//! **B6 — verification tooling scaling.**
+//!
+//! How the workspace's own oracles scale: the Wing–Gong–Lowe
+//! linearizability checker vs history length, and the exhaustive explorer
+//! vs process count on Algorithm 1 instances. Expected shape: both grow
+//! steeply (they are exponential-worst-case tools) but stay interactive
+//! at the sizes the test suite uses.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tokensync_bench::workloads::{funded_state, mixed_ops};
+use tokensync_core::erc20::Erc20Spec;
+use tokensync_mc::protocols::TokenRace;
+use tokensync_mc::Explorer;
+use tokensync_spec::{check_linearizable, History, ObjectType};
+
+fn sequential_history(len: usize) -> History<
+    tokensync_core::erc20::Erc20Op,
+    tokensync_core::erc20::Erc20Resp,
+> {
+    let spec = Erc20Spec::new(funded_state(4));
+    let mut state = spec.initial_state();
+    let mut history = History::new();
+    for (caller, op) in mixed_ops(4, len, 11) {
+        let id = history.invoke(caller, op.clone());
+        let resp = spec.apply(&mut state, caller, &op);
+        history.ret(id, resp);
+    }
+    history
+}
+
+fn bench_checker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verification_tools");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    for len in [8usize, 16, 32, 64] {
+        let history = sequential_history(len);
+        let spec = Erc20Spec::new(funded_state(4));
+        group.bench_with_input(
+            BenchmarkId::new("linearizability", len),
+            &history,
+            |b, history| {
+                b.iter(|| {
+                    check_linearizable(&spec, &spec.initial_state(), history)
+                        .expect("sequential history must linearize")
+                });
+            },
+        );
+    }
+    for k in [2usize, 3] {
+        group.bench_with_input(BenchmarkId::new("explorer_alg1", k), &k, |b, &k| {
+            b.iter(|| Explorer::new(&TokenRace::in_sync_state(k)).run());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checker);
+criterion_main!(benches);

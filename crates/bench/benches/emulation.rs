@@ -1,0 +1,56 @@
+//! **B3 — the cost of Algorithm 2's indirection.**
+//!
+//! Per-operation latency of the `T|Q_k` emulation (`RestrictedToken`:
+//! balances in a k-AT object, allowances in registers, gated approve)
+//! against the direct `SharedErc20`, on identical workloads. Expected
+//! shape: a small constant-factor overhead — the reduction is cheap,
+//! which is the practical content of Theorem 4.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tokensync_bench::workloads::{funded_state, mixed_ops};
+use tokensync_core::emulation::RestrictedToken;
+use tokensync_core::shared::{ConcurrentToken, SharedErc20};
+
+const OPS: usize = 2048;
+
+fn bench_emulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emulation_overhead");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    for n in [4usize, 16, 64] {
+        let workload = mixed_ops(n, OPS, 42);
+        group.throughput(Throughput::Elements(OPS as u64));
+        group.bench_with_input(BenchmarkId::new("direct", n), &n, |b, &n| {
+            b.iter(|| {
+                let token = SharedErc20::from_state(funded_state(n));
+                for (caller, op) in &workload {
+                    token.apply(*caller, op);
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("restricted_k2", n), &n, |b, &n| {
+            b.iter(|| {
+                let token = RestrictedToken::new(2, funded_state(n));
+                for (caller, op) in &workload {
+                    token.apply(*caller, op);
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("restricted_kn", n), &n, |b, &n| {
+            b.iter(|| {
+                let token = RestrictedToken::new(n, funded_state(n));
+                for (caller, op) in &workload {
+                    token.apply(*caller, op);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_emulation);
+criterion_main!(benches);

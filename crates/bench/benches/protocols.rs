@@ -1,0 +1,105 @@
+//! **B5 — simulated protocol cost: total order vs dynamic synchronization.**
+//!
+//! Full simulation runs (n = 8 replicas, 96 commands) measured as wall
+//! time of the deterministic simulator; the message-count and latency
+//! figures come from `e7_protocols`. Expected shape: the dynamic protocol
+//! does less work overall and the gap narrows as the transferFrom share
+//! grows.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tokensync_core::erc20::Erc20State;
+use tokensync_net::cmd::TokenCmd;
+use tokensync_net::dynamic::DynamicNetwork;
+use tokensync_net::ordered::OrderedNetwork;
+use tokensync_net::payments::PaymentNetwork;
+
+const N: usize = 8;
+const OPS: usize = 96;
+
+fn workload(transfer_from_ratio_pct: usize) -> Vec<(usize, TokenCmd)> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(7);
+    (0..OPS)
+        .map(|_| {
+            let caller = rng.gen_range(0..N);
+            let cmd = if rng.gen_range(0..100) < transfer_from_ratio_pct {
+                TokenCmd::TransferFrom {
+                    from: rng.gen_range(0..N),
+                    to: rng.gen_range(0..N),
+                    value: rng.gen_range(0..3),
+                }
+            } else {
+                TokenCmd::Transfer {
+                    to: rng.gen_range(0..N),
+                    value: rng.gen_range(0..3),
+                }
+            };
+            (caller, cmd)
+        })
+        .collect()
+}
+
+fn initial() -> Erc20State {
+    let mut state = Erc20State::from_balances(vec![1000; N]);
+    for i in 0..N {
+        for j in 0..N {
+            if i != j {
+                state.set_allowance(
+                    tokensync_spec::AccountId::new(i),
+                    tokensync_spec::ProcessId::new(j),
+                    500,
+                );
+            }
+        }
+    }
+    state
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_simulation");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    for pct in [0usize, 50, 100] {
+        let load = workload(pct);
+        group.bench_with_input(BenchmarkId::new("ordered", pct), &load, |b, load| {
+            b.iter(|| {
+                let mut net = OrderedNetwork::new(N, initial(), 3);
+                for (caller, cmd) in load {
+                    net.submit(*caller, *cmd);
+                }
+                net.run_to_quiescence()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("dynamic", pct), &load, |b, load| {
+            b.iter(|| {
+                let mut net = DynamicNetwork::new(N, initial(), 3);
+                for (caller, cmd) in load {
+                    net.submit(*caller, *cmd);
+                }
+                net.run_to_quiescence()
+            });
+        });
+    }
+    // The CN = 1 floor: plain broadcast payments on a transfer-only load.
+    group.bench_function("broadcast_payments", |b| {
+        let load = workload(0);
+        b.iter(|| {
+            let mut net = PaymentNetwork::new(N, vec![1000; N], 3);
+            for (caller, cmd) in &load {
+                if let TokenCmd::Transfer { to, value } = cmd {
+                    net.submit_transfer(*caller, *to, *value);
+                }
+            }
+            net.run_to_quiescence()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

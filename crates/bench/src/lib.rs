@@ -1,0 +1,9 @@
+//! Shared helpers for the tokensync benchmark harness.
+//!
+//! Each bench target under `benches/` regenerates one figure of
+//! EXPERIMENTS.md (B1–B6). This crate hosts the workload generators they
+//! share so numbers across figures are comparable.
+
+#![forbid(unsafe_code)]
+
+pub mod workloads;

@@ -1,0 +1,63 @@
+//! Deterministic operation workloads shared by the bench targets.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tokensync_core::erc20::{Erc20Op, Erc20State};
+use tokensync_spec::{AccountId, ProcessId};
+
+/// A deterministic mixed ERC20 workload: ~60% transfers, ~20% approvals,
+/// ~20% transferFroms, amounts 0..4.
+pub fn mixed_ops(n: usize, ops: usize, seed: u64) -> Vec<(ProcessId, Erc20Op)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..ops)
+        .map(|_| {
+            let caller = ProcessId::new(rng.gen_range(0..n));
+            let op = match rng.gen_range(0..10) {
+                0..=5 => Erc20Op::Transfer {
+                    to: AccountId::new(rng.gen_range(0..n)),
+                    value: rng.gen_range(0..4),
+                },
+                6..=7 => Erc20Op::Approve {
+                    spender: ProcessId::new(rng.gen_range(0..n)),
+                    value: rng.gen_range(0..8),
+                },
+                _ => Erc20Op::TransferFrom {
+                    from: AccountId::new(rng.gen_range(0..n)),
+                    to: AccountId::new(rng.gen_range(0..n)),
+                    value: rng.gen_range(0..4),
+                },
+            };
+            (caller, op)
+        })
+        .collect()
+}
+
+/// A starting state with every account funded and a few allowances set.
+pub fn funded_state(n: usize) -> Erc20State {
+    let mut state = Erc20State::from_balances(vec![1000; n]);
+    for i in 0..n {
+        state.set_allowance(
+            AccountId::new(i),
+            ProcessId::new((i + 1) % n),
+            500,
+        );
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic() {
+        assert_eq!(mixed_ops(4, 32, 5), mixed_ops(4, 32, 5));
+    }
+
+    #[test]
+    fn funded_state_has_allowances() {
+        let s = funded_state(3);
+        assert_eq!(s.total_supply(), 3000);
+        assert_eq!(s.allowance(AccountId::new(2), ProcessId::new(0)), 500);
+    }
+}

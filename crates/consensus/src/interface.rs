@@ -1,0 +1,40 @@
+//! The consensus object interface.
+
+use tokensync_spec::ProcessId;
+
+/// A single-shot consensus object (Section 3.1 of the paper).
+///
+/// Every correct process may call [`Consensus::propose`] at most once with
+/// its candidate value. Implementations must guarantee, despite any number
+/// of crash failures:
+///
+/// * **Termination** (wait-freedom): every `propose` by a correct process
+///   returns.
+/// * **Validity**: the decided value is the proposal of some process.
+/// * **Agreement**: every `propose` returns the same decided value.
+pub trait Consensus<T: Clone>: Send + Sync {
+    /// Proposes `value` on behalf of `process` and returns the decided value.
+    ///
+    /// Calling `propose` again after a decision is permitted and returns the
+    /// already-decided value (the proposal is ignored); this keeps helper
+    /// patterns simple.
+    fn propose(&self, process: ProcessId, value: T) -> T;
+
+    /// Returns the decided value, or `None` if no proposal has completed
+    /// yet.
+    ///
+    /// `peek` is a read-only convenience for monitors and tests; it is not
+    /// part of the paper's object and never participates in correctness
+    /// arguments.
+    fn peek(&self) -> Option<T>;
+}
+
+impl<T: Clone, C: Consensus<T> + ?Sized> Consensus<T> for std::sync::Arc<C> {
+    fn propose(&self, process: ProcessId, value: T) -> T {
+        (**self).propose(process, value)
+    }
+
+    fn peek(&self) -> Option<T> {
+        (**self).peek()
+    }
+}

@@ -1,0 +1,45 @@
+//! Consensus objects and Herlihy's universal construction.
+//!
+//! Consensus (Section 3.1 of the paper) is the yardstick of synchronization
+//! power: an object has consensus number `n` if it can wait-free implement a
+//! consensus object among `n` processes (together with atomic registers).
+//! Consensus is also *universal*: any sequential object can be wait-free
+//! implemented from consensus objects and registers (Herlihy 1991).
+//!
+//! This crate provides:
+//!
+//! * [`Consensus`] — the single-shot consensus object interface
+//!   (`propose`, with termination / validity / agreement).
+//! * [`CasConsensus`] — wait-free consensus from hardware compare-and-swap;
+//!   the "given" consensus object wherever a construction is allowed one
+//!   (e.g. inside the per-account groups of the dynamic protocol of §7).
+//! * [`MutexConsensus`] — a trivially correct lock-based baseline.
+//! * [`Universal`] — Herlihy's wait-free universal construction, turning any
+//!   [`ObjectType`](tokensync_spec::ObjectType) into a linearizable shared
+//!   object driven by consensus; used as the "everything through consensus"
+//!   baseline that blockchains implement today (Section 1 of the paper).
+//!
+//! # Example
+//!
+//! ```
+//! use tokensync_consensus::{CasConsensus, Consensus};
+//! use tokensync_spec::ProcessId;
+//!
+//! let c = CasConsensus::new(2);
+//! let d0 = c.propose(ProcessId::new(0), "left");
+//! let d1 = c.propose(ProcessId::new(1), "right");
+//! assert_eq!(d0, d1); // agreement
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cas;
+mod interface;
+mod mutex;
+mod universal;
+
+pub use cas::CasConsensus;
+pub use interface::Consensus;
+pub use mutex::MutexConsensus;
+pub use universal::Universal;

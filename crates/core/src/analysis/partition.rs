@@ -1,0 +1,99 @@
+//! The state partition `Q = Q_1 ∪ … ∪ Q_n` (equation (11) of the paper).
+
+use tokensync_spec::AccountId;
+
+use crate::erc20::Erc20State;
+
+use super::spenders::enabled_spenders;
+
+/// Computes the partition index `k` such that `q ∈ Q_k`, i.e.
+/// `k = max_a |σ_q(a)|` (equation (11)).
+///
+/// `k ≥ 1` always: every account has at least its owner enabled.
+/// By Theorem 3, `k` is an upper bound on the consensus number of `T_q`.
+///
+/// # Example
+///
+/// ```
+/// use tokensync_core::analysis::partition_index;
+/// use tokensync_core::erc20::Erc20State;
+/// use tokensync_spec::{AccountId, ProcessId};
+///
+/// let mut q = Erc20State::with_deployer(3, ProcessId::new(0), 10);
+/// assert_eq!(partition_index(&q), 1); // fresh deployment: Q_1
+/// q.approve(ProcessId::new(0), ProcessId::new(1), 4)?;
+/// q.approve(ProcessId::new(0), ProcessId::new(2), 4)?;
+/// assert_eq!(partition_index(&q), 3); // owner + two spenders: Q_3
+/// # Ok::<(), tokensync_core::TokenError>(())
+/// ```
+pub fn partition_index(state: &Erc20State) -> usize {
+    max_spender_account(state)
+        .map(|(_, k)| k)
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// Returns the account realizing `max_a |σ_q(a)|` together with that
+/// maximum, or `None` for a token with no accounts.
+///
+/// Ties resolve to the lowest account id, making the witness deterministic
+/// (useful for reproducible experiments).
+pub fn max_spender_account(state: &Erc20State) -> Option<(AccountId, usize)> {
+    (0..state.accounts())
+        .map(|i| {
+            let a = AccountId::new(i);
+            (a, enabled_spenders(state, a).len())
+        })
+        .max_by(|(a1, k1), (a2, k2)| k1.cmp(k2).then(a2.cmp(a1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tokensync_spec::ProcessId;
+
+    fn a(i: usize) -> AccountId {
+        AccountId::new(i)
+    }
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn fresh_deployment_is_q1() {
+        let q = Erc20State::with_deployer(4, p(0), 100);
+        assert_eq!(partition_index(&q), 1);
+    }
+
+    #[test]
+    fn approvals_raise_the_partition_index() {
+        let mut q = Erc20State::with_deployer(4, p(0), 100);
+        for (i, expect) in [(1, 2), (2, 3), (3, 4)] {
+            q.approve(p(0), p(i), 5).unwrap();
+            assert_eq!(partition_index(&q), expect);
+        }
+    }
+
+    #[test]
+    fn zero_balance_accounts_do_not_raise_index() {
+        let mut q = Erc20State::new(3);
+        q.approve(p(0), p(1), 5).unwrap();
+        q.approve(p(0), p(2), 5).unwrap();
+        assert_eq!(partition_index(&q), 1);
+    }
+
+    #[test]
+    fn witness_prefers_lowest_account_on_ties() {
+        let mut q = Erc20State::from_balances(vec![5, 5, 0]);
+        q.set_allowance(a(0), p(2), 1);
+        q.set_allowance(a(1), p(2), 1);
+        assert_eq!(max_spender_account(&q), Some((a(0), 2)));
+    }
+
+    #[test]
+    fn empty_token_defaults_to_one() {
+        let q = Erc20State::new(0);
+        assert_eq!(partition_index(&q), 1);
+        assert_eq!(max_spender_account(&q), None);
+    }
+}

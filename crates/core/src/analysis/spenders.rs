@@ -1,0 +1,92 @@
+//! The enabled-spender map `σ_q : A → 2^Π` (equation (10) of the paper).
+
+use std::collections::BTreeSet;
+
+use tokensync_spec::{AccountId, ProcessId};
+
+use crate::erc20::Erc20State;
+
+/// Computes `σ_q(account)`: the set of processes enabled to transfer tokens
+/// from `account` in state `q`.
+///
+/// Per equation (10), `σ_q(a) = {p ∈ Π : p = ω(a) ∨ α(a, p) > 0}` — the
+/// owner plus every process with positive allowance — with the paper's
+/// convention that a zero-balance account has only its owner enabled
+/// (an allowance on an empty account cannot be spent until the balance is
+/// replenished).
+///
+/// # Example
+///
+/// ```
+/// use tokensync_core::analysis::enabled_spenders;
+/// use tokensync_core::erc20::Erc20State;
+/// use tokensync_spec::{AccountId, ProcessId};
+///
+/// let mut q = Erc20State::with_deployer(3, ProcessId::new(0), 10);
+/// q.approve(ProcessId::new(0), ProcessId::new(2), 4)?;
+/// let sigma = enabled_spenders(&q, AccountId::new(0));
+/// assert!(sigma.contains(&ProcessId::new(0))); // owner
+/// assert!(sigma.contains(&ProcessId::new(2))); // approved spender
+/// assert_eq!(sigma.len(), 2);
+/// # Ok::<(), tokensync_core::TokenError>(())
+/// ```
+pub fn enabled_spenders(state: &Erc20State, account: AccountId) -> BTreeSet<ProcessId> {
+    let owner = account.owner();
+    let mut sigma = BTreeSet::new();
+    sigma.insert(owner);
+    if state.balance(account) == 0 {
+        // Convention after (10): β(a) = 0 ⟹ σ_q(a) = {ω(a)}.
+        return sigma;
+    }
+    for i in 0..state.accounts() {
+        let p = ProcessId::new(i);
+        if state.allowance(account, p) > 0 {
+            sigma.insert(p);
+        }
+    }
+    sigma
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: usize) -> AccountId {
+        AccountId::new(i)
+    }
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn owner_always_enabled() {
+        let q = Erc20State::new(2);
+        assert_eq!(enabled_spenders(&q, a(1)), [p(1)].into());
+    }
+
+    #[test]
+    fn zero_balance_hides_approved_spenders() {
+        let mut q = Erc20State::new(3);
+        q.set_allowance(a(0), p(1), 5);
+        q.set_allowance(a(0), p(2), 5);
+        assert_eq!(enabled_spenders(&q, a(0)), [p(0)].into());
+        q.set_balance(a(0), 1);
+        assert_eq!(enabled_spenders(&q, a(0)), [p(0), p(1), p(2)].into());
+    }
+
+    #[test]
+    fn owner_self_allowance_does_not_double_count() {
+        let mut q = Erc20State::from_balances(vec![4, 0]);
+        q.set_allowance(a(0), p(0), 9);
+        assert_eq!(enabled_spenders(&q, a(0)).len(), 1);
+    }
+
+    #[test]
+    fn spenders_drop_out_when_allowance_consumed() {
+        let mut q = Erc20State::from_balances(vec![10, 0]);
+        q.set_allowance(a(0), p(1), 2);
+        assert_eq!(enabled_spenders(&q, a(0)).len(), 2);
+        q.transfer_from(p(1), a(0), a(1), 2).unwrap();
+        assert_eq!(enabled_spenders(&q, a(0)), [p(0)].into());
+    }
+}

@@ -1,0 +1,24 @@
+//! The ERC20 token object of Definition 3 / Algorithm 3.
+//!
+//! The object's state is a pair `(β, α)` of a balance map and an allowance
+//! map; its operations are `transfer`, `transferFrom`, `approve` and the
+//! read-only `balanceOf`, `allowance`, `totalSupply`. The module provides:
+//!
+//! * [`Erc20State`] — the state `q = (β, α)` with the transition logic of
+//!   `Δ` as typed-error methods.
+//! * [`Erc20Op`] / [`Erc20Resp`] — the operation and response alphabets
+//!   `O` and `R`.
+//! * [`Erc20Spec`] — the full object type, pluggable into the
+//!   linearizability checker and the model checker.
+//! * [`Erc20Token`] — a sequential token with ERC20 metadata, mirroring the
+//!   contract a Solidity developer would deploy (Algorithm 3).
+
+mod ops;
+mod spec;
+mod state;
+mod token;
+
+pub use ops::{Erc20Op, Erc20Resp};
+pub use spec::Erc20Spec;
+pub use state::Erc20State;
+pub use token::{Erc20Token, TokenMetadata};

@@ -1,0 +1,121 @@
+//! The operation and response alphabets `O` and `R` of the ERC20 object.
+
+use tokensync_spec::{AccountId, Amount, ProcessId};
+
+/// Operations `O` of the ERC20 token object (Definition 3, equations
+/// (3)–(7), plus the `totalSupply` read of Algorithm 3).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Erc20Op {
+    /// `transfer(a_d, v)`: the caller sends `v` from its own account.
+    Transfer {
+        /// Destination account `a_d`.
+        to: AccountId,
+        /// Amount `v`.
+        value: Amount,
+    },
+    /// `transferFrom(a_s, a_d, v)`: the caller spends `v` of its allowance
+    /// on `from`.
+    TransferFrom {
+        /// Source account `a_s`.
+        from: AccountId,
+        /// Destination account `a_d`.
+        to: AccountId,
+        /// Amount `v`.
+        value: Amount,
+    },
+    /// `approve(p̄, v)`: the caller authorizes `spender` for up to `v`
+    /// tokens from the caller's account.
+    Approve {
+        /// The process being authorized.
+        spender: ProcessId,
+        /// The authorized amount (overwrites any previous allowance).
+        value: Amount,
+    },
+    /// `balanceOf(a)`: read `β(a)`.
+    BalanceOf {
+        /// The account read.
+        account: AccountId,
+    },
+    /// `allowance(a, p̄)`: read `α(a, p̄)`.
+    Allowance {
+        /// The account read.
+        account: AccountId,
+        /// The spender read.
+        spender: ProcessId,
+    },
+    /// `totalSupply()`: read `Σ_a β(a)`.
+    TotalSupply,
+}
+
+impl Erc20Op {
+    /// Whether the method is *syntactically* read-only (`balanceOf`,
+    /// `allowance`, `totalSupply`).
+    ///
+    /// A non-read-only method can still be *semantically* read-only in a
+    /// given state — e.g. a failing `transfer` — which is what the
+    /// Theorem 3 case analysis is about; see
+    /// [`ObjectType::is_read_only`](tokensync_spec::ObjectType::is_read_only).
+    pub fn is_read_method(&self) -> bool {
+        matches!(
+            self,
+            Erc20Op::BalanceOf { .. } | Erc20Op::Allowance { .. } | Erc20Op::TotalSupply
+        )
+    }
+}
+
+/// Responses `R = {TRUE, FALSE} ∪ ℕ` of the ERC20 token object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Erc20Resp {
+    /// Outcome of a mutating method.
+    Bool(bool),
+    /// Result of a read method.
+    Amount(Amount),
+}
+
+impl Erc20Resp {
+    /// `TRUE`.
+    pub const TRUE: Self = Erc20Resp::Bool(true);
+    /// `FALSE`.
+    pub const FALSE: Self = Erc20Resp::Bool(false);
+
+    /// Whether this is the `TRUE` response.
+    pub fn is_true(self) -> bool {
+        self == Erc20Resp::TRUE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_methods_classified() {
+        assert!(Erc20Op::TotalSupply.is_read_method());
+        assert!(Erc20Op::BalanceOf {
+            account: AccountId::new(0)
+        }
+        .is_read_method());
+        assert!(Erc20Op::Allowance {
+            account: AccountId::new(0),
+            spender: ProcessId::new(1)
+        }
+        .is_read_method());
+        assert!(!Erc20Op::Transfer {
+            to: AccountId::new(0),
+            value: 0
+        }
+        .is_read_method());
+        assert!(!Erc20Op::Approve {
+            spender: ProcessId::new(0),
+            value: 0
+        }
+        .is_read_method());
+    }
+
+    #[test]
+    fn response_constants() {
+        assert!(Erc20Resp::TRUE.is_true());
+        assert!(!Erc20Resp::FALSE.is_true());
+        assert!(!Erc20Resp::Amount(1).is_true());
+    }
+}

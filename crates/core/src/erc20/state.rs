@@ -1,0 +1,357 @@
+//! The ERC20 state `q = (β, α)` and its transition logic.
+
+use tokensync_spec::{AccountId, Amount, ProcessId};
+
+use crate::error::TokenError;
+
+/// The state of an ERC20 token object: the balance map
+/// `β : A → ℕ` and the allowance map `α : A × Π → ℕ` (Definition 3,
+/// equation (2) of the paper).
+///
+/// With `n` accounts and one process per account (the paper's owner map `ω`
+/// is a bijection), both maps are dense arrays: `balances[a]` is `β(a)` and
+/// `allowances[a][p]` is `α(a, p)`.
+///
+/// All mutators take the *calling process* explicitly and enforce the
+/// preconditions of `Δ`; a returned [`TokenError`] corresponds exactly to a
+/// `FALSE` response (state unchanged).
+///
+/// # Example
+///
+/// ```
+/// use tokensync_core::erc20::Erc20State;
+/// use tokensync_spec::{AccountId, ProcessId};
+///
+/// let mut q = Erc20State::with_deployer(3, ProcessId::new(0), 10);
+/// q.transfer(ProcessId::new(0), AccountId::new(1), 3)?;
+/// q.approve(ProcessId::new(1), ProcessId::new(2), 5)?;
+/// assert_eq!(q.balance(AccountId::new(1)), 3);
+/// assert_eq!(q.allowance(AccountId::new(1), ProcessId::new(2)), 5);
+/// # Ok::<(), tokensync_core::TokenError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Erc20State {
+    balances: Vec<Amount>,
+    /// `allowances[a][p] = α(a, p)`.
+    allowances: Vec<Vec<Amount>>,
+}
+
+impl Erc20State {
+    /// The all-zero state over `n` accounts.
+    pub fn new(n: usize) -> Self {
+        Self {
+            balances: vec![0; n],
+            allowances: vec![vec![0; n]; n],
+        }
+    }
+
+    /// The canonical initial state `q0` of the ERC20 standard: the deployer
+    /// `d` holds the whole supply, all allowances are zero (Algorithm 3,
+    /// lines 7–8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deployer.index() >= n`.
+    pub fn with_deployer(n: usize, deployer: ProcessId, total_supply: Amount) -> Self {
+        let mut state = Self::new(n);
+        state.balances[deployer.index()] = total_supply;
+        state
+    }
+
+    /// Builds a state from explicit balances (all allowances zero).
+    pub fn from_balances(balances: Vec<Amount>) -> Self {
+        let n = balances.len();
+        Self {
+            balances,
+            allowances: vec![vec![0; n]; n],
+        }
+    }
+
+    /// Number of accounts `n = |A| = |Π|`.
+    pub fn accounts(&self) -> usize {
+        self.balances.len()
+    }
+
+    /// `β(account)`; out-of-range accounts read as 0.
+    pub fn balance(&self, account: AccountId) -> Amount {
+        self.balances.get(account.index()).copied().unwrap_or(0)
+    }
+
+    /// `α(account, spender)`; out-of-range pairs read as 0.
+    pub fn allowance(&self, account: AccountId, spender: ProcessId) -> Amount {
+        self.allowances
+            .get(account.index())
+            .and_then(|row| row.get(spender.index()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// `totalSupply = Σ_a β(a)`; invariant under every operation.
+    pub fn total_supply(&self) -> Amount {
+        self.balances.iter().sum()
+    }
+
+    /// Directly sets `β(account)` — test-fixture constructor aid; not an
+    /// object operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `account` is out of range.
+    pub fn set_balance(&mut self, account: AccountId, value: Amount) {
+        self.balances[account.index()] = value;
+    }
+
+    /// Directly sets `α(account, spender)` — test-fixture constructor aid;
+    /// not an object operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn set_allowance(&mut self, account: AccountId, spender: ProcessId, value: Amount) {
+        self.allowances[account.index()][spender.index()] = value;
+    }
+
+    fn check_account(&self, account: AccountId) -> Result<(), TokenError> {
+        if account.index() < self.balances.len() {
+            Ok(())
+        } else {
+            Err(TokenError::UnknownAccount { account })
+        }
+    }
+
+    fn check_process(&self, process: ProcessId) -> Result<(), TokenError> {
+        if process.index() < self.balances.len() {
+            Ok(())
+        } else {
+            Err(TokenError::UnknownProcess { process })
+        }
+    }
+
+    /// `transfer(a_d, v)` invoked by `caller`: moves `v` tokens from the
+    /// caller's own account to `to`.
+    ///
+    /// # Errors
+    ///
+    /// [`TokenError::UnknownProcess`] / [`TokenError::UnknownAccount`] for
+    /// out-of-range ids, [`TokenError::InsufficientBalance`] if
+    /// `β(a_caller) < v`. The state is unchanged on error.
+    pub fn transfer(
+        &mut self,
+        caller: ProcessId,
+        to: AccountId,
+        value: Amount,
+    ) -> Result<(), TokenError> {
+        self.check_process(caller)?;
+        self.check_account(to)?;
+        let from = caller.own_account();
+        let balance = self.balances[from.index()];
+        if balance < value {
+            return Err(TokenError::InsufficientBalance {
+                account: from,
+                balance,
+                required: value,
+            });
+        }
+        self.balances[from.index()] -= value;
+        self.balances[to.index()] += value;
+        Ok(())
+    }
+
+    /// `transferFrom(a_s, a_d, v)` invoked by `caller`: moves `v` tokens
+    /// from `from` to `to`, consuming `v` of the caller's allowance on
+    /// `from`.
+    ///
+    /// Follows Algorithm 3's check order: allowance first, then balance.
+    ///
+    /// # Errors
+    ///
+    /// [`TokenError::InsufficientAllowance`] if `α(from, caller) < v`,
+    /// [`TokenError::InsufficientBalance`] if `β(from) < v`, unknown-id
+    /// errors as for [`Erc20State::transfer`]. The state is unchanged on
+    /// error.
+    pub fn transfer_from(
+        &mut self,
+        caller: ProcessId,
+        from: AccountId,
+        to: AccountId,
+        value: Amount,
+    ) -> Result<(), TokenError> {
+        self.check_process(caller)?;
+        self.check_account(from)?;
+        self.check_account(to)?;
+        let allowance = self.allowances[from.index()][caller.index()];
+        if allowance < value {
+            return Err(TokenError::InsufficientAllowance {
+                account: from,
+                spender: caller,
+                allowance,
+                required: value,
+            });
+        }
+        let balance = self.balances[from.index()];
+        if balance < value {
+            return Err(TokenError::InsufficientBalance {
+                account: from,
+                balance,
+                required: value,
+            });
+        }
+        self.allowances[from.index()][caller.index()] -= value;
+        self.balances[from.index()] -= value;
+        self.balances[to.index()] += value;
+        Ok(())
+    }
+
+    /// `approve(p̄, v)` invoked by `caller`: sets the allowance of `spender`
+    /// on the caller's own account to exactly `v` (overwriting, not
+    /// adding — the ERC20 semantics).
+    ///
+    /// # Errors
+    ///
+    /// Unknown-id errors only; an in-range `approve` always succeeds.
+    pub fn approve(
+        &mut self,
+        caller: ProcessId,
+        spender: ProcessId,
+        value: Amount,
+    ) -> Result<(), TokenError> {
+        self.check_process(caller)?;
+        self.check_process(spender)?;
+        self.allowances[caller.index()][spender.index()] = value;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: usize) -> AccountId {
+        AccountId::new(i)
+    }
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn deployer_holds_supply() {
+        let q = Erc20State::with_deployer(3, p(1), 100);
+        assert_eq!(q.balance(a(1)), 100);
+        assert_eq!(q.balance(a(0)), 0);
+        assert_eq!(q.total_supply(), 100);
+    }
+
+    #[test]
+    fn transfer_moves_and_conserves() {
+        let mut q = Erc20State::with_deployer(2, p(0), 10);
+        q.transfer(p(0), a(1), 4).unwrap();
+        assert_eq!((q.balance(a(0)), q.balance(a(1))), (6, 4));
+        assert_eq!(q.total_supply(), 10);
+    }
+
+    #[test]
+    fn transfer_insufficient_balance_keeps_state() {
+        let mut q = Erc20State::with_deployer(2, p(0), 3);
+        let before = q.clone();
+        let err = q.transfer(p(0), a(1), 4).unwrap_err();
+        assert_eq!(
+            err,
+            TokenError::InsufficientBalance {
+                account: a(0),
+                balance: 3,
+                required: 4
+            }
+        );
+        assert_eq!(q, before);
+    }
+
+    #[test]
+    fn transfer_to_self_is_noop_success() {
+        let mut q = Erc20State::with_deployer(2, p(0), 3);
+        let before = q.clone();
+        q.transfer(p(0), a(0), 2).unwrap();
+        assert_eq!(q, before);
+    }
+
+    #[test]
+    fn approve_overwrites_allowance() {
+        let mut q = Erc20State::with_deployer(2, p(0), 3);
+        q.approve(p(0), p(1), 7).unwrap();
+        assert_eq!(q.allowance(a(0), p(1)), 7);
+        q.approve(p(0), p(1), 2).unwrap();
+        assert_eq!(q.allowance(a(0), p(1)), 2);
+        // Revocation: reset to zero.
+        q.approve(p(0), p(1), 0).unwrap();
+        assert_eq!(q.allowance(a(0), p(1)), 0);
+    }
+
+    #[test]
+    fn transfer_from_consumes_allowance() {
+        let mut q = Erc20State::with_deployer(3, p(0), 10);
+        q.approve(p(0), p(2), 6).unwrap();
+        q.transfer_from(p(2), a(0), a(1), 4).unwrap();
+        assert_eq!(q.balance(a(0)), 6);
+        assert_eq!(q.balance(a(1)), 4);
+        assert_eq!(q.allowance(a(0), p(2)), 2);
+    }
+
+    #[test]
+    fn transfer_from_checks_allowance_before_balance() {
+        let mut q = Erc20State::with_deployer(2, p(0), 1);
+        // allowance 0 < 5 and balance 1 < 5: Algorithm 3 reports allowance.
+        let err = q.transfer_from(p(1), a(0), a(1), 5).unwrap_err();
+        assert!(matches!(err, TokenError::InsufficientAllowance { .. }));
+    }
+
+    #[test]
+    fn example_1_insufficient_balance_case() {
+        // The Example 1 step where Charlie's allowance permits 5 but Bob's
+        // balance is only 3: FALSE, state unchanged.
+        let mut q = Erc20State::with_deployer(3, p(0), 10);
+        q.transfer(p(0), a(1), 3).unwrap();
+        q.approve(p(1), p(2), 5).unwrap();
+        let before = q.clone();
+        let err = q.transfer_from(p(2), a(1), a(2), 5).unwrap_err();
+        assert!(matches!(err, TokenError::InsufficientBalance { .. }));
+        assert_eq!(q, before);
+    }
+
+    #[test]
+    fn transfer_from_to_source_account_still_burns_allowance() {
+        let mut q = Erc20State::with_deployer(2, p(0), 5);
+        q.approve(p(0), p(1), 3).unwrap();
+        q.transfer_from(p(1), a(0), a(0), 2).unwrap();
+        assert_eq!(q.balance(a(0)), 5);
+        assert_eq!(q.allowance(a(0), p(1)), 1);
+    }
+
+    #[test]
+    fn unknown_ids_rejected() {
+        let mut q = Erc20State::with_deployer(2, p(0), 5);
+        assert!(matches!(
+            q.transfer(p(0), a(9), 1),
+            Err(TokenError::UnknownAccount { .. })
+        ));
+        assert!(matches!(
+            q.transfer(p(9), a(0), 1),
+            Err(TokenError::UnknownProcess { .. })
+        ));
+        assert!(matches!(
+            q.approve(p(0), p(9), 1),
+            Err(TokenError::UnknownProcess { .. })
+        ));
+        assert!(matches!(
+            q.transfer_from(p(0), a(0), a(9), 1),
+            Err(TokenError::UnknownAccount { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_value_operations_succeed() {
+        let mut q = Erc20State::with_deployer(2, p(0), 0);
+        q.transfer(p(0), a(1), 0).unwrap();
+        q.approve(p(1), p(0), 0).unwrap();
+        q.transfer_from(p(0), a(1), a(0), 0).unwrap();
+        assert_eq!(q.total_supply(), 0);
+    }
+}

@@ -1,0 +1,229 @@
+//! A sequential ERC20 token with contract metadata (Algorithm 3).
+
+use tokensync_spec::{AccountId, Amount, ObjectType, ProcessId};
+
+use super::ops::{Erc20Op, Erc20Resp};
+use super::spec::Erc20Spec;
+use super::state::Erc20State;
+use crate::error::TokenError;
+
+/// The constant metadata of an ERC20 contract (Algorithm 3, lines 3–6).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TokenMetadata {
+    /// Human-readable token name.
+    pub name: String,
+    /// Ticker symbol.
+    pub symbol: String,
+    /// Display decimals.
+    pub decimals: u8,
+}
+
+impl Default for TokenMetadata {
+    fn default() -> Self {
+        Self {
+            name: "TokenSync".to_owned(),
+            symbol: "TSY".to_owned(),
+            decimals: 18,
+        }
+    }
+}
+
+/// A sequential ERC20 token: the contract of Algorithm 3, with typed
+/// errors. This is the single-threaded reference implementation every
+/// concurrent implementation in the workspace is differentially tested
+/// against.
+///
+/// # Example
+///
+/// ```
+/// use tokensync_core::erc20::Erc20Token;
+/// use tokensync_spec::{AccountId, ProcessId};
+///
+/// let deployer = ProcessId::new(0);
+/// let mut token = Erc20Token::deploy(2, deployer, 100);
+/// token.transfer(deployer, AccountId::new(1), 30)?;
+/// assert_eq!(token.balance_of(AccountId::new(1)), 30);
+/// assert_eq!(token.total_supply(), 100);
+/// # Ok::<(), tokensync_core::TokenError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Erc20Token {
+    metadata: TokenMetadata,
+    state: Erc20State,
+}
+
+impl Erc20Token {
+    /// Deploys a token over `n` accounts; `deployer` receives the whole
+    /// `total_supply` (Algorithm 3 initialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deployer.index() >= n`.
+    pub fn deploy(n: usize, deployer: ProcessId, total_supply: Amount) -> Self {
+        Self::with_metadata(n, deployer, total_supply, TokenMetadata::default())
+    }
+
+    /// Deploys with explicit [`TokenMetadata`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deployer.index() >= n`.
+    pub fn with_metadata(
+        n: usize,
+        deployer: ProcessId,
+        total_supply: Amount,
+        metadata: TokenMetadata,
+    ) -> Self {
+        Self {
+            metadata,
+            state: Erc20State::with_deployer(n, deployer, total_supply),
+        }
+    }
+
+    /// Wraps an arbitrary state `q` (the paper's `T_q`).
+    pub fn from_state(state: Erc20State) -> Self {
+        Self {
+            metadata: TokenMetadata::default(),
+            state,
+        }
+    }
+
+    /// The contract metadata.
+    pub fn metadata(&self) -> &TokenMetadata {
+        &self.metadata
+    }
+
+    /// The current state `q = (β, α)`.
+    pub fn state(&self) -> &Erc20State {
+        &self.state
+    }
+
+    /// Consumes the token and returns its state.
+    pub fn into_state(self) -> Erc20State {
+        self.state
+    }
+
+    /// Number of accounts.
+    pub fn accounts(&self) -> usize {
+        self.state.accounts()
+    }
+
+    /// `transfer(to, value)` as `caller`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Erc20State::transfer`].
+    pub fn transfer(
+        &mut self,
+        caller: ProcessId,
+        to: AccountId,
+        value: Amount,
+    ) -> Result<(), TokenError> {
+        self.state.transfer(caller, to, value)
+    }
+
+    /// `transferFrom(from, to, value)` as `caller`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Erc20State::transfer_from`].
+    pub fn transfer_from(
+        &mut self,
+        caller: ProcessId,
+        from: AccountId,
+        to: AccountId,
+        value: Amount,
+    ) -> Result<(), TokenError> {
+        self.state.transfer_from(caller, from, to, value)
+    }
+
+    /// `approve(spender, value)` as `caller`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Erc20State::approve`].
+    pub fn approve(
+        &mut self,
+        caller: ProcessId,
+        spender: ProcessId,
+        value: Amount,
+    ) -> Result<(), TokenError> {
+        self.state.approve(caller, spender, value)
+    }
+
+    /// `balanceOf(account)`.
+    pub fn balance_of(&self, account: AccountId) -> Amount {
+        self.state.balance(account)
+    }
+
+    /// `allowance(account, spender)`.
+    pub fn allowance(&self, account: AccountId, spender: ProcessId) -> Amount {
+        self.state.allowance(account, spender)
+    }
+
+    /// `totalSupply()`.
+    pub fn total_supply(&self) -> Amount {
+        self.state.total_supply()
+    }
+
+    /// Applies an [`Erc20Op`], returning the formal response — the bridge
+    /// between the ergonomic API and the `(Q, q0, O, R, Δ)` view.
+    pub fn apply(&mut self, process: ProcessId, op: &Erc20Op) -> Erc20Resp {
+        Erc20Spec::new(Erc20State::new(0)) // spec carries no per-op state
+            .apply(&mut self.state, process, op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: usize) -> AccountId {
+        AccountId::new(i)
+    }
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn deploy_and_metadata() {
+        let t = Erc20Token::with_metadata(
+            2,
+            p(0),
+            5,
+            TokenMetadata {
+                name: "Gold".into(),
+                symbol: "GLD".into(),
+                decimals: 2,
+            },
+        );
+        assert_eq!(t.metadata().symbol, "GLD");
+        assert_eq!(t.total_supply(), 5);
+        assert_eq!(t.accounts(), 2);
+    }
+
+    #[test]
+    fn typed_and_formal_interfaces_agree() {
+        let mut t = Erc20Token::deploy(3, p(0), 10);
+        assert!(t.transfer(p(0), a(1), 3).is_ok());
+        let resp = t.apply(
+            p(1),
+            &Erc20Op::Approve {
+                spender: p(2),
+                value: 5,
+            },
+        );
+        assert_eq!(resp, Erc20Resp::TRUE);
+        assert_eq!(t.allowance(a(1), p(2)), 5);
+        let resp = t.apply(p(0), &Erc20Op::BalanceOf { account: a(1) });
+        assert_eq!(resp, Erc20Resp::Amount(3));
+    }
+
+    #[test]
+    fn from_state_round_trips() {
+        let mut q = Erc20State::with_deployer(2, p(0), 7);
+        q.set_allowance(a(0), p(1), 3);
+        let t = Erc20Token::from_state(q.clone());
+        assert_eq!(t.into_state(), q);
+    }
+}

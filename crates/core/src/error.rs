@@ -1,0 +1,113 @@
+//! Typed errors for token operations.
+//!
+//! The paper's objects signal failure with a `FALSE` response; a library
+//! wants to know *why*. Every `FALSE` transition of Definition 3 maps to
+//! exactly one variant here, and the mapping is bijective so the formal
+//! responses can always be reconstructed (`Result::is_ok()` ⇔ `TRUE`).
+
+use std::fmt;
+
+use tokensync_spec::{AccountId, Amount, ProcessId};
+
+/// Reason a token operation returned `FALSE` in the sequential
+/// specification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenError {
+    /// The source balance is below the requested amount
+    /// (`β(a_s) < v`).
+    InsufficientBalance {
+        /// Account whose balance was insufficient.
+        account: AccountId,
+        /// Balance at the time of the operation.
+        balance: Amount,
+        /// Amount the operation required.
+        required: Amount,
+    },
+    /// The caller's allowance on the source account is below the requested
+    /// amount (`α(a_s, p) < v`).
+    InsufficientAllowance {
+        /// Account the caller tried to spend from.
+        account: AccountId,
+        /// Spender whose allowance was insufficient.
+        spender: ProcessId,
+        /// Allowance at the time of the operation.
+        allowance: Amount,
+        /// Amount the operation required.
+        required: Amount,
+    },
+    /// The operation referenced an account outside `A`.
+    UnknownAccount {
+        /// The out-of-range account.
+        account: AccountId,
+    },
+    /// The operation referenced a process outside `Π`.
+    UnknownProcess {
+        /// The out-of-range process.
+        process: ProcessId,
+    },
+    /// The operation was refused because it would leave the restricted
+    /// state space (only returned by `T|Q_k`, Algorithm 2: an `approve`
+    /// that would give some account more than `k` enabled spenders).
+    WouldExceedRestriction {
+        /// The restriction level `k`.
+        k: usize,
+    },
+}
+
+impl fmt::Display for TokenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenError::InsufficientBalance {
+                account,
+                balance,
+                required,
+            } => write!(
+                f,
+                "balance of {account} is {balance}, operation requires {required}"
+            ),
+            TokenError::InsufficientAllowance {
+                account,
+                spender,
+                allowance,
+                required,
+            } => write!(
+                f,
+                "allowance of {spender} on {account} is {allowance}, operation requires {required}"
+            ),
+            TokenError::UnknownAccount { account } => {
+                write!(f, "account {account} does not exist")
+            }
+            TokenError::UnknownProcess { process } => {
+                write!(f, "process {process} does not exist")
+            }
+            TokenError::WouldExceedRestriction { k } => {
+                write!(f, "operation would exceed the Q_{k} restriction")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TokenError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TokenError::InsufficientBalance {
+            account: AccountId::new(1),
+            balance: 3,
+            required: 5,
+        };
+        assert_eq!(e.to_string(), "balance of a1 is 3, operation requires 5");
+        let e = TokenError::WouldExceedRestriction { k: 2 };
+        assert!(e.to_string().contains("Q_2"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_bounds<T: Send + Sync + std::error::Error>() {}
+        assert_bounds::<TokenError>();
+    }
+}

@@ -1,0 +1,123 @@
+//! Single-lock concurrent token.
+
+use parking_lot::Mutex;
+use tokensync_spec::{AccountId, Amount, ProcessId};
+
+use crate::erc20::Erc20State;
+use crate::error::TokenError;
+
+use super::interface::ConcurrentToken;
+
+/// An ERC20 token behind one global mutex.
+///
+/// Trivially linearizable (every operation is one critical section over the
+/// whole state) but fully serialized: the baseline the finer-grained
+/// [`SharedErc20`](super::SharedErc20) and the consensus-backed universal
+/// token are benchmarked against (bench `token_ops`).
+///
+/// # Example
+///
+/// ```
+/// use tokensync_core::shared::{CoarseErc20, ConcurrentToken};
+/// use tokensync_spec::{AccountId, ProcessId};
+///
+/// let token = CoarseErc20::deploy(2, ProcessId::new(0), 10);
+/// token.transfer(ProcessId::new(0), AccountId::new(1), 4)?;
+/// assert_eq!(token.balance_of(AccountId::new(1)), 4);
+/// # Ok::<(), tokensync_core::TokenError>(())
+/// ```
+#[derive(Debug)]
+pub struct CoarseErc20 {
+    state: Mutex<Erc20State>,
+    accounts: usize,
+}
+
+impl CoarseErc20 {
+    /// Deploys a fresh token (deployer holds the whole supply).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deployer.index() >= n`.
+    pub fn deploy(n: usize, deployer: ProcessId, total_supply: Amount) -> Self {
+        Self::from_state(Erc20State::with_deployer(n, deployer, total_supply))
+    }
+
+    /// Wraps an arbitrary starting state (the paper's `T_q`).
+    pub fn from_state(state: Erc20State) -> Self {
+        let accounts = state.accounts();
+        Self {
+            state: Mutex::new(state),
+            accounts,
+        }
+    }
+}
+
+impl ConcurrentToken for CoarseErc20 {
+    fn accounts(&self) -> usize {
+        self.accounts
+    }
+
+    fn transfer(
+        &self,
+        caller: ProcessId,
+        to: AccountId,
+        value: Amount,
+    ) -> Result<(), TokenError> {
+        self.state.lock().transfer(caller, to, value)
+    }
+
+    fn transfer_from(
+        &self,
+        caller: ProcessId,
+        from: AccountId,
+        to: AccountId,
+        value: Amount,
+    ) -> Result<(), TokenError> {
+        self.state.lock().transfer_from(caller, from, to, value)
+    }
+
+    fn approve(
+        &self,
+        caller: ProcessId,
+        spender: ProcessId,
+        value: Amount,
+    ) -> Result<(), TokenError> {
+        self.state.lock().approve(caller, spender, value)
+    }
+
+    fn balance_of(&self, account: AccountId) -> Amount {
+        self.state.lock().balance(account)
+    }
+
+    fn allowance(&self, account: AccountId, spender: ProcessId) -> Amount {
+        self.state.lock().allowance(account, spender)
+    }
+
+    fn total_supply(&self) -> Amount {
+        self.state.lock().total_supply()
+    }
+
+    fn state_snapshot(&self) -> Erc20State {
+        self.state.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_flow() {
+        let t = CoarseErc20::deploy(3, ProcessId::new(0), 10);
+        t.transfer(ProcessId::new(0), AccountId::new(1), 3).unwrap();
+        t.approve(ProcessId::new(1), ProcessId::new(2), 5).unwrap();
+        assert!(t
+            .transfer_from(ProcessId::new(2), AccountId::new(1), AccountId::new(2), 5)
+            .is_err());
+        t.transfer_from(ProcessId::new(2), AccountId::new(1), AccountId::new(0), 1)
+            .unwrap();
+        assert_eq!(t.balance_of(AccountId::new(0)), 8);
+        assert_eq!(t.allowance(AccountId::new(1), ProcessId::new(2)), 4);
+        assert_eq!(t.total_supply(), 10);
+    }
+}

@@ -1,0 +1,125 @@
+//! The interface shared by all concurrent token implementations.
+
+use tokensync_spec::{AccountId, Amount, ProcessId};
+
+use crate::erc20::{Erc20Op, Erc20Resp, Erc20State};
+use crate::error::TokenError;
+
+/// A linearizable, concurrently accessible ERC20 token object.
+///
+/// Mirrors [`Erc20Token`](crate::erc20::Erc20Token) with `&self` methods;
+/// every operation must appear to take effect atomically at some point
+/// between invocation and response (the assumption under which all of the
+/// paper's constructions operate).
+pub trait ConcurrentToken: Send + Sync {
+    /// Number of accounts `n`.
+    fn accounts(&self) -> usize;
+
+    /// `transfer(to, value)` as `caller`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Erc20State::transfer`](crate::erc20::Erc20State::transfer).
+    fn transfer(&self, caller: ProcessId, to: AccountId, value: Amount)
+        -> Result<(), TokenError>;
+
+    /// `transferFrom(from, to, value)` as `caller`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Erc20State::transfer_from`](crate::erc20::Erc20State::transfer_from).
+    fn transfer_from(
+        &self,
+        caller: ProcessId,
+        from: AccountId,
+        to: AccountId,
+        value: Amount,
+    ) -> Result<(), TokenError>;
+
+    /// `approve(spender, value)` as `caller`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Erc20State::approve`](crate::erc20::Erc20State::approve).
+    fn approve(
+        &self,
+        caller: ProcessId,
+        spender: ProcessId,
+        value: Amount,
+    ) -> Result<(), TokenError>;
+
+    /// `balanceOf(account)`.
+    fn balance_of(&self, account: AccountId) -> Amount;
+
+    /// `allowance(account, spender)`.
+    fn allowance(&self, account: AccountId, spender: ProcessId) -> Amount;
+
+    /// `totalSupply()` — atomic with respect to transfers.
+    fn total_supply(&self) -> Amount;
+
+    /// An atomic snapshot of the full state (diagnostic / test oracle).
+    fn state_snapshot(&self) -> Erc20State;
+
+    /// Applies a formal [`Erc20Op`], returning the formal response.
+    fn apply(&self, process: ProcessId, op: &Erc20Op) -> Erc20Resp {
+        match *op {
+            Erc20Op::Transfer { to, value } => {
+                Erc20Resp::Bool(self.transfer(process, to, value).is_ok())
+            }
+            Erc20Op::TransferFrom { from, to, value } => {
+                Erc20Resp::Bool(self.transfer_from(process, from, to, value).is_ok())
+            }
+            Erc20Op::Approve { spender, value } => {
+                Erc20Resp::Bool(self.approve(process, spender, value).is_ok())
+            }
+            Erc20Op::BalanceOf { account } => Erc20Resp::Amount(self.balance_of(account)),
+            Erc20Op::Allowance { account, spender } => {
+                Erc20Resp::Amount(self.allowance(account, spender))
+            }
+            Erc20Op::TotalSupply => Erc20Resp::Amount(self.total_supply()),
+        }
+    }
+}
+
+impl<T: ConcurrentToken + ?Sized> ConcurrentToken for std::sync::Arc<T> {
+    fn accounts(&self) -> usize {
+        (**self).accounts()
+    }
+    fn transfer(
+        &self,
+        caller: ProcessId,
+        to: AccountId,
+        value: Amount,
+    ) -> Result<(), TokenError> {
+        (**self).transfer(caller, to, value)
+    }
+    fn transfer_from(
+        &self,
+        caller: ProcessId,
+        from: AccountId,
+        to: AccountId,
+        value: Amount,
+    ) -> Result<(), TokenError> {
+        (**self).transfer_from(caller, from, to, value)
+    }
+    fn approve(
+        &self,
+        caller: ProcessId,
+        spender: ProcessId,
+        value: Amount,
+    ) -> Result<(), TokenError> {
+        (**self).approve(caller, spender, value)
+    }
+    fn balance_of(&self, account: AccountId) -> Amount {
+        (**self).balance_of(account)
+    }
+    fn allowance(&self, account: AccountId, spender: ProcessId) -> Amount {
+        (**self).allowance(account, spender)
+    }
+    fn total_supply(&self) -> Amount {
+        (**self).total_supply()
+    }
+    fn state_snapshot(&self) -> Erc20State {
+        (**self).state_snapshot()
+    }
+}

@@ -1,0 +1,193 @@
+//! The ERC1363 "payable token" standard — and why the paper stops there.
+//!
+//! ERC1363 keeps ERC20's `approve`/`transferFrom` surface but invokes a
+//! *receiver callback* after `transferAndCall` / `approveAndCall`; the
+//! callback is arbitrary contract code. Section 6 of the paper observes
+//! that this "precludes establishing exact synchronization requirements a
+//! priori, as this can be arbitrary". This module makes that observation
+//! concrete: the callback is a user-supplied closure over an arbitrary
+//! shared object, so the *token* object embeds objects of unbounded
+//! consensus number — [`Erc1363Token`] is exactly as strong as whatever
+//! you plug into it.
+
+use tokensync_spec::{AccountId, Amount, ProcessId};
+
+use crate::erc20::Erc20State;
+use crate::error::TokenError;
+
+/// The outcome a receiver callback reports (per the standard, receivers
+/// may reject a transfer, rolling it back).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HookOutcome {
+    /// Accept the transfer.
+    Accept,
+    /// Reject: the token reverts the transfer.
+    Reject,
+}
+
+/// A receiver hook: invoked after the balance moves, before the call
+/// returns. In Solidity this is `onTransferReceived`; here it is any
+/// closure — which is precisely why no a-priori consensus number exists.
+pub type Hook = Box<dyn FnMut(ProcessId, AccountId, Amount) -> HookOutcome + Send>;
+
+/// A minimal ERC1363 payable token: ERC20 semantics plus per-account
+/// receiver hooks.
+///
+/// # Example
+///
+/// ```
+/// use tokensync_core::standards::erc1363::{Erc1363Token, HookOutcome};
+/// use tokensync_spec::{AccountId, ProcessId};
+///
+/// let mut token = Erc1363Token::deploy(2, ProcessId::new(0), 10);
+/// // Account 1 rejects payments over 5.
+/// token.set_hook(AccountId::new(1), Box::new(|_, _, v| {
+///     if v > 5 { HookOutcome::Reject } else { HookOutcome::Accept }
+/// }));
+/// assert!(token.transfer_and_call(ProcessId::new(0), AccountId::new(1), 3).is_ok());
+/// assert!(token.transfer_and_call(ProcessId::new(0), AccountId::new(1), 7).is_err());
+/// assert_eq!(token.state().balance(AccountId::new(1)), 3);
+/// ```
+pub struct Erc1363Token {
+    state: Erc20State,
+    hooks: Vec<Option<Hook>>,
+    /// Number of hook invocations (diagnostic).
+    pub hook_calls: u64,
+}
+
+impl Erc1363Token {
+    /// Deploys with `n` accounts; the deployer holds the supply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deployer.index() >= n`.
+    pub fn deploy(n: usize, deployer: ProcessId, total_supply: Amount) -> Self {
+        Self {
+            state: Erc20State::with_deployer(n, deployer, total_supply),
+            hooks: (0..n).map(|_| None).collect(),
+            hook_calls: 0,
+        }
+    }
+
+    /// The underlying ERC20 state.
+    pub fn state(&self) -> &Erc20State {
+        &self.state
+    }
+
+    /// Installs (or replaces) the receiver hook of `account`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `account` is out of range.
+    pub fn set_hook(&mut self, account: AccountId, hook: Hook) {
+        self.hooks[account.index()] = Some(hook);
+    }
+
+    /// `transferAndCall(to, value)`: ERC20 transfer, then the receiver's
+    /// hook; a rejecting hook rolls the transfer back.
+    ///
+    /// # Errors
+    ///
+    /// The usual ERC20 errors for the transfer itself; a hook rejection is
+    /// reported as [`TokenError::WouldExceedRestriction`] with `k = 0` —
+    /// the library's "refused by policy" marker (a dedicated variant is
+    /// not warranted for a demonstration standard).
+    pub fn transfer_and_call(
+        &mut self,
+        caller: ProcessId,
+        to: AccountId,
+        value: Amount,
+    ) -> Result<(), TokenError> {
+        self.state.transfer(caller, to, value)?;
+        if let Some(hook) = self.hooks.get_mut(to.index()).and_then(Option::as_mut) {
+            self.hook_calls += 1;
+            if hook(caller, to, value) == HookOutcome::Reject {
+                // Roll back: move the funds back to the caller.
+                self.state
+                    .transfer(to.owner(), caller.own_account(), value)
+                    .expect("rollback of a just-applied transfer cannot fail");
+                return Err(TokenError::WouldExceedRestriction { k: 0 });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Erc1363Token {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Erc1363Token")
+            .field("state", &self.state)
+            .field("hook_calls", &self.hook_calls)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn a(i: usize) -> AccountId {
+        AccountId::new(i)
+    }
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn accepting_hook_behaves_like_erc20() {
+        let mut t = Erc1363Token::deploy(2, p(0), 10);
+        t.set_hook(a(1), Box::new(|_, _, _| HookOutcome::Accept));
+        t.transfer_and_call(p(0), a(1), 4).unwrap();
+        assert_eq!(t.state().balance(a(1)), 4);
+        assert_eq!(t.hook_calls, 1);
+    }
+
+    #[test]
+    fn rejecting_hook_rolls_back_atomically() {
+        let mut t = Erc1363Token::deploy(2, p(0), 10);
+        t.set_hook(a(1), Box::new(|_, _, _| HookOutcome::Reject));
+        let err = t.transfer_and_call(p(0), a(1), 4).unwrap_err();
+        assert_eq!(err, TokenError::WouldExceedRestriction { k: 0 });
+        assert_eq!(t.state().balance(a(0)), 10);
+        assert_eq!(t.state().balance(a(1)), 0);
+        assert_eq!(t.state().total_supply(), 10);
+    }
+
+    #[test]
+    fn no_hook_means_plain_transfer() {
+        let mut t = Erc1363Token::deploy(2, p(0), 10);
+        t.transfer_and_call(p(0), a(1), 4).unwrap();
+        assert_eq!(t.hook_calls, 0);
+    }
+
+    #[test]
+    fn hooks_can_embed_arbitrary_synchronization() {
+        // The paper's point: the hook below is a fetch-and-increment — an
+        // object of consensus number 2 — and nothing stops a hook from
+        // embedding consensus among any number of processes. The token's
+        // synchronization power is therefore unbounded *a priori*.
+        let counter = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&counter);
+        let mut t = Erc1363Token::deploy(2, p(0), 10);
+        t.set_hook(
+            a(1),
+            Box::new(move |_, _, _| {
+                seen.fetch_add(1, Ordering::SeqCst);
+                HookOutcome::Accept
+            }),
+        );
+        t.transfer_and_call(p(0), a(1), 1).unwrap();
+        t.transfer_and_call(p(0), a(1), 1).unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn insufficient_balance_never_reaches_the_hook() {
+        let mut t = Erc1363Token::deploy(2, p(0), 3);
+        t.set_hook(a(1), Box::new(|_, _, _| HookOutcome::Accept));
+        assert!(t.transfer_and_call(p(0), a(1), 5).is_err());
+        assert_eq!(t.hook_calls, 0);
+    }
+}

@@ -1,0 +1,472 @@
+//! The ERC721 non-fungible token standard.
+//!
+//! Every token is unique, identified by a `tokenId`, and transferred
+//! individually. A token's owner may `approve` one process per token and
+//! may enable *operators* for all of its tokens. Section 6 of the paper
+//! sketches how the consensus construction adapts: approved processes race
+//! `transferFrom` on a single `tokenId` and the winner is read off
+//! `ownerOf`.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use parking_lot::Mutex;
+use tokensync_registers::{Register, RegisterArray};
+use tokensync_spec::ProcessId;
+
+/// Identifier of a non-fungible token.
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default)]
+pub struct TokenId(usize);
+
+impl TokenId {
+    /// Creates a token id from an index.
+    pub const fn new(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// The zero-based index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for TokenId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "nft{}", self.0)
+    }
+}
+
+/// Errors of the ERC721 object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Erc721Error {
+    /// The token id does not exist.
+    UnknownToken(TokenId),
+    /// The caller may not move this token (not owner, approved, or
+    /// operator).
+    NotAuthorized {
+        /// The caller that was refused.
+        caller: ProcessId,
+        /// The token involved.
+        token: TokenId,
+    },
+    /// `from` does not currently own the token.
+    WrongOwner {
+        /// The claimed owner.
+        claimed: ProcessId,
+        /// The actual owner.
+        actual: ProcessId,
+    },
+}
+
+impl fmt::Display for Erc721Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Erc721Error::UnknownToken(t) => write!(f, "token {t} does not exist"),
+            Erc721Error::NotAuthorized { caller, token } => {
+                write!(f, "{caller} is not authorized to move {token}")
+            }
+            Erc721Error::WrongOwner { claimed, actual } => {
+                write!(f, "token is owned by {actual}, not {claimed}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Erc721Error {}
+
+/// A sequential ERC721 token contract.
+///
+/// # Example
+///
+/// ```
+/// use tokensync_core::standards::erc721::{Erc721Token, TokenId};
+/// use tokensync_spec::ProcessId;
+///
+/// let minter = ProcessId::new(0);
+/// let mut nft = Erc721Token::mint_to(3, minter, 2); // tokens nft0, nft1
+/// nft.approve(minter, Some(ProcessId::new(2)), TokenId::new(0))?;
+/// nft.transfer_from(ProcessId::new(2), minter, ProcessId::new(2), TokenId::new(0))?;
+/// assert_eq!(nft.owner_of(TokenId::new(0)), Some(ProcessId::new(2)));
+/// # Ok::<(), tokensync_core::standards::erc721::Erc721Error>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Erc721Token {
+    processes: usize,
+    owner_of: Vec<ProcessId>,
+    approved: Vec<Option<ProcessId>>,
+    /// `operators[holder]`: processes enabled for *all* of holder's tokens.
+    operators: Vec<BTreeSet<ProcessId>>,
+}
+
+impl Erc721Token {
+    /// Mints `tokens` NFTs, all owned by `minter`, in a system of
+    /// `processes` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `minter.index() >= processes`.
+    pub fn mint_to(processes: usize, minter: ProcessId, tokens: usize) -> Self {
+        assert!(minter.index() < processes, "minter out of range");
+        Self {
+            processes,
+            owner_of: vec![minter; tokens],
+            approved: vec![None; tokens],
+            operators: vec![BTreeSet::new(); processes],
+        }
+    }
+
+    /// Number of minted tokens.
+    pub fn tokens(&self) -> usize {
+        self.owner_of.len()
+    }
+
+    /// `ownerOf(tokenId)`.
+    pub fn owner_of(&self, token: TokenId) -> Option<ProcessId> {
+        self.owner_of.get(token.index()).copied()
+    }
+
+    /// `getApproved(tokenId)`.
+    pub fn get_approved(&self, token: TokenId) -> Option<ProcessId> {
+        self.approved.get(token.index()).copied().flatten()
+    }
+
+    /// `balanceOf(owner)`: number of tokens held.
+    pub fn balance_of(&self, holder: ProcessId) -> usize {
+        self.owner_of.iter().filter(|o| **o == holder).count()
+    }
+
+    /// `isApprovedForAll(owner, operator)`.
+    pub fn is_approved_for_all(&self, holder: ProcessId, operator: ProcessId) -> bool {
+        self.operators
+            .get(holder.index())
+            .is_some_and(|s| s.contains(&operator))
+    }
+
+    /// `setApprovalForAll(operator, approved)` by `caller`.
+    pub fn set_approval_for_all(&mut self, caller: ProcessId, operator: ProcessId, on: bool) {
+        if caller.index() >= self.processes || operator.index() >= self.processes {
+            return;
+        }
+        if on {
+            self.operators[caller.index()].insert(operator);
+        } else {
+            self.operators[caller.index()].remove(&operator);
+        }
+    }
+
+    fn may_manage(&self, caller: ProcessId, token: TokenId) -> bool {
+        let Some(owner) = self.owner_of(token) else {
+            return false;
+        };
+        caller == owner
+            || self.get_approved(token) == Some(caller)
+            || self.is_approved_for_all(owner, caller)
+    }
+
+    /// `approve(approved, tokenId)` by `caller` (owner or operator);
+    /// `None` clears the approval.
+    ///
+    /// # Errors
+    ///
+    /// [`Erc721Error::UnknownToken`] or [`Erc721Error::NotAuthorized`].
+    pub fn approve(
+        &mut self,
+        caller: ProcessId,
+        approved: Option<ProcessId>,
+        token: TokenId,
+    ) -> Result<(), Erc721Error> {
+        let owner = self
+            .owner_of(token)
+            .ok_or(Erc721Error::UnknownToken(token))?;
+        if caller != owner && !self.is_approved_for_all(owner, caller) {
+            return Err(Erc721Error::NotAuthorized { caller, token });
+        }
+        self.approved[token.index()] = approved;
+        Ok(())
+    }
+
+    /// `transferFrom(from, to, tokenId)` by `caller`.
+    ///
+    /// On success the token's single-use approval is cleared (ERC721
+    /// semantics) and ownership moves to `to`.
+    ///
+    /// # Errors
+    ///
+    /// [`Erc721Error::UnknownToken`], [`Erc721Error::WrongOwner`] if `from`
+    /// is not the current owner, [`Erc721Error::NotAuthorized`] if the
+    /// caller is neither owner, approved, nor operator.
+    pub fn transfer_from(
+        &mut self,
+        caller: ProcessId,
+        from: ProcessId,
+        to: ProcessId,
+        token: TokenId,
+    ) -> Result<(), Erc721Error> {
+        let owner = self
+            .owner_of(token)
+            .ok_or(Erc721Error::UnknownToken(token))?;
+        if owner != from {
+            return Err(Erc721Error::WrongOwner {
+                claimed: from,
+                actual: owner,
+            });
+        }
+        if !self.may_manage(caller, token) {
+            return Err(Erc721Error::NotAuthorized { caller, token });
+        }
+        self.owner_of[token.index()] = to;
+        self.approved[token.index()] = None;
+        Ok(())
+    }
+
+    /// The movers of `token`: owner, approved process, and the owner's
+    /// operators — the ERC721 analogue of `σ_q` for a single token.
+    pub fn enabled_movers(&self, token: TokenId) -> BTreeSet<ProcessId> {
+        let mut set = BTreeSet::new();
+        if let Some(owner) = self.owner_of(token) {
+            set.insert(owner);
+            if let Some(approved) = self.get_approved(token) {
+                set.insert(approved);
+            }
+            if let Some(ops) = self.operators.get(owner.index()) {
+                set.extend(ops.iter().copied());
+            }
+        }
+        set
+    }
+
+    /// The contract-wide synchronization level: `max_t |movers(t)|`.
+    pub fn sync_level(&self) -> usize {
+        (0..self.tokens())
+            .map(|t| self.enabled_movers(TokenId::new(t)).len())
+            .max()
+            .unwrap_or(1)
+            .max(1)
+    }
+}
+
+/// Coarse-grained linearizable ERC721 for threaded use.
+#[derive(Debug)]
+pub struct SharedErc721 {
+    inner: Mutex<Erc721Token>,
+}
+
+impl SharedErc721 {
+    /// Wraps a sequential contract.
+    pub fn new(token: Erc721Token) -> Self {
+        Self {
+            inner: Mutex::new(token),
+        }
+    }
+
+    /// `transferFrom` (see [`Erc721Token::transfer_from`]).
+    ///
+    /// # Errors
+    ///
+    /// As the sequential method.
+    pub fn transfer_from(
+        &self,
+        caller: ProcessId,
+        from: ProcessId,
+        to: ProcessId,
+        token: TokenId,
+    ) -> Result<(), Erc721Error> {
+        self.inner.lock().transfer_from(caller, from, to, token)
+    }
+
+    /// `ownerOf`.
+    pub fn owner_of(&self, token: TokenId) -> Option<ProcessId> {
+        self.inner.lock().owner_of(token)
+    }
+
+    /// Snapshot.
+    pub fn snapshot(&self) -> Erc721Token {
+        self.inner.lock().clone()
+    }
+}
+
+/// Wait-free consensus from one NFT (Section 6): the `k` movers of a token
+/// race `transferFrom` on the same `tokenId`; ownership changes exactly
+/// once, and `ownerOf` names the winner.
+///
+/// The owner transfers the NFT to a dedicated *sink* process (not a mover)
+/// rather than to itself — an owner-to-owner transfer would leave `ownerOf`
+/// unchanged and the race winnable twice.
+pub struct Erc721Consensus<V> {
+    token: SharedErc721,
+    nft: TokenId,
+    original_owner: ProcessId,
+    sink: ProcessId,
+    movers: Vec<ProcessId>,
+    proposals: RegisterArray<Option<V>>,
+}
+
+impl<V: Clone + Send + Sync> Erc721Consensus<V> {
+    /// Creates a fresh instance: one NFT owned by `p_0`, movers
+    /// `p_0 .. p_{k-1}` (non-owners enabled via `setApprovalForAll`), and
+    /// sink process `p_k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "consensus requires at least one process");
+        let owner = ProcessId::new(0);
+        let mut token = Erc721Token::mint_to(k + 1, owner, 1);
+        for i in 1..k {
+            token.set_approval_for_all(owner, ProcessId::new(i), true);
+        }
+        Self {
+            token: SharedErc721::new(token),
+            nft: TokenId::new(0),
+            original_owner: owner,
+            sink: ProcessId::new(k),
+            movers: (0..k).map(ProcessId::new).collect(),
+            proposals: RegisterArray::new(k, None),
+        }
+    }
+
+    /// Proposes `value` on behalf of `process`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `process` is not a mover.
+    pub fn propose(&self, process: ProcessId, value: V) -> V {
+        let i = self
+            .movers
+            .iter()
+            .position(|p| *p == process)
+            .unwrap_or_else(|| panic!("{process} is not a mover"));
+        self.proposals.at(i).write(Some(value));
+        // The owner sends the NFT to the sink; every other mover sends it
+        // to itself. Exactly one transferFrom can succeed because a
+        // successful transfer changes `ownerOf` away from the original
+        // owner, failing all later `from = original_owner` claims.
+        let target = if i == 0 { self.sink } else { process };
+        let _ = self
+            .token
+            .transfer_from(process, self.original_owner, target, self.nft);
+        self.peek().expect("after any transfer attempt ownerOf names a winner")
+    }
+
+    /// The decided value: the proposal of the process that captured the
+    /// NFT, or `None` if it has not moved yet.
+    pub fn peek(&self) -> Option<V> {
+        let current = self.token.owner_of(self.nft)?;
+        if current == self.original_owner {
+            return None;
+        }
+        let j = if current == self.sink {
+            0 // the owner won by parking the NFT at the sink
+        } else {
+            self.movers.iter().position(|p| *p == current)?
+        };
+        Some(
+            self.proposals
+                .at(j)
+                .read()
+                .expect("winner published its proposal before racing"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+    fn t(i: usize) -> TokenId {
+        TokenId::new(i)
+    }
+
+    #[test]
+    fn mint_and_transfer() {
+        let mut nft = Erc721Token::mint_to(3, p(0), 2);
+        assert_eq!(nft.balance_of(p(0)), 2);
+        nft.transfer_from(p(0), p(0), p(1), t(0)).unwrap();
+        assert_eq!(nft.owner_of(t(0)), Some(p(1)));
+        assert_eq!(nft.balance_of(p(0)), 1);
+    }
+
+    #[test]
+    fn approval_is_single_use() {
+        let mut nft = Erc721Token::mint_to(3, p(0), 1);
+        nft.approve(p(0), Some(p(2)), t(0)).unwrap();
+        nft.transfer_from(p(2), p(0), p(2), t(0)).unwrap();
+        // Approval cleared by the transfer: p2 cannot move it again on
+        // behalf of anyone (it is now the owner though).
+        assert_eq!(nft.get_approved(t(0)), None);
+        assert_eq!(nft.owner_of(t(0)), Some(p(2)));
+    }
+
+    #[test]
+    fn unauthorized_transfer_rejected() {
+        let mut nft = Erc721Token::mint_to(3, p(0), 1);
+        let err = nft.transfer_from(p(1), p(0), p(1), t(0)).unwrap_err();
+        assert!(matches!(err, Erc721Error::NotAuthorized { .. }));
+    }
+
+    #[test]
+    fn wrong_owner_rejected_after_move() {
+        let mut nft = Erc721Token::mint_to(3, p(0), 1);
+        nft.set_approval_for_all(p(0), p(1), true);
+        nft.transfer_from(p(1), p(0), p(1), t(0)).unwrap();
+        // The race property: a second transfer claiming `from = p0` fails.
+        let err = nft.transfer_from(p(0), p(0), p(0), t(0)).unwrap_err();
+        assert!(matches!(err, Erc721Error::WrongOwner { .. }));
+    }
+
+    #[test]
+    fn movers_include_owner_approved_and_operators() {
+        let mut nft = Erc721Token::mint_to(4, p(0), 1);
+        nft.approve(p(0), Some(p(1)), t(0)).unwrap();
+        nft.set_approval_for_all(p(0), p(2), true);
+        assert_eq!(nft.enabled_movers(t(0)), [p(0), p(1), p(2)].into());
+        assert_eq!(nft.sync_level(), 3);
+    }
+
+    #[test]
+    fn consensus_sequential() {
+        let c: Erc721Consensus<&str> = Erc721Consensus::new(3);
+        assert_eq!(c.peek(), None);
+        assert_eq!(c.propose(p(2), "two"), "two");
+        assert_eq!(c.propose(p(0), "zero"), "two");
+        assert_eq!(c.propose(p(1), "one"), "two");
+    }
+
+    #[test]
+    fn consensus_owner_first_wins() {
+        let c: Erc721Consensus<&str> = Erc721Consensus::new(3);
+        assert_eq!(c.propose(p(0), "owner"), "owner");
+        assert_eq!(c.propose(p(1), "one"), "owner");
+    }
+
+    #[test]
+    fn consensus_agreement_under_contention() {
+        for k in [2usize, 4, 6] {
+            for _ in 0..25 {
+                let c: Arc<Erc721Consensus<usize>> = Arc::new(Erc721Consensus::new(k));
+                let mut decisions = Vec::new();
+                crossbeam::scope(|s| {
+                    let handles: Vec<_> = (0..k)
+                        .map(|i| {
+                            let c = Arc::clone(&c);
+                            s.spawn(move |_| c.propose(p(i), i))
+                        })
+                        .collect();
+                    for h in handles {
+                        decisions.push(h.join().unwrap());
+                    }
+                })
+                .unwrap();
+                let distinct: HashSet<_> = decisions.iter().copied().collect();
+                assert_eq!(distinct.len(), 1, "k={k}: {decisions:?}");
+                assert!(decisions[0] < k);
+            }
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Other Ethereum token standards (Section 6 of the paper) and the
+//! adaptations of the consensus constructions to each.
+//!
+//! * [`erc777`] — operator-based fungible tokens: an operator may move the
+//!   holder's *entire* balance, so the unique-winner predicate `U` holds
+//!   automatically and the Algorithm 1 race simplifies to a full-balance
+//!   drain (the paper: "it is immediate to extend our results to ERC777").
+//! * [`erc721`] — non-fungible tokens: each token is transferred
+//!   individually; the race is per-`tokenId` and the winner is read off
+//!   `ownerOf` (the paper's suggested adaptation).
+//! * [`erc1155`] — multi-token contracts: per-account operators moving any
+//!   of several token types, including atomic batches. The paper leaves the
+//!   exact requirements open; we implement the object and the per-account
+//!   census that upper-bounds its synchronization power.
+//! * [`erc1363`] — payable tokens with receiver callbacks: the paper notes
+//!   their synchronization requirements are unbounded a priori; the module
+//!   demonstrates why (the callback embeds arbitrary shared objects).
+
+pub mod erc1155;
+pub mod erc1363;
+pub mod erc721;
+pub mod erc777;

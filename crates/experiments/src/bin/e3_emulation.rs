@@ -1,0 +1,98 @@
+//! **E3 — Theorem 4, Algorithm 2: `T|Q_k` from `k`-AT + registers.**
+//!
+//! Differentially tests the emulation against its sequential
+//! specification over long random workloads, checks that every reachable
+//! state stays within `Q_k`, and reports how many logical `k`-AT
+//! instances (owner-map changes) the run consumed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tokensync_core::emulation::{within_restriction, RestrictedErc20Spec, RestrictedToken};
+use tokensync_core::erc20::{Erc20Op, Erc20State};
+use tokensync_core::shared::ConcurrentToken;
+use tokensync_experiments::Table;
+use tokensync_spec::{AccountId, ObjectType, ProcessId};
+
+fn random_op(rng: &mut StdRng, n: usize) -> Erc20Op {
+    match rng.gen_range(0..5) {
+        0 => Erc20Op::Transfer {
+            to: AccountId::new(rng.gen_range(0..n)),
+            value: rng.gen_range(0..4),
+        },
+        1 => Erc20Op::TransferFrom {
+            from: AccountId::new(rng.gen_range(0..n)),
+            to: AccountId::new(rng.gen_range(0..n)),
+            value: rng.gen_range(0..4),
+        },
+        2 => Erc20Op::Approve {
+            spender: ProcessId::new(rng.gen_range(0..n)),
+            value: rng.gen_range(0..4),
+        },
+        3 => Erc20Op::BalanceOf {
+            account: AccountId::new(rng.gen_range(0..n)),
+        },
+        _ => Erc20Op::Allowance {
+            account: AccountId::new(rng.gen_range(0..n)),
+            spender: ProcessId::new(rng.gen_range(0..n)),
+        },
+    }
+}
+
+fn main() {
+    println!("E3: the restricted token T|Q_k wait-free from k-AT (Theorem 4)");
+
+    let mut t = Table::new(&[
+        "k",
+        "n",
+        "ops",
+        "divergences",
+        "gate refusals",
+        "k-AT instances",
+        "max spenders seen",
+    ]);
+    for (k, n) in [(1usize, 3usize), (2, 4), (3, 5), (4, 6)] {
+        let ops = 20_000;
+        let initial = Erc20State::with_deployer(n, ProcessId::new(0), 40);
+        let spec = RestrictedErc20Spec::new(k, initial.clone());
+        let token = RestrictedToken::new(k, initial);
+        let mut oracle = spec.initial_state();
+        let mut rng = StdRng::seed_from_u64(k as u64 * 1000 + n as u64);
+        let mut divergences = 0;
+        let mut refusals = 0;
+        let mut max_spenders = 0;
+        for _ in 0..ops {
+            let caller = ProcessId::new(rng.gen_range(0..n));
+            let op = random_op(&mut rng, n);
+            let expected = spec.apply(&mut oracle, caller, &op);
+            let got = token.apply(caller, &op);
+            if got != expected {
+                divergences += 1;
+            }
+            if matches!(op, Erc20Op::Approve { .. })
+                && got == tokensync_core::erc20::Erc20Resp::FALSE
+            {
+                refusals += 1;
+            }
+            assert!(within_restriction(&oracle, k), "left Q_{k}");
+            max_spenders =
+                max_spenders.max(tokensync_core::analysis::partition_index(&oracle));
+        }
+        assert_eq!(divergences, 0);
+        assert_eq!(token.state_snapshot(), oracle, "final states must agree");
+        t.row_owned(vec![
+            k.to_string(),
+            n.to_string(),
+            ops.to_string(),
+            divergences.to_string(),
+            refusals.to_string(),
+            token.kat_instances().to_string(),
+            max_spenders.to_string(),
+        ]);
+    }
+    t.print("emulation vs sequential oracle (random workloads)");
+    println!(
+        "\nresult: the emulation matches T|Q_k exactly; every reachable state \
+         stays within Q_k, so the k-AT substrate (CN = k) suffices — Theorem 4 \
+         reproduced."
+    );
+}

@@ -1,0 +1,159 @@
+//! **E7 — protocol comparison (figure): global total order vs the
+//! Section 7 dynamic protocol vs consensus-free broadcast payments.**
+//!
+//! Same workloads, same simulated network; measured: messages per
+//! committed op, mean commit latency (simulated ticks), and the load of
+//! the hottest node (the sequencer bottleneck). Swept over the
+//! `transferFrom` share of the workload and a hotspot variant where every
+//! `transferFrom` targets one account.
+
+use tokensync_core::erc20::Erc20State;
+use tokensync_experiments::workload::{generate, WorkloadSpec};
+use tokensync_experiments::Table;
+use tokensync_net::dynamic::DynamicNetwork;
+use tokensync_net::ordered::OrderedNetwork;
+use tokensync_net::payments::PaymentNetwork;
+use tokensync_spec::ProcessId;
+
+const N: usize = 8;
+const OPS: usize = 160;
+const SUPPLY: u64 = 10_000;
+
+fn initial() -> Erc20State {
+    // Everyone starts with funds so workloads exercise all accounts.
+    Erc20State::from_balances(vec![SUPPLY / N as u64; N])
+}
+
+struct RunStats {
+    msgs_per_op: f64,
+    latency: f64,
+    imbalance: f64,
+}
+
+fn run_ordered(spec: &WorkloadSpec) -> RunStats {
+    let mut net = OrderedNetwork::new(N, initial(), spec.seed);
+    for (caller, cmd) in generate(spec) {
+        net.submit(caller, cmd);
+    }
+    net.run_to_quiescence();
+    assert!(net.converged());
+    RunStats {
+        msgs_per_op: net.metrics().sent as f64 / OPS as f64,
+        latency: net.mean_latency(),
+        imbalance: net.metrics().load_imbalance(),
+    }
+}
+
+fn run_dynamic(spec: &WorkloadSpec) -> RunStats {
+    let mut net = DynamicNetwork::new(N, initial(), spec.seed);
+    for (caller, cmd) in generate(spec) {
+        net.submit(caller, cmd);
+    }
+    net.run_to_quiescence();
+    assert!(net.converged());
+    RunStats {
+        msgs_per_op: net.metrics().sent as f64 / OPS as f64,
+        latency: net.mean_latency(),
+        imbalance: net.metrics().load_imbalance(),
+    }
+}
+
+fn main() {
+    println!("E7: what the dynamic synchronization of Section 7 buys");
+    println!("network: n = {N}, {OPS} ops per run, seeded uniform delays 1..16\n");
+
+    let mut t = Table::new(&[
+        "tf share",
+        "hotspot",
+        "protocol",
+        "msgs/op",
+        "mean latency",
+        "max-load/mean",
+    ]);
+    for ratio in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        for hotspot in [None, Some(0)] {
+            let spec = WorkloadSpec {
+                n: N,
+                ops: OPS,
+                transfer_from_ratio: ratio,
+                hotspot,
+                seed: 42,
+            };
+            let ordered = run_ordered(&spec);
+            let dynamic = run_dynamic(&spec);
+            for (name, stats) in [("ordered", &ordered), ("dynamic", &dynamic)] {
+                t.row_owned(vec![
+                    format!("{:.0}%", ratio * 100.0),
+                    hotspot.map(|h| format!("a{h}")).unwrap_or_else(|| "-".into()),
+                    name.to_string(),
+                    format!("{:.1}", stats.msgs_per_op),
+                    format!("{:.1}", stats.latency),
+                    format!("{:.2}", stats.imbalance),
+                ]);
+            }
+            // The paper's prediction: without a hotspot the dynamic
+            // protocol spreads sequencing across accounts, strictly
+            // beating the global sequencer; when every transferFrom hits
+            // one account, its spender group *is* a global bottleneck and
+            // the two protocols converge (parity, not improvement).
+            if hotspot.is_none() && ratio < 1.0 {
+                assert!(
+                    dynamic.imbalance < ordered.imbalance,
+                    "ratio {ratio}: dynamic {0} vs ordered {1}",
+                    dynamic.imbalance,
+                    ordered.imbalance
+                );
+            } else {
+                assert!(
+                    dynamic.imbalance <= ordered.imbalance + 0.25,
+                    "ratio {ratio} hotspot {hotspot:?}: dynamic {0} vs ordered {1}",
+                    dynamic.imbalance,
+                    ordered.imbalance
+                );
+            }
+        }
+    }
+    t.print("total order vs dynamic synchronization");
+
+    // The CN = 1 reference point: pure payments over reliable broadcast.
+    let mut pay = PaymentNetwork::new(N, vec![SUPPLY / N as u64; N], 42);
+    let spec = WorkloadSpec {
+        n: N,
+        ops: OPS,
+        transfer_from_ratio: 0.0,
+        hotspot: None,
+        seed: 42,
+    };
+    let mut transfers = 0;
+    for (caller, cmd) in generate(&spec) {
+        if let tokensync_net::cmd::TokenCmd::Transfer { to, value } = cmd {
+            pay.submit_transfer(caller, to, value);
+            transfers += 1;
+        }
+    }
+    pay.run_to_quiescence();
+    assert!(pay.replicas_converged());
+    println!(
+        "\nreference (broadcast-only asset transfer, CN = 1): {:.1} msgs/op over {} transfers, \
+         max-load/mean {:.2}",
+        pay.metrics().sent as f64 / transfers as f64,
+        transfers,
+        pay.metrics().load_imbalance()
+    );
+
+    // Sanity: a dynamic run ends with every replica agreeing with a
+    // sequential notion of supply.
+    let mut net = DynamicNetwork::new(N, initial(), 7);
+    net.submit(0, tokensync_net::cmd::TokenCmd::Transfer { to: 1, value: 5 });
+    net.run_to_quiescence();
+    assert_eq!(net.total_supply(), SUPPLY / N as u64 * N as u64);
+    let _ = ProcessId::new(0);
+
+    println!(
+        "\nreading: owner-only workloads (0% tf) commit with no sequencer hop and \
+         balanced load under the dynamic protocol; as the transferFrom share \
+         grows — especially onto one hot account — its behavior converges toward \
+         the totally ordered baseline, exactly the state-dependence the paper \
+         proves."
+    );
+}

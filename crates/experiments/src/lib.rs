@@ -1,0 +1,13 @@
+//! Support library for the experiment binaries (`src/bin/e*.rs`).
+//!
+//! Each binary regenerates one table or figure of EXPERIMENTS.md; this
+//! crate provides the shared plain-text table formatter and workload
+//! helpers so the binaries stay small and uniform.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod table;
+pub mod workload;
+
+pub use table::Table;

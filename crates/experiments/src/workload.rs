@@ -1,0 +1,98 @@
+//! Shared workload generation for the experiment binaries.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tokensync_net::cmd::TokenCmd;
+
+/// Parameters of a mixed token workload.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadSpec {
+    /// Number of processes/accounts.
+    pub n: usize,
+    /// Number of commands to generate.
+    pub ops: usize,
+    /// Fraction of commands that are `transferFrom` (0.0–1.0); the rest
+    /// split evenly between `transfer` and `approve`.
+    pub transfer_from_ratio: f64,
+    /// When `Some(h)`, all `transferFrom`s target account `h` (a hotspot);
+    /// otherwise sources are uniform.
+    pub hotspot: Option<usize>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generates `(caller, command)` pairs according to `spec`.
+pub fn generate(spec: &WorkloadSpec) -> Vec<(usize, TokenCmd)> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let n = spec.n;
+    (0..spec.ops)
+        .map(|_| {
+            let caller = rng.gen_range(0..n);
+            let cmd = if rng.gen_bool(spec.transfer_from_ratio) {
+                let from = spec.hotspot.unwrap_or_else(|| rng.gen_range(0..n));
+                TokenCmd::TransferFrom {
+                    from,
+                    to: rng.gen_range(0..n),
+                    value: rng.gen_range(0..3),
+                }
+            } else if rng.gen_bool(0.5) {
+                TokenCmd::Transfer {
+                    to: rng.gen_range(0..n),
+                    value: rng.gen_range(0..3),
+                }
+            } else {
+                TokenCmd::Approve {
+                    spender: rng.gen_range(0..n),
+                    value: rng.gen_range(0..4),
+                }
+            };
+            (caller, cmd)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_zero_generates_no_transfer_from() {
+        let spec = WorkloadSpec {
+            n: 4,
+            ops: 200,
+            transfer_from_ratio: 0.0,
+            hotspot: None,
+            seed: 1,
+        };
+        assert!(generate(&spec).iter().all(|(_, c)| !c.is_transfer_from()));
+    }
+
+    #[test]
+    fn hotspot_pins_sources() {
+        let spec = WorkloadSpec {
+            n: 4,
+            ops: 200,
+            transfer_from_ratio: 1.0,
+            hotspot: Some(2),
+            seed: 1,
+        };
+        for (_, cmd) in generate(&spec) {
+            match cmd {
+                TokenCmd::TransferFrom { from, .. } => assert_eq!(from, 2),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = WorkloadSpec {
+            n: 4,
+            ops: 50,
+            transfer_from_ratio: 0.5,
+            hotspot: None,
+            seed: 9,
+        };
+        assert_eq!(generate(&spec), generate(&spec));
+    }
+}

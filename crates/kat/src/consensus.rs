@@ -1,0 +1,195 @@
+//! Wait-free consensus among the owners of a `k`-shared account.
+//!
+//! Guerraoui et al. (PODC 2019) show `CN(k-AT) = k`; the lower-bound
+//! construction has the `k` owners of a shared account race to drain its
+//! balance — exactly one `transfer` succeeds, and every process can
+//! determine the winner by reading the (monotone) destination balances.
+//! The paper's Algorithm 1 for ERC20 tokens generalizes this race, so this
+//! object doubles as a pedagogical stepping stone and as the consensus
+//! engine inside Algorithm 2 round-trips.
+
+use tokensync_registers::{Register, RegisterArray};
+use tokensync_spec::{AccountId, Amount, ProcessId};
+
+use crate::owner_map::OwnerMap;
+use crate::shared::SharedAt;
+
+/// Wait-free `k`-process consensus built from one `k`-shared asset transfer
+/// object and `k` atomic registers.
+///
+/// Internal layout: account `a0` holds balance `B > 0` and is shared by the
+/// `k` participants `p0 .. p(k-1)`; account `a(i+1)` is the private
+/// destination of `p_i`. To propose, `p_i` publishes its value in `R[i]` and
+/// tries `transfer(a0, a(i+1), B)`; exactly one such transfer succeeds. The
+/// winner is the unique `j` with `balanceOf(a(j+1)) = B`, and its published
+/// value is the decision.
+///
+/// All steps are bounded (one transfer, `k` balance reads, register
+/// accesses), so `propose` is wait-free.
+///
+/// # Example
+///
+/// ```
+/// use tokensync_kat::AtConsensus;
+/// use tokensync_spec::ProcessId;
+///
+/// let c: AtConsensus<&str> = AtConsensus::new(3);
+/// assert_eq!(c.propose(ProcessId::new(1), "mid"), "mid");
+/// assert_eq!(c.propose(ProcessId::new(0), "first"), "mid");
+/// ```
+pub struct AtConsensus<T> {
+    at: SharedAt,
+    proposals: RegisterArray<Option<T>>,
+    k: usize,
+    balance: Amount,
+}
+
+impl<T: Clone + Send + Sync> AtConsensus<T> {
+    /// Creates a consensus object for the `k` processes `p0 .. p(k-1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        Self::with_balance(k, 1)
+    }
+
+    /// Creates the object with an explicit shared balance `B > 0` (the
+    /// decision logic is balance-independent; exposed for benches that study
+    /// the race under different magnitudes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `balance == 0`.
+    pub fn with_balance(k: usize, balance: Amount) -> Self {
+        assert!(k > 0, "consensus requires at least one process");
+        assert!(balance > 0, "the shared account must have positive balance");
+        let mut owners = OwnerMap::new(k + 1);
+        let shared = AccountId::new(0);
+        for i in 0..k {
+            owners.add_owner(shared, ProcessId::new(i));
+            owners.add_owner(AccountId::new(i + 1), ProcessId::new(i));
+        }
+        let mut balances = vec![0; k + 1];
+        balances[0] = balance;
+        Self {
+            at: SharedAt::new(owners, balances),
+            proposals: RegisterArray::new(k, None),
+            k,
+            balance,
+        }
+    }
+
+    /// Number of participating processes (`k`).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Proposes `value` on behalf of `process`; returns the decided value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `process.index() >= k`.
+    pub fn propose(&self, process: ProcessId, value: T) -> T {
+        let i = process.index();
+        assert!(i < self.k, "process {process} out of range for k = {}", self.k);
+        self.proposals.at(i).write(Some(value));
+        let _ = self.at.transfer(
+            process,
+            AccountId::new(0),
+            AccountId::new(i + 1),
+            self.balance,
+        );
+        self.winner_value()
+            .expect("after any transfer attempt a winner is visible")
+    }
+
+    /// The decided value, or `None` if nobody has proposed yet.
+    pub fn peek(&self) -> Option<T> {
+        self.winner_value()
+    }
+
+    fn winner_value(&self) -> Option<T> {
+        // Destination balances are monotone (0 → B, never back), and at most
+        // one can ever reach B because a0 held exactly B: every process that
+        // scans after any complete transfer sees the same unique winner.
+        (0..self.k)
+            .find(|j| self.at.balance_of(AccountId::new(j + 1)) == self.balance)
+            .map(|j| {
+                self.proposals
+                    .at(j)
+                    .read()
+                    .expect("winner published its proposal before transferring")
+            })
+    }
+}
+
+impl<T: Clone + Send + Sync + std::fmt::Debug> std::fmt::Debug for AtConsensus<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtConsensus")
+            .field("k", &self.k)
+            .field("decided", &self.peek())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_process_decides_its_own_value() {
+        let c: AtConsensus<u32> = AtConsensus::new(1);
+        assert_eq!(c.propose(ProcessId::new(0), 9), 9);
+    }
+
+    #[test]
+    fn sequential_proposals_agree_on_first() {
+        let c: AtConsensus<&str> = AtConsensus::new(3);
+        assert_eq!(c.peek(), None);
+        assert_eq!(c.propose(ProcessId::new(2), "two"), "two");
+        assert_eq!(c.propose(ProcessId::new(0), "zero"), "two");
+        assert_eq!(c.propose(ProcessId::new(1), "one"), "two");
+        assert_eq!(c.peek(), Some("two"));
+    }
+
+    #[test]
+    fn agreement_and_validity_under_contention() {
+        for k in [2usize, 3, 5, 8] {
+            for _ in 0..30 {
+                let c: Arc<AtConsensus<usize>> = Arc::new(AtConsensus::new(k));
+                let mut decisions = Vec::new();
+                crossbeam::scope(|s| {
+                    let handles: Vec<_> = (0..k)
+                        .map(|i| {
+                            let c = Arc::clone(&c);
+                            s.spawn(move |_| c.propose(ProcessId::new(i), i))
+                        })
+                        .collect();
+                    for h in handles {
+                        decisions.push(h.join().unwrap());
+                    }
+                })
+                .unwrap();
+                let distinct: HashSet<_> = decisions.iter().copied().collect();
+                assert_eq!(distinct.len(), 1, "k={k} disagreement: {decisions:?}");
+                assert!(decisions[0] < k, "k={k} invalid decision");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_process_panics() {
+        let c: AtConsensus<u8> = AtConsensus::new(2);
+        c.propose(ProcessId::new(2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn zero_processes_rejected() {
+        let _c: AtConsensus<u8> = AtConsensus::new(0);
+    }
+}

@@ -1,0 +1,166 @@
+//! The owner map `µ : A → 2^Π` of Definition 1.
+
+use std::collections::BTreeSet;
+
+use tokensync_spec::{AccountId, ProcessId};
+
+/// The static owner map `µ` associating each account to the set of processes
+/// sharing it.
+///
+/// `µ` is fixed at object creation: this is the crucial *static* aspect of
+/// `k`-AT that the paper contrasts with the *dynamic* spender sets of ERC20
+/// tokens (Section 5.1).
+///
+/// # Example
+///
+/// ```
+/// use tokensync_kat::OwnerMap;
+/// use tokensync_spec::{AccountId, ProcessId};
+///
+/// let owners = OwnerMap::identity(3); // one owner per account
+/// assert_eq!(owners.k(), 1);
+/// assert!(owners.is_owner(AccountId::new(2), ProcessId::new(2)));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OwnerMap {
+    owners: Vec<BTreeSet<ProcessId>>,
+}
+
+impl OwnerMap {
+    /// Creates a map for `accounts` accounts, all initially ownerless.
+    pub fn new(accounts: usize) -> Self {
+        Self {
+            owners: vec![BTreeSet::new(); accounts],
+        }
+    }
+
+    /// Creates the identity map: account `a_i` owned solely by process `p_i`
+    /// (the 1-AT configuration modelling a plain cryptocurrency).
+    pub fn identity(accounts: usize) -> Self {
+        let mut map = Self::new(accounts);
+        for i in 0..accounts {
+            map.add_owner(AccountId::new(i), ProcessId::new(i));
+        }
+        map
+    }
+
+    /// Number of accounts.
+    pub fn accounts(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// Registers `process` as an owner of `account`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `account` is out of range.
+    pub fn add_owner(&mut self, account: AccountId, process: ProcessId) {
+        self.owners[account.index()].insert(process);
+    }
+
+    /// Whether `process ∈ µ(account)`.
+    ///
+    /// Out-of-range accounts have no owners.
+    pub fn is_owner(&self, account: AccountId, process: ProcessId) -> bool {
+        self.owners
+            .get(account.index())
+            .is_some_and(|set| set.contains(&process))
+    }
+
+    /// The owner set `µ(account)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `account` is out of range.
+    pub fn owners(&self, account: AccountId) -> &BTreeSet<ProcessId> {
+        &self.owners[account.index()]
+    }
+
+    /// The sharing level `k = max_a |µ(a)|`: this object is a `k`-AT.
+    ///
+    /// Returns 0 for a map with no owners at all.
+    pub fn k(&self) -> usize {
+        self.owners.iter().map(BTreeSet::len).max().unwrap_or(0)
+    }
+
+    /// Accounts shared by at least two processes, with their owner counts.
+    pub fn shared_accounts(&self) -> impl Iterator<Item = (AccountId, usize)> + '_ {
+        self.owners
+            .iter()
+            .enumerate()
+            .filter(|(_, set)| set.len() >= 2)
+            .map(|(i, set)| (AccountId::new(i), set.len()))
+    }
+
+    /// Replaces the whole owner set of `account`.
+    ///
+    /// Used by the Algorithm 2 emulation, which models "creating a new
+    /// `k`-AT instance with an updated owner map" (Theorem 4 proof) by
+    /// re-installing owner sets; see
+    /// [`RestrictedToken`](../tokensync_core/emulation/struct.RestrictedToken.html).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `account` is out of range.
+    pub fn set_owners(&mut self, account: AccountId, owners: BTreeSet<ProcessId>) {
+        self.owners[account.index()] = owners;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: usize) -> AccountId {
+        AccountId::new(i)
+    }
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn identity_map_is_one_shared() {
+        let m = OwnerMap::identity(4);
+        assert_eq!(m.k(), 1);
+        assert_eq!(m.accounts(), 4);
+        assert!(m.is_owner(a(1), p(1)));
+        assert!(!m.is_owner(a(1), p(0)));
+        assert_eq!(m.shared_accounts().count(), 0);
+    }
+
+    #[test]
+    fn k_tracks_largest_owner_set() {
+        let mut m = OwnerMap::new(3);
+        assert_eq!(m.k(), 0);
+        m.add_owner(a(0), p(0));
+        assert_eq!(m.k(), 1);
+        m.add_owner(a(0), p(1));
+        m.add_owner(a(0), p(2));
+        m.add_owner(a(1), p(1));
+        assert_eq!(m.k(), 3);
+        let shared: Vec<_> = m.shared_accounts().collect();
+        assert_eq!(shared, vec![(a(0), 3)]);
+    }
+
+    #[test]
+    fn out_of_range_account_has_no_owner() {
+        let m = OwnerMap::identity(1);
+        assert!(!m.is_owner(a(5), p(0)));
+    }
+
+    #[test]
+    fn set_owners_replaces_set() {
+        let mut m = OwnerMap::identity(2);
+        m.set_owners(a(0), [p(0), p(1)].into_iter().collect());
+        assert!(m.is_owner(a(0), p(1)));
+        assert_eq!(m.k(), 2);
+    }
+
+    #[test]
+    fn adding_same_owner_twice_is_idempotent() {
+        let mut m = OwnerMap::new(1);
+        m.add_owner(a(0), p(0));
+        m.add_owner(a(0), p(0));
+        assert_eq!(m.owners(a(0)).len(), 1);
+    }
+}

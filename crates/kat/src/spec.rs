@@ -1,0 +1,276 @@
+//! Definition 1 (asset transfer) as a sequential object type.
+
+use tokensync_spec::{AccountId, Amount, ObjectType, ProcessId};
+
+use crate::owner_map::OwnerMap;
+
+/// The state of an asset transfer object: the balance map `β : A → ℕ`,
+/// indexed by account.
+pub type AtState = Vec<Amount>;
+
+/// Operations of the asset transfer object (Definition 1).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum AtOp {
+    /// `transfer(a_s, a_d, v)`: move `v` tokens from `from` to `to`.
+    /// Succeeds iff the caller owns `from` and the balance suffices.
+    Transfer {
+        /// Source account `a_s`.
+        from: AccountId,
+        /// Destination account `a_d`.
+        to: AccountId,
+        /// Amount `v`.
+        value: Amount,
+    },
+    /// `balanceOf(a)`: read the balance of `account`.
+    BalanceOf {
+        /// The account read.
+        account: AccountId,
+    },
+}
+
+/// Responses of the asset transfer object: `{TRUE, FALSE} ∪ ℕ`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AtResp {
+    /// Outcome of a `transfer`.
+    Bool(bool),
+    /// Result of a `balanceOf`.
+    Amount(Amount),
+}
+
+/// The asset transfer object type `AT = (Q, q0, O, R, Δ)` associated to an
+/// owner map `µ` and initial balances `β0` (Definition 1 of the paper).
+///
+/// # Example
+///
+/// ```
+/// use tokensync_kat::{AtOp, AtResp, AtSpec, OwnerMap};
+/// use tokensync_spec::{AccountId, ObjectType, ProcessId};
+///
+/// let spec = AtSpec::new(OwnerMap::identity(2), vec![5, 0]);
+/// let mut q = spec.initial_state();
+/// let r = spec.apply(&mut q, ProcessId::new(0), &AtOp::Transfer {
+///     from: AccountId::new(0),
+///     to: AccountId::new(1),
+///     value: 3,
+/// });
+/// assert_eq!(r, AtResp::Bool(true));
+/// assert_eq!(q, vec![2, 3]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AtSpec {
+    owners: OwnerMap,
+    initial: AtState,
+}
+
+impl AtSpec {
+    /// Creates the object type for `owners` with initial balances `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial.len() != owners.accounts()`.
+    pub fn new(owners: OwnerMap, initial: AtState) -> Self {
+        assert_eq!(
+            initial.len(),
+            owners.accounts(),
+            "one initial balance per account required"
+        );
+        Self { owners, initial }
+    }
+
+    /// The owner map `µ`.
+    pub fn owners(&self) -> &OwnerMap {
+        &self.owners
+    }
+
+    /// The sharing level `k`; this object is a `k`-AT.
+    pub fn k(&self) -> usize {
+        self.owners.k()
+    }
+
+    /// Total supply (sum of initial balances) — invariant under transfers.
+    pub fn total_supply(&self) -> Amount {
+        self.initial.iter().sum()
+    }
+}
+
+impl ObjectType for AtSpec {
+    type State = AtState;
+    type Op = AtOp;
+    type Resp = AtResp;
+
+    fn initial_state(&self) -> AtState {
+        self.initial.clone()
+    }
+
+    fn apply(&self, state: &mut AtState, process: ProcessId, op: &AtOp) -> AtResp {
+        match *op {
+            AtOp::Transfer { from, to, value } => {
+                let allowed = self.owners.is_owner(from, process)
+                    && from.index() < state.len()
+                    && to.index() < state.len()
+                    && state[from.index()] >= value;
+                if !allowed {
+                    return AtResp::Bool(false);
+                }
+                state[from.index()] -= value;
+                state[to.index()] += value;
+                AtResp::Bool(true)
+            }
+            AtOp::BalanceOf { account } => {
+                AtResp::Amount(state.get(account.index()).copied().unwrap_or(0))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: usize) -> AccountId {
+        AccountId::new(i)
+    }
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn two_account_spec() -> AtSpec {
+        AtSpec::new(OwnerMap::identity(2), vec![5, 1])
+    }
+
+    #[test]
+    fn transfer_moves_balance() {
+        let spec = two_account_spec();
+        let mut q = spec.initial_state();
+        let r = spec.apply(
+            &mut q,
+            p(0),
+            &AtOp::Transfer {
+                from: a(0),
+                to: a(1),
+                value: 5,
+            },
+        );
+        assert_eq!(r, AtResp::Bool(true));
+        assert_eq!(q, vec![0, 6]);
+    }
+
+    #[test]
+    fn non_owner_transfer_rejected_without_state_change() {
+        let spec = two_account_spec();
+        let mut q = spec.initial_state();
+        let r = spec.apply(
+            &mut q,
+            p(1),
+            &AtOp::Transfer {
+                from: a(0),
+                to: a(1),
+                value: 1,
+            },
+        );
+        assert_eq!(r, AtResp::Bool(false));
+        assert_eq!(q, spec.initial_state());
+    }
+
+    #[test]
+    fn insufficient_balance_rejected() {
+        let spec = two_account_spec();
+        let mut q = spec.initial_state();
+        let r = spec.apply(
+            &mut q,
+            p(0),
+            &AtOp::Transfer {
+                from: a(0),
+                to: a(1),
+                value: 6,
+            },
+        );
+        assert_eq!(r, AtResp::Bool(false));
+        assert_eq!(q, vec![5, 1]);
+    }
+
+    #[test]
+    fn self_transfer_is_noop_success() {
+        let spec = two_account_spec();
+        let mut q = spec.initial_state();
+        let r = spec.apply(
+            &mut q,
+            p(0),
+            &AtOp::Transfer {
+                from: a(0),
+                to: a(0),
+                value: 3,
+            },
+        );
+        assert_eq!(r, AtResp::Bool(true));
+        assert_eq!(q, vec![5, 1]);
+    }
+
+    #[test]
+    fn balance_of_reads_without_mutation() {
+        let spec = two_account_spec();
+        let mut q = spec.initial_state();
+        assert_eq!(
+            spec.apply(&mut q, p(1), &AtOp::BalanceOf { account: a(0) }),
+            AtResp::Amount(5)
+        );
+        assert!(spec.is_read_only(&q, p(1), &AtOp::BalanceOf { account: a(0) }));
+    }
+
+    #[test]
+    fn zero_value_transfer_succeeds_for_owner() {
+        let spec = two_account_spec();
+        let mut q = spec.initial_state();
+        let r = spec.apply(
+            &mut q,
+            p(0),
+            &AtOp::Transfer {
+                from: a(0),
+                to: a(1),
+                value: 0,
+            },
+        );
+        assert_eq!(r, AtResp::Bool(true));
+        assert_eq!(q, vec![5, 1]);
+    }
+
+    #[test]
+    fn shared_account_transfers_by_any_owner() {
+        let mut owners = OwnerMap::identity(2);
+        owners.add_owner(a(0), p(1));
+        let spec = AtSpec::new(owners, vec![4, 0]);
+        assert_eq!(spec.k(), 2);
+        let mut q = spec.initial_state();
+        let r = spec.apply(
+            &mut q,
+            p(1),
+            &AtOp::Transfer {
+                from: a(0),
+                to: a(1),
+                value: 4,
+            },
+        );
+        assert_eq!(r, AtResp::Bool(true));
+        assert_eq!(q, vec![0, 4]);
+    }
+
+    #[test]
+    fn supply_is_conserved_under_random_ops() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut owners = OwnerMap::identity(4);
+        owners.add_owner(a(0), p(3));
+        let spec = AtSpec::new(owners, vec![10, 5, 0, 1]);
+        let supply = spec.total_supply();
+        let mut q = spec.initial_state();
+        for _ in 0..500 {
+            let op = AtOp::Transfer {
+                from: a(rng.gen_range(0..4)),
+                to: a(rng.gen_range(0..4)),
+                value: rng.gen_range(0..8),
+            };
+            spec.apply(&mut q, p(rng.gen_range(0..4)), &op);
+            assert_eq!(q.iter().sum::<Amount>(), supply);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests of the asset transfer object (Definition 1).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use tokensync_kat::{AtOp, AtResp, AtSpec, OwnerMap, SharedAt};
+use tokensync_spec::{AccountId, ObjectType, ProcessId};
+
+const N: usize = 4;
+
+fn arb_owner_map() -> impl Strategy<Value = OwnerMap> {
+    // Identity ownership plus a random set of extra (account, owner) pairs.
+    vec((0..N, 0..N), 0..6).prop_map(|extra| {
+        let mut map = OwnerMap::identity(N);
+        for (a, p) in extra {
+            map.add_owner(AccountId::new(a), ProcessId::new(p));
+        }
+        map
+    })
+}
+
+fn arb_op() -> impl Strategy<Value = AtOp> {
+    prop_oneof![
+        (0..N, 0..N, 0u64..8).prop_map(|(from, to, value)| AtOp::Transfer {
+            from: AccountId::new(from),
+            to: AccountId::new(to),
+            value
+        }),
+        (0..N).prop_map(|a| AtOp::BalanceOf {
+            account: AccountId::new(a)
+        }),
+    ]
+}
+
+proptest! {
+    /// Supply conservation under arbitrary scripts and owner maps.
+    #[test]
+    fn supply_conserved(
+        owners in arb_owner_map(),
+        script in vec((0..N, arb_op()), 0..80),
+        balances in vec(0u64..30, N),
+    ) {
+        let supply: u64 = balances.iter().sum();
+        let spec = AtSpec::new(owners, balances);
+        let mut state = spec.initial_state();
+        for (caller, op) in &script {
+            spec.apply(&mut state, ProcessId::new(*caller), op);
+            prop_assert_eq!(state.iter().sum::<u64>(), supply);
+        }
+    }
+
+    /// A successful transfer implies ownership and sufficient balance
+    /// beforehand; a failed one leaves the state untouched.
+    #[test]
+    fn transfer_soundness(
+        owners in arb_owner_map(),
+        caller in 0..N,
+        from in 0..N,
+        to in 0..N,
+        value in 0u64..20,
+        balances in vec(0u64..15, N),
+    ) {
+        let spec = AtSpec::new(owners.clone(), balances);
+        let before = spec.initial_state();
+        let mut state = before.clone();
+        let op = AtOp::Transfer {
+            from: AccountId::new(from),
+            to: AccountId::new(to),
+            value,
+        };
+        let resp = spec.apply(&mut state, ProcessId::new(caller), &op);
+        match resp {
+            AtResp::Bool(true) => {
+                prop_assert!(owners.is_owner(AccountId::new(from), ProcessId::new(caller)));
+                prop_assert!(before[from] >= value);
+                if from != to {
+                    prop_assert_eq!(state[from], before[from] - value);
+                    prop_assert_eq!(state[to], before[to] + value);
+                }
+            }
+            AtResp::Bool(false) => prop_assert_eq!(&state, &before),
+            AtResp::Amount(_) => prop_assert!(false, "transfer cannot return an amount"),
+        }
+    }
+
+    /// The concurrent `SharedAt` replays any sequential script exactly
+    /// like the `AtSpec` oracle.
+    #[test]
+    fn shared_at_matches_spec(
+        owners in arb_owner_map(),
+        script in vec((0..N, arb_op()), 0..60),
+        balances in vec(0u64..20, N),
+    ) {
+        let spec = AtSpec::new(owners.clone(), balances.clone());
+        let shared = SharedAt::new(owners, balances);
+        let mut oracle = spec.initial_state();
+        for (caller, op) in &script {
+            let caller = ProcessId::new(*caller);
+            let expected = spec.apply(&mut oracle, caller, op);
+            match op {
+                AtOp::Transfer { from, to, value } => {
+                    let got = shared.transfer(caller, *from, *to, *value).is_ok();
+                    prop_assert_eq!(AtResp::Bool(got), expected);
+                }
+                AtOp::BalanceOf { account } => {
+                    prop_assert_eq!(AtResp::Amount(shared.balance_of(*account)), expected);
+                }
+            }
+        }
+        prop_assert_eq!(shared.balances_snapshot(), oracle);
+    }
+}

@@ -1,0 +1,157 @@
+//! Small-universe enumeration of the ERC20 state space and the census of
+//! the partition `{Q_k}` and synchronization states `S_k`.
+
+use tokensync_core::analysis::{
+    consensus_number_bounds, is_sync_state_for, partition_index,
+};
+use tokensync_core::erc20::Erc20State;
+use tokensync_spec::{AccountId, ProcessId};
+
+/// Iterates over **every** ERC20 state with `n` accounts, balances in
+/// `0..=max_balance` and allowances in `0..=max_allowance`.
+///
+/// The state space has `(max_balance+1)^n · (max_allowance+1)^(n²)`
+/// elements — keep the parameters small (the census experiments use
+/// `n ≤ 3` with bounds ≤ 2).
+pub fn enumerate_states(
+    n: usize,
+    max_balance: u64,
+    max_allowance: u64,
+) -> impl Iterator<Item = Erc20State> {
+    let balance_combos = (max_balance + 1).pow(n as u32);
+    let allowance_cells = n * n;
+    let allowance_combos = (max_allowance + 1).pow(allowance_cells as u32);
+    (0..balance_combos).flat_map(move |b_index| {
+        (0..allowance_combos).map(move |a_index| {
+            let mut state = Erc20State::new(n);
+            let mut b = b_index;
+            for i in 0..n {
+                state.set_balance(AccountId::new(i), b % (max_balance + 1));
+                b /= max_balance + 1;
+            }
+            let mut a = a_index;
+            for i in 0..n {
+                for j in 0..n {
+                    state.set_allowance(
+                        AccountId::new(i),
+                        ProcessId::new(j),
+                        a % (max_allowance + 1),
+                    );
+                    a /= max_allowance + 1;
+                }
+            }
+            state
+        })
+    })
+}
+
+/// One row of the census: statistics for partition class `Q_k`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CensusRow {
+    /// The synchronization level `k`.
+    pub k: usize,
+    /// `|Q_k|`: states whose maximum enabled-spender count is exactly `k`.
+    pub q_states: usize,
+    /// States of `Q_k` whose consensus-number bounds are exact (lower =
+    /// upper = k): the states where equation (17) pins `CN` precisely.
+    pub exact_states: usize,
+    /// States belonging to the paper's `S_k` (equation (14)) — some
+    /// account has exactly `k` enabled spenders *and* satisfies `U`.
+    pub s_states: usize,
+}
+
+/// Full census of the universe: per-`k` statistics plus totals.
+#[derive(Clone, Debug, Default)]
+pub struct Census {
+    /// Rows indexed by `k - 1`.
+    pub rows: Vec<CensusRow>,
+    /// Total states enumerated.
+    pub total: usize,
+}
+
+/// Sweeps the whole universe and classifies every state.
+pub fn census(n: usize, max_balance: u64, max_allowance: u64) -> Census {
+    let mut rows: Vec<CensusRow> = (1..=n)
+        .map(|k| CensusRow {
+            k,
+            ..CensusRow::default()
+        })
+        .collect();
+    let mut total = 0;
+    for state in enumerate_states(n, max_balance, max_allowance) {
+        total += 1;
+        let k = partition_index(&state);
+        let row = &mut rows[k - 1];
+        row.q_states += 1;
+        if consensus_number_bounds(&state).is_exact() {
+            row.exact_states += 1;
+        }
+        for (ki, r) in rows.iter_mut().enumerate() {
+            if is_sync_state_for(&state, ki + 1) {
+                r.s_states += 1;
+            }
+        }
+    }
+    Census { rows, total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_size_matches_formula() {
+        let n = 2;
+        let count = enumerate_states(n, 1, 1).count();
+        // (1+1)^2 balances × (1+1)^4 allowances = 4 × 16.
+        assert_eq!(count, 64);
+    }
+
+    #[test]
+    fn enumeration_yields_distinct_states() {
+        use std::collections::HashSet;
+        let states: HashSet<Erc20State> = enumerate_states(2, 1, 1).collect();
+        assert_eq!(states.len(), 64);
+    }
+
+    #[test]
+    fn census_partitions_the_universe() {
+        let c = census(2, 2, 2);
+        assert_eq!(c.total, 9 * 81);
+        let sum: usize = c.rows.iter().map(|r| r.q_states).sum();
+        assert_eq!(sum, c.total, "Q_k classes must partition Q");
+    }
+
+    #[test]
+    fn census_q1_contains_all_zero_balance_states() {
+        // With all balances zero, every account has only its owner enabled.
+        let c = census(2, 0, 2);
+        assert_eq!(c.rows[0].q_states, c.total);
+        assert_eq!(c.rows[1].q_states, 0);
+        // And none is a (k ≥ 1) synchronization state: U needs balance > 0.
+        assert_eq!(c.rows[0].s_states, 0);
+    }
+
+    #[test]
+    fn sk_is_subset_of_union_of_lower_classes() {
+        // S_k membership requires an account with exactly k spenders, which
+        // forces partition index ≥ k.
+        for state in enumerate_states(2, 2, 1) {
+            for k in 1..=2 {
+                if is_sync_state_for(&state, k) {
+                    assert!(partition_index(&state) >= k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_states_subset_of_q_states() {
+        let c = census(2, 2, 2);
+        for row in &c.rows {
+            assert!(row.exact_states <= row.q_states);
+        }
+        // There are exact states at every level in this universe.
+        assert!(c.rows.iter().all(|r| r.q_states == 0 || r.exact_states > 0));
+    }
+}

@@ -1,0 +1,344 @@
+//! Exhaustive exploration of every interleaving of a protocol.
+
+use std::collections::HashSet;
+
+use tokensync_spec::ProcessId;
+
+use crate::protocol::{Config, Protocol};
+
+/// A property violation found by the [`Explorer`], with the schedule that
+/// produced it (the sequence of process ids stepped from the initial
+/// configuration).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// Two processes decided different values.
+    Disagreement {
+        /// The distinct decided values observed.
+        values: Vec<u64>,
+        /// Schedule reproducing the violation.
+        schedule: Vec<ProcessId>,
+    },
+    /// A process decided a value nobody proposed.
+    Invalidity {
+        /// The bogus decision.
+        value: u64,
+        /// Schedule reproducing the violation.
+        schedule: Vec<ProcessId>,
+    },
+    /// A process exceeded the protocol's step bound without deciding —
+    /// wait-freedom is violated.
+    NonTermination {
+        /// The starving process.
+        process: ProcessId,
+        /// Schedule reproducing the violation.
+        schedule: Vec<ProcessId>,
+    },
+}
+
+impl Violation {
+    /// The schedule that exhibits the violation.
+    pub fn schedule(&self) -> &[ProcessId] {
+        match self {
+            Violation::Disagreement { schedule, .. }
+            | Violation::Invalidity { schedule, .. }
+            | Violation::NonTermination { schedule, .. } => schedule,
+        }
+    }
+}
+
+/// Exploration statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Distinct configurations visited.
+    pub configs: usize,
+    /// Transitions (steps) executed.
+    pub transitions: usize,
+    /// Deepest schedule explored.
+    pub max_depth: usize,
+}
+
+/// The overall result of an exploration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Every interleaving satisfies agreement, validity and wait-freedom.
+    Verified,
+    /// A violation was found (exploration stops at the first one).
+    Violated(Violation),
+    /// The configuration budget was exhausted before completing the search.
+    Exhausted,
+}
+
+/// Exploration result: outcome plus statistics.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Verification outcome.
+    pub outcome: Outcome,
+    /// Exploration statistics.
+    pub stats: Stats,
+}
+
+impl Report {
+    /// Convenience: the violation, if any.
+    pub fn violation(&self) -> Option<&Violation> {
+        match &self.outcome {
+            Outcome::Violated(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Exhaustive DFS over all interleavings of a [`Protocol`], checking the
+/// three consensus properties.
+///
+/// Crash coverage: a crash in the wait-free model is indistinguishable from
+/// never being scheduled again, so checking *solo termination* of every
+/// live process from every reachable configuration — which the DFS does —
+/// covers every crash pattern.
+pub struct Explorer<'a, P: Protocol> {
+    protocol: &'a P,
+    max_configs: usize,
+}
+
+impl<'a, P: Protocol> Explorer<'a, P> {
+    /// Creates an explorer with the default configuration budget (2^20).
+    pub fn new(protocol: &'a P) -> Self {
+        Self {
+            protocol,
+            max_configs: 1 << 20,
+        }
+    }
+
+    /// Overrides the configuration budget.
+    pub fn with_max_configs(mut self, max_configs: usize) -> Self {
+        self.max_configs = max_configs;
+        self
+    }
+
+    /// Runs the exploration.
+    pub fn run(&self) -> Report {
+        let mut visited: HashSet<Config<P>> = HashSet::new();
+        let mut stats = Stats::default();
+        let mut schedule: Vec<ProcessId> = Vec::new();
+        let initial = Config::initial(self.protocol);
+        let outcome = self.dfs(initial, &mut visited, &mut stats, &mut schedule);
+        match outcome {
+            DfsResult::Ok => Report {
+                outcome: Outcome::Verified,
+                stats,
+            },
+            DfsResult::Violation(v) => Report {
+                outcome: Outcome::Violated(v),
+                stats,
+            },
+            DfsResult::Exhausted => Report {
+                outcome: Outcome::Exhausted,
+                stats,
+            },
+        }
+    }
+
+    fn dfs(
+        &self,
+        config: Config<P>,
+        visited: &mut HashSet<Config<P>>,
+        stats: &mut Stats,
+        schedule: &mut Vec<ProcessId>,
+    ) -> DfsResult {
+        if !visited.insert(config.clone()) {
+            return DfsResult::Ok;
+        }
+        if visited.len() > self.max_configs {
+            return DfsResult::Exhausted;
+        }
+        stats.configs += 1;
+        stats.max_depth = stats.max_depth.max(schedule.len());
+
+        if let Some(v) = self.check_decisions(&config, schedule) {
+            return DfsResult::Violation(v);
+        }
+
+        for p in config.live().collect::<Vec<_>>() {
+            if config.steps[p.index()] >= self.protocol.step_bound() {
+                return DfsResult::Violation(Violation::NonTermination {
+                    process: p,
+                    schedule: schedule.clone(),
+                });
+            }
+            let mut next = config.clone();
+            next.advance(self.protocol, p);
+            stats.transitions += 1;
+            schedule.push(p);
+            let result = self.dfs(next, visited, stats, schedule);
+            schedule.pop();
+            if !matches!(result, DfsResult::Ok) {
+                return result;
+            }
+        }
+        DfsResult::Ok
+    }
+
+    fn check_decisions(&self, config: &Config<P>, schedule: &[ProcessId]) -> Option<Violation> {
+        let decided: Vec<u64> = config.decided.iter().filter_map(|d| *d).collect();
+        if decided.is_empty() {
+            return None;
+        }
+        let proposals: Vec<u64> = (0..self.protocol.processes())
+            .map(|i| self.protocol.proposal(ProcessId::new(i)))
+            .collect();
+        for v in &decided {
+            if !proposals.contains(v) {
+                return Some(Violation::Invalidity {
+                    value: *v,
+                    schedule: schedule.to_vec(),
+                });
+            }
+        }
+        let first = decided[0];
+        if decided.iter().any(|v| *v != first) {
+            let mut values: Vec<u64> = decided.clone();
+            values.sort_unstable();
+            values.dedup();
+            return Some(Violation::Disagreement {
+                values,
+                schedule: schedule.to_vec(),
+            });
+        }
+        None
+    }
+}
+
+enum DfsResult {
+    Ok,
+    Violation(Violation),
+    Exhausted,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Step;
+
+    /// Correct 2-process consensus from a test-and-set bit: the winner of
+    /// the TAS imposes its value (needs the loser to read the winner's
+    /// published proposal).
+    struct TasConsensus;
+
+    #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+    struct TasShared {
+        taken: Option<ProcessId>,
+        proposals: [Option<u64>; 2],
+    }
+
+    impl Protocol for TasConsensus {
+        type Shared = TasShared;
+        type Local = u8;
+        fn processes(&self) -> usize {
+            2
+        }
+        fn initial_shared(&self) -> TasShared {
+            TasShared {
+                taken: None,
+                proposals: [None, None],
+            }
+        }
+        fn initial_local(&self, _p: ProcessId) -> u8 {
+            0
+        }
+        fn step(&self, shared: &mut TasShared, local: &mut u8, p: ProcessId) -> Step {
+            match *local {
+                0 => {
+                    shared.proposals[p.index()] = Some(self.proposal(p));
+                    *local = 1;
+                    Step::Continue
+                }
+                _ => {
+                    let winner = *shared.taken.get_or_insert(p);
+                    Step::Decided(shared.proposals[winner.index()].expect("winner published"))
+                }
+            }
+        }
+        fn proposal(&self, p: ProcessId) -> u64 {
+            p.index() as u64 + 100
+        }
+    }
+
+    /// Broken "consensus": everyone just decides its own proposal.
+    struct Selfish;
+
+    impl Protocol for Selfish {
+        type Shared = ();
+        type Local = ();
+        fn processes(&self) -> usize {
+            2
+        }
+        fn initial_shared(&self) {}
+        fn initial_local(&self, _p: ProcessId) {}
+        fn step(&self, _s: &mut (), _l: &mut (), p: ProcessId) -> Step {
+            Step::Decided(self.proposal(p))
+        }
+        fn proposal(&self, p: ProcessId) -> u64 {
+            p.index() as u64
+        }
+    }
+
+    /// A process that never decides.
+    struct Spinner;
+
+    impl Protocol for Spinner {
+        type Shared = ();
+        type Local = u64;
+        fn processes(&self) -> usize {
+            1
+        }
+        fn initial_shared(&self) {}
+        fn initial_local(&self, _p: ProcessId) -> u64 {
+            0
+        }
+        fn step(&self, _s: &mut (), l: &mut u64, _p: ProcessId) -> Step {
+            *l += 1;
+            Step::Continue
+        }
+        fn proposal(&self, _p: ProcessId) -> u64 {
+            0
+        }
+        fn step_bound(&self) -> usize {
+            8
+        }
+    }
+
+    #[test]
+    fn verifies_correct_tas_consensus() {
+        let report = Explorer::new(&TasConsensus).run();
+        assert!(matches!(report.outcome, Outcome::Verified), "{report:?}");
+        assert!(report.stats.configs > 4);
+    }
+
+    #[test]
+    fn catches_disagreement() {
+        let report = Explorer::new(&Selfish).run();
+        match report.outcome {
+            Outcome::Violated(Violation::Disagreement { values, schedule }) => {
+                assert_eq!(values, vec![0, 1]);
+                assert!(!schedule.is_empty());
+            }
+            other => panic!("expected disagreement, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn catches_non_termination() {
+        let report = Explorer::new(&Spinner).run();
+        match report.outcome {
+            Outcome::Violated(Violation::NonTermination { process, .. }) => {
+                assert_eq!(process, ProcessId::new(0));
+            }
+            other => panic!("expected non-termination, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhaustion_reported_on_tiny_budget() {
+        let report = Explorer::new(&TasConsensus).with_max_configs(2).run();
+        assert!(matches!(report.outcome, Outcome::Exhausted));
+    }
+}

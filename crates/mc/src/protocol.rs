@@ -1,0 +1,224 @@
+//! Protocols as step machines over explicit state.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use tokensync_spec::ProcessId;
+
+/// Result of one atomic step of a process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// The process has more steps to take.
+    Continue,
+    /// The process decided `value` and halts.
+    Decided(u64),
+}
+
+/// A distributed protocol whose every instruction is one atomic access to
+/// the shared state — the granularity at which the adversarial scheduler of
+/// the wait-free model interleaves processes.
+///
+/// Implementations must be deterministic: given the same shared and local
+/// state, `step` must always produce the same successor. All
+/// nondeterminism lives in the scheduler, which the [`Explorer`]
+/// exhausts.
+///
+/// [`Explorer`]: crate::Explorer
+pub trait Protocol {
+    /// Shared-object state (e.g. a token state plus proposal registers).
+    type Shared: Clone + Eq + Hash + Debug;
+    /// Per-process local state (program counter and scratch).
+    type Local: Clone + Eq + Hash + Debug;
+
+    /// Number of participating processes.
+    fn processes(&self) -> usize;
+
+    /// Initial shared state.
+    fn initial_shared(&self) -> Self::Shared;
+
+    /// Initial local state of `p`.
+    fn initial_local(&self, p: ProcessId) -> Self::Local;
+
+    /// Executes one atomic step of `p`.
+    fn step(&self, shared: &mut Self::Shared, local: &mut Self::Local, p: ProcessId) -> Step;
+
+    /// The input (proposal) of process `p` — used for validity checking.
+    fn proposal(&self, p: ProcessId) -> u64;
+
+    /// Human-readable description of the *next* step `p` would take
+    /// (for critical-configuration reports).
+    fn describe_step(&self, _shared: &Self::Shared, _local: &Self::Local, p: ProcessId) -> String {
+        format!("step of {p}")
+    }
+
+    /// Upper bound on the number of steps any process may take before
+    /// deciding; exceeding it is reported as a wait-freedom violation.
+    ///
+    /// Default: 64 — generous for the bounded algorithms studied here.
+    fn step_bound(&self) -> usize {
+        64
+    }
+}
+
+/// A global configuration: shared state, per-process local states, and the
+/// decisions taken so far.
+pub struct Config<P: Protocol> {
+    /// Shared-object state.
+    pub shared: P::Shared,
+    /// Per-process local state.
+    pub locals: Vec<P::Local>,
+    /// Per-process decision (None = still running).
+    pub decided: Vec<Option<u64>>,
+    /// Per-process step counters (for the wait-freedom bound).
+    pub steps: Vec<usize>,
+}
+
+// Manual impls: the derives would wrongly require `P` itself to satisfy
+// the bounds rather than `P::Shared` / `P::Local`.
+impl<P: Protocol> Clone for Config<P> {
+    fn clone(&self) -> Self {
+        Self {
+            shared: self.shared.clone(),
+            locals: self.locals.clone(),
+            decided: self.decided.clone(),
+            steps: self.steps.clone(),
+        }
+    }
+}
+
+impl<P: Protocol> PartialEq for Config<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.shared == other.shared
+            && self.locals == other.locals
+            && self.decided == other.decided
+            && self.steps == other.steps
+    }
+}
+
+impl<P: Protocol> Eq for Config<P> {}
+
+impl<P: Protocol> std::hash::Hash for Config<P> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.shared.hash(state);
+        self.locals.hash(state);
+        self.decided.hash(state);
+        self.steps.hash(state);
+    }
+}
+
+impl<P: Protocol> Debug for Config<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Config")
+            .field("shared", &self.shared)
+            .field("locals", &self.locals)
+            .field("decided", &self.decided)
+            .finish()
+    }
+}
+
+impl<P: Protocol> Config<P> {
+    /// The initial configuration of `protocol`.
+    pub fn initial(protocol: &P) -> Self {
+        let n = protocol.processes();
+        Self {
+            shared: protocol.initial_shared(),
+            locals: (0..n).map(|i| protocol.initial_local(ProcessId::new(i))).collect(),
+            decided: vec![None; n],
+            steps: vec![0; n],
+        }
+    }
+
+    /// Processes that have not yet decided.
+    pub fn live(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.decided
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_none())
+            .map(|(i, _)| ProcessId::new(i))
+    }
+
+    /// Whether every process has decided.
+    pub fn all_decided(&self) -> bool {
+        self.decided.iter().all(Option::is_some)
+    }
+
+    /// Advances `p` by one step, returning the decision if it decided.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` already decided.
+    pub fn advance(&mut self, protocol: &P, p: ProcessId) -> Option<u64> {
+        assert!(
+            self.decided[p.index()].is_none(),
+            "{p} already decided; cannot step"
+        );
+        self.steps[p.index()] += 1;
+        match protocol.step(&mut self.shared, &mut self.locals[p.index()], p) {
+            Step::Continue => None,
+            Step::Decided(v) => {
+                self.decided[p.index()] = Some(v);
+                Some(v)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Each process decides its own proposal after two steps — not a
+    /// consensus protocol, but enough to exercise the plumbing.
+    struct TwoStep {
+        n: usize,
+    }
+
+    impl Protocol for TwoStep {
+        type Shared = ();
+        type Local = u8;
+        fn processes(&self) -> usize {
+            self.n
+        }
+        fn initial_shared(&self) {}
+        fn initial_local(&self, _p: ProcessId) -> u8 {
+            0
+        }
+        fn step(&self, _s: &mut (), local: &mut u8, p: ProcessId) -> Step {
+            *local += 1;
+            if *local == 2 {
+                Step::Decided(self.proposal(p))
+            } else {
+                Step::Continue
+            }
+        }
+        fn proposal(&self, p: ProcessId) -> u64 {
+            p.index() as u64 + 10
+        }
+    }
+
+    #[test]
+    fn config_advance_tracks_decisions() {
+        let protocol = TwoStep { n: 2 };
+        let mut cfg = Config::initial(&protocol);
+        assert_eq!(cfg.live().count(), 2);
+        assert_eq!(cfg.advance(&protocol, ProcessId::new(0)), None);
+        assert_eq!(cfg.advance(&protocol, ProcessId::new(0)), Some(10));
+        assert!(!cfg.all_decided());
+        assert_eq!(cfg.live().collect::<Vec<_>>(), vec![ProcessId::new(1)]);
+        cfg.advance(&protocol, ProcessId::new(1));
+        cfg.advance(&protocol, ProcessId::new(1));
+        assert!(cfg.all_decided());
+        assert_eq!(cfg.steps, vec![2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already decided")]
+    fn stepping_decided_process_panics() {
+        let protocol = TwoStep { n: 1 };
+        let mut cfg = Config::initial(&protocol);
+        let p = ProcessId::new(0);
+        cfg.advance(&protocol, p);
+        cfg.advance(&protocol, p);
+        cfg.advance(&protocol, p);
+    }
+}

@@ -1,0 +1,331 @@
+//! Algorithm 1 as a step machine for exhaustive checking.
+
+use tokensync_core::erc20::Erc20State;
+use tokensync_spec::{AccountId, Amount, ProcessId};
+
+use crate::protocol::{Protocol, Step};
+
+/// Sentinel decided when a register is read before being written (`⊥`):
+/// the validity checker flags it because no process proposes it.
+pub const BOTTOM: u64 = u64::MAX;
+
+/// Race mode, mirroring
+/// [`tokensync_core::token_consensus::RaceMode`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Spenders transfer their full allowance; winners detected by zero
+    /// allowance (the paper's pseudocode, verbatim).
+    Verbatim,
+    /// Spenders transfer `min(allowance, balance)`; winners detected by
+    /// allowance decrease.
+    Generalized,
+}
+
+/// Algorithm 1 over an explicit token state.
+///
+/// Participants are `p_0 .. p_{m-1}`; `p_0` owns the race account `a_0`.
+/// The destination account is the extra account `a_m` (its owner takes no
+/// steps). One atomic step = one shared-object operation, matching the
+/// granularity of the paper's adversary.
+#[derive(Clone, Debug)]
+pub struct TokenRace {
+    participants: usize,
+    initial: Erc20State,
+    account: AccountId,
+    destination: AccountId,
+    balance: Amount,
+    /// `allowances[i]` is `A_{i+1}` of participant rank `i + 1`.
+    allowances: Vec<Amount>,
+    mode: Mode,
+}
+
+impl TokenRace {
+    /// Builds the race over an explicit state for `participants` processes
+    /// (rank 0 = owner of `a_0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state has fewer than `participants + 1` accounts (one
+    /// extra account serves as the destination).
+    pub fn from_state(initial: Erc20State, participants: usize, mode: Mode) -> Self {
+        assert!(
+            initial.accounts() > participants,
+            "need an extra account as destination"
+        );
+        let account = AccountId::new(0);
+        let destination = AccountId::new(participants);
+        let balance = initial.balance(account);
+        let allowances = (1..participants)
+            .map(|i| initial.allowance(account, ProcessId::new(i)))
+            .collect();
+        Self {
+            participants,
+            initial,
+            account,
+            destination,
+            balance,
+            allowances,
+            mode,
+        }
+    }
+
+    /// A genuine `k`-synchronization state: balance 2 on `a_0`, spenders
+    /// with allowance 2 each (pairwise `2 + 2 > 2`, and `A_i ≤ B`), in
+    /// [`Mode::Generalized`]. Theorem 2 instance — the explorer verifies
+    /// it.
+    pub fn in_sync_state(k: usize) -> Self {
+        Self::in_sync_state_with_mode(k, Mode::Generalized)
+    }
+
+    /// As [`TokenRace::in_sync_state`] with an explicit mode (the verbatim
+    /// algorithm is also correct here because `A_i ≤ B`).
+    pub fn in_sync_state_with_mode(k: usize, mode: Mode) -> Self {
+        assert!(k >= 1);
+        let n = k + 1;
+        let mut balances = vec![0; n];
+        balances[0] = 2;
+        let mut q = Erc20State::from_balances(balances);
+        for i in 1..k {
+            q.set_allowance(AccountId::new(0), ProcessId::new(i), 2);
+        }
+        Self::from_state(q, k, mode)
+    }
+
+    /// Overreach: the state supports `k` spenders but `k + extra`
+    /// processes run the (naively extended) algorithm — the extra
+    /// participants have zero allowance. Theorem 3's boundary: the
+    /// explorer finds agreement/validity violations.
+    pub fn overreach(k: usize, extra: usize, mode: Mode) -> Self {
+        assert!(k >= 1 && extra >= 1);
+        let m = k + extra;
+        let n = m + 1;
+        let mut balances = vec![0; n];
+        balances[0] = 2;
+        let mut q = Erc20State::from_balances(balances);
+        for i in 1..k {
+            q.set_allowance(AccountId::new(0), ProcessId::new(i), 2);
+        }
+        Self::from_state(q, m, mode)
+    }
+
+    /// A `Q_3` state where predicate `U` fails: balance 2, two spenders
+    /// with allowance 1 each (`1 + 1 = 2`, not `> 2`) — both withdrawals
+    /// fit, two winners are possible, and the explorer finds the
+    /// disagreement.
+    pub fn with_u_violated() -> Self {
+        let mut q = Erc20State::from_balances(vec![2, 0, 0, 0]);
+        q.set_allowance(AccountId::new(0), ProcessId::new(1), 1);
+        q.set_allowance(AccountId::new(0), ProcessId::new(2), 1);
+        Self::from_state(q, 3, Mode::Generalized)
+    }
+
+    /// A literal `S_2` state (`U` holds: `|σ| = 2`, balance positive) whose
+    /// spender allowance *exceeds* the balance: balance 1, allowance 3.
+    /// The verbatim algorithm's `transferFrom(3)` can never succeed, and a
+    /// spender scheduled first decides `⊥` — the validity gap the
+    /// generalized mode closes.
+    pub fn verbatim_oversized() -> Self {
+        let mut q = Erc20State::from_balances(vec![1, 0, 0]);
+        q.set_allowance(AccountId::new(0), ProcessId::new(1), 3);
+        Self::from_state(q, 2, Mode::Verbatim)
+    }
+
+    /// Same state as [`TokenRace::verbatim_oversized`] but run in
+    /// generalized mode — verified.
+    pub fn generalized_oversized() -> Self {
+        let mut q = Erc20State::from_balances(vec![1, 0, 0]);
+        q.set_allowance(AccountId::new(0), ProcessId::new(1), 3);
+        Self::from_state(q, 2, Mode::Generalized)
+    }
+
+    fn rank(&self, p: ProcessId) -> usize {
+        debug_assert!(p.index() < self.participants);
+        p.index()
+    }
+}
+
+/// Shared state: the token plus the proposal registers `R[0..m)`.
+pub type RaceShared = (Erc20State, Vec<Option<u64>>);
+
+impl Protocol for TokenRace {
+    type Shared = RaceShared;
+    type Local = u8;
+
+    fn processes(&self) -> usize {
+        self.participants
+    }
+
+    fn initial_shared(&self) -> RaceShared {
+        (self.initial.clone(), vec![None; self.participants])
+    }
+
+    fn initial_local(&self, _p: ProcessId) -> u8 {
+        0
+    }
+
+    fn proposal(&self, p: ProcessId) -> u64 {
+        p.index() as u64 + 1
+    }
+
+    fn step(&self, shared: &mut RaceShared, pc: &mut u8, p: ProcessId) -> Step {
+        let (state, regs) = shared;
+        let r = self.rank(p);
+        match *pc {
+            // Line 7: R[i].write(v).
+            0 => {
+                regs[r] = Some(self.proposal(p));
+                *pc = 1;
+                Step::Continue
+            }
+            // Lines 8–10: the race operation.
+            1 => {
+                if r == 0 {
+                    let _ = state.transfer(p, self.destination, self.balance);
+                } else {
+                    let granted = self.allowances[r - 1];
+                    let amount = match self.mode {
+                        Mode::Verbatim => granted,
+                        Mode::Generalized => granted.min(self.balance),
+                    };
+                    let _ = state.transfer_from(p, self.account, self.destination, amount);
+                }
+                *pc = 2;
+                Step::Continue
+            }
+            // Lines 11–13: scan allowances of p_1 .. p_{m-1}; line 14:
+            // fall through to R[0].
+            pc_val => {
+                let j = (pc_val - 2) as usize + 1;
+                if j < self.participants {
+                    let spender = ProcessId::new(j);
+                    let current = state.allowance(self.account, spender);
+                    let initial = self.allowances[j - 1];
+                    let won = match self.mode {
+                        Mode::Verbatim => current == 0,
+                        Mode::Generalized => current < initial,
+                    };
+                    if won {
+                        return Step::Decided(regs[j].unwrap_or(BOTTOM));
+                    }
+                    *pc = pc_val + 1;
+                    Step::Continue
+                } else {
+                    Step::Decided(regs[0].unwrap_or(BOTTOM))
+                }
+            }
+        }
+    }
+
+    fn describe_step(&self, _shared: &RaceShared, pc: &u8, p: ProcessId) -> String {
+        let r = p.index();
+        match *pc {
+            0 => format!("{p}: write R[{r}]"),
+            1 => {
+                if r == 0 {
+                    format!("{p}: transfer(a_dest, B) [owner race]")
+                } else {
+                    format!("{p}: transferFrom(a0, a_dest, A_{r}) [spender race]")
+                }
+            }
+            pc_val => {
+                let j = (pc_val - 2) as usize + 1;
+                if j < self.participants {
+                    format!("{p}: read allowance(a0, p{j})")
+                } else {
+                    format!("{p}: read R[0] and decide")
+                }
+            }
+        }
+    }
+
+    fn step_bound(&self) -> usize {
+        self.participants + 3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explorer::{Explorer, Outcome, Violation};
+
+    #[test]
+    fn sync_states_verified_exhaustively_generalized() {
+        for k in 1..=3 {
+            let report = Explorer::new(&TokenRace::in_sync_state(k)).run();
+            assert!(
+                matches!(report.outcome, Outcome::Verified),
+                "k={k}: {:?}",
+                report.outcome
+            );
+        }
+    }
+
+    #[test]
+    fn sync_states_verified_exhaustively_verbatim() {
+        for k in 1..=3 {
+            let report =
+                Explorer::new(&TokenRace::in_sync_state_with_mode(k, Mode::Verbatim)).run();
+            assert!(
+                matches!(report.outcome, Outcome::Verified),
+                "k={k}: {:?}",
+                report.outcome
+            );
+        }
+    }
+
+    #[test]
+    fn overreach_violates() {
+        // k = 2 spenders supported, 3 processes racing: some interleaving
+        // breaks agreement or validity.
+        let report = Explorer::new(&TokenRace::overreach(2, 1, Mode::Verbatim)).run();
+        assert!(report.violation().is_some(), "{:?}", report.outcome);
+        let report = Explorer::new(&TokenRace::overreach(2, 1, Mode::Generalized)).run();
+        assert!(report.violation().is_some(), "{:?}", report.outcome);
+    }
+
+    #[test]
+    fn u_violation_breaks_agreement() {
+        let report = Explorer::new(&TokenRace::with_u_violated()).run();
+        match report.outcome {
+            Outcome::Violated(Violation::Disagreement { ref values, .. }) => {
+                assert!(values.len() >= 2);
+            }
+            ref other => panic!("expected disagreement, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verbatim_oversized_allowance_breaks_validity() {
+        let report = Explorer::new(&TokenRace::verbatim_oversized()).run();
+        match report.outcome {
+            Outcome::Violated(Violation::Invalidity { value, .. }) => {
+                assert_eq!(value, BOTTOM, "the spender reads an unwritten register");
+            }
+            ref other => panic!("expected invalidity, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generalized_mode_closes_the_gap() {
+        let report = Explorer::new(&TokenRace::generalized_oversized()).run();
+        assert!(matches!(report.outcome, Outcome::Verified), "{:?}", report.outcome);
+    }
+
+    #[test]
+    fn violation_schedules_replay() {
+        // The reported schedule, replayed step by step, reproduces the
+        // violation.
+        let protocol = TokenRace::with_u_violated();
+        let report = Explorer::new(&protocol).run();
+        let violation = report.violation().expect("violation expected").clone();
+        let mut config = crate::protocol::Config::initial(&protocol);
+        for p in violation.schedule() {
+            config.advance(&protocol, *p);
+        }
+        let decided: Vec<u64> = config.decided.iter().filter_map(|d| *d).collect();
+        let mut distinct = decided.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(distinct.len() >= 2, "replay did not reproduce: {decided:?}");
+    }
+}

@@ -1,0 +1,24 @@
+//! Concrete protocols for the model checker.
+//!
+//! * [`TokenRace`] — Algorithm 1 of the paper as a step machine over an
+//!   explicit ERC20 state, with constructors for every scenario of the
+//!   evaluation: genuine synchronization states (verified), overreach
+//!   beyond the state's level (violations found — the Theorem 3
+//!   counterexamples), `U`-violated allowances (disagreement), and
+//!   oversized allowances (the verbatim-algorithm validity gap).
+//! * [`AtRace`] — consensus among the owners of a `k`-shared asset
+//!   transfer account (Guerraoui et al.'s lower bound), verified on the
+//!   same machinery.
+//! * [`MinRegisters`] — a doomed register-only consensus attempt,
+//!   exhibiting the FLP-grounded fact that registers cannot solve
+//!   2-process consensus.
+
+mod alg1;
+mod at_race;
+mod registers_only;
+mod standards_race;
+
+pub use alg1::{Mode, TokenRace};
+pub use at_race::AtRace;
+pub use registers_only::MinRegisters;
+pub use standards_race::{Erc721Race, Erc777Race};

@@ -1,0 +1,83 @@
+//! A doomed register-only consensus attempt.
+//!
+//! Registers have consensus number 1 (FLP / Herlihy, recalled in
+//! Section 3.1), so *every* register-only 2-process consensus protocol must
+//! fail. The model checker cannot quantify over all protocols, but it can
+//! refute representative attempts; [`MinRegisters`] is the classic
+//! "write-then-scan, decide the minimum" attempt, and the explorer finds
+//! its disagreement schedule instantly.
+
+use tokensync_spec::ProcessId;
+
+use crate::protocol::{Protocol, Step};
+
+/// Write-then-scan register "consensus": each process publishes its
+/// proposal in its own register, reads the other's, and decides the
+/// minimum of what it saw. A solo-running process decides its own value;
+/// a late process sees both and decides the minimum — disagreement.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MinRegisters;
+
+impl Protocol for MinRegisters {
+    type Shared = [Option<u64>; 2];
+    type Local = u8;
+
+    fn processes(&self) -> usize {
+        2
+    }
+
+    fn initial_shared(&self) -> [Option<u64>; 2] {
+        [None, None]
+    }
+
+    fn initial_local(&self, _p: ProcessId) -> u8 {
+        0
+    }
+
+    fn proposal(&self, p: ProcessId) -> u64 {
+        p.index() as u64 + 1
+    }
+
+    fn step(&self, shared: &mut [Option<u64>; 2], pc: &mut u8, p: ProcessId) -> Step {
+        let i = p.index();
+        match *pc {
+            0 => {
+                shared[i] = Some(self.proposal(p));
+                *pc = 1;
+                Step::Continue
+            }
+            _ => {
+                let mine = self.proposal(p);
+                let other = shared[1 - i];
+                Step::Decided(other.map_or(mine, |o| o.min(mine)))
+            }
+        }
+    }
+
+    fn describe_step(&self, _shared: &[Option<u64>; 2], pc: &u8, p: ProcessId) -> String {
+        match *pc {
+            0 => format!("{p}: write own register"),
+            _ => format!("{p}: read peer register and decide"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explorer::{Explorer, Outcome, Violation};
+
+    #[test]
+    fn registers_cannot_solve_two_process_consensus() {
+        let report = Explorer::new(&MinRegisters).run();
+        match report.outcome {
+            Outcome::Violated(Violation::Disagreement { ref values, ref schedule }) => {
+                assert_eq!(values, &vec![1, 2]);
+                // The counterexample: p1 (proposal 2) runs solo and decides
+                // 2; p0 then sees both and decides 1.
+                assert!(!schedule.is_empty());
+            }
+            ref other => panic!("expected disagreement, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Token commands shared by the replicated-token protocols.
+
+use tokensync_core::erc20::Erc20State;
+use tokensync_spec::{AccountId, Amount, ProcessId};
+
+/// A client-level ERC20 command (the mutating subset — reads are served
+/// locally by any replica).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TokenCmd {
+    /// `transfer(to, value)` from the caller's account.
+    Transfer {
+        /// Destination account index.
+        to: usize,
+        /// Amount.
+        value: Amount,
+    },
+    /// `approve(spender, value)` on the caller's account.
+    Approve {
+        /// Approved process index.
+        spender: usize,
+        /// Allowance value.
+        value: Amount,
+    },
+    /// `transferFrom(from, to, value)` spending the caller's allowance.
+    TransferFrom {
+        /// Source account index.
+        from: usize,
+        /// Destination account index.
+        to: usize,
+        /// Amount.
+        value: Amount,
+    },
+}
+
+impl TokenCmd {
+    /// Whether this command needs spender-group synchronization (it spends
+    /// someone else's funds).
+    pub fn is_transfer_from(&self) -> bool {
+        matches!(self, TokenCmd::TransferFrom { .. })
+    }
+
+    /// The account whose funds/allowances this command mutates — the
+    /// account whose stream must order it (`σ`-group of the paper's §7
+    /// protocol).
+    pub fn account(&self, caller: usize) -> usize {
+        match self {
+            TokenCmd::Transfer { .. } | TokenCmd::Approve { .. } => caller,
+            TokenCmd::TransferFrom { from, .. } => *from,
+        }
+    }
+
+    /// Applies the command to a replica state on behalf of `caller`;
+    /// returns whether it succeeded (the formal `TRUE`/`FALSE`).
+    pub fn apply(&self, state: &mut Erc20State, caller: usize) -> bool {
+        let p = ProcessId::new(caller);
+        match *self {
+            TokenCmd::Transfer { to, value } => {
+                state.transfer(p, AccountId::new(to), value).is_ok()
+            }
+            TokenCmd::Approve { spender, value } => {
+                state.approve(p, ProcessId::new(spender), value).is_ok()
+            }
+            TokenCmd::TransferFrom { from, to, value } => state
+                .transfer_from(p, AccountId::new(from), AccountId::new(to), value)
+                .is_ok(),
+        }
+    }
+
+    /// Whether the command would succeed on `state` (validation without
+    /// mutation).
+    pub fn valid_on(&self, state: &Erc20State, caller: usize) -> bool {
+        let mut probe = state.clone();
+        self.apply(&mut probe, caller)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn account_routing() {
+        assert_eq!(TokenCmd::Transfer { to: 2, value: 1 }.account(5), 5);
+        assert_eq!(TokenCmd::Approve { spender: 2, value: 1 }.account(5), 5);
+        assert_eq!(
+            TokenCmd::TransferFrom {
+                from: 3,
+                to: 2,
+                value: 1
+            }
+            .account(5),
+            3
+        );
+    }
+
+    #[test]
+    fn apply_matches_state_semantics() {
+        let mut q = Erc20State::with_deployer(3, ProcessId::new(0), 10);
+        assert!(TokenCmd::Transfer { to: 1, value: 4 }.apply(&mut q, 0));
+        assert!(!TokenCmd::Transfer { to: 1, value: 100 }.apply(&mut q, 0));
+        assert!(TokenCmd::Approve { spender: 2, value: 3 }.apply(&mut q, 1));
+        assert!(TokenCmd::TransferFrom {
+            from: 1,
+            to: 2,
+            value: 2
+        }
+        .apply(&mut q, 2));
+        assert_eq!(q.balance(AccountId::new(2)), 2);
+    }
+
+    #[test]
+    fn validation_does_not_mutate() {
+        let q = Erc20State::with_deployer(2, ProcessId::new(0), 5);
+        let cmd = TokenCmd::Transfer { to: 1, value: 5 };
+        assert!(cmd.valid_on(&q, 0));
+        assert_eq!(q.balance(AccountId::new(0)), 5);
+    }
+}

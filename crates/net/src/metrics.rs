@@ -1,0 +1,64 @@
+//! Network metrics collected by the simulator.
+
+/// Message and load statistics of one simulation run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Point-to-point messages sent.
+    pub sent: u64,
+    /// Messages delivered.
+    pub delivered: u64,
+    /// Messages sent per node (load distribution; the maximum entry is the
+    /// "sequencer bottleneck" measure of the protocol benches).
+    pub sent_per_node: Vec<u64>,
+    /// Final simulated time.
+    pub end_time: u64,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            sent_per_node: vec![0; n],
+            ..Self::default()
+        }
+    }
+
+    /// The largest per-node send count — how hot the hottest node is.
+    pub fn max_node_load(&self) -> u64 {
+        self.sent_per_node.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Ratio of the hottest node's load to the mean load (1.0 = perfectly
+    /// balanced). Returns 0.0 when nothing was sent.
+    pub fn load_imbalance(&self) -> f64 {
+        if self.sent == 0 || self.sent_per_node.is_empty() {
+            return 0.0;
+        }
+        let mean = self.sent as f64 / self.sent_per_node.len() as f64;
+        self.max_node_load() as f64 / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imbalance_of_uniform_load_is_one() {
+        let m = Metrics {
+            sent: 8,
+            delivered: 8,
+            sent_per_node: vec![2, 2, 2, 2],
+            end_time: 10,
+        };
+        assert!((m.load_imbalance() - 1.0).abs() < 1e-9);
+        assert_eq!(m.max_node_load(), 2);
+    }
+
+    #[test]
+    fn empty_metrics_are_safe() {
+        let m = Metrics::new(0);
+        assert_eq!(m.load_imbalance(), 0.0);
+        assert_eq!(m.max_node_load(), 0);
+    }
+}

@@ -1,0 +1,339 @@
+//! The status-quo baseline: every operation through one total order.
+//!
+//! This is the paper's model of today's blockchains (Section 1): a single
+//! logical sequencer (stand-in for a consensus/atomic-broadcast layer)
+//! assigns a global sequence number to **every** token operation —
+//! transfers that would commute included — and replicas apply the log in
+//! order. Correct, simple, and maximally synchronized: the benches measure
+//! exactly what that costs relative to the [`dynamic`](crate::dynamic)
+//! protocol.
+
+use std::collections::BTreeMap;
+
+use tokensync_core::erc20::Erc20State;
+use tokensync_spec::Amount;
+
+use crate::cmd::TokenCmd;
+use crate::rb::{Bracha, RbMsg};
+use crate::sim::{Context, Node, SimNet};
+
+/// The node hosting the sequencer role.
+pub const SEQUENCER: usize = 0;
+
+/// A globally sequenced operation.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct GlobalOp {
+    /// Global sequence number (gap-free from 0).
+    pub seq: u64,
+    /// Issuing process.
+    pub caller: usize,
+    /// Caller-local request id (for latency accounting).
+    pub client_seq: u64,
+    /// The command.
+    pub cmd: TokenCmd,
+}
+
+/// Messages of the totally ordered token.
+#[derive(Clone, Debug)]
+pub enum OrderedMsg {
+    /// Client request delivered to the caller's own node.
+    Client(TokenCmd),
+    /// Caller → sequencer.
+    Request {
+        /// Issuing process.
+        caller: usize,
+        /// Caller-local request id.
+        client_seq: u64,
+        /// The command.
+        cmd: TokenCmd,
+    },
+    /// Reliable-broadcast traffic disseminating the sequenced log.
+    Rb(RbMsg<GlobalOp>),
+}
+
+/// One replica of the totally ordered token.
+#[derive(Clone, Debug)]
+pub struct OrderedNode {
+    rb: Bracha<GlobalOp>,
+    state: Erc20State,
+    next_apply: u64,
+    buffer: BTreeMap<u64, GlobalOp>,
+    /// Sequencer-only: next global sequence number.
+    global_seq: u64,
+    next_client_seq: u64,
+    outstanding: BTreeMap<u64, u64>,
+    /// Commit latencies (issue → local apply) of this node's own requests.
+    pub latencies: Vec<u64>,
+    /// Operations that applied with a `FALSE` outcome.
+    pub failed_ops: u64,
+    applied_ops: u64,
+}
+
+impl OrderedNode {
+    fn new(n: usize, initial: Erc20State) -> Self {
+        Self {
+            rb: Bracha::new(n),
+            state: initial,
+            next_apply: 0,
+            buffer: BTreeMap::new(),
+            global_seq: 0,
+            next_client_seq: 0,
+            outstanding: BTreeMap::new(),
+            latencies: Vec::new(),
+            failed_ops: 0,
+            applied_ops: 0,
+        }
+    }
+
+    /// This replica's token state.
+    pub fn state(&self) -> &Erc20State {
+        &self.state
+    }
+
+    /// Operations applied so far.
+    pub fn applied_ops(&self) -> u64 {
+        self.applied_ops
+    }
+
+    fn sequence(&mut self, caller: usize, client_seq: u64, cmd: TokenCmd, ctx: &mut Context<OrderedMsg>) {
+        let op = GlobalOp {
+            seq: self.global_seq,
+            caller,
+            client_seq,
+            cmd,
+        };
+        self.global_seq += 1;
+        let mut inner: Context<RbMsg<GlobalOp>> = Context::nested(ctx);
+        self.rb.broadcast(op, &mut inner);
+        for (dst, msg) in inner.take_outbox() {
+            ctx.send(dst, OrderedMsg::Rb(msg));
+        }
+    }
+
+    fn drain(&mut self, me: usize, now: u64) {
+        while let Some(op) = self.buffer.remove(&self.next_apply) {
+            if !op.cmd.apply(&mut self.state, op.caller) {
+                self.failed_ops += 1;
+            }
+            self.applied_ops += 1;
+            self.next_apply += 1;
+            if op.caller == me {
+                if let Some(issued) = self.outstanding.remove(&op.client_seq) {
+                    self.latencies.push(now - issued);
+                }
+            }
+        }
+    }
+}
+
+impl Node for OrderedNode {
+    type Msg = OrderedMsg;
+
+    fn on_message(&mut self, from: usize, msg: OrderedMsg, ctx: &mut Context<OrderedMsg>) {
+        match msg {
+            OrderedMsg::Client(cmd) => {
+                let client_seq = self.next_client_seq;
+                self.next_client_seq += 1;
+                self.outstanding.insert(client_seq, ctx.time());
+                if ctx.me() == SEQUENCER {
+                    self.sequence(ctx.me(), client_seq, cmd, ctx);
+                } else {
+                    let caller = ctx.me();
+                    ctx.send(
+                        SEQUENCER,
+                        OrderedMsg::Request {
+                            caller,
+                            client_seq,
+                            cmd,
+                        },
+                    );
+                }
+            }
+            OrderedMsg::Request {
+                caller,
+                client_seq,
+                cmd,
+            } => {
+                debug_assert_eq!(ctx.me(), SEQUENCER);
+                self.sequence(caller, client_seq, cmd, ctx);
+            }
+            OrderedMsg::Rb(rb_msg) => {
+                let mut inner: Context<RbMsg<GlobalOp>> = Context::nested(ctx);
+                let delivered = self.rb.handle(from, rb_msg, &mut inner);
+                for (dst, m) in inner.take_outbox() {
+                    ctx.send(dst, OrderedMsg::Rb(m));
+                }
+                for (_, op) in delivered {
+                    self.buffer.insert(op.seq, op);
+                }
+                self.drain(ctx.me(), ctx.time());
+            }
+        }
+    }
+}
+
+/// A totally ordered token network (facade over the simulator).
+pub struct OrderedNetwork {
+    net: SimNet<OrderedNode>,
+}
+
+impl OrderedNetwork {
+    /// Creates `n` replicas of `initial` with delay seed `seed`.
+    pub fn new(n: usize, initial: Erc20State, seed: u64) -> Self {
+        let nodes = (0..n).map(|_| OrderedNode::new(n, initial.clone())).collect();
+        Self {
+            net: SimNet::new(nodes, seed),
+        }
+    }
+
+    /// Submits `cmd` on behalf of `caller`.
+    pub fn submit(&mut self, caller: usize, cmd: TokenCmd) {
+        self.net.post(caller, caller, OrderedMsg::Client(cmd));
+    }
+
+    /// Runs until quiescence.
+    pub fn run_to_quiescence(&mut self) -> u64 {
+        self.net.run_to_quiescence()
+    }
+
+    /// Crashes a node: it stops sending and receiving (failure-injection
+    /// hook for availability tests).
+    pub fn crash(&mut self, node: usize) {
+        self.net.crash(node);
+    }
+
+    /// All replicas hold the same state with empty buffers.
+    pub fn converged(&self) -> bool {
+        let first = self.net.node(0).state();
+        self.net
+            .nodes()
+            .all(|node| node.state() == first && node.buffer.is_empty())
+    }
+
+    /// Replica `i`'s state.
+    pub fn state_at(&self, i: usize) -> Erc20State {
+        self.net.node(i).state().clone()
+    }
+
+    /// Mean commit latency over all nodes' own requests.
+    pub fn mean_latency(&self) -> f64 {
+        let all: Vec<u64> = self
+            .net
+            .nodes()
+            .flat_map(|node| node.latencies.iter().copied())
+            .collect();
+        if all.is_empty() {
+            0.0
+        } else {
+            all.iter().sum::<u64>() as f64 / all.len() as f64
+        }
+    }
+
+    /// Total supply at replica 0 (must be invariant).
+    pub fn total_supply(&self) -> Amount {
+        self.net.node(0).state().total_supply()
+    }
+
+    /// Simulator metrics.
+    pub fn metrics(&self) -> &crate::Metrics {
+        self.net.metrics()
+    }
+
+    /// Operations that applied with a `FALSE` outcome, at replica 0.
+    pub fn failed_ops(&self) -> u64 {
+        self.net.node(0).failed_ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tokensync_spec::{AccountId, ProcessId};
+
+    fn initial(n: usize, supply: Amount) -> Erc20State {
+        Erc20State::with_deployer(n, ProcessId::new(0), supply)
+    }
+
+    #[test]
+    fn operations_apply_in_total_order_everywhere() {
+        let mut net = OrderedNetwork::new(4, initial(4, 10), 5);
+        net.submit(0, TokenCmd::Transfer { to: 1, value: 4 });
+        net.submit(0, TokenCmd::Approve { spender: 2, value: 3 });
+        net.run_to_quiescence();
+        net.submit(
+            2,
+            TokenCmd::TransferFrom {
+                from: 0,
+                to: 3,
+                value: 3,
+            },
+        );
+        net.run_to_quiescence();
+        assert!(net.converged());
+        let state = net.state_at(2);
+        assert_eq!(state.balance(AccountId::new(1)), 4);
+        assert_eq!(state.balance(AccountId::new(3)), 3);
+        assert_eq!(net.total_supply(), 10);
+    }
+
+    #[test]
+    fn conflicting_spends_resolve_identically_on_all_replicas() {
+        for seed in 0..10 {
+            let mut q = initial(4, 2);
+            q.set_allowance(AccountId::new(0), ProcessId::new(1), 2);
+            q.set_allowance(AccountId::new(0), ProcessId::new(2), 2);
+            let mut net = OrderedNetwork::new(4, q, seed);
+            // Both spenders race for the same 2 tokens: exactly one wins.
+            net.submit(
+                1,
+                TokenCmd::TransferFrom {
+                    from: 0,
+                    to: 1,
+                    value: 2,
+                },
+            );
+            net.submit(
+                2,
+                TokenCmd::TransferFrom {
+                    from: 0,
+                    to: 2,
+                    value: 2,
+                },
+            );
+            net.run_to_quiescence();
+            assert!(net.converged(), "seed {seed}");
+            assert_eq!(net.failed_ops(), 1, "seed {seed}: exactly one loses");
+            assert_eq!(net.total_supply(), 2);
+        }
+    }
+
+    #[test]
+    fn latencies_are_recorded() {
+        let mut net = OrderedNetwork::new(4, initial(4, 10), 8);
+        net.submit(3, TokenCmd::Transfer { to: 1, value: 0 });
+        net.run_to_quiescence();
+        assert!(net.mean_latency() > 0.0);
+    }
+
+    #[test]
+    fn sequencer_is_the_bottleneck() {
+        let mut net = OrderedNetwork::new(8, initial(8, 100), 21);
+        for caller in 0..8 {
+            for _ in 0..4 {
+                net.submit(caller, TokenCmd::Transfer { to: (caller + 1) % 8, value: 0 });
+            }
+        }
+        net.run_to_quiescence();
+        assert!(net.converged());
+        let metrics = net.metrics();
+        // The sequencer sends noticeably more than the average node (the
+        // uniform Echo/Ready floor of reliable broadcast dampens the ratio;
+        // the Init broadcasts and request fan-in are all node 0's).
+        assert!(
+            metrics.load_imbalance() > 1.25,
+            "imbalance {}",
+            metrics.load_imbalance()
+        );
+        assert_eq!(metrics.sent_per_node.iter().copied().max().unwrap(), metrics.sent_per_node[SEQUENCER]);
+    }
+}

@@ -1,0 +1,318 @@
+//! Consensus-free asset transfer over reliable broadcast.
+//!
+//! The protocol that motivates the paper (Guerraoui et al. PODC'19,
+//! Collins et al. DSN'20): because each account has a single owner, the
+//! owner alone *sequences* its debits; replicas apply each owner's
+//! operations in sequence order, after the operation's declared causal
+//! dependencies (the credits the owner had seen). No two correct replicas
+//! can ever disagree on an account's history — **without any consensus**.
+//!
+//! Validity at every replica is guaranteed by monotonicity: when the owner
+//! issued `transfer(v)` it had balance ≥ `v` over (its own debit prefix +
+//! the credits in `deps`); any replica applying the op has applied exactly
+//! the same debit prefix (owner-FIFO) and at least those credits, so the
+//! balance there can only be larger.
+
+use tokensync_spec::Amount;
+
+use crate::rb::{Bracha, RbMsg};
+use crate::sim::{Context, Node, SimNet};
+
+/// A sequenced, dependency-annotated transfer.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TransferOp {
+    /// Issuing owner = source account index.
+    pub from: usize,
+    /// Owner-local sequence number (0-based, gap-free).
+    pub seq: u64,
+    /// Destination account.
+    pub to: usize,
+    /// Amount moved.
+    pub value: Amount,
+    /// Causal dependencies: `deps[o]` = number of owner `o`'s operations
+    /// the issuer had applied when issuing (a vector clock).
+    pub deps: Vec<u64>,
+}
+
+/// Messages of the payment protocol.
+#[derive(Clone, Debug)]
+pub enum PayMsg {
+    /// Client request handled by the owner node: transfer `value` to `to`.
+    Client {
+        /// Destination account.
+        to: usize,
+        /// Amount.
+        value: Amount,
+    },
+    /// Reliable-broadcast traffic.
+    Rb(RbMsg<TransferOp>),
+}
+
+/// One replica of the consensus-free payment system. Node `i` owns
+/// account `i`.
+#[derive(Clone, Debug)]
+pub struct PaymentNode {
+    rb: Bracha<TransferOp>,
+    balances: Vec<Amount>,
+    /// `applied[o]` = how many of owner `o`'s ops this replica applied.
+    applied: Vec<u64>,
+    /// Delivered but not yet applicable.
+    pending: Vec<TransferOp>,
+    next_seq: u64,
+    /// Sum of this owner's issued-but-not-yet-applied debits. Issuing
+    /// validates against `balance − reserved`, otherwise two quick
+    /// requests could both pass against the same coins before the first
+    /// one's broadcast returns (the classic outstanding-debit pitfall).
+    reserved: Amount,
+    /// Client requests refused for insufficient (local-view) balance.
+    pub rejected: u64,
+}
+
+impl PaymentNode {
+    fn new(n: usize, initial: Vec<Amount>) -> Self {
+        Self {
+            rb: Bracha::new(n),
+            balances: initial,
+            applied: vec![0; n],
+            pending: Vec::new(),
+            next_seq: 0,
+            reserved: 0,
+            rejected: 0,
+        }
+    }
+
+    /// This replica's balance view.
+    pub fn balances(&self) -> &[Amount] {
+        &self.balances
+    }
+
+    /// Number of operations applied in total.
+    pub fn applied_total(&self) -> u64 {
+        self.applied.iter().sum()
+    }
+
+    fn applicable(&self, op: &TransferOp) -> bool {
+        self.applied[op.from] == op.seq
+            && op
+                .deps
+                .iter()
+                .enumerate()
+                .all(|(o, d)| self.applied[o] >= *d)
+    }
+
+    fn drain_pending(&mut self, me: usize) {
+        loop {
+            let Some(pos) = self.pending.iter().position(|op| self.applicable(op)) else {
+                return;
+            };
+            let op = self.pending.swap_remove(pos);
+            debug_assert!(
+                self.balances[op.from] >= op.value,
+                "validity: owner-sequenced debit cannot overdraw"
+            );
+            self.balances[op.from] -= op.value;
+            self.balances[op.to] += op.value;
+            self.applied[op.from] += 1;
+            if op.from == me {
+                self.reserved -= op.value;
+            }
+        }
+    }
+}
+
+impl Node for PaymentNode {
+    type Msg = PayMsg;
+
+    fn on_message(&mut self, from: usize, msg: PayMsg, ctx: &mut Context<PayMsg>) {
+        match msg {
+            PayMsg::Client { to, value } => {
+                // Only the owner sequences debits of its account; validate
+                // against the balance net of outstanding debits.
+                if self.balances[ctx.me()] - self.reserved < value || to >= ctx.n() {
+                    self.rejected += 1;
+                    return;
+                }
+                self.reserved += value;
+                let op = TransferOp {
+                    from: ctx.me(),
+                    seq: self.next_seq,
+                    to,
+                    value,
+                    deps: self.applied.clone(),
+                };
+                self.next_seq += 1;
+                // Broadcast through an adapter context that wraps the RB
+                // traffic into PayMsg::Rb.
+                with_rb_ctx(ctx, |rb_ctx| self.rb.broadcast(op, rb_ctx));
+            }
+            PayMsg::Rb(rb_msg) => {
+                let delivered = with_rb_ctx(ctx, |rb_ctx| self.rb.handle(from, rb_msg, rb_ctx));
+                for (_, op) in delivered {
+                    self.pending.push(op);
+                }
+                self.drain_pending(ctx.me());
+            }
+        }
+    }
+}
+
+/// Runs `f` against a context that wraps RB messages into [`PayMsg::Rb`].
+fn with_rb_ctx<R>(
+    ctx: &mut Context<PayMsg>,
+    f: impl FnOnce(&mut Context<RbMsg<TransferOp>>) -> R,
+) -> R {
+    let mut inner: Context<RbMsg<TransferOp>> = Context::nested(ctx);
+    let r = f(&mut inner);
+    for (dst, msg) in inner.take_outbox() {
+        ctx.send(dst, PayMsg::Rb(msg));
+    }
+    r
+}
+
+/// A whole payment network: replicas plus the simulator.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+pub struct PaymentNetwork {
+    net: SimNet<PaymentNode>,
+}
+
+impl PaymentNetwork {
+    /// Creates `n` replicas with `initial` balances (account `i` owned by
+    /// node `i`) and a deterministic delay seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial.len() != n`.
+    pub fn new(n: usize, initial: Vec<Amount>, seed: u64) -> Self {
+        assert_eq!(initial.len(), n, "one balance per node/account");
+        let nodes = (0..n).map(|_| PaymentNode::new(n, initial.clone())).collect();
+        Self {
+            net: SimNet::new(nodes, seed),
+        }
+    }
+
+    /// Submits a transfer request to `owner`'s node.
+    pub fn submit_transfer(&mut self, owner: usize, to: usize, value: Amount) {
+        self.net.post(owner, owner, PayMsg::Client { to, value });
+    }
+
+    /// Crashes a node.
+    pub fn crash(&mut self, node: usize) {
+        self.net.crash(node);
+    }
+
+    /// Runs the network until quiescence.
+    pub fn run_to_quiescence(&mut self) -> u64 {
+        self.net.run_to_quiescence()
+    }
+
+    /// Whether all replicas hold identical balances with nothing pending.
+    pub fn replicas_converged(&self) -> bool {
+        let first = self.net.node(0).balances();
+        self.net
+            .nodes()
+            .all(|node| node.balances() == first && node.pending.is_empty())
+    }
+
+    /// The balance view of replica `i`.
+    pub fn balances_at(&self, i: usize) -> Vec<Amount> {
+        self.net.node(i).balances().to_vec()
+    }
+
+    /// Total client requests rejected across replicas.
+    pub fn rejected(&self) -> u64 {
+        self.net.nodes().map(|node| node.rejected).sum()
+    }
+
+    /// Simulator metrics.
+    pub fn metrics(&self) -> &crate::Metrics {
+        self.net.metrics()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn single_transfer_converges() {
+        let mut net = PaymentNetwork::new(4, vec![10, 0, 0, 0], 1);
+        net.submit_transfer(0, 2, 4);
+        net.run_to_quiescence();
+        assert!(net.replicas_converged());
+        assert_eq!(net.balances_at(3), vec![6, 0, 4, 0]);
+    }
+
+    #[test]
+    fn overdraft_rejected_locally_without_traffic() {
+        let mut net = PaymentNetwork::new(4, vec![3, 0, 0, 0], 2);
+        net.submit_transfer(0, 1, 5);
+        let before = net.metrics().sent;
+        net.run_to_quiescence();
+        assert_eq!(net.rejected(), 1);
+        // Only the client message itself travelled.
+        assert_eq!(net.metrics().sent, before);
+        assert!(net.replicas_converged());
+    }
+
+    #[test]
+    fn no_double_spend_with_sequential_requests() {
+        let mut net = PaymentNetwork::new(4, vec![5, 0, 0, 0], 3);
+        net.submit_transfer(0, 1, 5);
+        net.submit_transfer(0, 2, 5); // second must be rejected at issue
+        net.run_to_quiescence();
+        assert_eq!(net.rejected(), 1);
+        assert_eq!(net.balances_at(0), vec![0, 5, 0, 0]);
+    }
+
+    #[test]
+    fn chained_payments_respect_causality() {
+        // 1 pays 2 only after receiving from 0; deps ensure every replica
+        // applies in a valid order under adversarial delays.
+        for seed in 0..20 {
+            let mut net = PaymentNetwork::new(4, vec![5, 0, 0, 0], seed);
+            net.submit_transfer(0, 1, 5);
+            net.run_to_quiescence();
+            net.submit_transfer(1, 2, 5);
+            net.run_to_quiescence();
+            assert!(net.replicas_converged(), "seed {seed}");
+            assert_eq!(net.balances_at(0), vec![0, 0, 5, 0], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn random_workload_conserves_supply_and_converges() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for round in 0..5 {
+            let n = 5;
+            let mut net = PaymentNetwork::new(n, vec![20; n], round);
+            for _ in 0..30 {
+                let from = rng.gen_range(0..n);
+                let to = rng.gen_range(0..n);
+                net.submit_transfer(from, to, rng.gen_range(0..6));
+                if rng.gen_bool(0.3) {
+                    net.run_to_quiescence();
+                }
+            }
+            net.run_to_quiescence();
+            assert!(net.replicas_converged(), "round {round}");
+            let total: Amount = net.balances_at(0).iter().sum();
+            assert_eq!(total, 100, "round {round}");
+        }
+    }
+
+    #[test]
+    fn survives_f_crashes() {
+        // n = 4, f = 1: crash one non-issuing node; the rest converge.
+        let mut net = PaymentNetwork::new(4, vec![10, 0, 0, 0], 17);
+        net.crash(3);
+        net.submit_transfer(0, 1, 7);
+        net.run_to_quiescence();
+        let view0 = net.balances_at(0);
+        assert_eq!(view0, vec![3, 7, 0, 0]);
+        assert_eq!(net.balances_at(1), view0);
+        assert_eq!(net.balances_at(2), view0);
+    }
+}

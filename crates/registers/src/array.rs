@@ -1,0 +1,110 @@
+//! Indexed families of registers, e.g. the `R[1..k]` array of Algorithm 1.
+
+use crate::register::{AtomicRegister, Register};
+
+/// A fixed-size family of atomic registers `R[0..len)`.
+///
+/// Algorithm 1 of the paper uses one register per participating process to
+/// publish proposals; [`RegisterArray`] is exactly that structure.
+///
+/// # Example
+///
+/// ```
+/// use tokensync_registers::{Register, RegisterArray};
+///
+/// let regs: RegisterArray<Option<u32>> = RegisterArray::new(3, None);
+/// regs.at(1).write(Some(42));
+/// assert_eq!(regs.at(1).read(), Some(42));
+/// assert_eq!(regs.at(0).read(), None);
+/// ```
+pub struct RegisterArray<T> {
+    regs: Vec<AtomicRegister<T>>,
+}
+
+impl<T: Clone + Send + Sync + std::fmt::Debug> std::fmt::Debug for RegisterArray<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.collect_all()).finish()
+    }
+}
+
+impl<T: Clone + Send + Sync> RegisterArray<T> {
+    /// Creates `len` registers, each holding a clone of `initial`.
+    pub fn new(len: usize, initial: T) -> Self {
+        Self {
+            regs: (0..len).map(|_| AtomicRegister::new(initial.clone())).collect(),
+        }
+    }
+
+    /// Number of registers in the family.
+    pub fn len(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Whether the family is empty.
+    pub fn is_empty(&self) -> bool {
+        self.regs.is_empty()
+    }
+
+    /// The register at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn at(&self, index: usize) -> &AtomicRegister<T> {
+        &self.regs[index]
+    }
+
+    /// Reads every register in index order (a *collect*; not an atomic
+    /// snapshot).
+    pub fn collect_all(&self) -> Vec<T> {
+        self.regs.iter().map(Register::read).collect()
+    }
+
+    /// Iterates over the registers in index order.
+    pub fn iter(&self) -> impl Iterator<Item = &AtomicRegister<T>> {
+        self.regs.iter()
+    }
+}
+
+impl<T: Clone + Send + Sync + Default> RegisterArray<T> {
+    /// Creates `len` registers holding `T::default()`.
+    pub fn with_default(len: usize) -> Self {
+        Self::new(len, T::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_reflects_writes() {
+        let regs: RegisterArray<u64> = RegisterArray::with_default(4);
+        regs.at(2).write(5);
+        assert_eq!(regs.collect_all(), vec![0, 0, 5, 0]);
+    }
+
+    #[test]
+    fn len_and_emptiness() {
+        let regs: RegisterArray<u64> = RegisterArray::with_default(0);
+        assert!(regs.is_empty());
+        let regs: RegisterArray<u64> = RegisterArray::with_default(3);
+        assert_eq!(regs.len(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_access_panics() {
+        let regs: RegisterArray<u64> = RegisterArray::with_default(1);
+        let _ = regs.at(1);
+    }
+
+    #[test]
+    fn iter_visits_in_order() {
+        let regs: RegisterArray<usize> = RegisterArray::with_default(3);
+        for (i, r) in regs.iter().enumerate() {
+            r.write(i * 10);
+        }
+        assert_eq!(regs.collect_all(), vec![0, 10, 20]);
+    }
+}

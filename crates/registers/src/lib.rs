@@ -1,0 +1,43 @@
+//! Atomic (linearizable, MRMW) registers — the weakest shared objects of the
+//! model in Section 3.1 of the paper, and the building blocks every
+//! construction (Algorithm 1, Algorithm 2, the universal construction) is
+//! allowed to use alongside the object under study.
+//!
+//! An *atomic register* provides `read`/`write` with termination, validity
+//! and ordering: every operation appears to occur at one indivisible point
+//! between invocation and response. All implementations here are
+//! linearizable and wait-free:
+//!
+//! * [`AtomicRegister<T>`] — general multi-reader multi-writer register for
+//!   any `Clone` value, backed by a [`parking_lot::RwLock`]. Each `read` or
+//!   `write` is a single short critical section, so operations always
+//!   terminate (the lock is never held across user code).
+//! * [`U64Register`] — lock-free register specialization for `u64` values.
+//! * [`RegisterArray<T>`] — the indexed family `R[1..k]` used by
+//!   Algorithm 1 of the paper.
+//! * [`StampedRegister<T>`] and [`scan`] — write-stamped registers with a
+//!   double-collect scan, used where a consistent view of a register family
+//!   is convenient.
+//!
+//! # Example
+//!
+//! ```
+//! use tokensync_registers::{AtomicRegister, Register};
+//!
+//! let reg = AtomicRegister::new(0u32);
+//! reg.write(7);
+//! assert_eq!(reg.read(), 7);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod array;
+mod register;
+mod snapshot;
+mod stamped;
+
+pub use array::RegisterArray;
+pub use register::{AtomicRegister, Register, U64Register};
+pub use snapshot::scan;
+pub use stamped::{Stamped, StampedRegister};

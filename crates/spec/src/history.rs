@@ -1,0 +1,244 @@
+//! Concurrent histories: sequences of invocation and response events.
+
+use std::fmt::Debug;
+
+use crate::ids::ProcessId;
+
+/// Identifier of one operation instance within a [`History`].
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug)]
+pub struct OpId(usize);
+
+impl OpId {
+    /// Zero-based index of the operation in invocation order.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A single event of a concurrent history.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event<Op, Resp> {
+    /// Process `process` invokes operation `op`; the invocation is the
+    /// `id.index()`-th of the history.
+    Invoke {
+        /// Operation instance this event starts.
+        id: OpId,
+        /// Invoking process.
+        process: ProcessId,
+        /// The operation being invoked.
+        op: Op,
+    },
+    /// The operation `id` returns with response `resp`.
+    Return {
+        /// Operation instance this event completes.
+        id: OpId,
+        /// The response observed by the invoking process.
+        resp: Resp,
+    },
+}
+
+/// One operation of a history in *operation view*: its process, operation,
+/// optional response, and the positions of its events.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OperationRecord<Op, Resp> {
+    /// Operation instance id.
+    pub id: OpId,
+    /// Invoking process.
+    pub process: ProcessId,
+    /// The invoked operation.
+    pub op: Op,
+    /// The response, or `None` if the operation is pending.
+    pub resp: Option<Resp>,
+    /// Index of the invoke event in the event sequence.
+    pub invoke_pos: usize,
+    /// Index of the return event, or `None` if pending.
+    pub return_pos: Option<usize>,
+}
+
+impl<Op, Resp> OperationRecord<Op, Resp> {
+    /// Whether this operation completed (has a response).
+    pub fn is_complete(&self) -> bool {
+        self.resp.is_some()
+    }
+
+    /// Whether this operation returned before `other` was invoked, i.e.
+    /// precedes it in the real-time order.
+    pub fn precedes(&self, other: &Self) -> bool {
+        match self.return_pos {
+            Some(r) => r < other.invoke_pos,
+            None => false,
+        }
+    }
+}
+
+/// A concurrent history: a totally ordered sequence of invoke/return
+/// [`Event`]s, as produced by a real execution or constructed by tests.
+///
+/// # Example
+///
+/// ```
+/// use tokensync_spec::{History, ProcessId};
+///
+/// let mut h: History<&str, bool> = History::new();
+/// let id = h.invoke(ProcessId::new(0), "transfer");
+/// h.ret(id, true);
+/// assert!(h.is_complete());
+/// assert_eq!(h.operations().len(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct History<Op, Resp> {
+    events: Vec<Event<Op, Resp>>,
+    invocations: usize,
+}
+
+impl<Op: Clone + Debug, Resp: Clone + Debug> History<Op, Resp> {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        Self {
+            events: Vec::new(),
+            invocations: 0,
+        }
+    }
+
+    /// Records an invocation event and returns the fresh operation id.
+    pub fn invoke(&mut self, process: ProcessId, op: Op) -> OpId {
+        let id = OpId(self.invocations);
+        self.invocations += 1;
+        self.events.push(Event::Invoke { id, process, op });
+        id
+    }
+
+    /// Records the return of operation `id` with response `resp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not previously invoked in this history or already
+    /// returned; such a history would not be well formed.
+    pub fn ret(&mut self, id: OpId, resp: Resp) {
+        assert!(id.0 < self.invocations, "return for unknown operation {id:?}");
+        let already = self
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::Return { id: rid, .. } if *rid == id));
+        assert!(!already, "operation {id:?} returned twice");
+        self.events.push(Event::Return { id, resp });
+    }
+
+    /// The raw event sequence.
+    pub fn events(&self) -> &[Event<Op, Resp>] {
+        &self.events
+    }
+
+    /// Number of operations (invocations) in the history.
+    pub fn len(&self) -> usize {
+        self.invocations
+    }
+
+    /// Whether the history contains no operations.
+    pub fn is_empty(&self) -> bool {
+        self.invocations == 0
+    }
+
+    /// Whether every invocation has a matching return.
+    pub fn is_complete(&self) -> bool {
+        let returns = self
+            .events
+            .iter()
+            .filter(|e| matches!(e, Event::Return { .. }))
+            .count();
+        returns == self.invocations
+    }
+
+    /// Converts to operation view: one [`OperationRecord`] per invocation,
+    /// in invocation order.
+    pub fn operations(&self) -> Vec<OperationRecord<Op, Resp>> {
+        let mut out: Vec<OperationRecord<Op, Resp>> = Vec::with_capacity(self.invocations);
+        for (pos, event) in self.events.iter().enumerate() {
+            match event {
+                Event::Invoke { id, process, op } => {
+                    debug_assert_eq!(id.0, out.len());
+                    out.push(OperationRecord {
+                        id: *id,
+                        process: *process,
+                        op: op.clone(),
+                        resp: None,
+                        invoke_pos: pos,
+                        return_pos: None,
+                    });
+                }
+                Event::Return { id, resp } => {
+                    let rec = &mut out[id.0];
+                    rec.resp = Some(resp.clone());
+                    rec.return_pos = Some(pos);
+                }
+            }
+        }
+        out
+    }
+
+    /// Builds a sequential (non-overlapping) history from `(process, op,
+    /// resp)` triples — each operation returns before the next is invoked.
+    pub fn from_sequential<I>(script: I) -> Self
+    where
+        I: IntoIterator<Item = (ProcessId, Op, Resp)>,
+    {
+        let mut h = Self::new();
+        for (p, op, resp) in script {
+            let id = h.invoke(p, op);
+            h.ret(id, resp);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn sequential_history_is_complete() {
+        let h = History::from_sequential([(p(0), "w", 1u32), (p(1), "r", 1)]);
+        assert!(h.is_complete());
+        assert_eq!(h.len(), 2);
+        let ops = h.operations();
+        assert!(ops[0].precedes(&ops[1]));
+        assert!(!ops[1].precedes(&ops[0]));
+    }
+
+    #[test]
+    fn overlapping_operations_do_not_precede_each_other() {
+        let mut h: History<&str, u32> = History::new();
+        let a = h.invoke(p(0), "a");
+        let b = h.invoke(p(1), "b");
+        h.ret(a, 0);
+        h.ret(b, 0);
+        let ops = h.operations();
+        assert!(!ops[0].precedes(&ops[1]));
+        assert!(!ops[1].precedes(&ops[0]));
+    }
+
+    #[test]
+    fn pending_operation_detected() {
+        let mut h: History<&str, u32> = History::new();
+        let a = h.invoke(p(0), "a");
+        let _b = h.invoke(p(1), "b");
+        h.ret(a, 0);
+        assert!(!h.is_complete());
+        let ops = h.operations();
+        assert!(ops[0].is_complete());
+        assert!(!ops[1].is_complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "returned twice")]
+    fn double_return_panics() {
+        let mut h: History<&str, u32> = History::new();
+        let a = h.invoke(p(0), "a");
+        h.ret(a, 0);
+        h.ret(a, 0);
+    }
+}

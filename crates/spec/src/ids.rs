@@ -1,0 +1,127 @@
+//! Basic identifiers of the shared-memory model: processes, accounts, amounts.
+
+use std::fmt;
+
+/// A token amount `v ∈ ℕ`.
+///
+/// The paper works over unbounded naturals; we use `u64` with checked
+/// arithmetic everywhere. Supply conservation (no operation mints tokens)
+/// bounds every balance by the initial total supply, so overflow cannot
+/// occur for any initial supply representable in `u64`.
+pub type Amount = u64;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default)]
+        pub struct $name(usize);
+
+        impl $name {
+            /// Creates an identifier from a zero-based index.
+            ///
+            /// # Example
+            /// ```
+            #[doc = concat!("use tokensync_spec::", stringify!($name), ";")]
+            #[doc = concat!("let id = ", stringify!($name), "::new(3);")]
+            /// assert_eq!(id.index(), 3);
+            /// ```
+            pub const fn new(index: usize) -> Self {
+                Self(index)
+            }
+
+            /// Returns the zero-based index of this identifier.
+            pub const fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(index: usize) -> Self {
+                Self(index)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a process `p ∈ Π`.
+    ///
+    /// Processes are sequential and may crash; the paper assumes one account
+    /// per process for token objects (the owner map `ω` is the identity on
+    /// indices), so `ProcessId::new(i)` owns `AccountId::new(i)` wherever an
+    /// owner map is not given explicitly.
+    ProcessId,
+    "p"
+);
+
+id_type!(
+    /// Identifier of an account `a ∈ A`.
+    AccountId,
+    "a"
+);
+
+impl ProcessId {
+    /// The account owned by this process under the identity owner map `ω`
+    /// used by the ERC20 token object (Definition 3 of the paper).
+    pub const fn own_account(self) -> AccountId {
+        AccountId::new(self.0)
+    }
+}
+
+impl AccountId {
+    /// The process owning this account under the identity owner map `ω`.
+    pub const fn owner(self) -> ProcessId {
+        ProcessId::new(self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_paper_notation() {
+        assert_eq!(ProcessId::new(0).to_string(), "p0");
+        assert_eq!(AccountId::new(7).to_string(), "a7");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let p: ProcessId = 5usize.into();
+        assert_eq!(usize::from(p), 5);
+        let a: AccountId = 9usize.into();
+        assert_eq!(a.index(), 9);
+    }
+
+    #[test]
+    fn identity_owner_map_round_trips() {
+        let p = ProcessId::new(4);
+        assert_eq!(p.own_account().owner(), p);
+        let a = AccountId::new(2);
+        assert_eq!(a.owner().own_account(), a);
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(ProcessId::new(1) < ProcessId::new(2));
+        assert!(AccountId::new(0) < AccountId::new(10));
+    }
+
+    #[test]
+    fn default_is_index_zero() {
+        assert_eq!(ProcessId::default(), ProcessId::new(0));
+        assert_eq!(AccountId::default(), AccountId::new(0));
+    }
+}

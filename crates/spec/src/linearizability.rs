@@ -1,0 +1,290 @@
+//! A Wing–Gong–Lowe linearizability checker.
+//!
+//! Linearizability is the correctness condition assumed by the paper for all
+//! shared objects: every operation appears to take effect at a single
+//! indivisible point between its invocation and response, consistently with
+//! the object's sequential specification `Δ`.
+//!
+//! The checker performs a depth-first search over candidate linearization
+//! orders, memoizing `(set of linearized operations, object state)` pairs to
+//! prune the exponential search (Lowe's optimization of the Wing–Gong
+//! algorithm). It is complete for histories of up to 64 operations, which is
+//! ample for the recorded per-test histories in this workspace.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::history::{History, OpId, OperationRecord};
+use crate::object::ObjectType;
+
+/// Error returned when a history is not linearizable with respect to the
+/// sequential specification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NotLinearizable {
+    /// Number of distinct `(linearized-set, state)` configurations explored
+    /// before exhausting the search space.
+    pub explored: usize,
+}
+
+impl fmt::Display for NotLinearizable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "history is not linearizable (exhausted {} configurations)",
+            self.explored
+        )
+    }
+}
+
+impl std::error::Error for NotLinearizable {}
+
+/// Checks that `history` is linearizable with respect to `object`'s
+/// sequential specification, starting from `initial` state.
+///
+/// Returns a witness linearization order (operation ids in linearized order)
+/// on success.
+///
+/// The history must be *complete* (every invocation matched by a return) —
+/// recorded histories in this workspace always are, because recorded worker
+/// threads run to completion. Incomplete histories are rejected with
+/// [`NotLinearizable`] rather than silently mishandled.
+///
+/// # Errors
+///
+/// Returns [`NotLinearizable`] if no linearization order exists, or if the
+/// history is incomplete.
+///
+/// # Panics
+///
+/// Panics if the history contains more than 64 operations (the linearized
+/// set is tracked as a `u64` bitmask). Split longer runs into windows or
+/// record fewer operations per history.
+///
+/// # Example
+///
+/// ```
+/// use tokensync_spec::{check_linearizable, History, ObjectType, ProcessId};
+///
+/// struct Counter;
+/// impl ObjectType for Counter {
+///     type State = u64;
+///     type Op = ();
+///     type Resp = u64;
+///     fn initial_state(&self) -> u64 { 0 }
+///     fn apply(&self, s: &mut u64, _p: ProcessId, _op: &()) -> u64 {
+///         let old = *s; *s += 1; old
+///     }
+/// }
+///
+/// // Two overlapping increments that returned 1 and 0: linearizable by
+/// // ordering the second-invoked first.
+/// let mut h = History::new();
+/// let a = h.invoke(ProcessId::new(0), ());
+/// let b = h.invoke(ProcessId::new(1), ());
+/// h.ret(a, 1);
+/// h.ret(b, 0);
+/// let order = check_linearizable(&Counter, &Counter.initial_state(), &h).unwrap();
+/// assert_eq!(order.len(), 2);
+/// ```
+pub fn check_linearizable<T: ObjectType>(
+    object: &T,
+    initial: &T::State,
+    history: &History<T::Op, T::Resp>,
+) -> Result<Vec<OpId>, NotLinearizable> {
+    let ops = history.operations();
+    assert!(
+        ops.len() <= 64,
+        "linearizability checker supports at most 64 operations per history, got {}",
+        ops.len()
+    );
+    if ops.iter().any(|o| !o.is_complete()) {
+        return Err(NotLinearizable { explored: 0 });
+    }
+    if ops.is_empty() {
+        return Ok(Vec::new());
+    }
+
+    let mut explored: HashSet<(u64, T::State)> = HashSet::new();
+    let mut order: Vec<OpId> = Vec::with_capacity(ops.len());
+    if dfs(object, initial.clone(), &ops, 0, &mut order, &mut explored) {
+        Ok(order)
+    } else {
+        Err(NotLinearizable {
+            explored: explored.len(),
+        })
+    }
+}
+
+/// Convenience wrapper: checks linearizability from the object's `q0`.
+///
+/// # Errors
+///
+/// See [`check_linearizable`].
+pub fn check_linearizable_from_initial<T: ObjectType>(
+    object: &T,
+    history: &History<T::Op, T::Resp>,
+) -> Result<Vec<OpId>, NotLinearizable> {
+    check_linearizable(object, &object.initial_state(), history)
+}
+
+fn dfs<T: ObjectType>(
+    object: &T,
+    state: T::State,
+    ops: &[OperationRecord<T::Op, T::Resp>],
+    done_mask: u64,
+    order: &mut Vec<OpId>,
+    explored: &mut HashSet<(u64, T::State)>,
+) -> bool {
+    if order.len() == ops.len() {
+        return true;
+    }
+    if !explored.insert((done_mask, state.clone())) {
+        return false;
+    }
+
+    // An operation may be linearized next iff it is not yet linearized and
+    // no other *unlinearized* operation returned before it was invoked.
+    let min_pending_return = ops
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| done_mask & (1 << i) == 0)
+        .filter_map(|(_, o)| o.return_pos)
+        .min()
+        .unwrap_or(usize::MAX);
+
+    for (i, op) in ops.iter().enumerate() {
+        if done_mask & (1 << i) != 0 {
+            continue;
+        }
+        if op.invoke_pos > min_pending_return {
+            // Some unlinearized operation completed before this one started:
+            // real-time order forces that one to come first.
+            continue;
+        }
+        let (next_state, resp) = object.applied(&state, op.process, &op.op);
+        if op.resp.as_ref() != Some(&resp) {
+            continue;
+        }
+        order.push(op.id);
+        if dfs(object, next_state, ops, done_mask | (1 << i), order, explored) {
+            return true;
+        }
+        order.pop();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ProcessId;
+
+    /// A register over small integers.
+    struct Reg;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum ROp {
+        Read,
+        Write(u8),
+    }
+
+    impl ObjectType for Reg {
+        type State = u8;
+        type Op = ROp;
+        type Resp = u8;
+        fn initial_state(&self) -> u8 {
+            0
+        }
+        fn apply(&self, s: &mut u8, _p: ProcessId, op: &ROp) -> u8 {
+            match op {
+                ROp::Read => *s,
+                ROp::Write(v) => {
+                    *s = *v;
+                    0
+                }
+            }
+        }
+    }
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn sequential_history_accepted() {
+        let h = History::from_sequential([
+            (p(0), ROp::Write(3), 0),
+            (p(1), ROp::Read, 3),
+            (p(0), ROp::Write(5), 0),
+            (p(1), ROp::Read, 5),
+        ]);
+        let order = check_linearizable_from_initial(&Reg, &h).unwrap();
+        assert_eq!(order.iter().map(|o| o.index()).collect::<Vec<_>>(), [0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn stale_read_after_write_rejected() {
+        // Write(3) completes, then a later read returns 0: not linearizable.
+        let h = History::from_sequential([(p(0), ROp::Write(3), 0), (p(1), ROp::Read, 0)]);
+        assert!(check_linearizable_from_initial(&Reg, &h).is_err());
+    }
+
+    #[test]
+    fn concurrent_read_may_see_either_value() {
+        // Read overlaps Write(3): returning 0 or 3 are both fine.
+        for seen in [0u8, 3u8] {
+            let mut h: History<ROp, u8> = History::new();
+            let w = h.invoke(p(0), ROp::Write(3));
+            let r = h.invoke(p(1), ROp::Read);
+            h.ret(w, 0);
+            h.ret(r, seen);
+            check_linearizable_from_initial(&Reg, &h)
+                .unwrap_or_else(|_| panic!("read of {seen} should linearize"));
+        }
+    }
+
+    #[test]
+    fn concurrent_read_cannot_see_unwritten_value() {
+        let mut h: History<ROp, u8> = History::new();
+        let w = h.invoke(p(0), ROp::Write(3));
+        let r = h.invoke(p(1), ROp::Read);
+        h.ret(w, 0);
+        h.ret(r, 7);
+        assert!(check_linearizable_from_initial(&Reg, &h).is_err());
+    }
+
+    #[test]
+    fn new_old_inversion_rejected() {
+        // r1 returns the new value and then r2 (invoked after r1 returned)
+        // returns the old value: violates the ordering property of atomic
+        // registers (Section 3.1 of the paper).
+        let mut h: History<ROp, u8> = History::new();
+        let w = h.invoke(p(0), ROp::Write(3));
+        let r1 = h.invoke(p(1), ROp::Read);
+        h.ret(r1, 3);
+        let r2 = h.invoke(p(1), ROp::Read);
+        h.ret(r2, 0);
+        h.ret(w, 0);
+        assert!(check_linearizable_from_initial(&Reg, &h).is_err());
+    }
+
+    #[test]
+    fn incomplete_history_rejected() {
+        let mut h: History<ROp, u8> = History::new();
+        let _w = h.invoke(p(0), ROp::Write(3));
+        assert!(check_linearizable_from_initial(&Reg, &h).is_err());
+    }
+
+    #[test]
+    fn empty_history_accepted() {
+        let h: History<ROp, u8> = History::new();
+        assert_eq!(check_linearizable_from_initial(&Reg, &h).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn non_initial_start_state_respected() {
+        let h = History::from_sequential([(p(0), ROp::Read, 9)]);
+        assert!(check_linearizable(&Reg, &9u8, &h).is_ok());
+        assert!(check_linearizable(&Reg, &0u8, &h).is_err());
+    }
+}

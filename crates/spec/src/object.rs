@@ -1,0 +1,170 @@
+//! The object-type formalism `T = (Q, q0, O, R, Δ)` from Section 3 of the
+//! paper.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use crate::ids::ProcessId;
+
+/// A sequential object type `T = (Q, q0, O, R, Δ)`.
+///
+/// * `Q` is [`ObjectType::State`],
+/// * `q0` is produced by [`ObjectType::initial_state`],
+/// * `O` is [`ObjectType::Op`], `R` is [`ObjectType::Resp`], and
+/// * `Δ` is the (deterministic, total) transition function realized by
+///   [`ObjectType::apply`]: given current state `q`, invoking process `p`
+///   and operation `o`, it mutates the state to `q'` and returns `r` such
+///   that `(q, p, o, q', r) ∈ Δ`.
+///
+/// All objects studied in the paper (registers, consensus, asset transfer,
+/// ERC20 tokens and their siblings) are deterministic: for every `(q, p, o)`
+/// exactly one `(q', r)` is valid, so a function faithfully represents `Δ`.
+///
+/// The state type must be `Clone + Eq + Hash` so it can be enumerated,
+/// memoized and compared by the model checker and the linearizability
+/// checker.
+///
+/// # Example
+///
+/// ```
+/// use tokensync_spec::{ObjectType, ProcessId};
+///
+/// /// A fetch-and-increment counter.
+/// struct Counter;
+///
+/// impl ObjectType for Counter {
+///     type State = u64;
+///     type Op = ();
+///     type Resp = u64;
+///     fn initial_state(&self) -> u64 { 0 }
+///     fn apply(&self, state: &mut u64, _p: ProcessId, _op: &()) -> u64 {
+///         let old = *state;
+///         *state += 1;
+///         old
+///     }
+/// }
+///
+/// let c = Counter;
+/// let (next, resp) = c.applied(&c.initial_state(), ProcessId::new(0), &());
+/// assert_eq!((next, resp), (1, 0));
+/// ```
+pub trait ObjectType {
+    /// The set of states `Q`.
+    type State: Clone + Eq + Hash + Debug;
+    /// The set of operations `O`.
+    type Op: Clone + Debug;
+    /// The set of responses `R`.
+    type Resp: Clone + PartialEq + Debug;
+
+    /// The initial state `q0`.
+    fn initial_state(&self) -> Self::State;
+
+    /// Applies operation `op` invoked by `process` to `state` in place and
+    /// returns the response, realizing one transition of `Δ`.
+    fn apply(&self, state: &mut Self::State, process: ProcessId, op: &Self::Op) -> Self::Resp;
+
+    /// Functional variant of [`ObjectType::apply`]: returns the successor
+    /// state and the response, leaving `state` untouched.
+    fn applied(
+        &self,
+        state: &Self::State,
+        process: ProcessId,
+        op: &Self::Op,
+    ) -> (Self::State, Self::Resp) {
+        let mut next = state.clone();
+        let resp = self.apply(&mut next, process, op);
+        (next, resp)
+    }
+
+    /// Runs a sequential execution from the initial state, returning the
+    /// final state and the responses in invocation order.
+    ///
+    /// Useful as the ground truth oracle in differential tests.
+    fn run<'a, I>(&self, script: I) -> (Self::State, Vec<Self::Resp>)
+    where
+        I: IntoIterator<Item = (ProcessId, &'a Self::Op)>,
+        Self::Op: 'a,
+    {
+        let mut state = self.initial_state();
+        let resps = script
+            .into_iter()
+            .map(|(p, op)| self.apply(&mut state, p, op))
+            .collect();
+        (state, resps)
+    }
+
+    /// Returns `true` if `op` is *read-only* in `state` for `process`: the
+    /// transition leaves the state unchanged.
+    ///
+    /// This is the semantic notion used throughout the proof of Theorem 3:
+    /// an operation that happens to fail (e.g. a `transfer` with
+    /// insufficient balance) is read-only *in that state* even though the
+    /// method is not syntactically read-only.
+    fn is_read_only(&self, state: &Self::State, process: ProcessId, op: &Self::Op) -> bool {
+        let (next, _) = self.applied(state, process, op);
+        next == *state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter;
+
+    impl ObjectType for Counter {
+        type State = u64;
+        type Op = CounterOp;
+        type Resp = u64;
+        fn initial_state(&self) -> u64 {
+            0
+        }
+        fn apply(&self, state: &mut u64, _p: ProcessId, op: &CounterOp) -> u64 {
+            match op {
+                CounterOp::Inc => {
+                    let old = *state;
+                    *state += 1;
+                    old
+                }
+                CounterOp::Read => *state,
+            }
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    enum CounterOp {
+        Inc,
+        Read,
+    }
+
+    #[test]
+    fn applied_leaves_input_untouched() {
+        let c = Counter;
+        let q = 41;
+        let (next, resp) = c.applied(&q, ProcessId::new(0), &CounterOp::Inc);
+        assert_eq!(q, 41);
+        assert_eq!(next, 42);
+        assert_eq!(resp, 41);
+    }
+
+    #[test]
+    fn run_executes_script_in_order() {
+        let c = Counter;
+        let p = ProcessId::new(0);
+        let script = [
+            (p, &CounterOp::Inc),
+            (p, &CounterOp::Inc),
+            (p, &CounterOp::Read),
+        ];
+        let (state, resps) = c.run(script);
+        assert_eq!(state, 2);
+        assert_eq!(resps, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn read_only_detection_is_semantic() {
+        let c = Counter;
+        assert!(c.is_read_only(&7, ProcessId::new(0), &CounterOp::Read));
+        assert!(!c.is_read_only(&7, ProcessId::new(0), &CounterOp::Inc));
+    }
+}

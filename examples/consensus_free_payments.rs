@@ -1,0 +1,115 @@
+//! The systems payoff: a token network that synchronizes only where the
+//! state demands it.
+//!
+//! Runs the same mixed workload through (a) the totally ordered baseline
+//! (every operation through one sequencer — today's blockchains) and
+//! (b) the Section 7 dynamic protocol (owners sequence their own
+//! accounts; only `transferFrom` coordinates, and only within the
+//! account's spender group), plus (c) the pure broadcast payment system
+//! for transfer-only traffic (consensus number 1).
+//!
+//! ```sh
+//! cargo run --example consensus_free_payments
+//! ```
+
+use tokensync::core::erc20::Erc20State;
+use tokensync::net::cmd::TokenCmd;
+use tokensync::net::dynamic::DynamicNetwork;
+use tokensync::net::ordered::OrderedNetwork;
+use tokensync::net::payments::PaymentNetwork;
+
+const N: usize = 6;
+
+fn workload() -> Vec<(usize, TokenCmd)> {
+    let mut ops = Vec::new();
+    for round in 0..10 {
+        for owner in 0..N {
+            ops.push((
+                owner,
+                TokenCmd::Transfer {
+                    to: (owner + round + 1) % N,
+                    value: 2,
+                },
+            ));
+        }
+        if round % 3 == 0 {
+            let owner = round % N;
+            let spender = (owner + 1) % N;
+            ops.push((owner, TokenCmd::Approve { spender, value: 10 }));
+            ops.push((
+                spender,
+                TokenCmd::TransferFrom {
+                    from: owner,
+                    to: (owner + 2) % N,
+                    value: 3,
+                },
+            ));
+        }
+    }
+    ops
+}
+
+fn initial() -> Erc20State {
+    Erc20State::from_balances(vec![100; N])
+}
+
+fn main() {
+    println!("one workload, three synchronization disciplines (n = {N} replicas)\n");
+    let ops = workload();
+
+    let mut ordered = OrderedNetwork::new(N, initial(), 1);
+    for (caller, cmd) in &ops {
+        ordered.submit(*caller, *cmd);
+    }
+    ordered.run_to_quiescence();
+    assert!(ordered.converged());
+
+    let mut dynamic = DynamicNetwork::new(N, initial(), 1);
+    for (caller, cmd) in &ops {
+        dynamic.submit(*caller, *cmd);
+    }
+    dynamic.run_to_quiescence();
+    assert!(dynamic.converged());
+
+    let mut payments = PaymentNetwork::new(N, vec![100; N], 1);
+    let mut transfers = 0u64;
+    for (caller, cmd) in &ops {
+        if let TokenCmd::Transfer { to, value } = cmd {
+            payments.submit_transfer(*caller, *to, *value);
+            transfers += 1;
+        }
+    }
+    payments.run_to_quiescence();
+    assert!(payments.replicas_converged());
+
+    println!("{:<28}{:>12}{:>16}{:>16}", "protocol", "messages", "mean latency", "max-load/mean");
+    println!("{}", "-".repeat(72));
+    println!(
+        "{:<28}{:>12}{:>16.1}{:>16.2}",
+        "total order (baseline)",
+        ordered.metrics().sent,
+        ordered.mean_latency(),
+        ordered.metrics().load_imbalance()
+    );
+    println!(
+        "{:<28}{:>12}{:>16.1}{:>16.2}",
+        "dynamic (Section 7)",
+        dynamic.metrics().sent,
+        dynamic.mean_latency(),
+        dynamic.metrics().load_imbalance()
+    );
+    println!(
+        "{:<28}{:>12}{:>16}{:>16.2}",
+        format!("broadcast AT ({transfers} transfers)"),
+        payments.metrics().sent,
+        "-",
+        payments.metrics().load_imbalance()
+    );
+
+    println!(
+        "\nboth replicated tokens converged to supply {} — the dynamic protocol \
+         did it with lower latency and balanced load, coordinating only the \
+         transferFrom traffic.",
+        dynamic.total_supply()
+    );
+}

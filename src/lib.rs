@@ -1,0 +1,62 @@
+//! # tokensync
+//!
+//! A Rust reproduction of **“On the Synchronization Power of Token Smart
+//! Contracts”** (Alpos, Cachin, Marson, Zanolini — ICDCS 2021): ERC20
+//! tokens modelled as shared objects, their *state-dependent* consensus
+//! number, the constructions that realize it (Algorithms 1 and 2), an
+//! exhaustive model checker for the theorems, and message-passing
+//! protocols that exploit the result.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`spec`] | `tokensync-spec` | object formalism, histories, linearizability checker |
+//! | [`registers`] | `tokensync-registers` | atomic MRMW registers |
+//! | [`consensus`] | `tokensync-consensus` | consensus objects, universal construction |
+//! | [`kat`] | `tokensync-kat` | k-shared asset transfer (Definition 1) |
+//! | [`core`] | `tokensync-core` | ERC20 object, Section 5 analysis, Algorithms 1 & 2, token standards |
+//! | [`mc`] | `tokensync-mc` | explorer, valency analysis, commutativity sweep, census |
+//! | [`net`] | `tokensync-net` | simulator, reliable broadcast, payment + dynamic token protocols |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tokensync::core::analysis::consensus_number_bounds;
+//! use tokensync::core::erc20::Erc20Token;
+//! use tokensync::spec::{AccountId, ProcessId};
+//!
+//! let alice = ProcessId::new(0);
+//! let mut token = Erc20Token::deploy(3, alice, 10);
+//!
+//! // Freshly deployed: consensus number 1, like a plain cryptocurrency.
+//! assert_eq!(consensus_number_bounds(token.state()).exact(), Some(1));
+//!
+//! // One approve later the object is strictly stronger:
+//! token.approve(alice, ProcessId::new(1), 6)?;
+//! assert_eq!(consensus_number_bounds(token.state()).exact(), Some(2));
+//! # Ok::<(), tokensync::core::TokenError>(())
+//! ```
+//!
+//! ## Where to look
+//!
+//! * Consensus **from** a token: [`core::token_consensus::TokenConsensus`]
+//!   (Algorithm 1 / Theorem 2).
+//! * The restricted token **from** k-AT:
+//!   [`core::emulation::RestrictedToken`] (Algorithm 2 / Theorem 4).
+//! * Machine-checked impossibility boundaries: [`mc`] (Theorem 3).
+//! * Consensus-free payments and the Section 7 dynamic protocol: [`net`].
+//! * Every table/figure of the evaluation: `cargo run -p
+//!   tokensync-experiments --bin e1_lower_bound` … `e7_protocols`, and
+//!   `cargo bench -p tokensync-bench`; see EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tokensync_consensus as consensus;
+pub use tokensync_core as core;
+pub use tokensync_kat as kat;
+pub use tokensync_mc as mc;
+pub use tokensync_net as net;
+pub use tokensync_registers as registers;
+pub use tokensync_spec as spec;

@@ -1,0 +1,127 @@
+//! Failure injection: where each protocol's availability breaks.
+//!
+//! The paper's systems motivation (Sections 1 and 7) is precisely about
+//! this: a globally sequenced token dies with its sequencer, while the
+//! dynamic protocol keeps every *unaffected* account's operations live —
+//! only work that genuinely needs the crashed participant stalls. The
+//! broadcast payment system additionally tolerates `f < n/3` crashes for
+//! everything.
+
+use tokensync::core::erc20::Erc20State;
+use tokensync::net::cmd::TokenCmd;
+use tokensync::net::dynamic::DynamicNetwork;
+use tokensync::net::ordered::OrderedNetwork;
+use tokensync::net::payments::PaymentNetwork;
+use tokensync::spec::AccountId;
+
+const N: usize = 7; // tolerates f = 2 in Bracha's broadcast
+
+fn initial() -> Erc20State {
+    Erc20State::from_balances(vec![100; N])
+}
+
+/// A network facade that lets the test crash a node before submitting.
+trait Crashable {
+    fn crash_node(&mut self, node: usize);
+}
+
+#[test]
+fn ordered_token_stalls_entirely_when_the_sequencer_dies() {
+    let mut net = OrderedNetwork::new(N, initial(), 4);
+    net.crash_node(0); // node 0 is the global sequencer
+    net.submit(3, TokenCmd::Transfer { to: 4, value: 5 });
+    net.run_to_quiescence();
+    // Nothing commits anywhere — a transfer between two healthy nodes is
+    // blocked by an unrelated node's failure.
+    assert_eq!(net.state_at(3).balance(AccountId::new(4)), 100);
+    assert_eq!(net.state_at(4).balance(AccountId::new(4)), 100);
+}
+
+#[test]
+fn dynamic_token_keeps_unrelated_accounts_live() {
+    let mut net = DynamicNetwork::new(N, initial(), 4);
+    net.crash_node(0); // same crash: but node 0 only sequences account 0
+    net.submit(3, TokenCmd::Transfer { to: 4, value: 5 });
+    net.submit(5, TokenCmd::Approve { spender: 6, value: 10 });
+    net.submit(
+        6,
+        TokenCmd::TransferFrom {
+            from: 5,
+            to: 6,
+            value: 10,
+        },
+    );
+    net.run_to_quiescence();
+    // Every correct replica commits the healthy accounts' operations.
+    for i in 1..N {
+        let state = net.state_at(i);
+        assert_eq!(state.balance(AccountId::new(4)), 105, "replica {i}");
+        assert_eq!(state.balance(AccountId::new(6)), 110, "replica {i}");
+    }
+}
+
+#[test]
+fn dynamic_token_stalls_only_the_crashed_spender_group() {
+    let mut net = DynamicNetwork::new(N, initial(), 9);
+    net.crash_node(2);
+    // transferFrom on the crashed owner's account cannot be sequenced…
+    net.submit(
+        3,
+        TokenCmd::TransferFrom {
+            from: 2,
+            to: 3,
+            value: 1,
+        },
+    );
+    // …but everything else proceeds.
+    net.submit(1, TokenCmd::Transfer { to: 5, value: 7 });
+    net.run_to_quiescence();
+    let state = net.state_at(4);
+    assert_eq!(state.balance(AccountId::new(2)), 100, "frozen account untouched");
+    assert_eq!(state.balance(AccountId::new(5)), 107, "healthy traffic committed");
+}
+
+#[test]
+fn broadcast_payments_tolerate_up_to_f_crashes() {
+    let mut net = PaymentNetwork::new(N, vec![50; N], 12);
+    net.crash(5);
+    net.crash(6); // f = 2 = ⌊(7-1)/3⌋
+    net.submit_transfer(0, 1, 20);
+    net.submit_transfer(1, 2, 5);
+    net.run_to_quiescence();
+    // All correct replicas agree.
+    let view = net.balances_at(0);
+    assert_eq!(view[0], 30);
+    assert_eq!(view[2], 55);
+    for i in 1..5 {
+        assert_eq!(net.balances_at(i), view, "replica {i}");
+    }
+}
+
+#[test]
+fn broadcast_payments_do_not_survive_beyond_f() {
+    // With f + 1 = 3 crashes the Ready quorum (2f+1 = 5) is unreachable:
+    // deliveries stop. This is the expected boundary, asserted so the
+    // threshold arithmetic cannot silently regress.
+    let mut net = PaymentNetwork::new(N, vec![50; N], 12);
+    net.crash(4);
+    net.crash(5);
+    net.crash(6);
+    net.submit_transfer(0, 1, 20);
+    net.run_to_quiescence();
+    assert_eq!(net.balances_at(0)[1], 50, "no delivery without a quorum");
+}
+
+// -- plumbing ---------------------------------------------------------------
+
+impl Crashable for OrderedNetwork {
+    fn crash_node(&mut self, node: usize) {
+        self.crash(node);
+    }
+}
+
+impl Crashable for DynamicNetwork {
+    fn crash_node(&mut self, node: usize) {
+        self.crash(node);
+    }
+}

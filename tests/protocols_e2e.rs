@@ -1,0 +1,150 @@
+//! End-to-end checks of the replicated-token protocols: the dynamic
+//! (Section 7) protocol and the totally ordered baseline must both
+//! converge, conserve supply, and — on conflict-free workloads — agree
+//! with each other exactly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tokensync::core::erc20::Erc20State;
+use tokensync::net::cmd::TokenCmd;
+use tokensync::net::dynamic::DynamicNetwork;
+use tokensync::net::ordered::OrderedNetwork;
+use tokensync::net::payments::PaymentNetwork;
+use tokensync::spec::{AccountId, ProcessId};
+
+const N: usize = 5;
+
+fn initial() -> Erc20State {
+    Erc20State::from_balances(vec![1000; N])
+}
+
+/// Transfers small enough that every one succeeds: the ops all commute up
+/// to per-account FIFO, so both protocols must reach the *same* state.
+fn conflict_free_workload(seed: u64) -> Vec<(usize, TokenCmd)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..60)
+        .map(|_| {
+            let caller = rng.gen_range(0..N);
+            (
+                caller,
+                TokenCmd::Transfer {
+                    to: rng.gen_range(0..N),
+                    value: rng.gen_range(0..3),
+                },
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn conflict_free_workloads_yield_identical_states() {
+    for seed in 0..8 {
+        let workload = conflict_free_workload(seed);
+        let mut ordered = OrderedNetwork::new(N, initial(), seed);
+        let mut dynamic = DynamicNetwork::new(N, initial(), seed.wrapping_add(100));
+        for (caller, cmd) in &workload {
+            ordered.submit(*caller, *cmd);
+            dynamic.submit(*caller, *cmd);
+        }
+        ordered.run_to_quiescence();
+        dynamic.run_to_quiescence();
+        assert!(ordered.converged(), "seed {seed}");
+        assert!(dynamic.converged(), "seed {seed}");
+        assert_eq!(
+            ordered.state_at(0),
+            dynamic.state_at(0),
+            "seed {seed}: commuting workloads must produce identical states"
+        );
+        assert_eq!(ordered.failed_ops(), 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn mixed_workloads_converge_and_conserve() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for seed in 0..6 {
+        let mut dynamic = DynamicNetwork::new(N, initial(), seed);
+        let mut ordered = OrderedNetwork::new(N, initial(), seed);
+        for _ in 0..50 {
+            let caller = rng.gen_range(0..N);
+            let cmd = match rng.gen_range(0..3) {
+                0 => TokenCmd::Transfer {
+                    to: rng.gen_range(0..N),
+                    value: rng.gen_range(0..5),
+                },
+                1 => TokenCmd::Approve {
+                    spender: rng.gen_range(0..N),
+                    value: rng.gen_range(0..10),
+                },
+                _ => TokenCmd::TransferFrom {
+                    from: rng.gen_range(0..N),
+                    to: rng.gen_range(0..N),
+                    value: rng.gen_range(0..5),
+                },
+            };
+            dynamic.submit(caller, cmd);
+            ordered.submit(caller, cmd);
+        }
+        dynamic.run_to_quiescence();
+        ordered.run_to_quiescence();
+        assert!(dynamic.converged(), "seed {seed}");
+        assert!(ordered.converged(), "seed {seed}");
+        assert_eq!(dynamic.total_supply(), 1000 * N as u64);
+        assert_eq!(ordered.total_supply(), 1000 * N as u64);
+    }
+}
+
+#[test]
+fn dynamic_protocol_spends_allowances_exactly_once() {
+    // Two spenders race for the same allowance-constrained funds through
+    // the spender group; across many delivery schedules exactly one wins.
+    for seed in 0..12 {
+        let mut q = initial();
+        q.set_balance(AccountId::new(0), 2);
+        q.set_allowance(AccountId::new(0), ProcessId::new(1), 2);
+        q.set_allowance(AccountId::new(0), ProcessId::new(2), 2);
+        let mut net = DynamicNetwork::new(N, q, seed);
+        net.submit(
+            1,
+            TokenCmd::TransferFrom {
+                from: 0,
+                to: 1,
+                value: 2,
+            },
+        );
+        net.submit(
+            2,
+            TokenCmd::TransferFrom {
+                from: 0,
+                to: 2,
+                value: 2,
+            },
+        );
+        net.run_to_quiescence();
+        assert!(net.converged(), "seed {seed}");
+        assert_eq!(net.rejected(), 1, "seed {seed}");
+        assert_eq!(net.state_at(0).balance(AccountId::new(0)), 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn payment_network_equals_transfer_only_dynamic_run() {
+    // The broadcast payment system and the dynamic token agree on
+    // transfer-only workloads (the CN = 1 fragment).
+    let workload = conflict_free_workload(3);
+    let mut pay = PaymentNetwork::new(N, vec![1000; N], 9);
+    let mut dynamic = DynamicNetwork::new(N, initial(), 9);
+    for (caller, cmd) in &workload {
+        if let TokenCmd::Transfer { to, value } = cmd {
+            pay.submit_transfer(*caller, *to, *value);
+        }
+        dynamic.submit(*caller, *cmd);
+    }
+    pay.run_to_quiescence();
+    dynamic.run_to_quiescence();
+    assert!(pay.replicas_converged());
+    assert!(dynamic.converged());
+    let dyn_state = dynamic.state_at(0);
+    let dyn_balances: Vec<u64> = (0..N).map(|i| dyn_state.balance(AccountId::new(i))).collect();
+    assert_eq!(pay.balances_at(0), dyn_balances);
+}
