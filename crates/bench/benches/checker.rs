@@ -15,10 +15,9 @@ use tokensync_mc::protocols::TokenRace;
 use tokensync_mc::Explorer;
 use tokensync_spec::{check_linearizable, History, ObjectType};
 
-fn sequential_history(len: usize) -> History<
-    tokensync_core::erc20::Erc20Op,
-    tokensync_core::erc20::Erc20Resp,
-> {
+fn sequential_history(
+    len: usize,
+) -> History<tokensync_core::erc20::Erc20Op, tokensync_core::erc20::Erc20Resp> {
     let spec = Erc20Spec::new(funded_state(4));
     let mut state = spec.initial_state();
     let mut history = History::new();

@@ -39,9 +39,11 @@ fn bench_consensus(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("token_alg1", k), &k, |b, &k| {
             b.iter(|| {
                 let (state, witness) = sync_state_fixture(k, k + 1, 64);
-                let cons: Arc<TokenConsensus<SharedErc20, usize>> = Arc::new(
-                    TokenConsensus::new(SharedErc20::from_state(state), witness, AccountId::new(k)),
-                );
+                let cons: Arc<TokenConsensus<SharedErc20, usize>> = Arc::new(TokenConsensus::new(
+                    SharedErc20::from_state(state),
+                    witness,
+                    AccountId::new(k),
+                ));
                 race(k, |p| cons.propose(p, p.index()));
             });
         });

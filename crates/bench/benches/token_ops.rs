@@ -73,9 +73,7 @@ fn bench_token_ops(c: &mut Criterion) {
                         for t in 0..threads {
                             let obj = Arc::clone(&obj);
                             s.spawn(move |_| {
-                                for (_, op) in
-                                    mixed_ops(N_ACCOUNTS, OPS_PER_THREAD, t as u64)
-                                {
+                                for (_, op) in mixed_ops(N_ACCOUNTS, OPS_PER_THREAD, t as u64) {
                                     obj.perform(tokensync_spec::ProcessId::new(t), op);
                                 }
                             });

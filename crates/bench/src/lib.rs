@@ -5,5 +5,6 @@
 //! share so numbers across figures are comparable.
 
 #![forbid(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod workloads;

@@ -36,11 +36,7 @@ pub fn mixed_ops(n: usize, ops: usize, seed: u64) -> Vec<(ProcessId, Erc20Op)> {
 pub fn funded_state(n: usize) -> Erc20State {
     let mut state = Erc20State::from_balances(vec![1000; n]);
     for i in 0..n {
-        state.set_allowance(
-            AccountId::new(i),
-            ProcessId::new((i + 1) % n),
-            500,
-        );
+        state.set_allowance(AccountId::new(i), ProcessId::new((i + 1) % n), 500);
     }
     state
 }

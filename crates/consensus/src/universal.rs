@@ -146,13 +146,13 @@ where
     /// Panics if `process.index() >= n`.
     pub fn perform(&self, process: ProcessId, op: T::Op) -> T::Resp {
         let i = process.index();
-        assert!(i < self.n, "process {process} out of range for n = {}", self.n);
+        assert!(
+            i < self.n,
+            "process {process} out of range for n = {}",
+            self.n
+        );
         let seq = self.seqs[i].fetch_add(1, Ordering::SeqCst) + 1;
-        let mine = Entry {
-            process,
-            seq,
-            op,
-        };
+        let mine = Entry { process, seq, op };
         let my_key = mine.key();
         self.announce.at(i).write(Some(mine.clone()));
 
@@ -250,7 +250,10 @@ mod tests {
         .unwrap();
         all.sort_unstable();
         let expect: Vec<u64> = (0..(n * per) as u64).collect();
-        assert_eq!(all, expect, "each log position must be returned exactly once");
+        assert_eq!(
+            all, expect,
+            "each log position must be returned exactly once"
+        );
         assert_eq!(u.state_snapshot(), (n * per) as u64);
     }
 

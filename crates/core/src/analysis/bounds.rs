@@ -69,7 +69,10 @@ impl std::fmt::Display for CnBounds {
 pub fn consensus_number_bounds(state: &Erc20State) -> CnBounds {
     let (lower, _) = sync_level(state);
     let upper = partition_index(state);
-    debug_assert!(lower <= upper, "S_k witness cannot exceed the partition index");
+    debug_assert!(
+        lower <= upper,
+        "S_k witness cannot exceed the partition index"
+    );
     CnBounds { lower, upper }
 }
 

@@ -77,7 +77,11 @@ impl SyncMonitor {
     /// The largest upper bound ever observed — the synchronization level a
     /// provisioning layer would have to support for this execution.
     pub fn max_level_seen(&self) -> usize {
-        self.series.iter().map(|p| p.bounds.upper).max().unwrap_or(1)
+        self.series
+            .iter()
+            .map(|p| p.bounds.upper)
+            .max()
+            .unwrap_or(1)
     }
 
     /// Count of observations whose bounds were exact (equation (17) states).

@@ -29,9 +29,9 @@ pub fn unique_transfers(state: &Erc20State, account: AccountId) -> bool {
     let owner = account.owner();
     let spenders: Vec<ProcessId> = sigma.into_iter().filter(|p| *p != owner).collect();
     spenders.iter().enumerate().all(|(i, pi)| {
-        spenders[i + 1..].iter().all(|pj| {
-            state.allowance(account, *pi) + state.allowance(account, *pj) > balance
-        })
+        spenders[i + 1..]
+            .iter()
+            .all(|pj| state.allowance(account, *pi) + state.allowance(account, *pj) > balance)
     })
 }
 

@@ -109,9 +109,7 @@ fn approve_allowed(
     value: Amount,
 ) -> bool {
     let account = caller.own_account();
-    let is_new = value > 0
-        && spender != caller
-        && state.allowance(account, spender) == 0;
+    let is_new = value > 0 && spender != caller && state.allowance(account, spender) == 0;
     !(is_new && spender_count(state, account) >= k)
 }
 
@@ -241,7 +239,12 @@ impl RestrictedToken {
         }
     }
 
-    fn map_at_error(err: AtError, account: AccountId, value: Amount, balance: Amount) -> TokenError {
+    fn map_at_error(
+        err: AtError,
+        account: AccountId,
+        value: Amount,
+        balance: Amount,
+    ) -> TokenError {
         match err {
             AtError::InsufficientBalance => TokenError::InsufficientBalance {
                 account,
@@ -275,12 +278,7 @@ impl ConcurrentToken for RestrictedToken {
     }
 
     /// Algorithm 2, lines 12–13: delegate to the `k`-AT object.
-    fn transfer(
-        &self,
-        caller: ProcessId,
-        to: AccountId,
-        value: Amount,
-    ) -> Result<(), TokenError> {
+    fn transfer(&self, caller: ProcessId, to: AccountId, value: Amount) -> Result<(), TokenError> {
         self.check_process(caller)?;
         self.check_account(to)?;
         let from = caller.own_account();
@@ -550,10 +548,12 @@ mod tests {
                     for _ in 0..300 {
                         match rng.gen_range(0..3) {
                             0 => {
-                                let _ = t.transfer(p(i), a(rng.gen_range(0..4)), rng.gen_range(0..4));
+                                let _ =
+                                    t.transfer(p(i), a(rng.gen_range(0..4)), rng.gen_range(0..4));
                             }
                             1 => {
-                                let _ = t.approve(p(i), p(rng.gen_range(0..4)), rng.gen_range(0..4));
+                                let _ =
+                                    t.approve(p(i), p(rng.gen_range(0..4)), rng.gen_range(0..4));
                             }
                             _ => {
                                 let _ = t.transfer_from(

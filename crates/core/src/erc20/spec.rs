@@ -104,7 +104,10 @@ mod tests {
         // q1: Alice transfers 3 to Bob.
         let r = spec.apply(&mut q, p(0), &Erc20Op::Transfer { to: a(1), value: 3 });
         assert_eq!(r, Erc20Resp::TRUE);
-        assert_eq!((q.balance(a(0)), q.balance(a(1)), q.balance(a(2))), (7, 3, 0));
+        assert_eq!(
+            (q.balance(a(0)), q.balance(a(1)), q.balance(a(2))),
+            (7, 3, 0)
+        );
 
         // q2: Bob approves Charlie for 5.
         let r = spec.apply(
@@ -143,7 +146,10 @@ mod tests {
             },
         );
         assert_eq!(r, Erc20Resp::TRUE);
-        assert_eq!((q.balance(a(0)), q.balance(a(1)), q.balance(a(2))), (8, 2, 0));
+        assert_eq!(
+            (q.balance(a(0)), q.balance(a(1)), q.balance(a(2))),
+            (8, 2, 0)
+        );
         assert_eq!(q.allowance(a(1), p(2)), 4);
     }
 

@@ -172,7 +172,10 @@ mod tests {
         let w = prepare_sync_state(&token, p(0), &spenders, &allowances).unwrap();
         assert_eq!(w.k(), 4);
         assert_eq!(w.balance, 20);
-        assert_eq!(consensus_number_bounds(&token.state_snapshot()).exact(), Some(4));
+        assert_eq!(
+            consensus_number_bounds(&token.state_snapshot()).exact(),
+            Some(4)
+        );
     }
 
     #[test]

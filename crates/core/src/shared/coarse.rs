@@ -57,12 +57,7 @@ impl ConcurrentToken for CoarseErc20 {
         self.accounts
     }
 
-    fn transfer(
-        &self,
-        caller: ProcessId,
-        to: AccountId,
-        value: Amount,
-    ) -> Result<(), TokenError> {
+    fn transfer(&self, caller: ProcessId, to: AccountId, value: Amount) -> Result<(), TokenError> {
         self.state.lock().transfer(caller, to, value)
     }
 

@@ -123,12 +123,7 @@ impl ConcurrentToken for SharedErc20 {
         self.cells.len()
     }
 
-    fn transfer(
-        &self,
-        caller: ProcessId,
-        to: AccountId,
-        value: Amount,
-    ) -> Result<(), TokenError> {
+    fn transfer(&self, caller: ProcessId, to: AccountId, value: Amount) -> Result<(), TokenError> {
         self.check_process(caller)?;
         self.check_account(to)?;
         let from = caller.own_account();

@@ -20,8 +20,7 @@ pub trait ConcurrentToken: Send + Sync {
     /// # Errors
     ///
     /// As [`Erc20State::transfer`](crate::erc20::Erc20State::transfer).
-    fn transfer(&self, caller: ProcessId, to: AccountId, value: Amount)
-        -> Result<(), TokenError>;
+    fn transfer(&self, caller: ProcessId, to: AccountId, value: Amount) -> Result<(), TokenError>;
 
     /// `transferFrom(from, to, value)` as `caller`.
     ///
@@ -85,12 +84,7 @@ impl<T: ConcurrentToken + ?Sized> ConcurrentToken for std::sync::Arc<T> {
     fn accounts(&self) -> usize {
         (**self).accounts()
     }
-    fn transfer(
-        &self,
-        caller: ProcessId,
-        to: AccountId,
-        value: Amount,
-    ) -> Result<(), TokenError> {
+    fn transfer(&self, caller: ProcessId, to: AccountId, value: Amount) -> Result<(), TokenError> {
         (**self).transfer(caller, to, value)
     }
     fn transfer_from(

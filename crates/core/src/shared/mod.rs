@@ -27,9 +27,7 @@ mod tests {
 
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
-    use tokensync_spec::{
-        check_linearizable, AccountId, ObjectType, ProcessId, Recorder,
-    };
+    use tokensync_spec::{check_linearizable, AccountId, ObjectType, ProcessId, Recorder};
 
     use crate::erc20::{Erc20Op, Erc20Resp, Erc20Spec, Erc20State};
 
@@ -134,7 +132,11 @@ mod tests {
             let caller = p(rng.gen_range(0..3));
             let op = random_op(&mut rng, 3);
             let expected = spec.apply(&mut oracle, caller, &op);
-            assert_eq!(coarse.apply(caller, &op), expected, "coarse diverged on {op:?}");
+            assert_eq!(
+                coarse.apply(caller, &op),
+                expected,
+                "coarse diverged on {op:?}"
+            );
             assert_eq!(fine.apply(caller, &op), expected, "fine diverged on {op:?}");
         }
         assert_eq!(coarse.state_snapshot(), oracle);

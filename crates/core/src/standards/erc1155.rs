@@ -280,8 +280,7 @@ impl Erc1155Token {
     pub fn enabled_movers(&self, account: AccountId) -> BTreeSet<ProcessId> {
         let mut set = BTreeSet::new();
         set.insert(account.owner());
-        let holds_any = (0..self.types())
-            .any(|t| self.balance_of(account, TypeId::new(t)) > 0);
+        let holds_any = (0..self.types()).any(|t| self.balance_of(account, TypeId::new(t)) > 0);
         if holds_any {
             if let Some(ops) = self.operators.get(account.index()) {
                 set.extend(ops.iter().copied());

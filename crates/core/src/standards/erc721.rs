@@ -346,7 +346,8 @@ impl<V: Clone + Send + Sync> Erc721Consensus<V> {
         let _ = self
             .token
             .transfer_from(process, self.original_owner, target, self.nft);
-        self.peek().expect("after any transfer attempt ownerOf names a winner")
+        self.peek()
+            .expect("after any transfer attempt ownerOf names a winner")
     }
 
     /// The decided value: the proposal of the process that captured the

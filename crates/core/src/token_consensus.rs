@@ -177,12 +177,9 @@ impl<T: ConcurrentToken, V: Clone + Send + Sync> TokenConsensus<T, V> {
                 RaceMode::Verbatim => granted,
                 RaceMode::Generalized => granted.min(self.witness.balance),
             };
-            let _ = self.token.transfer_from(
-                process,
-                self.witness.account,
-                self.destination,
-                amount,
-            );
+            let _ =
+                self.token
+                    .transfer_from(process, self.witness.account, self.destination, amount);
         }
         // Lines 11–14: find the winner and adopt its proposal.
         self.read_decision()
@@ -299,7 +296,10 @@ mod tests {
             for i in &order {
                 decisions.push(c.propose(p(*i), *i));
             }
-            assert!(decisions.iter().all(|d| *d == first), "first={first}: {decisions:?}");
+            assert!(
+                decisions.iter().all(|d| *d == first),
+                "first={first}: {decisions:?}"
+            );
         }
     }
 
@@ -308,11 +308,8 @@ mod tests {
         for k in [2usize, 3, 5, 8] {
             for round in 0..20 {
                 let (q, w) = sk_state(k, k + 1, 64);
-                let c: Arc<TokenConsensus<SharedErc20, usize>> = Arc::new(TokenConsensus::new(
-                    SharedErc20::from_state(q),
-                    w,
-                    a(k),
-                ));
+                let c: Arc<TokenConsensus<SharedErc20, usize>> =
+                    Arc::new(TokenConsensus::new(SharedErc20::from_state(q), w, a(k)));
                 let mut decisions = Vec::new();
                 crossbeam::scope(|s| {
                     let handles: Vec<_> = (0..k)

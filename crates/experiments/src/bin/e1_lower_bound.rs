@@ -32,7 +32,10 @@ fn main() {
 
     let mut t = Table::new(&["k", "mode", "configs", "transitions", "outcome"]);
     for k in 1..=4 {
-        for (mode, name) in [(Mode::Generalized, "generalized"), (Mode::Verbatim, "verbatim")] {
+        for (mode, name) in [
+            (Mode::Generalized, "generalized"),
+            (Mode::Verbatim, "verbatim"),
+        ] {
             let protocol = TokenRace::in_sync_state_with_mode(k, mode);
             let report = Explorer::new(&protocol).run();
             t.row_owned(vec![

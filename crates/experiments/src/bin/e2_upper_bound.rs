@@ -48,11 +48,26 @@ fn main() {
     // --- E2b: violations beyond the supported level ----------------------
     let mut t = Table::new(&["scenario", "outcome", "violation", "schedule len"]);
     let scenarios: Vec<(&str, TokenRace)> = vec![
-        ("k=2 state, 3 processes (verbatim)", TokenRace::overreach(2, 1, Mode::Verbatim)),
-        ("k=2 state, 3 processes (generalized)", TokenRace::overreach(2, 1, Mode::Generalized)),
-        ("k=3 state, 4 processes", TokenRace::overreach(3, 1, Mode::Generalized)),
-        ("U violated (allowances 1+1 = balance 2)", TokenRace::with_u_violated()),
-        ("verbatim, allowance > balance", TokenRace::verbatim_oversized()),
+        (
+            "k=2 state, 3 processes (verbatim)",
+            TokenRace::overreach(2, 1, Mode::Verbatim),
+        ),
+        (
+            "k=2 state, 3 processes (generalized)",
+            TokenRace::overreach(2, 1, Mode::Generalized),
+        ),
+        (
+            "k=3 state, 4 processes",
+            TokenRace::overreach(3, 1, Mode::Generalized),
+        ),
+        (
+            "U violated (allowances 1+1 = balance 2)",
+            TokenRace::with_u_violated(),
+        ),
+        (
+            "verbatim, allowance > balance",
+            TokenRace::verbatim_oversized(),
+        ),
     ];
     for (name, protocol) in scenarios {
         let report = Explorer::new(&protocol).run();
@@ -73,12 +88,7 @@ fn main() {
     // The generalized mode *closes* the oversized-allowance gap:
     let fixed = Explorer::new(&TokenRace::generalized_oversized()).run();
     assert!(matches!(fixed.outcome, Outcome::Verified));
-    t.row(&[
-        "generalized, allowance > balance",
-        "verified",
-        "-",
-        "-",
-    ]);
+    t.row(&["generalized, allowance > balance", "verified", "-", "-"]);
     t.print("E2b: counterexample search");
     println!(
         "note: the verbatim Algorithm 1 additionally requires allowances ≤ balance \
@@ -104,7 +114,10 @@ fn main() {
     let protocol = TokenRace::in_sync_state(2);
     let report = valence::analyze(&protocol);
     if let Some(critical) = report.critical.first() {
-        println!("\nsample critical configuration (reached by schedule {:?}):", critical.schedule);
+        println!(
+            "\nsample critical configuration (reached by schedule {:?}):",
+            critical.schedule
+        );
         for (p, step, commits) in &critical.pending {
             println!("  {p} next: {step}  → commits decision {commits}");
         }

@@ -74,8 +74,7 @@ fn main() {
                 refusals += 1;
             }
             assert!(within_restriction(&oracle, k), "left Q_{k}");
-            max_spenders =
-                max_spenders.max(tokensync_core::analysis::partition_index(&oracle));
+            max_spenders = max_spenders.max(tokensync_core::analysis::partition_index(&oracle));
         }
         assert_eq!(divergences, 0);
         assert_eq!(token.state_snapshot(), oracle, "final states must agree");

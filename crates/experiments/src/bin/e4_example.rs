@@ -35,10 +35,7 @@ fn main() {
 
     token.transfer(alice, a_bob, 3).expect("q1 transfer");
     show(&token, "q1");
-    assert_eq!(
-        (token.balance_of(a_alice), token.balance_of(a_bob)),
-        (7, 3)
-    );
+    assert_eq!((token.balance_of(a_alice), token.balance_of(a_bob)), (7, 3));
 
     token.approve(bob, charlie, 5).expect("q2 approve");
     show(&token, "q2");
@@ -55,10 +52,7 @@ fn main() {
         .transfer_from(charlie, a_bob, a_alice, 1)
         .expect("q4 transferFrom");
     show(&token, "q4");
-    assert_eq!(
-        (token.balance_of(a_alice), token.balance_of(a_bob)),
-        (8, 2)
-    );
+    assert_eq!((token.balance_of(a_alice), token.balance_of(a_bob)), (8, 2));
     assert_eq!(token.allowance(a_bob, charlie), 4);
 
     println!("\nresult: trace matches the paper exactly (q0 → q4).");

@@ -28,10 +28,18 @@ fn main() {
             // Mostly payments, occasionally approvals/revocations — the
             // regime the paper's intro sketches for real token traffic.
             0..=5 => {
-                let _ = state.transfer(caller, AccountId::new(rng.gen_range(0..n)), rng.gen_range(0..8));
+                let _ = state.transfer(
+                    caller,
+                    AccountId::new(rng.gen_range(0..n)),
+                    rng.gen_range(0..8),
+                );
             }
             6..=7 => {
-                let _ = state.approve(caller, ProcessId::new(rng.gen_range(0..n)), rng.gen_range(0..40));
+                let _ = state.approve(
+                    caller,
+                    ProcessId::new(rng.gen_range(0..n)),
+                    rng.gen_range(0..40),
+                );
             }
             8 => {
                 // revocation
@@ -68,7 +76,10 @@ fn main() {
 
     let exact = monitor.exact_points();
     let total = monitor.series().len();
-    println!("\nmax synchronization level seen : {}", monitor.max_level_seen());
+    println!(
+        "\nmax synchronization level seen : {}",
+        monitor.max_level_seen()
+    );
     println!(
         "states with exact CN           : {exact}/{total} ({:.1}%)",
         100.0 * exact as f64 / total as f64

@@ -84,7 +84,9 @@ fn main() {
             for (name, stats) in [("ordered", &ordered), ("dynamic", &dynamic)] {
                 t.row_owned(vec![
                     format!("{:.0}%", ratio * 100.0),
-                    hotspot.map(|h| format!("a{h}")).unwrap_or_else(|| "-".into()),
+                    hotspot
+                        .map(|h| format!("a{h}"))
+                        .unwrap_or_else(|| "-".into()),
                     name.to_string(),
                     format!("{:.1}", stats.msgs_per_op),
                     format!("{:.1}", stats.latency),
@@ -144,7 +146,10 @@ fn main() {
     // Sanity: a dynamic run ends with every replica agreeing with a
     // sequential notion of supply.
     let mut net = DynamicNetwork::new(N, initial(), 7);
-    net.submit(0, tokensync_net::cmd::TokenCmd::Transfer { to: 1, value: 5 });
+    net.submit(
+        0,
+        tokensync_net::cmd::TokenCmd::Transfer { to: 1, value: 5 },
+    );
     net.run_to_quiescence();
     assert_eq!(net.total_supply(), SUPPLY / N as u64 * N as u64);
     let _ = ProcessId::new(0);

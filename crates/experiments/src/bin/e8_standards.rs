@@ -77,7 +77,12 @@ fn main() {
                 violations += 1;
             }
         }
-        t.row_owned(vec!["ERC777".into(), k.to_string(), runs.to_string(), violations.to_string()]);
+        t.row_owned(vec![
+            "ERC777".into(),
+            k.to_string(),
+            runs.to_string(),
+            violations.to_string(),
+        ]);
         assert_eq!(violations, 0);
 
         let mut violations = 0;
@@ -100,7 +105,12 @@ fn main() {
                 violations += 1;
             }
         }
-        t.row_owned(vec!["ERC721".into(), k.to_string(), runs.to_string(), violations.to_string()]);
+        t.row_owned(vec![
+            "ERC721".into(),
+            k.to_string(),
+            runs.to_string(),
+            violations.to_string(),
+        ]);
         assert_eq!(violations, 0);
     }
     t.print("threaded stress of the adapter consensus objects");

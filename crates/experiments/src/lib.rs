@@ -5,6 +5,7 @@
 //! helpers so the binaries stay small and uniform.
 
 #![forbid(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
 #![warn(missing_docs)]
 
 pub mod table;

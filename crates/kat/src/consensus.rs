@@ -92,7 +92,11 @@ impl<T: Clone + Send + Sync> AtConsensus<T> {
     /// Panics if `process.index() >= k`.
     pub fn propose(&self, process: ProcessId, value: T) -> T {
         let i = process.index();
-        assert!(i < self.k, "process {process} out of range for k = {}", self.k);
+        assert!(
+            i < self.k,
+            "process {process} out of range for k = {}",
+            self.k
+        );
         self.proposals.at(i).write(Some(value));
         let _ = self.at.transfer(
             process,

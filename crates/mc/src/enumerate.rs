@@ -1,9 +1,7 @@
 //! Small-universe enumeration of the ERC20 state space and the census of
 //! the partition `{Q_k}` and synchronization states `S_k`.
 
-use tokensync_core::analysis::{
-    consensus_number_bounds, is_sync_state_for, partition_index,
-};
+use tokensync_core::analysis::{consensus_number_bounds, is_sync_state_for, partition_index};
 use tokensync_core::erc20::Erc20State;
 use tokensync_spec::{AccountId, ProcessId};
 

@@ -122,7 +122,9 @@ impl<P: Protocol> Config<P> {
         let n = protocol.processes();
         Self {
             shared: protocol.initial_shared(),
-            locals: (0..n).map(|i| protocol.initial_local(ProcessId::new(i))).collect(),
+            locals: (0..n)
+                .map(|i| protocol.initial_local(ProcessId::new(i)))
+                .collect(),
             decided: vec![None; n],
             steps: vec![0; n],
         }

@@ -308,7 +308,11 @@ mod tests {
     #[test]
     fn generalized_mode_closes_the_gap() {
         let report = Explorer::new(&TokenRace::generalized_oversized()).run();
-        assert!(matches!(report.outcome, Outcome::Verified), "{:?}", report.outcome);
+        assert!(
+            matches!(report.outcome, Outcome::Verified),
+            "{:?}",
+            report.outcome
+        );
     }
 
     #[test]

@@ -71,7 +71,10 @@ mod tests {
     fn registers_cannot_solve_two_process_consensus() {
         let report = Explorer::new(&MinRegisters).run();
         match report.outcome {
-            Outcome::Violated(Violation::Disagreement { ref values, ref schedule }) => {
+            Outcome::Violated(Violation::Disagreement {
+                ref values,
+                ref schedule,
+            }) => {
                 assert_eq!(values, &vec![1, 2]);
                 // The counterexample: p1 (proposal 2) runs solo and decides
                 // 2; p0 then sees both and decides 1.

@@ -79,12 +79,8 @@ impl Protocol for Erc777Race {
                 Step::Continue
             }
             1 => {
-                let _ = token.operator_send(
-                    p,
-                    AccountId::new(0),
-                    AccountId::new(i + 1),
-                    self.balance,
-                );
+                let _ =
+                    token.operator_send(p, AccountId::new(0), AccountId::new(i + 1), self.balance);
                 *pc = 2;
                 Step::Continue
             }

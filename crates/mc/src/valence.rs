@@ -71,7 +71,14 @@ pub fn analyze<P: Protocol>(protocol: &P) -> ValenceReport {
     // shortcuts at configurations that already carry a decision).
     let mut schedule = Vec::new();
     let mut seen: std::collections::HashSet<Config<P>> = Default::default();
-    walk(protocol, initial, &mut memo, &mut report, &mut schedule, &mut seen);
+    walk(
+        protocol,
+        initial,
+        &mut memo,
+        &mut report,
+        &mut schedule,
+        &mut seen,
+    );
     report.configs = report.bivalent + report.univalent;
     report
 }
@@ -133,8 +140,7 @@ fn walk<P: Protocol>(
                 all_univalent = false;
                 break;
             }
-            let description =
-                protocol.describe_step(&config.shared, &config.locals[p.index()], *p);
+            let description = protocol.describe_step(&config.shared, &config.locals[p.index()], *p);
             successors.push((*p, description, *v.iter().next().expect("univalent")));
         }
         if all_univalent {
@@ -164,7 +170,10 @@ mod tests {
     fn algorithm1_has_critical_configurations() {
         let protocol = TokenRace::in_sync_state(2);
         let report = analyze(&protocol);
-        assert!(report.bivalent > 0, "initial configuration must be bivalent");
+        assert!(
+            report.bivalent > 0,
+            "initial configuration must be bivalent"
+        );
         assert!(report.univalent > 0);
         assert!(
             !report.critical.is_empty(),
@@ -190,8 +199,7 @@ mod tests {
             }
             // The two committed outcomes must differ (that is what makes
             // the configuration critical).
-            let outcomes: BTreeSet<u64> =
-                critical.pending.iter().map(|(_, _, v)| *v).collect();
+            let outcomes: BTreeSet<u64> = critical.pending.iter().map(|(_, _, v)| *v).collect();
             assert!(outcomes.len() >= 2);
         }
     }

@@ -16,11 +16,7 @@ fn arb_state() -> impl Strategy<Value = Erc20State> {
         .prop_map(|(balances, allowances)| {
             let mut state = Erc20State::from_balances(balances);
             for (idx, v) in allowances.into_iter().enumerate() {
-                state.set_allowance(
-                    AccountId::new(idx / 3),
-                    ProcessId::new(idx % 3),
-                    v,
-                );
+                state.set_allowance(AccountId::new(idx / 3), ProcessId::new(idx % 3), v);
             }
             state
         })
@@ -97,8 +93,8 @@ fn explorer_agrees_with_u_predicate_on_enumerated_two_spender_states() {
     let mut verified = 0;
     let mut refuted = 0;
     for state in enumerate_states(2, 1, 1) {
-        let spender_enabled =
-            state.balance(AccountId::new(0)) > 0 && state.allowance(AccountId::new(0), ProcessId::new(1)) > 0;
+        let spender_enabled = state.balance(AccountId::new(0)) > 0
+            && state.allowance(AccountId::new(0), ProcessId::new(1)) > 0;
         if !spender_enabled {
             continue;
         }

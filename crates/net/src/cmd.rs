@@ -81,7 +81,14 @@ mod tests {
     #[test]
     fn account_routing() {
         assert_eq!(TokenCmd::Transfer { to: 2, value: 1 }.account(5), 5);
-        assert_eq!(TokenCmd::Approve { spender: 2, value: 1 }.account(5), 5);
+        assert_eq!(
+            TokenCmd::Approve {
+                spender: 2,
+                value: 1
+            }
+            .account(5),
+            5
+        );
         assert_eq!(
             TokenCmd::TransferFrom {
                 from: 3,
@@ -98,7 +105,11 @@ mod tests {
         let mut q = Erc20State::with_deployer(3, ProcessId::new(0), 10);
         assert!(TokenCmd::Transfer { to: 1, value: 4 }.apply(&mut q, 0));
         assert!(!TokenCmd::Transfer { to: 1, value: 100 }.apply(&mut q, 0));
-        assert!(TokenCmd::Approve { spender: 2, value: 3 }.apply(&mut q, 1));
+        assert!(TokenCmd::Approve {
+            spender: 2,
+            value: 3
+        }
+        .apply(&mut q, 1));
         assert!(TokenCmd::TransferFrom {
             from: 1,
             to: 2,

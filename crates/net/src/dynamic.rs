@@ -277,7 +277,9 @@ impl DynamicNetwork {
     /// Creates `n` participants replicating `initial` with delay seed
     /// `seed`.
     pub fn new(n: usize, initial: Erc20State, seed: u64) -> Self {
-        let nodes = (0..n).map(|_| DynamicNode::new(n, initial.clone())).collect();
+        let nodes = (0..n)
+            .map(|_| DynamicNode::new(n, initial.clone()))
+            .collect();
         Self {
             net: SimNet::new(nodes, seed),
         }
@@ -365,7 +367,13 @@ mod tests {
     #[test]
     fn approve_then_transfer_from_flows_through_the_group() {
         let mut net = DynamicNetwork::new(4, initial(4, 10), 2);
-        net.submit(0, TokenCmd::Approve { spender: 2, value: 5 });
+        net.submit(
+            0,
+            TokenCmd::Approve {
+                spender: 2,
+                value: 5,
+            },
+        );
         net.run_to_quiescence();
         net.submit(
             2,
@@ -453,7 +461,13 @@ mod tests {
         let mut net = DynamicNetwork::new(8, initial(8, 100), 21);
         for caller in 0..8 {
             for _ in 0..4 {
-                net.submit(caller, TokenCmd::Transfer { to: (caller + 1) % 8, value: 0 });
+                net.submit(
+                    caller,
+                    TokenCmd::Transfer {
+                        to: (caller + 1) % 8,
+                        value: 0,
+                    },
+                );
             }
         }
         net.run_to_quiescence();

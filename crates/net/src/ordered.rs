@@ -95,7 +95,13 @@ impl OrderedNode {
         self.applied_ops
     }
 
-    fn sequence(&mut self, caller: usize, client_seq: u64, cmd: TokenCmd, ctx: &mut Context<OrderedMsg>) {
+    fn sequence(
+        &mut self,
+        caller: usize,
+        client_seq: u64,
+        cmd: TokenCmd,
+        ctx: &mut Context<OrderedMsg>,
+    ) {
         let op = GlobalOp {
             seq: self.global_seq,
             caller,
@@ -180,7 +186,9 @@ pub struct OrderedNetwork {
 impl OrderedNetwork {
     /// Creates `n` replicas of `initial` with delay seed `seed`.
     pub fn new(n: usize, initial: Erc20State, seed: u64) -> Self {
-        let nodes = (0..n).map(|_| OrderedNode::new(n, initial.clone())).collect();
+        let nodes = (0..n)
+            .map(|_| OrderedNode::new(n, initial.clone()))
+            .collect();
         Self {
             net: SimNet::new(nodes, seed),
         }
@@ -258,7 +266,13 @@ mod tests {
     fn operations_apply_in_total_order_everywhere() {
         let mut net = OrderedNetwork::new(4, initial(4, 10), 5);
         net.submit(0, TokenCmd::Transfer { to: 1, value: 4 });
-        net.submit(0, TokenCmd::Approve { spender: 2, value: 3 });
+        net.submit(
+            0,
+            TokenCmd::Approve {
+                spender: 2,
+                value: 3,
+            },
+        );
         net.run_to_quiescence();
         net.submit(
             2,
@@ -320,7 +334,13 @@ mod tests {
         let mut net = OrderedNetwork::new(8, initial(8, 100), 21);
         for caller in 0..8 {
             for _ in 0..4 {
-                net.submit(caller, TokenCmd::Transfer { to: (caller + 1) % 8, value: 0 });
+                net.submit(
+                    caller,
+                    TokenCmd::Transfer {
+                        to: (caller + 1) % 8,
+                        value: 0,
+                    },
+                );
             }
         }
         net.run_to_quiescence();
@@ -334,6 +354,9 @@ mod tests {
             "imbalance {}",
             metrics.load_imbalance()
         );
-        assert_eq!(metrics.sent_per_node.iter().copied().max().unwrap(), metrics.sent_per_node[SEQUENCER]);
+        assert_eq!(
+            metrics.sent_per_node.iter().copied().max().unwrap(),
+            metrics.sent_per_node[SEQUENCER]
+        );
     }
 }

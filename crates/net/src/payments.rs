@@ -185,7 +185,9 @@ impl PaymentNetwork {
     /// Panics if `initial.len() != n`.
     pub fn new(n: usize, initial: Vec<Amount>, seed: u64) -> Self {
         assert_eq!(initial.len(), n, "one balance per node/account");
-        let nodes = (0..n).map(|_| PaymentNode::new(n, initial.clone())).collect();
+        let nodes = (0..n)
+            .map(|_| PaymentNode::new(n, initial.clone()))
+            .collect();
         Self {
             net: SimNet::new(nodes, seed),
         }

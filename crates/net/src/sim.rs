@@ -197,8 +197,13 @@ impl<N: Node> SimNet<N> {
 
     /// Injects an external message from `src` to `dst` (e.g. a client
     /// request) at the current time.
+    ///
+    /// Unlike replica-to-replica traffic, injections do not pass through
+    /// the delay policy: a client request is "issued" at its node the
+    /// moment it is posted, and two posts to the same node keep their
+    /// submission order.
     pub fn post(&mut self, src: usize, dst: usize, msg: N::Msg) {
-        self.enqueue(src, dst, msg);
+        self.push_at(self.time, src, dst, msg);
         self.metrics.sent += 1;
         self.metrics.sent_per_node[src] += 1;
     }
@@ -278,9 +283,16 @@ impl<N: Node> SimNet<N> {
             DelayPolicy::Fixed(d) => d,
             DelayPolicy::Uniform { min, max } => self.rng.gen_range(min..=max),
         };
+        self.push_at(self.time + delay, src, dst, msg);
+    }
+
+    /// Sole event-push path: `seq` breaks delivery ties in push order, so
+    /// both `post` and `enqueue` must go through here to keep the
+    /// deterministic ordering contract.
+    fn push_at(&mut self, at: u64, src: usize, dst: usize, msg: N::Msg) {
         self.seq += 1;
         self.queue.push(Reverse(Event {
-            at: self.time + delay,
+            at,
             seq: self.seq,
             src,
             dst,
@@ -355,13 +367,20 @@ mod tests {
 
     #[test]
     fn fixed_delay_preserves_fifo_per_pair() {
+        // Node 0 relays everything to node 1 via its outbox, so the
+        // relayed messages traverse the delayed enqueue() path — post()
+        // itself bypasses the delay policy and would not cover it.
         struct Order {
             log: Vec<u32>,
         }
         impl Node for Order {
             type Msg = u32;
-            fn on_message(&mut self, _f: usize, m: u32, _c: &mut Context<u32>) {
-                self.log.push(m);
+            fn on_message(&mut self, from: usize, m: u32, ctx: &mut Context<u32>) {
+                if ctx.me() == 0 && from != 1 {
+                    ctx.send(1, m);
+                } else {
+                    self.log.push(m);
+                }
             }
         }
         let mut net = SimNet::with_policy(
@@ -370,7 +389,7 @@ mod tests {
             DelayPolicy::Fixed(3),
         );
         for m in 0..5 {
-            net.post(0, 1, m);
+            net.post(0, 0, m);
         }
         net.run_to_quiescence();
         assert_eq!(net.node(1).log, vec![0, 1, 2, 3, 4]);

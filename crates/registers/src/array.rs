@@ -31,7 +31,9 @@ impl<T: Clone + Send + Sync> RegisterArray<T> {
     /// Creates `len` registers, each holding a clone of `initial`.
     pub fn new(len: usize, initial: T) -> Self {
         Self {
-            regs: (0..len).map(|_| AtomicRegister::new(initial.clone())).collect(),
+            regs: (0..len)
+                .map(|_| AtomicRegister::new(initial.clone()))
+                .collect(),
         }
     }
 

@@ -115,7 +115,10 @@ impl<Op: Clone + Debug, Resp: Clone + Debug> History<Op, Resp> {
     /// Panics if `id` was not previously invoked in this history or already
     /// returned; such a history would not be well formed.
     pub fn ret(&mut self, id: OpId, resp: Resp) {
-        assert!(id.0 < self.invocations, "return for unknown operation {id:?}");
+        assert!(
+            id.0 < self.invocations,
+            "return for unknown operation {id:?}"
+        );
         let already = self
             .events
             .iter()

@@ -166,7 +166,14 @@ fn dfs<T: ObjectType>(
             continue;
         }
         order.push(op.id);
-        if dfs(object, next_state, ops, done_mask | (1 << i), order, explored) {
+        if dfs(
+            object,
+            next_state,
+            ops,
+            done_mask | (1 << i),
+            order,
+            explored,
+        ) {
             return true;
         }
         order.pop();
@@ -219,7 +226,10 @@ mod tests {
             (p(1), ROp::Read, 5),
         ]);
         let order = check_linearizable_from_initial(&Reg, &h).unwrap();
-        assert_eq!(order.iter().map(|o| o.index()).collect::<Vec<_>>(), [0, 1, 2, 3]);
+        assert_eq!(
+            order.iter().map(|o| o.index()).collect::<Vec<_>>(),
+            [0, 1, 2, 3]
+        );
     }
 
     #[test]
@@ -278,7 +288,10 @@ mod tests {
     #[test]
     fn empty_history_accepted() {
         let h: History<ROp, u8> = History::new();
-        assert_eq!(check_linearizable_from_initial(&Reg, &h).unwrap(), Vec::new());
+        assert_eq!(
+            check_linearizable_from_initial(&Reg, &h).unwrap(),
+            Vec::new()
+        );
     }
 
     #[test]

@@ -57,17 +57,12 @@ impl<Op: Clone + Debug, Resp: Clone + Debug> Recorder<Op, Resp> {
 
     /// Consumes the recorder and returns the recorded history.
     pub fn into_history(self) -> History<Op, Resp> {
-        self.inner
-            .into_inner()
-            .expect("recorder mutex poisoned")
+        self.inner.into_inner().expect("recorder mutex poisoned")
     }
 
     /// Clones the history recorded so far.
     pub fn snapshot(&self) -> History<Op, Resp> {
-        self.inner
-            .lock()
-            .expect("recorder mutex poisoned")
-            .clone()
+        self.inner.lock().expect("recorder mutex poisoned").clone()
     }
 }
 

@@ -82,7 +82,10 @@ fn main() {
     payments.run_to_quiescence();
     assert!(payments.replicas_converged());
 
-    println!("{:<28}{:>12}{:>16}{:>16}", "protocol", "messages", "mean latency", "max-load/mean");
+    println!(
+        "{:<28}{:>12}{:>16}{:>16}",
+        "protocol", "messages", "mean latency", "max-load/mean"
+    );
     println!("{}", "-".repeat(72));
     println!(
         "{:<28}{:>12}{:>16.1}{:>16.2}",

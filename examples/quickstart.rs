@@ -17,13 +17,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (a_alice, a_bob, a_charlie) = (AccountId::new(0), AccountId::new(1), AccountId::new(2));
 
     let mut token = Erc20Token::deploy(3, alice, 10);
-    println!("deployed: {} holds the full supply of {}", a_alice, token.total_supply());
-    println!("  synchronization: {}", consensus_number_bounds(token.state()));
+    println!(
+        "deployed: {} holds the full supply of {}",
+        a_alice,
+        token.total_supply()
+    );
+    println!(
+        "  synchronization: {}",
+        consensus_number_bounds(token.state())
+    );
 
     // Alice pays Bob 3 — plain payments don't change the level.
     token.transfer(alice, a_bob, 3)?;
     println!("\nAlice → Bob: 3 tokens");
-    println!("  synchronization: {}", consensus_number_bounds(token.state()));
+    println!(
+        "  synchronization: {}",
+        consensus_number_bounds(token.state())
+    );
 
     // Bob approves Charlie for 5: Bob's account now has two enabled
     // spenders, and the object got strictly stronger.
@@ -34,10 +44,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         a_bob,
         enabled_spenders(token.state(), a_bob)
     );
-    println!("  synchronization: {}", consensus_number_bounds(token.state()));
+    println!(
+        "  synchronization: {}",
+        consensus_number_bounds(token.state())
+    );
 
     // Charlie overdraws — FALSE, nothing changes (Example 1, q3).
-    let err = token.transfer_from(charlie, a_bob, a_charlie, 5).unwrap_err();
+    let err = token
+        .transfer_from(charlie, a_bob, a_charlie, 5)
+        .unwrap_err();
     println!("\nCharlie tries to move 5 from Bob: rejected ({err})");
 
     // Charlie moves 1 to Alice (Example 1, q4).

@@ -28,14 +28,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let witness = prepare_sync_state(&token, owner, &spenders, &allowances)?;
     println!(
         "synchronization state reached: account {} with balance {} and spenders {:?}",
-        witness.account, witness.balance, &witness.participants[1..]
+        witness.account,
+        witness.balance,
+        &witness.participants[1..]
     );
 
-    let consensus: Arc<TokenConsensus<SharedErc20, String>> = Arc::new(TokenConsensus::new(
-        token,
-        witness,
-        AccountId::new(K),
-    ));
+    let consensus: Arc<TokenConsensus<SharedErc20, String>> =
+        Arc::new(TokenConsensus::new(token, witness, AccountId::new(K)));
 
     let proposals = ["red", "green", "blue", "amber", "violet"];
     let mut decisions = Vec::new();

@@ -1,0 +1,92 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the subset of the `proptest 1.x` API its property suites use:
+//!
+//! * the [`strategy::Strategy`] trait with `prop_map` and `boxed`,
+//! * integer-range and tuple strategies, [`strategy::Just`], and
+//!   [`strategy::Union`] (backing [`prop_oneof!`]),
+//! * [`collection::vec`] with exact, half-open, or inclusive size ranges,
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`], and [`prop_assert_ne!`] macros.
+//!
+//! Differences from real proptest: generation is purely random (no
+//! shrinking on failure), and each `proptest!` test runs a fixed number of
+//! cases (default 64, override with `PROPTEST_CASES`) from a seed derived
+//! from the test name, so failures reproduce deterministically.
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Run each contained `#[test]` function over many generated cases.
+///
+/// Supports the `fn name(pattern in strategy, ...) { body }` form used
+/// throughout this workspace.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::test_runner::cases();
+                let mut __rng =
+                    $crate::test_runner::rng_for_test(stringify!($name));
+                // Build each strategy once (bound to its arg name, then
+                // shadowed per case by the generated value).
+                let ($($arg,)+) = ($($strat,)+);
+                for __case in 0..cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&$arg, &mut __rng);
+                    )+
+                    // One closure per case so `prop_assume!` can skip the
+                    // case with a plain `return`.
+                    (move || { $body })();
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice between several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Skip the current case unless `cond` holds (no rejection accounting;
+/// the case simply counts as passed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

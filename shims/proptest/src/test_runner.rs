@@ -1,0 +1,24 @@
+//! Deterministic RNG plumbing for the [`crate::proptest!`] macro.
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::SeedableRng;
+
+/// Number of cases each `proptest!` test runs; override with the
+/// `PROPTEST_CASES` environment variable.
+pub fn cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// A generator seeded from the test name (FNV-1a), so every run of a given
+/// test sees the same case sequence.
+pub fn rng_for_test(name: &str) -> TestRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(hash)
+}

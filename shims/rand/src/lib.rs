@@ -1,0 +1,187 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the *exact* subset of the `rand 0.8` API its members use:
+//!
+//! * [`SeedableRng::seed_from_u64`] / [`rngs::StdRng`] — a deterministic
+//!   xoshiro256++ generator seeded through SplitMix64,
+//! * [`Rng::gen_range`] over half-open and inclusive integer ranges,
+//! * [`Rng::gen_bool`].
+//!
+//! Determinism is a feature here, not a compromise: every simulation and
+//! workload in the workspace seeds its generator explicitly so that
+//! experiment tables are reproducible run-to-run.
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+/// A source of `u64` random words; the base trait [`Rng`] builds on.
+pub trait RngCore {
+    /// Produce the next pseudo-random 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a small seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose entire stream is a function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Convenience sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample uniformly from `range` (`lo..hi` or `lo..=hi`).
+    ///
+    /// Panics if the range is empty, matching `rand`'s contract.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    /// Return `true` with probability `p` (which must lie in `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} out of [0,1]");
+        // 53 high bits -> uniform f64 in [0, 1).
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// A range that [`Rng::gen_range`] can sample a `T` from.
+///
+/// Exactly two blanket impls exist (half-open and inclusive ranges over
+/// [`SampleUniform`] element types) so that type inference unifies the
+/// range's element type with the expected result type the way real
+/// `rand` does.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(*self.start(), *self.end(), true, rng)
+    }
+}
+
+/// Types [`Rng::gen_range`] can sample uniformly.
+pub trait SampleUniform: Copy {
+    /// Uniform draw from `lo..hi` (or `lo..=hi` when `inclusive`).
+    fn sample_between<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                let span = (hi as $wide) - (lo as $wide) + (inclusive as $wide);
+                assert!(span > 0, "gen_range: empty range");
+                let draw = (rng.next_u64() as u128) % (span as u128);
+                (lo as $wide).wrapping_add(draw as $wide) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(
+    u8 => i128, u16 => i128, u32 => i128, u64 => i128, usize => i128,
+    i8 => i128, i16 => i128, i32 => i128, i64 => i128, isize => i128
+);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (API-compatible with
+    /// `rand::rngs::StdRng` for the subset this workspace uses).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..9);
+            assert!((3..9).contains(&v));
+            let w = rng.gen_range(-4i64..=4);
+            assert!((-4..=4).contains(&w));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn reversed_range_panics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = rng.gen_range(5u64..3);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

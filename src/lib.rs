@@ -47,10 +47,11 @@
 //! * Machine-checked impossibility boundaries: [`mc`] (Theorem 3).
 //! * Consensus-free payments and the Section 7 dynamic protocol: [`net`].
 //! * Every table/figure of the evaluation: `cargo run -p
-//!   tokensync-experiments --bin e1_lower_bound` … `e7_protocols`, and
-//!   `cargo bench -p tokensync-bench`; see EXPERIMENTS.md.
+//!   tokensync-experiments --bin e1_lower_bound` … `e8_standards`, and
+//!   `cargo bench -p tokensync-bench`; see README.md and ARCHITECTURE.md.
 
 #![forbid(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
 #![warn(missing_docs)]
 
 pub use tokensync_consensus as consensus;

@@ -109,7 +109,13 @@ fn universal_construction_hosts_the_token() {
 
     let script: Vec<(ProcessId, Erc20Op)> = vec![
         (p(0), Erc20Op::Transfer { to: a(1), value: 9 }),
-        (p(1), Erc20Op::Approve { spender: p(2), value: 6 }),
+        (
+            p(1),
+            Erc20Op::Approve {
+                spender: p(2),
+                value: 6,
+            },
+        ),
         (
             p(2),
             Erc20Op::TransferFrom {
@@ -133,7 +139,8 @@ fn universal_construction_hosts_the_token() {
 fn universal_token_is_consistent_under_contention() {
     let n = 4;
     let spec = Erc20Spec::new(tokensync::core::erc20::Erc20State::from_balances(vec![
-        100; 4
+        100;
+        4
     ]));
     let universal = Arc::new(Universal::new(spec, n));
     crossbeam::scope(|s| {

@@ -42,7 +42,13 @@ fn dynamic_token_keeps_unrelated_accounts_live() {
     let mut net = DynamicNetwork::new(N, initial(), 4);
     net.crash_node(0); // same crash: but node 0 only sequences account 0
     net.submit(3, TokenCmd::Transfer { to: 4, value: 5 });
-    net.submit(5, TokenCmd::Approve { spender: 6, value: 10 });
+    net.submit(
+        5,
+        TokenCmd::Approve {
+            spender: 6,
+            value: 10,
+        },
+    );
     net.submit(
         6,
         TokenCmd::TransferFrom {
@@ -77,8 +83,16 @@ fn dynamic_token_stalls_only_the_crashed_spender_group() {
     net.submit(1, TokenCmd::Transfer { to: 5, value: 7 });
     net.run_to_quiescence();
     let state = net.state_at(4);
-    assert_eq!(state.balance(AccountId::new(2)), 100, "frozen account untouched");
-    assert_eq!(state.balance(AccountId::new(5)), 107, "healthy traffic committed");
+    assert_eq!(
+        state.balance(AccountId::new(2)),
+        100,
+        "frozen account untouched"
+    );
+    assert_eq!(
+        state.balance(AccountId::new(5)),
+        107,
+        "healthy traffic committed"
+    );
 }
 
 #[test]

@@ -145,6 +145,8 @@ fn payment_network_equals_transfer_only_dynamic_run() {
     assert!(pay.replicas_converged());
     assert!(dynamic.converged());
     let dyn_state = dynamic.state_at(0);
-    let dyn_balances: Vec<u64> = (0..N).map(|i| dyn_state.balance(AccountId::new(i))).collect();
+    let dyn_balances: Vec<u64> = (0..N)
+        .map(|i| dyn_state.balance(AccountId::new(i)))
+        .collect();
     assert_eq!(pay.balances_at(0), dyn_balances);
 }

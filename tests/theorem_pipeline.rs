@@ -38,11 +38,11 @@ fn race_state(balance: u64, allowances: &[u64]) -> Erc20State {
 fn analysis_predicts_explorer_outcomes() {
     // (balance, allowances, U expected)
     let cases: &[(u64, &[u64], bool)] = &[
-        (2, &[2, 2], true),   // classic S_3 fixture
-        (2, &[1, 1], false),  // 1 + 1 = 2 not > 2: U fails
-        (3, &[2, 2], true),   // 2 + 2 > 3
-        (4, &[2, 2], false),  // 2 + 2 = 4 not > 4
-        (1, &[1, 1], true),   // 1 + 1 > 1
+        (2, &[2, 2], true),  // classic S_3 fixture
+        (2, &[1, 1], false), // 1 + 1 = 2 not > 2: U fails
+        (3, &[2, 2], true),  // 2 + 2 > 3
+        (4, &[2, 2], false), // 2 + 2 = 4 not > 4
+        (1, &[1, 1], true),  // 1 + 1 > 1
     ];
     for &(balance, allowances, expect_u) in cases {
         let state = race_state(balance, allowances);
@@ -50,8 +50,7 @@ fn analysis_predicts_explorer_outcomes() {
         assert_eq!(u, expect_u, "U({balance}, {allowances:?})");
 
         let participants = allowances.len() + 1;
-        let protocol =
-            TokenRace::from_state(state.clone(), participants, Mode::Generalized);
+        let protocol = TokenRace::from_state(state.clone(), participants, Mode::Generalized);
         let report = Explorer::new(&protocol).run();
         if expect_u {
             assert!(
@@ -83,11 +82,8 @@ fn exact_bound_states_sampled_from_enumeration_verify() {
                       // runs the race on account 0 only.
         }
         // Embed into a 3-account universe (destination account needed).
-        let mut embedded = Erc20State::from_balances(vec![
-            state.balance(a(0)),
-            state.balance(a(1)),
-            0,
-        ]);
+        let mut embedded =
+            Erc20State::from_balances(vec![state.balance(a(0)), state.balance(a(1)), 0]);
         embedded.set_allowance(a(0), p(1), state.allowance(a(0), p(1)));
         let protocol = TokenRace::from_state(embedded, 2, Mode::Generalized);
         let report = Explorer::new(&protocol).run();
@@ -135,5 +131,8 @@ fn preparing_sync_state_changes_explorer_verdict() {
     state.approve(p(0), p(1), 2).unwrap(); // the approve of equation (12)
     assert_eq!(partition_index(&state), 2);
     let after = TokenRace::from_state(state, 2, Mode::Generalized);
-    assert!(matches!(Explorer::new(&after).run().outcome, Outcome::Verified));
+    assert!(matches!(
+        Explorer::new(&after).run().outcome,
+        Outcome::Verified
+    ));
 }
