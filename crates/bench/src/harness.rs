@@ -1,0 +1,62 @@
+//! Thread harness shared by the bench targets and the `baseline` binary.
+//!
+//! One definition so the checked-in `BENCH_baseline.json` and the
+//! criterion `scale` numbers always measure the same driving loop — a
+//! fix to chunking or error handling here reaches every figure at once.
+
+use std::sync::Arc;
+
+use tokensync_core::erc20::Erc20Op;
+use tokensync_core::shared::ConcurrentToken;
+use tokensync_spec::ProcessId;
+
+/// Splits `workload` into `threads` contiguous chunks and applies each
+/// chunk on its own thread against `token`, blocking until all finish.
+///
+/// # Panics
+///
+/// Panics (propagated) if a worker thread panics.
+pub fn run_split<T: ConcurrentToken>(
+    token: &Arc<T>,
+    workload: &[(ProcessId, Erc20Op)],
+    threads: usize,
+) {
+    let chunk = workload.len().div_ceil(threads.max(1)).max(1);
+    crossbeam::scope(|s| {
+        for part in workload.chunks(chunk) {
+            let token = Arc::clone(token);
+            s.spawn(move |_| {
+                for (caller, op) in part {
+                    token.apply(*caller, op);
+                }
+            });
+        }
+    })
+    .expect("bench worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{funded_state, mixed_ops};
+    use tokensync_core::shared::CoarseErc20;
+
+    #[test]
+    fn applies_every_op_once() {
+        let n = 4;
+        let token = Arc::new(CoarseErc20::from_state(funded_state(n)));
+        let workload = mixed_ops(n, 100, 9);
+        run_split(&token, &workload, 3);
+        // Supply conservation: each op applied atomically, none dropped
+        // into a torn state.
+        assert_eq!(token.total_supply(), (n as u64) * 1000);
+    }
+
+    #[test]
+    fn degenerate_shapes_do_not_panic() {
+        let token = Arc::new(CoarseErc20::from_state(funded_state(2)));
+        run_split(&token, &[], 4); // empty workload
+        let workload = mixed_ops(2, 3, 1);
+        run_split(&token, &workload, 8); // more threads than ops
+    }
+}

@@ -7,4 +7,5 @@
 #![forbid(unsafe_code)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod harness;
 pub mod workloads;

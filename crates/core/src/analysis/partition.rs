@@ -38,13 +38,24 @@ pub fn partition_index(state: &Erc20State) -> usize {
 ///
 /// Ties resolve to the lowest account id, making the witness deterministic
 /// (useful for reproducible experiments).
+///
+/// Only accounts with outstanding approvals can have `|σ_q(a)| > 1`, so
+/// the maximum is taken over the sparse approval support — `O(outstanding
+/// approvals)` instead of a scan of all `n` accounts. Every other account
+/// has exactly `σ_q(a) = {ω(a)}`, which the seed candidate `(a_0, 1)`
+/// represents (it is the tie-break winner among all such accounts).
 pub fn max_spender_account(state: &Erc20State) -> Option<(AccountId, usize)> {
-    (0..state.accounts())
-        .map(|i| {
-            let a = AccountId::new(i);
-            (a, enabled_spenders(state, a).len())
-        })
-        .max_by(|(a1, k1), (a2, k2)| k1.cmp(k2).then(a2.cmp(a1)))
+    if state.accounts() == 0 {
+        return None;
+    }
+    let mut best = (AccountId::new(0), 1);
+    for a in state.accounts_with_approvals() {
+        let k = enabled_spenders(state, a).len();
+        if k > best.1 || (k == best.1 && a < best.0) {
+            best = (a, k);
+        }
+    }
+    Some(best)
 }
 
 #[cfg(test)]

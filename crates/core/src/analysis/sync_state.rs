@@ -62,11 +62,24 @@ pub fn algorithm1_ready(state: &Erc20State, account: AccountId) -> bool {
 
 /// Whether `q ∈ S_k` — equation (14): some account has exactly `k` enabled
 /// spenders and satisfies `U`.
+///
+/// For `k ≥ 2` only accounts with outstanding approvals can qualify, so
+/// the search runs over the sparse approval support. `k = 1` additionally
+/// admits any funded account with no approvals (`σ_q(a) = {ω(a)}`, `U`
+/// trivial), which needs a balance scan — but only when no approval-
+/// bearing account already witnesses level 1.
 pub fn is_sync_state_for(state: &Erc20State, k: usize) -> bool {
-    (0..state.accounts()).any(|i| {
-        let a = AccountId::new(i);
-        enabled_spenders(state, a).len() == k && unique_transfers(state, a)
-    })
+    let witnessed = state
+        .accounts_with_approvals()
+        .any(|a| enabled_spenders(state, a).len() == k && unique_transfers(state, a));
+    if witnessed {
+        return true;
+    }
+    k == 1
+        && (0..state.accounts()).any(|i| {
+            let a = AccountId::new(i);
+            state.approval_count(a) == 0 && state.balance(a) > 0
+        })
 }
 
 /// A witness that consensus among `k` processes is implementable from the
@@ -127,13 +140,31 @@ impl SyncWitness {
 /// Returns `(1, None)` when no account satisfies `U` (consensus among a
 /// single process is trivially solvable with registers alone, so level 1
 /// needs no witness).
+///
+/// Candidates with `k ≥ 2` all carry outstanding approvals, so the search
+/// runs over the sparse approval support in `O(outstanding approvals)`.
+/// Accounts without approvals yield at most a `k = 1` witness (`σ_q(a) =
+/// {ω(a)}` whenever `β(a) > 0`), of which only the lowest-id one can win
+/// the tie-break — it is scanned for only when no stronger witness exists.
 pub fn sync_level(state: &Erc20State) -> (usize, Option<SyncWitness>) {
-    let best = (0..state.accounts())
-        .filter_map(|i| SyncWitness::for_account(state, AccountId::new(i)))
-        .max_by_key(|w| (w.k(), std::cmp::Reverse(w.account)));
+    let key = |w: &SyncWitness| (w.k(), std::cmp::Reverse(w.account));
+    let mut best = state
+        .accounts_with_approvals()
+        .filter_map(|a| SyncWitness::for_account(state, a))
+        .max_by_key(key);
+    if best.as_ref().map_or(true, |w| w.k() == 1) {
+        let plain = (0..state.accounts())
+            .map(AccountId::new)
+            .find(|&a| state.approval_count(a) == 0 && state.balance(a) > 0);
+        if let Some(w) = plain.and_then(|a| SyncWitness::for_account(state, a)) {
+            if best.as_ref().map_or(true, |b| key(&w) > key(b)) {
+                best = Some(w);
+            }
+        }
+    }
     match best {
-        Some(w) if w.k() >= 1 => (w.k().max(1), Some(w)),
-        _ => (1, None),
+        Some(w) => (w.k().max(1), Some(w)),
+        None => (1, None),
     }
 }
 
@@ -217,6 +248,19 @@ mod tests {
         let (k, w) = sync_level(&q);
         assert_eq!(k, 3);
         assert_eq!(w.unwrap().account, a(0));
+    }
+
+    #[test]
+    fn sync_level_finds_plain_funded_account_behind_dead_approvals() {
+        // a0 carries approvals but no balance (no witness); the only
+        // witness is the plain funded a2, reached by the fallback scan.
+        let mut q = Erc20State::from_balances(vec![0, 0, 4]);
+        q.set_allowance(a(0), p(1), 5);
+        let (k, w) = sync_level(&q);
+        assert_eq!(k, 1);
+        assert_eq!(w.unwrap().account, a(2));
+        assert!(is_sync_state_for(&q, 1));
+        assert!(!is_sync_state_for(&q, 2));
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! read-only `balanceOf`, `allowance`, `totalSupply`. The module provides:
 //!
 //! * [`Erc20State`] — the state `q = (β, α)` with the transition logic of
-//!   `Δ` as typed-error methods.
+//!   `Δ` as typed-error methods. Allowance rows are sparse
+//!   ([`SpenderMap`]): memory is `O(n + outstanding approvals)`, so the
+//!   object scales to millions of accounts.
 //! * [`Erc20Op`] / [`Erc20Resp`] — the operation and response alphabets
 //!   `O` and `R`.
 //! * [`Erc20Spec`] — the full object type, pluggable into the
@@ -14,11 +16,13 @@
 //!   contract a Solidity developer would deploy (Algorithm 3).
 
 mod ops;
+mod sparse;
 mod spec;
 mod state;
 mod token;
 
 pub use ops::{Erc20Op, Erc20Resp};
+pub use sparse::SpenderMap;
 pub use spec::Erc20Spec;
 pub use state::Erc20State;
 pub use token::{Erc20Token, TokenMetadata};

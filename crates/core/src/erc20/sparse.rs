@@ -1,0 +1,211 @@
+//! Sparse storage for one account's allowance row `α(a, ·)`.
+//!
+//! The dense representation of the allowance map — an `n × n` matrix — is
+//! what keeps a token from scaling: at a million accounts it needs
+//! terabytes before the first `approve`. Real allowance sets are tiny
+//! relative to `n` (an account authorizes a handful of spenders, not the
+//! whole world), so each row is stored as a sorted vector of
+//! `(spender, amount)` pairs holding **only the positive entries**.
+//!
+//! Keeping zero entries out of the vector is a representation invariant,
+//! not just an optimization: it makes the encoding *canonical*, so the
+//! derived `PartialEq`/`Hash` on [`SpenderMap`] (and on
+//! [`Erc20State`](super::Erc20State)) coincide with mathematical equality
+//! of the allowance function — two states are `==` iff they agree on every
+//! `α(a, p)`.
+
+use tokensync_spec::{Amount, ProcessId};
+
+/// One account's outstanding approvals: the support of `α(a, ·)` as a
+/// sorted vector of `(spender index, amount)` pairs with all amounts
+/// positive.
+///
+/// Reads are `O(log e)` (binary search) and iteration is `O(e)`, where `e`
+/// is the number of outstanding approvals on the account — independent of
+/// the total number of accounts `n`.
+///
+/// # Example
+///
+/// ```
+/// use tokensync_core::erc20::SpenderMap;
+/// use tokensync_spec::ProcessId;
+///
+/// let mut row = SpenderMap::new();
+/// row.set(3, 10);
+/// row.set(1, 5);
+/// assert_eq!(row.get(3), 10);
+/// assert_eq!(row.get(2), 0); // absent reads as zero
+/// row.set(3, 0); // revocation removes the entry
+/// assert_eq!(row.len(), 1);
+/// assert_eq!(
+///     row.iter().collect::<Vec<_>>(),
+///     vec![(ProcessId::new(1), 5)]
+/// );
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct SpenderMap {
+    /// Sorted by spender index; every amount is `> 0`.
+    entries: Vec<(u32, Amount)>,
+}
+
+impl SpenderMap {
+    /// An empty row: `α(a, p) = 0` for every `p`.
+    pub const fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+        }
+    }
+
+    /// `α(a, spender)`; absent spenders read as 0.
+    pub fn get(&self, spender: usize) -> Amount {
+        // Not `as u32`: a wrapping cast would alias out-of-range spender
+        // indices onto small ones, and reads carry no range check.
+        let Ok(key) = u32::try_from(spender) else {
+            return 0;
+        };
+        match self.entries.binary_search_by_key(&key, |e| e.0) {
+            Ok(i) => self.entries[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// Sets `α(a, spender) = value`, removing the entry when `value == 0`
+    /// (preserving the no-zero-entries invariant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spender` exceeds `u32::MAX` (the sparse encoding packs
+    /// spender indices into 32 bits; four billion accounts is beyond any
+    /// deployment this workspace models).
+    pub fn set(&mut self, spender: usize, value: Amount) {
+        let key = u32::try_from(spender).expect("spender index exceeds u32::MAX");
+        match self.entries.binary_search_by_key(&key, |e| e.0) {
+            Ok(i) => {
+                if value == 0 {
+                    self.entries.remove(i);
+                } else {
+                    self.entries[i].1 = value;
+                }
+            }
+            Err(i) => {
+                if value != 0 {
+                    self.entries.insert(i, (key, value));
+                }
+            }
+        }
+    }
+
+    /// Consumes `value` of `spender`'s allowance, removing the entry when
+    /// it reaches zero. The caller must have checked
+    /// `get(spender) >= value` first (the `Δ` precondition).
+    pub fn debit(&mut self, spender: usize, value: Amount) {
+        if value == 0 {
+            return;
+        }
+        // A positive debit implies a prior `get(spender) >= value > 0`,
+        // which only holds for in-range keys; stay defensive anyway.
+        let Ok(key) = u32::try_from(spender) else {
+            debug_assert!(false, "debit of an out-of-range spender");
+            return;
+        };
+        match self.entries.binary_search_by_key(&key, |e| e.0) {
+            Ok(i) => {
+                debug_assert!(self.entries[i].1 >= value, "debit past the allowance");
+                self.entries[i].1 -= value;
+                if self.entries[i].1 == 0 {
+                    self.entries.remove(i);
+                }
+            }
+            Err(_) => debug_assert!(false, "debit of an absent allowance"),
+        }
+    }
+
+    /// Iterates the outstanding approvals `(p, α(a, p))` with `α(a, p) > 0`
+    /// in increasing spender order.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, Amount)> + '_ {
+        self.entries
+            .iter()
+            .map(|&(p, v)| (ProcessId::new(p as usize), v))
+    }
+
+    /// Number of outstanding (positive) approvals on the account.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the account has no outstanding approvals.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absent_reads_zero() {
+        let row = SpenderMap::new();
+        assert_eq!(row.get(0), 0);
+        assert_eq!(row.get(1_000_000), 0);
+        assert!(row.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_spender_does_not_alias() {
+        let mut row = SpenderMap::new();
+        row.set(3, 7);
+        // (1 << 32) + 3 truncates to 3 under a wrapping cast; the read
+        // must see an absent key, not alias spender 3.
+        assert_eq!(row.get((1usize << 32) + 3), 0);
+        row.debit((1usize << 32) + 3, 0);
+        assert_eq!(row.get(3), 7);
+    }
+
+    #[test]
+    fn set_get_overwrite_remove() {
+        let mut row = SpenderMap::new();
+        row.set(5, 7);
+        row.set(2, 3);
+        row.set(9, 1);
+        assert_eq!((row.get(2), row.get(5), row.get(9)), (3, 7, 1));
+        row.set(5, 4); // overwrite
+        assert_eq!(row.get(5), 4);
+        row.set(2, 0); // remove
+        assert_eq!(row.get(2), 0);
+        assert_eq!(row.len(), 2);
+    }
+
+    #[test]
+    fn entries_stay_sorted_and_positive() {
+        let mut row = SpenderMap::new();
+        for &(p, v) in &[(8usize, 2u64), (1, 5), (4, 0), (3, 9), (1, 0)] {
+            row.set(p, v);
+        }
+        let got: Vec<(usize, Amount)> = row.iter().map(|(p, v)| (p.index(), v)).collect();
+        assert_eq!(got, vec![(3, 9), (8, 2)]);
+    }
+
+    #[test]
+    fn debit_consumes_and_collapses() {
+        let mut row = SpenderMap::new();
+        row.set(1, 10);
+        row.debit(1, 4);
+        assert_eq!(row.get(1), 6);
+        row.debit(1, 6);
+        assert_eq!(row.get(1), 0);
+        assert!(row.is_empty());
+        row.debit(2, 0); // zero debit of an absent entry is a no-op
+        assert!(row.is_empty());
+    }
+
+    #[test]
+    fn canonical_equality() {
+        let mut a = SpenderMap::new();
+        a.set(1, 5);
+        a.set(1, 0);
+        let b = SpenderMap::new();
+        // A set-then-revoke row equals a never-touched row.
+        assert_eq!(a, b);
+    }
+}

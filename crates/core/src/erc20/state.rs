@@ -1,16 +1,28 @@
 //! The ERC20 state `q = (β, α)` and its transition logic.
 
+use std::collections::BTreeSet;
+
 use tokensync_spec::{AccountId, Amount, ProcessId};
 
 use crate::error::TokenError;
+
+use super::sparse::SpenderMap;
 
 /// The state of an ERC20 token object: the balance map
 /// `β : A → ℕ` and the allowance map `α : A × Π → ℕ` (Definition 3,
 /// equation (2) of the paper).
 ///
 /// With `n` accounts and one process per account (the paper's owner map `ω`
-/// is a bijection), both maps are dense arrays: `balances[a]` is `β(a)` and
-/// `allowances[a][p]` is `α(a, p)`.
+/// is a bijection), `balances[a]` is `β(a)` dense, while each allowance row
+/// `α(a, ·)` is a sparse [`SpenderMap`] holding only the positive entries —
+/// memory is `O(n + E)` where `E` is the number of outstanding approvals,
+/// instead of the `O(n²)` of a dense matrix. A million-account token with a
+/// few approvals per account fits in tens of megabytes; the dense matrix
+/// would need eight terabytes.
+///
+/// The total supply `Σ_a β(a)` is cached and maintained incrementally by
+/// the mutators (it is invariant under every object operation), so
+/// [`Erc20State::total_supply`] is `O(1)`.
 ///
 /// All mutators take the *calling process* explicitly and enforce the
 /// preconditions of `Δ`; a returned [`TokenError`] corresponds exactly to a
@@ -32,8 +44,17 @@ use crate::error::TokenError;
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Erc20State {
     balances: Vec<Amount>,
-    /// `allowances[a][p] = α(a, p)`.
-    allowances: Vec<Vec<Amount>>,
+    /// `allowances[a]` is the sparse row `α(a, ·)`.
+    allowances: Vec<SpenderMap>,
+    /// Indices of the accounts whose row is non-empty — the support of
+    /// `α` by account, maintained on every emptiness transition so the
+    /// analysis layer can enumerate approval-bearing accounts in
+    /// `O(outstanding approvals)` instead of scanning all `n` rows.
+    /// Derived data, but canonical (a function of `allowances`), so the
+    /// derived `Eq`/`Hash` stay exact.
+    approval_index: BTreeSet<u32>,
+    /// Cached `Σ_a β(a)`; maintained by every mutator.
+    supply: Amount,
 }
 
 impl Erc20State {
@@ -41,7 +62,9 @@ impl Erc20State {
     pub fn new(n: usize) -> Self {
         Self {
             balances: vec![0; n],
-            allowances: vec![vec![0; n]; n],
+            allowances: vec![SpenderMap::new(); n],
+            approval_index: BTreeSet::new(),
+            supply: 0,
         }
     }
 
@@ -55,15 +78,19 @@ impl Erc20State {
     pub fn with_deployer(n: usize, deployer: ProcessId, total_supply: Amount) -> Self {
         let mut state = Self::new(n);
         state.balances[deployer.index()] = total_supply;
+        state.supply = total_supply;
         state
     }
 
     /// Builds a state from explicit balances (all allowances zero).
     pub fn from_balances(balances: Vec<Amount>) -> Self {
         let n = balances.len();
+        let supply = balances.iter().sum();
         Self {
             balances,
-            allowances: vec![vec![0; n]; n],
+            allowances: vec![SpenderMap::new(); n],
+            approval_index: BTreeSet::new(),
+            supply,
         }
     }
 
@@ -81,24 +108,82 @@ impl Erc20State {
     pub fn allowance(&self, account: AccountId, spender: ProcessId) -> Amount {
         self.allowances
             .get(account.index())
-            .and_then(|row| row.get(spender.index()))
-            .copied()
+            .map(|row| row.get(spender.index()))
             .unwrap_or(0)
     }
 
-    /// `totalSupply = Σ_a β(a)`; invariant under every operation.
+    /// The outstanding approvals of `account`: every `(p, α(account, p))`
+    /// with `α(account, p) > 0`, in increasing spender order. Out-of-range
+    /// accounts yield nothing.
+    ///
+    /// This is the support of the row `α(account, ·)` — the quantity the
+    /// Section 5 analysis is really about (`σ_q` is the owner plus this
+    /// set), exposed so the analysis runs in `O(e)` per account rather
+    /// than scanning all `n` processes.
+    pub fn approvals(&self, account: AccountId) -> impl Iterator<Item = (ProcessId, Amount)> + '_ {
+        self.allowances
+            .get(account.index())
+            .into_iter()
+            .flat_map(SpenderMap::iter)
+    }
+
+    /// Number of outstanding (positive) approvals on `account`.
+    pub fn approval_count(&self, account: AccountId) -> usize {
+        self.allowances
+            .get(account.index())
+            .map(SpenderMap::len)
+            .unwrap_or(0)
+    }
+
+    /// The sparse row `α(account, ·)` itself (an empty row for
+    /// out-of-range accounts) — lets the concurrent implementations clone
+    /// per-account state in `O(e)` without re-inserting entry by entry.
+    pub fn approval_row(&self, account: AccountId) -> &SpenderMap {
+        static EMPTY: SpenderMap = SpenderMap::new();
+        self.allowances.get(account.index()).unwrap_or(&EMPTY)
+    }
+
+    /// The accounts with at least one outstanding approval, in increasing
+    /// order — the only accounts whose enabled-spender set can exceed
+    /// `{ω(a)}`. Iterating these instead of all of `A` is what makes the
+    /// partition/sync-level analysis `O(outstanding approvals)`.
+    pub fn accounts_with_approvals(&self) -> impl Iterator<Item = AccountId> + '_ {
+        self.approval_index
+            .iter()
+            .map(|&i| AccountId::new(i as usize))
+    }
+
+    /// Total number of outstanding approvals `E = |{(a, p) : α(a, p) > 0}|`
+    /// across all accounts.
+    pub fn outstanding_approvals(&self) -> usize {
+        self.approval_index
+            .iter()
+            .map(|&i| self.allowances[i as usize].len())
+            .sum()
+    }
+
+    /// `totalSupply = Σ_a β(a)`; invariant under every operation. `O(1)`
+    /// via the maintained cache (debug builds assert it against the scan).
     pub fn total_supply(&self) -> Amount {
-        self.balances.iter().sum()
+        debug_assert_eq!(
+            self.supply,
+            self.balances.iter().sum::<Amount>(),
+            "total-supply cache diverged from the balance scan"
+        );
+        self.supply
     }
 
     /// Directly sets `β(account)` — test-fixture constructor aid; not an
-    /// object operation.
+    /// object operation. Adjusts the cached supply.
     ///
     /// # Panics
     ///
     /// Panics if `account` is out of range.
     pub fn set_balance(&mut self, account: AccountId, value: Amount) {
-        self.balances[account.index()] = value;
+        let slot = &mut self.balances[account.index()];
+        self.supply -= *slot;
+        self.supply += value;
+        *slot = value;
     }
 
     /// Directly sets `α(account, spender)` — test-fixture constructor aid;
@@ -108,7 +193,27 @@ impl Erc20State {
     ///
     /// Panics if either index is out of range.
     pub fn set_allowance(&mut self, account: AccountId, spender: ProcessId, value: Amount) {
-        self.allowances[account.index()][spender.index()] = value;
+        assert!(
+            spender.index() < self.balances.len(),
+            "spender {spender} out of range"
+        );
+        let row = &mut self.allowances[account.index()];
+        let was_empty = row.is_empty();
+        row.set(spender.index(), value);
+        if row.is_empty() != was_empty {
+            self.index_transition(account.index());
+        }
+    }
+
+    /// Re-syncs `approval_index` for `account` after its row crossed an
+    /// emptiness boundary.
+    fn index_transition(&mut self, account: usize) {
+        let key = u32::try_from(account).expect("account index exceeds u32::MAX");
+        if self.allowances[account].is_empty() {
+            self.approval_index.remove(&key);
+        } else {
+            self.approval_index.insert(key);
+        }
     }
 
     fn check_account(&self, account: AccountId) -> Result<(), TokenError> {
@@ -179,7 +284,7 @@ impl Erc20State {
         self.check_process(caller)?;
         self.check_account(from)?;
         self.check_account(to)?;
-        let allowance = self.allowances[from.index()][caller.index()];
+        let allowance = self.allowances[from.index()].get(caller.index());
         if allowance < value {
             return Err(TokenError::InsufficientAllowance {
                 account: from,
@@ -196,7 +301,11 @@ impl Erc20State {
                 required: value,
             });
         }
-        self.allowances[from.index()][caller.index()] -= value;
+        let row = &mut self.allowances[from.index()];
+        row.debit(caller.index(), value);
+        if row.is_empty() {
+            self.index_transition(from.index());
+        }
         self.balances[from.index()] -= value;
         self.balances[to.index()] += value;
         Ok(())
@@ -217,7 +326,12 @@ impl Erc20State {
     ) -> Result<(), TokenError> {
         self.check_process(caller)?;
         self.check_process(spender)?;
-        self.allowances[caller.index()][spender.index()] = value;
+        let row = &mut self.allowances[caller.index()];
+        let was_empty = row.is_empty();
+        row.set(spender.index(), value);
+        if row.is_empty() != was_empty {
+            self.index_transition(caller.index());
+        }
         Ok(())
     }
 }
@@ -353,5 +467,58 @@ mod tests {
         q.approve(p(1), p(0), 0).unwrap();
         q.transfer_from(p(0), a(1), a(0), 0).unwrap();
         assert_eq!(q.total_supply(), 0);
+    }
+
+    #[test]
+    fn revoked_state_equals_untouched_state() {
+        // Canonical sparse encoding: approve-then-revoke leaves no trace,
+        // so derived equality/hashing match mathematical state equality.
+        let mut q = Erc20State::with_deployer(3, p(0), 5);
+        q.approve(p(0), p(1), 4).unwrap();
+        q.approve(p(0), p(1), 0).unwrap();
+        assert_eq!(q, Erc20State::with_deployer(3, p(0), 5));
+    }
+
+    #[test]
+    fn approvals_iterator_yields_only_positive_entries() {
+        let mut q = Erc20State::with_deployer(4, p(0), 9);
+        q.approve(p(0), p(3), 2).unwrap();
+        q.approve(p(0), p(1), 7).unwrap();
+        q.approve(p(0), p(2), 1).unwrap();
+        q.approve(p(0), p(2), 0).unwrap(); // revoked
+        let got: Vec<(usize, Amount)> = q.approvals(a(0)).map(|(p, v)| (p.index(), v)).collect();
+        assert_eq!(got, vec![(1, 7), (3, 2)]);
+        assert_eq!(q.approval_count(a(0)), 2);
+        assert_eq!(q.approvals(a(9)).count(), 0); // out of range: empty
+    }
+
+    #[test]
+    fn accounts_with_approvals_tracks_support() {
+        let mut q = Erc20State::with_deployer(4, p(0), 9);
+        assert_eq!(q.accounts_with_approvals().count(), 0);
+        q.approve(p(2), p(0), 3).unwrap();
+        q.approve(p(0), p(1), 1).unwrap();
+        let with: Vec<usize> = q.accounts_with_approvals().map(|a| a.index()).collect();
+        assert_eq!(with, vec![0, 2]);
+        assert_eq!(q.outstanding_approvals(), 2);
+        q.approve(p(0), p(1), 0).unwrap();
+        assert_eq!(
+            q.accounts_with_approvals()
+                .map(|a| a.index())
+                .collect::<Vec<_>>(),
+            vec![2]
+        );
+    }
+
+    #[test]
+    fn supply_cache_survives_mutation_mix() {
+        let mut q = Erc20State::from_balances(vec![7, 2, 0]);
+        assert_eq!(q.total_supply(), 9);
+        q.transfer(p(0), a(2), 3).unwrap();
+        q.approve(p(2), p(1), 2).unwrap();
+        q.transfer_from(p(1), a(2), a(1), 2).unwrap();
+        assert_eq!(q.total_supply(), 9); // debug build re-verifies by scan
+        q.set_balance(a(1), 10);
+        assert_eq!(q.total_supply(), 9 - 4 + 10);
     }
 }

@@ -3,17 +3,20 @@
 use parking_lot::{Mutex, MutexGuard};
 use tokensync_spec::{AccountId, Amount, ProcessId};
 
-use crate::erc20::Erc20State;
+use crate::erc20::{Erc20State, SpenderMap};
 use crate::error::TokenError;
 
 use super::interface::ConcurrentToken;
 
 /// Everything owned by one account: its balance and the allowances it has
-/// granted (`α(a, ·)` is written only through `a`'s lock).
+/// granted (`α(a, ·)` is written only through `a`'s lock). The allowance
+/// row is sparse, so a cell costs `O(1 + outstanding approvals)` memory —
+/// a million idle accounts cost a few machine words each, not a row of
+/// the dense `n × n` matrix.
 #[derive(Debug)]
 struct AccountCell {
     balance: Amount,
-    allowances: Vec<Amount>,
+    allowances: SpenderMap,
 }
 
 /// An ERC20 token with per-account locking.
@@ -68,9 +71,7 @@ impl SharedErc20 {
                 let account = AccountId::new(i);
                 Mutex::new(AccountCell {
                     balance: state.balance(account),
-                    allowances: (0..n)
-                        .map(|j| state.allowance(account, ProcessId::new(j)))
-                        .collect(),
+                    allowances: state.approval_row(account).clone(),
                 })
             })
             .collect();
@@ -164,7 +165,7 @@ impl ConcurrentToken for SharedErc20 {
         self.check_account(from)?;
         self.check_account(to)?;
         let spend = |src: &mut AccountCell| -> Result<(), TokenError> {
-            let allowance = src.allowances[caller.index()];
+            let allowance = src.allowances.get(caller.index());
             if allowance < value {
                 return Err(TokenError::InsufficientAllowance {
                     account: from,
@@ -180,7 +181,7 @@ impl ConcurrentToken for SharedErc20 {
                     required: value,
                 });
             }
-            src.allowances[caller.index()] -= value;
+            src.allowances.debit(caller.index(), value);
             src.balance -= value;
             Ok(())
         };
@@ -206,7 +207,7 @@ impl ConcurrentToken for SharedErc20 {
         self.check_process(caller)?;
         self.check_process(spender)?;
         let mut cell = self.cells[caller.index()].lock();
-        cell.allowances[spender.index()] = value;
+        cell.allowances.set(spender.index(), value);
         Ok(())
     }
 
@@ -220,7 +221,7 @@ impl ConcurrentToken for SharedErc20 {
     fn allowance(&self, account: AccountId, spender: ProcessId) -> Amount {
         self.cells
             .get(account.index())
-            .and_then(|c| c.lock().allowances.get(spender.index()).copied())
+            .map(|c| c.lock().allowances.get(spender.index()))
             .unwrap_or(0)
     }
 
@@ -232,8 +233,8 @@ impl ConcurrentToken for SharedErc20 {
         let guards = self.lock_all();
         let mut state = Erc20State::from_balances(guards.iter().map(|c| c.balance).collect());
         for (i, cell) in guards.iter().enumerate() {
-            for (j, &v) in cell.allowances.iter().enumerate() {
-                state.set_allowance(AccountId::new(i), ProcessId::new(j), v);
+            for (spender, v) in cell.allowances.iter() {
+                state.set_allowance(AccountId::new(i), spender, v);
             }
         }
         state

@@ -1,0 +1,516 @@
+//! Lock-striped concurrent token: the million-account fast path.
+//!
+//! [`SharedErc20`](super::SharedErc20) buys parallelism with one mutex per
+//! account, which is perfect contention-wise but costs a mutex per account
+//! and makes the global reads (`totalSupply`, snapshots) lock all `n`
+//! cells — a full-engine stall at a million accounts. [`ShardedErc20`]
+//! keeps the parallelism where it matters (disjoint *shards* proceed in
+//! parallel; two ops conflict only when their accounts collide modulo the
+//! stripe count) while bounding the lock count by the hardware: accounts
+//! are striped across `min(n, 4 × cores)` shards.
+//!
+//! `totalSupply` needs no locks at all: every ERC20 operation conserves
+//! the supply (no mint/burn in Definition 3), so the value is fixed at
+//! construction and served from one atomic — reading it concurrently with
+//! a transfer is trivially linearizable because both shard cells of the
+//! transfer change inside one critical section that leaves the sum
+//! untouched.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::{Mutex, MutexGuard};
+use tokensync_spec::{AccountId, Amount, ProcessId};
+
+use crate::erc20::{Erc20State, SpenderMap};
+use crate::error::TokenError;
+
+use super::interface::ConcurrentToken;
+
+/// Pads each shard to its own cache line so neighbouring shard locks do
+/// not false-share under cross-core traffic.
+#[derive(Debug)]
+#[repr(align(64))]
+struct CacheLine<T>(T);
+
+/// The accounts striped onto one lock: account `i` lives in shard
+/// `i % stripe` at slot `i / stripe`.
+#[derive(Debug, Default)]
+struct Shard {
+    balances: Vec<Amount>,
+    allowances: Vec<SpenderMap>,
+}
+
+/// An ERC20 token striped across `min(n, 4 × cores)` lock shards.
+///
+/// Each operation locks only the shards of the accounts it touches, in
+/// ascending shard order (a global lock order, so no deadlock is
+/// possible):
+///
+/// * `transfer` / `transferFrom` — at most two shards;
+/// * `approve`, `allowance`, `balanceOf` — one shard;
+/// * `totalSupply` — **zero** shards (cached atomic; supply is invariant
+///   under every operation);
+/// * [`ConcurrentToken::state_snapshot`] — all shards, ascending; `O(4 ×
+///   cores)` lock acquisitions instead of the `O(n)` of the per-account
+///   design.
+///
+/// Linearizability is established empirically by the recorded-history
+/// stress tests in `shared::tests` and the proptest suite in
+/// `tests/sharded_linearizability.rs`, both through
+/// [`check_linearizable`](tokensync_spec::check_linearizable).
+///
+/// # Example
+///
+/// ```
+/// use tokensync_core::shared::{ConcurrentToken, ShardedErc20};
+/// use tokensync_spec::{AccountId, ProcessId};
+///
+/// let token = ShardedErc20::deploy(1000, ProcessId::new(0), 1_000_000);
+/// token.transfer(ProcessId::new(0), AccountId::new(999), 50)?;
+/// assert_eq!(token.balance_of(AccountId::new(999)), 50);
+/// assert_eq!(token.total_supply(), 1_000_000); // lock-free read
+/// # Ok::<(), tokensync_core::TokenError>(())
+/// ```
+#[derive(Debug)]
+pub struct ShardedErc20 {
+    shards: Vec<CacheLine<Mutex<Shard>>>,
+    /// Number of shards (a power of two); account `i` maps to shard
+    /// `i & (stripe - 1)` at slot `i >> stripe.trailing_zeros()` — shift
+    /// and mask, not division, because the stripe math sits on the hot
+    /// path of every single operation.
+    stripe: usize,
+    /// `stripe - 1`.
+    mask: usize,
+    /// `log2(stripe)`.
+    shift: u32,
+    accounts: usize,
+    /// Cached `Σ_a β(a)`; constant after construction because every
+    /// operation conserves the supply.
+    supply: AtomicU64,
+}
+
+impl ShardedErc20 {
+    /// The default stripe count: `min(n, 4 × available cores)` rounded
+    /// *down* to a power of two (so the bound is never exceeded), at
+    /// least 1.
+    ///
+    /// Four stripes per core keeps the collision probability of two random
+    /// concurrent operations low (≤ 1/4 per pair per core) without paying
+    /// for a mutex per account; the power-of-two constraint turns the
+    /// per-operation stripe math into shift/mask.
+    pub fn default_shards(n: usize) -> usize {
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let bound = n.clamp(1, 4 * cores);
+        // Largest power of two ≤ bound (bound ≥ 1, so this is well-formed).
+        1 << (usize::BITS - 1 - bound.leading_zeros())
+    }
+
+    /// Deploys a fresh token (deployer holds the whole supply) over the
+    /// default stripe count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deployer.index() >= n`.
+    pub fn deploy(n: usize, deployer: ProcessId, total_supply: Amount) -> Self {
+        Self::from_state(Erc20State::with_deployer(n, deployer, total_supply))
+    }
+
+    /// Wraps an arbitrary starting state (the paper's `T_q`) over the
+    /// default stripe count.
+    pub fn from_state(state: Erc20State) -> Self {
+        let stripe = Self::default_shards(state.accounts());
+        Self::with_shards(state, stripe)
+    }
+
+    /// Wraps `state` over an explicit number of shards (tests exercise
+    /// degenerate stripings; benchmarks sweep the knob).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or not a power of two.
+    pub fn with_shards(state: Erc20State, shards: usize) -> Self {
+        assert!(
+            shards.is_power_of_two(),
+            "shard count must be a power of two (got {shards})"
+        );
+        let n = state.accounts();
+        let supply = state.total_supply();
+        // Shard s holds accounts s, s + stripe, s + 2·stripe, …
+        let mut built: Vec<Shard> = (0..shards)
+            .map(|_| Shard {
+                balances: Vec::with_capacity(n / shards + 1),
+                allowances: Vec::with_capacity(n / shards + 1),
+            })
+            .collect();
+        for i in 0..n {
+            let account = AccountId::new(i);
+            let shard = &mut built[i % shards];
+            shard.balances.push(state.balance(account));
+            shard.allowances.push(state.approval_row(account).clone());
+        }
+        Self {
+            shards: built
+                .into_iter()
+                .map(|s| CacheLine(Mutex::new(s)))
+                .collect(),
+            stripe: shards,
+            mask: shards - 1,
+            shift: shards.trailing_zeros(),
+            accounts: n,
+            supply: AtomicU64::new(supply),
+        }
+    }
+
+    /// The stripe count (diagnostic; benchmarks record it).
+    pub fn shard_count(&self) -> usize {
+        self.stripe
+    }
+
+    #[inline]
+    fn shard_of(&self, account: usize) -> usize {
+        account & self.mask
+    }
+
+    #[inline]
+    fn slot_of(&self, account: usize) -> usize {
+        account >> self.shift
+    }
+
+    fn check_account(&self, account: AccountId) -> Result<(), TokenError> {
+        if account.index() < self.accounts {
+            Ok(())
+        } else {
+            Err(TokenError::UnknownAccount { account })
+        }
+    }
+
+    fn check_process(&self, process: ProcessId) -> Result<(), TokenError> {
+        if process.index() < self.accounts {
+            Ok(())
+        } else {
+            Err(TokenError::UnknownProcess { process })
+        }
+    }
+
+    /// Locks every shard in ascending order (snapshot only).
+    fn lock_all(&self) -> Vec<MutexGuard<'_, Shard>> {
+        self.shards.iter().map(|s| s.0.lock()).collect()
+    }
+}
+
+impl ConcurrentToken for ShardedErc20 {
+    fn accounts(&self) -> usize {
+        self.accounts
+    }
+
+    fn transfer(&self, caller: ProcessId, to: AccountId, value: Amount) -> Result<(), TokenError> {
+        self.check_process(caller)?;
+        self.check_account(to)?;
+        let from = caller.own_account();
+        // Hot path: written as straight-line indexed code — no closures,
+        // no simultaneous-borrow gymnastics — because at tens of millions
+        // of ops per second every saved branch shows up in the baseline.
+        let (fs, ts) = (self.shard_of(from.index()), self.shard_of(to.index()));
+        let (fi, ti) = (self.slot_of(from.index()), self.slot_of(to.index()));
+        if fs == ts {
+            // Covers from == to as well (fi == ti debits then credits the
+            // same slot: checked, then a net no-op — the ERC20 semantics).
+            let shard = &mut *self.shards[fs].0.lock();
+            let balance = shard.balances[fi];
+            if balance < value {
+                return Err(TokenError::InsufficientBalance {
+                    account: from,
+                    balance,
+                    required: value,
+                });
+            }
+            shard.balances[fi] = balance - value;
+            shard.balances[ti] += value;
+        } else {
+            let (lo, hi) = (fs.min(ts), fs.max(ts));
+            let mut lo_guard = self.shards[lo].0.lock();
+            let mut hi_guard = self.shards[hi].0.lock();
+            let (src, dst) = if fs == lo {
+                (&mut *lo_guard, &mut *hi_guard)
+            } else {
+                (&mut *hi_guard, &mut *lo_guard)
+            };
+            let balance = src.balances[fi];
+            if balance < value {
+                return Err(TokenError::InsufficientBalance {
+                    account: from,
+                    balance,
+                    required: value,
+                });
+            }
+            src.balances[fi] = balance - value;
+            dst.balances[ti] += value;
+        }
+        Ok(())
+    }
+
+    fn transfer_from(
+        &self,
+        caller: ProcessId,
+        from: AccountId,
+        to: AccountId,
+        value: Amount,
+    ) -> Result<(), TokenError> {
+        self.check_process(caller)?;
+        self.check_account(from)?;
+        self.check_account(to)?;
+        let spend = |balance: &mut Amount, allowances: &mut SpenderMap| {
+            let allowance = allowances.get(caller.index());
+            if allowance < value {
+                return Err(TokenError::InsufficientAllowance {
+                    account: from,
+                    spender: caller,
+                    allowance,
+                    required: value,
+                });
+            }
+            if *balance < value {
+                return Err(TokenError::InsufficientBalance {
+                    account: from,
+                    balance: *balance,
+                    required: value,
+                });
+            }
+            allowances.debit(caller.index(), value);
+            *balance -= value;
+            Ok(())
+        };
+        let (fs, ts) = (self.shard_of(from.index()), self.shard_of(to.index()));
+        let (fi, ti) = (self.slot_of(from.index()), self.slot_of(to.index()));
+        if fs == ts {
+            // Covers from == to as well: spend debits the one cell, then
+            // the credit lands back on it (allowance burned, balance kept).
+            let shard = &mut *self.shards[fs].0.lock();
+            let (balances, allowances) = (&mut shard.balances, &mut shard.allowances);
+            spend(&mut balances[fi], &mut allowances[fi])?;
+            balances[ti] += value;
+        } else {
+            let (lo, hi) = (fs.min(ts), fs.max(ts));
+            let mut lo_guard = self.shards[lo].0.lock();
+            let mut hi_guard = self.shards[hi].0.lock();
+            let (src, dst) = if fs == lo {
+                (&mut *lo_guard, &mut *hi_guard)
+            } else {
+                (&mut *hi_guard, &mut *lo_guard)
+            };
+            spend(&mut src.balances[fi], &mut src.allowances[fi])?;
+            dst.balances[ti] += value;
+        }
+        Ok(())
+    }
+
+    fn approve(
+        &self,
+        caller: ProcessId,
+        spender: ProcessId,
+        value: Amount,
+    ) -> Result<(), TokenError> {
+        self.check_process(caller)?;
+        self.check_process(spender)?;
+        let account = caller.own_account();
+        let mut shard = self.shards[self.shard_of(account.index())].0.lock();
+        let slot = self.slot_of(account.index());
+        shard.allowances[slot].set(spender.index(), value);
+        Ok(())
+    }
+
+    fn balance_of(&self, account: AccountId) -> Amount {
+        if account.index() >= self.accounts {
+            return 0;
+        }
+        let shard = self.shards[self.shard_of(account.index())].0.lock();
+        shard.balances[self.slot_of(account.index())]
+    }
+
+    fn allowance(&self, account: AccountId, spender: ProcessId) -> Amount {
+        if account.index() >= self.accounts {
+            return 0;
+        }
+        let shard = self.shards[self.shard_of(account.index())].0.lock();
+        shard.allowances[self.slot_of(account.index())].get(spender.index())
+    }
+
+    fn total_supply(&self) -> Amount {
+        // Supply is invariant under Δ, so the constructor-time value is the
+        // value at every linearization point; no lock needed. Relaxed is
+        // enough: the atomic is written once, before the object is shared.
+        self.supply.load(Ordering::Relaxed)
+    }
+
+    fn state_snapshot(&self) -> Erc20State {
+        let guards = self.lock_all();
+        let mut balances = vec![0; self.accounts];
+        for i in 0..self.accounts {
+            balances[i] = guards[self.shard_of(i)].balances[self.slot_of(i)];
+        }
+        let mut state = Erc20State::from_balances(balances);
+        for i in 0..self.accounts {
+            let shard = &guards[self.shard_of(i)];
+            for (spender, v) in shard.allowances[self.slot_of(i)].iter() {
+                state.set_allowance(AccountId::new(i), spender, v);
+            }
+        }
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn a(i: usize) -> AccountId {
+        AccountId::new(i)
+    }
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn basic_flow_matches_spec() {
+        for shards in [1, 2, 4, 8] {
+            let t = ShardedErc20::with_shards(Erc20State::with_deployer(3, p(0), 10), shards);
+            t.transfer(p(0), a(1), 3).unwrap();
+            t.approve(p(1), p(2), 5).unwrap();
+            assert!(t.transfer_from(p(2), a(1), a(2), 5).is_err());
+            t.transfer_from(p(2), a(1), a(0), 1).unwrap();
+            assert_eq!(t.balance_of(a(0)), 8, "shards={shards}");
+            assert_eq!(t.balance_of(a(1)), 2);
+            assert_eq!(t.allowance(a(1), p(2)), 4);
+            assert_eq!(t.total_supply(), 10);
+        }
+    }
+
+    #[test]
+    fn self_transfer_preserves_balance() {
+        let t = ShardedErc20::with_shards(Erc20State::with_deployer(2, p(0), 5), 2);
+        t.transfer(p(0), a(0), 3).unwrap();
+        assert_eq!(t.balance_of(a(0)), 5);
+        assert!(matches!(
+            t.transfer(p(0), a(0), 9),
+            Err(TokenError::InsufficientBalance { .. })
+        ));
+    }
+
+    #[test]
+    fn self_transfer_from_preserves_balance_burns_allowance() {
+        for shards in [1, 2, 4] {
+            let t = ShardedErc20::with_shards(Erc20State::with_deployer(2, p(0), 5), shards);
+            t.approve(p(0), p(1), 3).unwrap();
+            t.transfer_from(p(1), a(0), a(0), 2).unwrap();
+            assert_eq!(t.balance_of(a(0)), 5, "shards={shards}");
+            assert_eq!(t.allowance(a(0), p(1)), 1);
+        }
+    }
+
+    #[test]
+    fn same_shard_distinct_accounts_transfer() {
+        // Accounts 0 and 2 collide in shard 0 of a 2-stripe token.
+        let t = ShardedErc20::with_shards(Erc20State::with_deployer(4, p(0), 10), 2);
+        t.transfer(p(0), a(2), 4).unwrap();
+        assert_eq!(t.balance_of(a(0)), 6);
+        assert_eq!(t.balance_of(a(2)), 4);
+        // And the reverse direction (source slot above destination slot).
+        t.transfer(p(2), a(0), 1).unwrap();
+        assert_eq!((t.balance_of(a(0)), t.balance_of(a(2))), (7, 3));
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_from_state() {
+        let t = ShardedErc20::with_shards(Erc20State::with_deployer(5, p(1), 9), 2);
+        t.approve(p(1), p(0), 4).unwrap();
+        t.transfer(p(1), a(4), 2).unwrap();
+        let snap = t.state_snapshot();
+        let t2 = ShardedErc20::with_shards(snap.clone(), 4);
+        assert_eq!(t2.state_snapshot(), snap);
+        assert_eq!(snap.total_supply(), 9);
+    }
+
+    #[test]
+    fn draining_race_admits_exactly_one_winner() {
+        for _ in 0..200 {
+            let t = Arc::new(ShardedErc20::with_shards(
+                {
+                    let mut q = Erc20State::from_balances(vec![10, 0, 0]);
+                    q.set_allowance(a(0), p(1), 6);
+                    q.set_allowance(a(0), p(2), 7);
+                    q
+                },
+                2,
+            ));
+            let mut wins = 0;
+            crossbeam::scope(|s| {
+                let handles: Vec<_> = [(1usize, 6u64), (2, 7)]
+                    .into_iter()
+                    .map(|(i, amount)| {
+                        let t = Arc::clone(&t);
+                        s.spawn(move |_| t.transfer_from(p(i), a(0), a(i), amount).is_ok())
+                    })
+                    .collect();
+                for h in handles {
+                    if h.join().unwrap() {
+                        wins += 1;
+                    }
+                }
+            })
+            .unwrap();
+            assert_eq!(wins, 1);
+        }
+    }
+
+    #[test]
+    fn total_supply_is_lock_free_and_stable_under_traffic() {
+        let t = Arc::new(ShardedErc20::with_shards(
+            Erc20State::from_balances(vec![50; 8]),
+            4,
+        ));
+        crossbeam::scope(|s| {
+            for i in 0..4 {
+                let t = Arc::clone(&t);
+                s.spawn(move |_| {
+                    for j in 0..200 {
+                        let _ = t.transfer(p(i), a((i + j) % 8), 1 + (j as u64 % 3));
+                        assert_eq!(t.total_supply(), 400);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(t.state_snapshot().total_supply(), 400);
+    }
+
+    #[test]
+    fn unknown_ids_error() {
+        let t = ShardedErc20::deploy(1, p(0), 1);
+        assert!(matches!(
+            t.transfer(p(0), a(4), 1),
+            Err(TokenError::UnknownAccount { .. })
+        ));
+        assert!(matches!(
+            t.approve(p(0), p(4), 1),
+            Err(TokenError::UnknownProcess { .. })
+        ));
+        assert_eq!(t.balance_of(a(4)), 0);
+        assert_eq!(t.allowance(a(4), p(0)), 0);
+    }
+
+    #[test]
+    fn default_shards_bounded_by_accounts_and_cores() {
+        assert_eq!(ShardedErc20::default_shards(0), 1);
+        assert_eq!(ShardedErc20::default_shards(1), 1);
+        assert_eq!(ShardedErc20::default_shards(2), 2);
+        assert_eq!(ShardedErc20::default_shards(3), 2); // rounded down: never > n
+        let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+        let got = ShardedErc20::default_shards(1_000_000);
+        assert!(got.is_power_of_two());
+        assert!(got <= 4 * cores, "stripe count exceeds the 4×cores bound");
+        assert!(2 * got > 4 * cores, "stripe count needlessly small");
+    }
+}

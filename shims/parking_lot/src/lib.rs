@@ -3,60 +3,121 @@
 //! The build environment has no registry access, so the workspace vendors
 //! the subset of the `parking_lot 0.12` API its members use: [`Mutex`],
 //! [`MutexGuard`], [`RwLock`] and its guards, with `parking_lot`'s
-//! non-poisoning semantics layered over `std::sync`. A panicking critical
-//! section simply releases the lock (poison is swallowed via
-//! `PoisonError::into_inner`), which matches what the concurrent-token
-//! implementations in `tokensync-core` assume.
+//! non-poisoning semantics. A panicking critical section simply releases
+//! the lock, which matches what the concurrent-token implementations in
+//! `tokensync-core` assume.
+//!
+//! Like the real `parking_lot`, [`Mutex`] is *not* a wrapper over
+//! `std::sync::Mutex`: it is a word-sized test-and-test-and-set lock with
+//! an inline uncontended fast path (one `compare_exchange` to lock, one
+//! store to unlock), a short bounded spin for the
+//! released-a-few-cycles-ago case, and an OS yield once spinning stops
+//! paying. Critical sections in this workspace are a few nanoseconds (a
+//! balance update, an allowance-row edit), so the fast path is the whole
+//! story and the heavyweight futex/poison machinery of `std` is
+//! measurable overhead — the shim exists to keep lock cost out of the
+//! benchmark signal, exactly like its upstream.
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
+use std::cell::UnsafeCell;
 use std::fmt;
+use std::marker::PhantomData;
 use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::PoisonError;
 
 /// A mutual-exclusion lock with `parking_lot`'s non-poisoning `lock()`.
 pub struct Mutex<T: ?Sized> {
-    inner: std::sync::Mutex<T>,
+    locked: AtomicBool,
+    value: UnsafeCell<T>,
 }
+
+// Safety: the lock protocol guarantees at most one `MutexGuard` exists at
+// a time, so handing `&mut T` across threads is exclusive; `T: Send` is
+// required exactly as for `std::sync::Mutex`.
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
 
 impl<T> Mutex<T> {
     /// Create a new mutex guarding `value`.
     pub const fn new(value: T) -> Self {
         Mutex {
-            inner: std::sync::Mutex::new(value),
+            locked: AtomicBool::new(false),
+            value: UnsafeCell::new(value),
         }
     }
 
     /// Consume the mutex and return the guarded value.
     pub fn into_inner(self) -> T {
-        self.inner
-            .into_inner()
-            .unwrap_or_else(PoisonError::into_inner)
+        self.value.into_inner()
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking until it is available.
+    #[inline]
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        if self
+            .locked
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            self.lock_contended();
+        }
         MutexGuard {
-            inner: self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+            lock: self,
+            _not_auto_send_sync: PhantomData,
+        }
+    }
+
+    /// The slow path: spin briefly on a relaxed read (test-and-test-and-
+    /// set keeps the cache line shared while the lock is held), then
+    /// yield to the scheduler — on an oversubscribed core the holder
+    /// cannot progress until we do.
+    #[cold]
+    fn lock_contended(&self) {
+        let mut spins = 0u32;
+        loop {
+            if !self.locked.load(Ordering::Relaxed)
+                && self
+                    .locked
+                    .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return;
+            }
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
         }
     }
 
     /// Acquire the lock if it is free, without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(guard) => Some(MutexGuard { inner: guard }),
-            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
-                inner: e.into_inner(),
-            }),
-            Err(std::sync::TryLockError::WouldBlock) => None,
+        // NOT `then_some`: its argument is built eagerly, and a guard
+        // constructed on the failure path would unlock the mutex (for the
+        // thread that actually holds it) when dropped.
+        if self
+            .locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            Some(MutexGuard {
+                lock: self,
+                _not_auto_send_sync: PhantomData,
+            })
+        } else {
+            None
         }
     }
 
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
-        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+        self.value.get_mut()
     }
 }
 
@@ -77,19 +138,44 @@ impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
 
 /// RAII guard returned by [`Mutex::lock`].
 pub struct MutexGuard<'a, T: ?Sized> {
-    inner: std::sync::MutexGuard<'a, T>,
+    lock: &'a Mutex<T>,
+    /// Suppresses the auto `Send`/`Sync` impls (the raw-pointer marker is
+    /// neither): without this, `&Mutex<T>` being `Sync` for every
+    /// `T: Send` would leak an auto-`Sync` guard over non-`Sync` payloads
+    /// like `Cell`, letting safe code alias them across threads. The
+    /// explicit impl below restores `Sync` exactly when `T: Sync`,
+    /// matching `std` and real `parking_lot`.
+    _not_auto_send_sync: PhantomData<*const ()>,
+}
+
+// Safety: a shared guard only hands out `&T`, which is safe to share
+// across threads precisely when `T: Sync`.
+unsafe impl<T: ?Sized + Sync> Sync for MutexGuard<'_, T> {}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    #[inline]
+    fn drop(&mut self) {
+        // Release on drop — including unwinds: a panicking critical
+        // section frees the lock (parking_lot semantics, no poisoning).
+        self.lock.locked.store(false, Ordering::Release);
+    }
 }
 
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
+    #[inline]
     fn deref(&self) -> &T {
-        &self.inner
+        // Safety: constructing a guard requires winning the lock, so
+        // access is exclusive until `drop`.
+        unsafe { &*self.lock.value.get() }
     }
 }
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    #[inline]
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.inner
+        // Safety: as for `deref`.
+        unsafe { &mut *self.lock.value.get() }
     }
 }
 
@@ -100,6 +186,10 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
 }
 
 /// A reader-writer lock with `parking_lot`'s non-poisoning accessors.
+///
+/// Reader-writer state is not on any benchmark's hot path, so this one
+/// stays a thin layer over `std::sync::RwLock` (poison swallowed via
+/// [`PoisonError::into_inner`]).
 pub struct RwLock<T: ?Sized> {
     inner: std::sync::RwLock<T>,
 }
@@ -200,35 +290,70 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockWriteGuard<'_, T> {
 
 #[cfg(test)]
 mod tests {
-    use super::{Mutex, RwLock};
+    use super::*;
     use std::sync::Arc;
 
     #[test]
-    fn mutex_roundtrip() {
-        let m = Mutex::new(1u32);
-        *m.lock() += 41;
-        assert_eq!(*m.lock(), 42);
-        assert_eq!(m.into_inner(), 42);
+    fn mutex_mutual_exclusion_under_threads() {
+        let counter = Arc::new(Mutex::new(0u64));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let counter = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    *counter.lock() += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*counter.lock(), 40_000);
+    }
+
+    #[test]
+    fn mutex_released_on_panic() {
+        let lock = Arc::new(Mutex::new(5));
+        let inner = Arc::clone(&lock);
+        let _ = std::thread::spawn(move || {
+            let _guard = inner.lock();
+            panic!("poisoning should not stick");
+        })
+        .join();
+        // parking_lot semantics: the lock is free again, value intact.
+        assert_eq!(*lock.lock(), 5);
+    }
+
+    #[test]
+    fn try_lock_reports_contention() {
+        let lock = Mutex::new(1);
+        let guard = lock.lock();
+        assert!(lock.try_lock().is_none());
+        // The failed attempt must not have released the held lock.
+        assert!(lock.try_lock().is_none());
+        drop(guard);
+        assert_eq!(*lock.try_lock().unwrap(), 1);
+    }
+
+    #[test]
+    fn into_inner_and_get_mut() {
+        let mut lock = Mutex::new(7);
+        *lock.get_mut() += 1;
+        assert_eq!(lock.into_inner(), 8);
     }
 
     #[test]
     fn rwlock_roundtrip() {
-        let l = RwLock::new(vec![1, 2]);
-        l.write().push(3);
-        assert_eq!(l.read().len(), 3);
-    }
-
-    #[test]
-    fn lock_survives_panicking_holder() {
-        let m = Arc::new(Mutex::new(0u32));
-        let m2 = Arc::clone(&m);
-        let _ = std::thread::spawn(move || {
-            let _guard = m2.lock();
-            panic!("poison attempt");
-        })
-        .join();
-        // parking_lot semantics: no poison, the next lock() succeeds.
-        *m.lock() += 1;
-        assert_eq!(*m.lock(), 1);
+        let lock = RwLock::new(3);
+        {
+            let r1 = lock.read();
+            let r2 = lock.read(); // concurrent readers allowed
+            assert_eq!(*r1 + *r2, 6);
+        }
+        *lock.write() += 1;
+        assert_eq!(*lock.read(), 4);
+        let mut second = RwLock::new(1);
+        *second.get_mut() += 1;
+        assert_eq!(second.into_inner(), 2);
     }
 }
