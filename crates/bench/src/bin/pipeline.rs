@@ -1,0 +1,312 @@
+//! **`pipeline`** — the reproducible pipeline baseline behind
+//! `BENCH_pipeline.json`.
+//!
+//! Compares three execution paths over the same workloads and initial
+//! states:
+//!
+//! * `coarse-direct` — threads hammer the one-big-lock token directly;
+//! * `sharded-direct` — threads hammer the lock-striped token directly
+//!   (the PR-2 fast path: parallel, but blind to commutativity — every
+//!   op still takes its shard locks, conflicts just collide there);
+//! * `pipeline` — the commutativity-aware engine over the sharded token:
+//!   batches are conflict-analyzed, commuting ops execute in parallel
+//!   waves, conflicting ops serialize deterministically, and a commit
+//!   log records the linearization.
+//!
+//! Three regimes at n ∈ {1k, 1M}: `disjoint` (owner-disjoint transfers —
+//! the consensus-free fast path, where the pipeline should report wave
+//! parallelism ≈ batch size), `zipf` (hot-account mixed traffic), and
+//! `hotrow` (k spenders racing one shared allowance row — the `Q_k`
+//! regime where almost nothing commutes and the serial lane dominates).
+//! For the pipeline rows the JSON also records the measured wave
+//! parallelism and serial fraction, so the conflict-dependence of the
+//! engine is visible in the artifact, not just its throughput.
+//!
+//! ```sh
+//! cargo run --release -p tokensync-bench --bin pipeline             # full (includes n = 1M)
+//! cargo run --release -p tokensync-bench --bin pipeline -- --quick  # CI smoke: n <= 1k
+//! cargo run --release -p tokensync-bench --bin pipeline -- --out path.json
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use tokensync_bench::harness::run_split;
+use tokensync_bench::workloads::{
+    disjoint_transfers, funded_state, hot_row_ops, hot_row_state, zipf_ops,
+};
+use tokensync_core::erc20::{Erc20Op, Erc20State};
+use tokensync_core::shared::{CoarseErc20, ConcurrentToken, ShardedErc20};
+use tokensync_pipeline::{run_script, BatchConfig, PipelineConfig, PipelineStats, ScheduleConfig};
+use tokensync_spec::ProcessId;
+
+/// Zipf skew of the mixed regime (the YCSB hot-spot default).
+const THETA: f64 = 0.99;
+/// Spenders contending on the hot allowance row.
+const HOT_SPENDERS: usize = 8;
+/// Worker threads for the direct paths and the pipeline's wave pool.
+const THREADS: usize = 4;
+/// Timed repetitions per cell (min taken, scheduler noise stripped).
+const REPS: usize = 3;
+
+struct Cell {
+    n: usize,
+    regime: &'static str,
+    path: &'static str,
+    ops: usize,
+    run_ms: f64,
+    ops_per_sec: f64,
+    /// Pipeline-only scheduling counters (None for the direct paths).
+    pipeline: Option<PipelineStats>,
+}
+
+fn ms(from: Instant) -> f64 {
+    from.elapsed().as_secs_f64() * 1e3
+}
+
+fn measure_direct<T: ConcurrentToken>(
+    path: &'static str,
+    regime: &'static str,
+    build: impl Fn(Erc20State) -> T,
+    initial: &Erc20State,
+    workload: &[(ProcessId, Erc20Op)],
+    out: &mut Vec<Cell>,
+) {
+    let supply = initial.total_supply();
+    let mut run_ms = f64::INFINITY;
+    for _ in 0..REPS {
+        let token = Arc::new(build(initial.clone()));
+        let start = Instant::now();
+        run_split(&token, workload, THREADS);
+        run_ms = run_ms.min(ms(start));
+        assert_eq!(
+            token.state_snapshot().total_supply(),
+            supply,
+            "{path}/{regime} lost tokens"
+        );
+    }
+    push_cell(
+        out,
+        initial.accounts(),
+        regime,
+        path,
+        workload.len(),
+        run_ms,
+        None,
+    );
+}
+
+fn measure_pipeline(
+    regime: &'static str,
+    initial: &Erc20State,
+    workload: &[(ProcessId, Erc20Op)],
+    batch: usize,
+    out: &mut Vec<Cell>,
+) {
+    let supply = initial.total_supply();
+    let cfg = PipelineConfig {
+        batch: BatchConfig {
+            max_ops: batch,
+            ..BatchConfig::default()
+        },
+        schedule: ScheduleConfig::default(),
+        exec: tokensync_pipeline::ExecConfig {
+            workers: THREADS,
+            ..tokensync_pipeline::ExecConfig::default()
+        },
+    };
+    let mut run_ms = f64::INFINITY;
+    let mut stats = PipelineStats::default();
+    for _ in 0..REPS {
+        let token = ShardedErc20::from_state(initial.clone());
+        let start = Instant::now();
+        let run = run_script(&token, workload, &cfg);
+        run_ms = run_ms.min(ms(start));
+        assert_eq!(
+            token.state_snapshot().total_supply(),
+            supply,
+            "pipeline/{regime} lost tokens"
+        );
+        assert_eq!(run.stats.ops as usize, workload.len(), "ops dropped");
+        stats = run.stats;
+    }
+    push_cell(
+        out,
+        initial.accounts(),
+        regime,
+        "pipeline",
+        workload.len(),
+        run_ms,
+        Some(stats),
+    );
+}
+
+fn push_cell(
+    out: &mut Vec<Cell>,
+    n: usize,
+    regime: &'static str,
+    path: &'static str,
+    ops: usize,
+    run_ms: f64,
+    pipeline: Option<PipelineStats>,
+) {
+    let cell = Cell {
+        n,
+        regime,
+        path,
+        ops,
+        run_ms,
+        ops_per_sec: ops as f64 / (run_ms / 1e3),
+        pipeline,
+    };
+    let extra = cell
+        .pipeline
+        .map(|s| {
+            format!(
+                " waves/batch={:.1} wave-par={:.1} serial={:.0}%",
+                s.waves as f64 / s.batches.max(1) as f64,
+                s.wave_parallelism(),
+                100.0 * s.serial_fraction()
+            )
+        })
+        .unwrap_or_default();
+    eprintln!(
+        "  n={:>9} {:>8} {:>14} run={:>9.1}ms {:>12.0} ops/s{}",
+        cell.n, cell.regime, cell.path, cell.run_ms, cell.ops_per_sec, extra
+    );
+    out.push(cell);
+}
+
+fn write_json(path: &str, quick: bool, batch_1k: usize, cells: &[Cell]) {
+    let mut rows = String::new();
+    for (i, c) in cells.iter().enumerate() {
+        let sep = if i + 1 < cells.len() { "," } else { "" };
+        let pipeline = c
+            .pipeline
+            .map(|s| {
+                format!(
+                    ", \"wave_parallelism\": {:.2}, \"serial_fraction\": {:.4}, \
+                     \"waves\": {}, \"batches\": {}",
+                    s.wave_parallelism(),
+                    s.serial_fraction(),
+                    s.waves,
+                    s.batches
+                )
+            })
+            .unwrap_or_default();
+        rows.push_str(&format!(
+            "    {{\"n\": {}, \"regime\": \"{}\", \"path\": \"{}\", \"ops\": {}, \
+             \"run_ms\": {:.3}, \"ops_per_sec\": {:.0}{}}}{}\n",
+            c.n, c.regime, c.path, c.ops, c.run_ms, c.ops_per_sec, pipeline, sep
+        ));
+    }
+    // Summary: pipeline speedup over each direct path, per (n, regime).
+    let mut summary = String::new();
+    let mut keys: Vec<(usize, &'static str)> = cells.iter().map(|c| (c.n, c.regime)).collect();
+    keys.dedup();
+    for (i, &(n, regime)) in keys.iter().enumerate() {
+        let find = |path: &str| {
+            cells
+                .iter()
+                .find(|c| c.n == n && c.regime == regime && c.path == path)
+                .expect("cell grid is complete")
+        };
+        let p = find("pipeline");
+        let sep = if i + 1 < keys.len() { "," } else { "" };
+        summary.push_str(&format!(
+            "    {{\"n\": {n}, \"regime\": \"{regime}\", \
+             \"pipeline_over_coarse\": {:.3}, \"pipeline_over_sharded\": {:.3}, \
+             \"wave_parallelism\": {:.2}}}{sep}\n",
+            p.ops_per_sec / find("coarse-direct").ops_per_sec,
+            p.ops_per_sec / find("sharded-direct").ops_per_sec,
+            p.pipeline.map(|s| s.wave_parallelism()).unwrap_or(0.0),
+        ));
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    // Same caveat as BENCH_baseline.json: on a single-core host the wave
+    // pool time-slices one CPU, so the pipeline rows can only show the
+    // scheduling overhead and the *measured* parallelism it exposes, not
+    // the wall-clock win of executing a wave on real parallel hardware.
+    let note = if cores == 1 {
+        "\n  \"note\": \"single-core host: wave workers time-slice one CPU, so \
+         pipeline ratios reflect scheduling overhead; the parallel win needs \
+         the multi-core CI artifact\","
+    } else {
+        ""
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"pipeline\",\n  \"config\": {{\"quick\": {quick}, \
+         \"theta\": {THETA}, \"hot_spenders\": {HOT_SPENDERS}, \"threads\": {THREADS}, \
+         \"batch_1k\": {batch_1k}, \"cores\": {cores}}},{note}\n  \
+         \"runs\": [\n{rows}  ],\n  \"summary\": [\n{summary}  ]\n}}\n"
+    );
+    std::fs::write(path, json).expect("write benchmark JSON");
+    eprintln!("wrote {path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_pipeline.json")
+        .to_owned();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: pipeline [--quick] [--out PATH]");
+        return;
+    }
+
+    let sizes: &[(usize, usize)] = if quick {
+        &[(64, 20_000), (1_000, 50_000)]
+    } else {
+        &[(1_000, 1_000_000), (1_000_000, 1_000_000)]
+    };
+
+    let mut cells = Vec::new();
+    let mut batch_1k = 0usize;
+    for &(n, ops) in sizes {
+        // Batch bounded by n/2 so a disjoint-regime batch can be fully
+        // conflict-free (the generator's window guarantee).
+        let batch = (n / 2).clamp(1, 1024);
+        if n == 1_000 {
+            batch_1k = batch;
+        }
+        eprintln!("generating workloads: n={n}, ops={ops}, batch={batch}");
+        let regimes: [(&'static str, Erc20State, Vec<(ProcessId, Erc20Op)>); 3] = [
+            (
+                "disjoint",
+                funded_state(n),
+                disjoint_transfers(n, ops, 0xD15),
+            ),
+            ("zipf", funded_state(n), zipf_ops(n, ops, 0xBA5E, THETA)),
+            (
+                "hotrow",
+                hot_row_state(n, HOT_SPENDERS),
+                hot_row_ops(n, ops, 0x407, HOT_SPENDERS),
+            ),
+        ];
+        for (regime, initial, workload) in regimes {
+            measure_direct(
+                "coarse-direct",
+                regime,
+                CoarseErc20::from_state,
+                &initial,
+                &workload,
+                &mut cells,
+            );
+            measure_direct(
+                "sharded-direct",
+                regime,
+                ShardedErc20::from_state,
+                &initial,
+                &workload,
+                &mut cells,
+            );
+            measure_pipeline(regime, &initial, &workload, batch, &mut cells);
+        }
+    }
+    write_json(&out, quick, batch_1k, &cells);
+}

@@ -154,6 +154,112 @@ pub fn funded_state(n: usize) -> Erc20State {
     state
 }
 
+/// Fully commuting traffic: each op is a `Transfer` whose caller is one
+/// of the first `n/2` accounts and whose destination is the caller's
+/// partner in the second half, so any window of up to `n/2` consecutive
+/// ops has pairwise disjoint footprints (distinct sources, distinct
+/// sinks, sources ∩ sinks = ∅). This is the owner-disjoint regime the
+/// paper says needs no synchronization at all — the batched pipeline
+/// should schedule an entire batch into one wave.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn disjoint_transfers(n: usize, ops: usize, seed: u64) -> Vec<(ProcessId, Erc20Op)> {
+    assert!(n >= 2, "need at least one (source, sink) pair");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let half = n / 2;
+    (0..ops)
+        .map(|i| {
+            let src = i % half;
+            (
+                ProcessId::new(src),
+                Erc20Op::Transfer {
+                    to: AccountId::new(half + src),
+                    value: rng.gen_range(0..3),
+                },
+            )
+        })
+        .collect()
+}
+
+/// A starting state for the hot-row regime: every account funded, and
+/// spenders `1..=k` each holding a large allowance on account 0 — the
+/// shared allowance row whose enabled-spender set `σ_q(0)` has size
+/// `k + 1`, i.e. a state deep in the paper's partition class `Q_{k+1}`.
+///
+/// # Panics
+///
+/// Panics if `k >= n`.
+pub fn hot_row_state(n: usize, k: usize) -> Erc20State {
+    assert!(k < n, "need k contending spenders besides the owner");
+    let mut state = funded_state(n);
+    for sp in 1..=k {
+        state.set_allowance(AccountId::new(0), ProcessId::new(sp), 1_000_000);
+    }
+    state
+}
+
+/// The high-conflict regime the commuting fast path cannot help with:
+/// ~70% `transferFrom`s racing on account 0's allowance row issued by
+/// its `k` contending spenders, ~10% re-`approve`s of that row by the
+/// owner (the Theorem 3 Case 4 race), ~20% background owner-disjoint
+/// transfers among the cold accounts. Start it from
+/// [`hot_row_state`]`(n, k)` so the spenders are enabled.
+///
+/// # Panics
+///
+/// Panics if `k + 1 >= n` (need at least one cold account).
+pub fn hot_row_ops(n: usize, ops: usize, seed: u64, k: usize) -> Vec<(ProcessId, Erc20Op)> {
+    assert!(k >= 1, "need at least one contending spender");
+    assert!(k + 1 < n, "need cold accounts behind the hot row");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spender = |rng: &mut StdRng| 1 + rng.gen_range(0..k);
+    (0..ops)
+        .map(|_| match rng.gen_range(0..10) {
+            0..=6 => {
+                let caller = spender(&mut rng);
+                let mut to = rng.gen_range(0..n);
+                if to == 0 {
+                    to = 1 + rng.gen_range(0..n - 1);
+                }
+                (
+                    ProcessId::new(caller),
+                    Erc20Op::TransferFrom {
+                        from: AccountId::new(0),
+                        to: AccountId::new(to),
+                        value: rng.gen_range(0..3),
+                    },
+                )
+            }
+            7 => (
+                ProcessId::new(0),
+                Erc20Op::Approve {
+                    spender: ProcessId::new(spender(&mut rng)),
+                    value: rng.gen_range(0..1_000_000),
+                },
+            ),
+            _ => {
+                // Cold background: transfers among accounts k+1..n, never
+                // touching the hot row.
+                let cold = n - k - 1;
+                let src = k + 1 + rng.gen_range(0..cold);
+                let mut to = k + 1 + rng.gen_range(0..cold);
+                if cold >= 2 && to == src {
+                    to = k + 1 + ((src - k) % cold);
+                }
+                (
+                    ProcessId::new(src),
+                    Erc20Op::Transfer {
+                        to: AccountId::new(to),
+                        value: rng.gen_range(0..3),
+                    },
+                )
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,5 +330,57 @@ mod tests {
         // n = 1 cannot avoid degenerate pairs; it must still generate.
         let ops = mixed_ops(1, 50, 2);
         assert_eq!(ops.len(), 50);
+    }
+
+    #[test]
+    fn disjoint_transfers_are_pairwise_footprint_disjoint() {
+        use tokensync_core::analysis::ops_conflict;
+        let n = 16;
+        let ops = disjoint_transfers(n, n / 2, 3);
+        for (i, x) in ops.iter().enumerate() {
+            for y in &ops[i + 1..] {
+                assert!(
+                    !ops_conflict((x.0, &x.1), (y.0, &y.1)),
+                    "window of n/2 ops must be conflict-free"
+                );
+            }
+        }
+        assert_eq!(disjoint_transfers(n, 64, 3), disjoint_transfers(n, 64, 3));
+    }
+
+    #[test]
+    fn hot_row_ops_concentrate_on_the_shared_row() {
+        let (n, k) = (32, 8);
+        let state = hot_row_state(n, k);
+        for sp in 1..=k {
+            assert_eq!(
+                state.allowance(AccountId::new(0), ProcessId::new(sp)),
+                1_000_000
+            );
+        }
+        let ops = hot_row_ops(n, 4000, 7, k);
+        let mut hot = 0usize;
+        for (caller, op) in &ops {
+            match op {
+                Erc20Op::TransferFrom { from, .. } => {
+                    assert_eq!(from.index(), 0, "hot transferFrom must hit the row");
+                    assert!((1..=k).contains(&caller.index()));
+                    hot += 1;
+                }
+                Erc20Op::Approve { spender, .. } => {
+                    assert_eq!(caller.index(), 0, "only the owner re-approves");
+                    assert!((1..=k).contains(&spender.index()));
+                    hot += 1;
+                }
+                Erc20Op::Transfer { to, .. } => {
+                    assert!(caller.index() > k, "background stays cold");
+                    assert!(to.index() > k);
+                }
+                other => panic!("unexpected op kind {other:?}"),
+            }
+        }
+        // The stream is conflict-dominated: ~80% hits the hot row.
+        assert!(hot * 10 > ops.len() * 7, "hot share too low: {hot}");
+        assert_eq!(hot_row_ops(n, 64, 7, k), hot_row_ops(n, 64, 7, k));
     }
 }

@@ -1,0 +1,333 @@
+//! Per-operation state footprints and the *state-independent* conflict
+//! relation the batched execution pipeline schedules by.
+//!
+//! The Section 5 analysis asks which operations need synchronization at a
+//! *given* state `q` (the σ_q machinery); a batch scheduler needs the
+//! stronger, state-free question: *can these two operations ever fail to
+//! commute, at any state?* This module answers it by charging every
+//! operation a footprint over the token's mutable cells — balance slots
+//! `β(a)` and allowance cells `α(a, p̄)` — split by access mode:
+//!
+//! * a **debit** both reads and decreases a balance (its precondition and
+//!   its response depend on the cell);
+//! * a **credit** blindly increases a balance (`+=` commutes with `+=`,
+//!   so two credits to the same account are *not* a conflict — this is
+//!   what lets a hot sink account absorb parallel deposits);
+//! * an **allowance write** overwrites (`approve`) or consumes
+//!   (`transferFrom`) one allowance cell;
+//! * **reads** (`balanceOf`, `allowance`) observe one cell;
+//!   `totalSupply` has an *empty* footprint — the supply is invariant
+//!   under `Δ`, so it commutes with everything.
+//!
+//! Two operations [`conflict`](OpFootprint::conflicts_with) iff one
+//! accesses a cell the other writes (with the credit/credit exception).
+//! Disjoint footprints touch disjoint mutable state apart from shared
+//! pure increments, so the operations commute — identical final state
+//! *and* identical responses in either order, at **every** state. This is
+//! checked exhaustively against the sequential spec by the property tests
+//! below, and it is the soundness argument of `tokensync-pipeline`'s wave
+//! scheduler. The paper's catalogued conflicts (Theorem 3's proof:
+//! same-source withdrawals, the approve/spender race — see
+//! `tokensync-mc::commute`) appear here as debit/debit and
+//! allowance-write/allowance-write collisions; the footprint relation is
+//! deliberately a *superset* of the catalog because an executor must also
+//! order pairs the proof may discharge as "read-only at q" (e.g. a credit
+//! landing on an account another op is draining).
+
+use tokensync_spec::{AccountId, ProcessId};
+
+use crate::erc20::Erc20Op;
+
+/// The cells of the state `q = (β, α)` one operation may touch, split by
+/// access mode. Built by [`OpFootprint::of`]; cheap (a few `Option`s, no
+/// allocation) because the pipeline computes one per op per batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpFootprint {
+    /// Balance slot the op reads *and* may decrease (`β(a) -= v`): the
+    /// caller's account for `transfer`, the source for `transferFrom`.
+    pub debit: Option<AccountId>,
+    /// Balance slot the op blindly increases (`β(a) += v`): the
+    /// destination of a `transfer`/`transferFrom`.
+    pub credit: Option<AccountId>,
+    /// Allowance cell the op writes: overwritten by `approve`, consumed
+    /// (read + debited) by `transferFrom`.
+    pub allowance_write: Option<(AccountId, ProcessId)>,
+    /// Balance slot read without mutation (`balanceOf`).
+    pub balance_read: Option<AccountId>,
+    /// Allowance cell read without mutation (`allowance`).
+    pub allowance_read: Option<(AccountId, ProcessId)>,
+}
+
+impl OpFootprint {
+    /// The footprint of `op` invoked by `caller`.
+    pub fn of(caller: ProcessId, op: &Erc20Op) -> Self {
+        match *op {
+            Erc20Op::Transfer { to, .. } => Self {
+                debit: Some(caller.own_account()),
+                credit: Some(to),
+                ..Self::default()
+            },
+            Erc20Op::TransferFrom { from, to, .. } => Self {
+                debit: Some(from),
+                credit: Some(to),
+                allowance_write: Some((from, caller)),
+                ..Self::default()
+            },
+            Erc20Op::Approve { spender, .. } => Self {
+                allowance_write: Some((caller.own_account(), spender)),
+                ..Self::default()
+            },
+            Erc20Op::BalanceOf { account } => Self {
+                balance_read: Some(account),
+                ..Self::default()
+            },
+            Erc20Op::Allowance { account, spender } => Self {
+                allowance_read: Some((account, spender)),
+                ..Self::default()
+            },
+            // Supply is invariant under Δ: the read commutes with every
+            // operation, so the footprint is empty.
+            Erc20Op::TotalSupply => Self::default(),
+        }
+    }
+
+    /// Whether this op and `other` may fail to commute at *some* state.
+    ///
+    /// If this returns `false`, then at **every** state applying the two
+    /// operations in either order yields the same final state and the
+    /// same two responses (the property tests below check this claim
+    /// against [`Erc20Spec`](crate::erc20::Erc20Spec)). The relation is
+    /// symmetric.
+    pub fn conflicts_with(&self, other: &Self) -> bool {
+        // A debit reads its cell, so it collides with any earlier or
+        // later access to that balance — including a plain credit, whose
+        // deposit can flip the debit's outcome.
+        let balance_hit = |a: &Self, b: &Self| {
+            a.debit.is_some()
+                && (a.debit == b.debit || a.debit == b.credit || a.debit == b.balance_read)
+        };
+        // A credit only writes, so besides debits (covered above) it
+        // collides with reads of its cell; credit/credit commutes.
+        let credit_hit = |a: &Self, b: &Self| a.credit.is_some() && a.credit == b.balance_read;
+        // Allowance cells: any write/write or write/read collision. Two
+        // writes never commute — `approve` overwrites and `transferFrom`
+        // consumes, and no pair of those is order-independent in general.
+        let cell_hit = |a: &Self, b: &Self| {
+            a.allowance_write.is_some()
+                && (a.allowance_write == b.allowance_write || a.allowance_write == b.allowance_read)
+        };
+        balance_hit(self, other)
+            || balance_hit(other, self)
+            || credit_hit(self, other)
+            || credit_hit(other, self)
+            || cell_hit(self, other)
+            || cell_hit(other, self)
+    }
+}
+
+/// Convenience form of [`OpFootprint::conflicts_with`] on raw
+/// `(caller, op)` pairs.
+pub fn ops_conflict(a: (ProcessId, &Erc20Op), b: (ProcessId, &Erc20Op)) -> bool {
+    OpFootprint::of(a.0, a.1).conflicts_with(&OpFootprint::of(b.0, b.1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::erc20::{Erc20Spec, Erc20State};
+    use proptest::collection::vec;
+    use proptest::prelude::*;
+    use tokensync_spec::ObjectType;
+
+    fn a(i: usize) -> AccountId {
+        AccountId::new(i)
+    }
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn owner_disjoint_transfers_commute() {
+        let t1 = Erc20Op::Transfer { to: a(2), value: 1 };
+        let t2 = Erc20Op::Transfer { to: a(3), value: 1 };
+        assert!(!ops_conflict((p(0), &t1), (p(1), &t2)));
+    }
+
+    #[test]
+    fn shared_sink_credits_commute() {
+        // Two deposits into the same hot account: += commutes with +=.
+        let t1 = Erc20Op::Transfer { to: a(3), value: 1 };
+        let t2 = Erc20Op::Transfer { to: a(3), value: 2 };
+        assert!(!ops_conflict((p(0), &t1), (p(1), &t2)));
+    }
+
+    #[test]
+    fn same_source_withdrawals_conflict() {
+        // Theorem 3's Cases 1–3: withdrawals racing on one source.
+        let tf1 = Erc20Op::TransferFrom {
+            from: a(0),
+            to: a(2),
+            value: 1,
+        };
+        let tf2 = Erc20Op::TransferFrom {
+            from: a(0),
+            to: a(3),
+            value: 1,
+        };
+        assert!(ops_conflict((p(2), &tf1), (p(3), &tf2)));
+        // Owner's own transfer races a transferFrom on its account too.
+        let t = Erc20Op::Transfer { to: a(3), value: 1 };
+        assert!(ops_conflict((p(0), &t), (p(2), &tf1)));
+    }
+
+    #[test]
+    fn approve_spender_race_conflicts() {
+        // Theorem 3's Case 4: approve rewrites the allowance the
+        // transferFrom consumes.
+        let approve = Erc20Op::Approve {
+            spender: p(2),
+            value: 5,
+        };
+        let spend = Erc20Op::TransferFrom {
+            from: a(0),
+            to: a(1),
+            value: 1,
+        };
+        assert!(ops_conflict((p(0), &approve), (p(2), &spend)));
+        // A different spender's allowance is a different cell — but the
+        // transferFrom still debits account 0's balance, which approve
+        // does not touch, so the pair commutes.
+        let other_spend = Erc20Op::TransferFrom {
+            from: a(1),
+            to: a(3),
+            value: 1,
+        };
+        assert!(!ops_conflict((p(0), &approve), (p(2), &other_spend)));
+    }
+
+    #[test]
+    fn credit_into_drained_account_conflicts() {
+        // The pair Theorem 3's proof discharges as "read-only at q" but an
+        // executor must still order: a deposit can flip a withdrawal's
+        // outcome.
+        let credit = Erc20Op::Transfer { to: a(1), value: 5 };
+        let withdraw = Erc20Op::Transfer { to: a(2), value: 5 };
+        assert!(ops_conflict((p(0), &credit), (p(1), &withdraw)));
+    }
+
+    #[test]
+    fn approves_by_distinct_owners_commute() {
+        let a1 = Erc20Op::Approve {
+            spender: p(2),
+            value: 5,
+        };
+        let a2 = Erc20Op::Approve {
+            spender: p(2),
+            value: 7,
+        };
+        assert!(!ops_conflict((p(0), &a1), (p(1), &a2)));
+        // Same owner, same spender: overwrites do not commute.
+        assert!(ops_conflict((p(0), &a1), (p(0), &a2)));
+    }
+
+    #[test]
+    fn total_supply_commutes_with_everything() {
+        let read = Erc20Op::TotalSupply;
+        let ops = [
+            Erc20Op::Transfer { to: a(1), value: 3 },
+            Erc20Op::TransferFrom {
+                from: a(0),
+                to: a(1),
+                value: 1,
+            },
+            Erc20Op::Approve {
+                spender: p(1),
+                value: 2,
+            },
+            Erc20Op::BalanceOf { account: a(0) },
+        ];
+        for op in &ops {
+            assert!(!ops_conflict((p(0), &read), (p(2), op)));
+        }
+    }
+
+    #[test]
+    fn reads_conflict_with_writers_of_their_cell() {
+        let bal = Erc20Op::BalanceOf { account: a(1) };
+        let credit = Erc20Op::Transfer { to: a(1), value: 1 };
+        assert!(ops_conflict((p(3), &bal), (p(0), &credit)));
+        let alw = Erc20Op::Allowance {
+            account: a(0),
+            spender: p(2),
+        };
+        let approve = Erc20Op::Approve {
+            spender: p(2),
+            value: 9,
+        };
+        assert!(ops_conflict((p(3), &alw), (p(0), &approve)));
+        // Reads never conflict with reads.
+        assert!(!ops_conflict((p(3), &bal), (p(1), &bal)));
+    }
+
+    const N: usize = 4;
+
+    fn arb_op() -> impl Strategy<Value = Erc20Op> {
+        prop_oneof![
+            (0..N, 0u64..4).prop_map(|(to, value)| Erc20Op::Transfer {
+                to: AccountId::new(to),
+                value
+            }),
+            (0..N, 0..N, 0u64..4).prop_map(|(from, to, value)| Erc20Op::TransferFrom {
+                from: AccountId::new(from),
+                to: AccountId::new(to),
+                value,
+            }),
+            (0..N, 0u64..6).prop_map(|(spender, value)| Erc20Op::Approve {
+                spender: ProcessId::new(spender),
+                value
+            }),
+            (0..N).prop_map(|account| Erc20Op::BalanceOf {
+                account: AccountId::new(account)
+            }),
+            (0..N, 0..N).prop_map(|(account, spender)| Erc20Op::Allowance {
+                account: AccountId::new(account),
+                spender: ProcessId::new(spender),
+            }),
+            Just(Erc20Op::TotalSupply),
+        ]
+    }
+
+    proptest! {
+        /// Soundness of the state-independent relation: footprint-disjoint
+        /// pairs commute exactly — same final state, same responses, in
+        /// both orders, from arbitrary states.
+        #[test]
+        fn disjoint_footprints_commute_at_every_state(
+            balances in vec(0u64..6, N),
+            approvals in vec((0..N, 0..N, 1u64..5), 0..4),
+            c1 in 0..N,
+            c2 in 0..N,
+            o1 in arb_op(),
+            o2 in arb_op(),
+        ) {
+            let (c1, c2) = (ProcessId::new(c1), ProcessId::new(c2));
+            prop_assume!(!ops_conflict((c1, &o1), (c2, &o2)));
+            let mut q = Erc20State::from_balances(balances);
+            for &(acct, sp, v) in &approvals {
+                q.set_allowance(AccountId::new(acct), ProcessId::new(sp), v);
+            }
+            let spec = Erc20Spec::new(Erc20State::new(0));
+            // Order A: o1 then o2.
+            let mut qa = q.clone();
+            let r1a = spec.apply(&mut qa, c1, &o1);
+            let r2a = spec.apply(&mut qa, c2, &o2);
+            // Order B: o2 then o1.
+            let mut qb = q.clone();
+            let r2b = spec.apply(&mut qb, c2, &o2);
+            let r1b = spec.apply(&mut qb, c1, &o1);
+            prop_assert_eq!(qa, qb, "states diverge for a non-conflicting pair");
+            prop_assert_eq!(r1a, r1b, "first op's response depends on order");
+            prop_assert_eq!(r2a, r2b, "second op's response depends on order");
+        }
+    }
+}

@@ -10,12 +10,14 @@
 //! of it.
 
 mod bounds;
+mod footprint;
 mod monitor;
 mod partition;
 mod spenders;
 mod sync_state;
 
 pub use bounds::{consensus_number_bounds, CnBounds};
+pub use footprint::{ops_conflict, OpFootprint};
 pub use monitor::{SyncMonitor, SyncPoint};
 pub use partition::{max_spender_account, partition_index};
 pub use spenders::enabled_spenders;

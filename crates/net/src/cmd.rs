@@ -1,6 +1,6 @@
 //! Token commands shared by the replicated-token protocols.
 
-use tokensync_core::erc20::Erc20State;
+use tokensync_core::erc20::{Erc20Op, Erc20State};
 use tokensync_spec::{AccountId, Amount, ProcessId};
 
 /// A client-level ERC20 command (the mutating subset — reads are served
@@ -33,6 +33,30 @@ pub enum TokenCmd {
 }
 
 impl TokenCmd {
+    /// Converts a formal [`Erc20Op`] into the command the replicated
+    /// protocols ship, or `None` for the read methods — reads are served
+    /// locally by any replica and never enter a stream. This is the
+    /// adapter the batched pipeline uses to drive the §7 dynamic protocol
+    /// with its scheduled batches.
+    pub fn from_op(op: &Erc20Op) -> Option<Self> {
+        match *op {
+            Erc20Op::Transfer { to, value } => Some(TokenCmd::Transfer {
+                to: to.index(),
+                value,
+            }),
+            Erc20Op::Approve { spender, value } => Some(TokenCmd::Approve {
+                spender: spender.index(),
+                value,
+            }),
+            Erc20Op::TransferFrom { from, to, value } => Some(TokenCmd::TransferFrom {
+                from: from.index(),
+                to: to.index(),
+                value,
+            }),
+            Erc20Op::BalanceOf { .. } | Erc20Op::Allowance { .. } | Erc20Op::TotalSupply => None,
+        }
+    }
+
     /// Whether this command needs spender-group synchronization (it spends
     /// someone else's funds).
     pub fn is_transfer_from(&self) -> bool {
@@ -77,6 +101,46 @@ impl TokenCmd {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn from_op_maps_mutators_and_drops_reads() {
+        assert_eq!(
+            TokenCmd::from_op(&Erc20Op::Transfer {
+                to: AccountId::new(2),
+                value: 7
+            }),
+            Some(TokenCmd::Transfer { to: 2, value: 7 })
+        );
+        assert_eq!(
+            TokenCmd::from_op(&Erc20Op::TransferFrom {
+                from: AccountId::new(1),
+                to: AccountId::new(2),
+                value: 3
+            }),
+            Some(TokenCmd::TransferFrom {
+                from: 1,
+                to: 2,
+                value: 3
+            })
+        );
+        assert_eq!(
+            TokenCmd::from_op(&Erc20Op::Approve {
+                spender: ProcessId::new(4),
+                value: 9
+            }),
+            Some(TokenCmd::Approve {
+                spender: 4,
+                value: 9
+            })
+        );
+        assert_eq!(TokenCmd::from_op(&Erc20Op::TotalSupply), None);
+        assert_eq!(
+            TokenCmd::from_op(&Erc20Op::BalanceOf {
+                account: AccountId::new(0)
+            }),
+            None
+        );
+    }
 
     #[test]
     fn account_routing() {

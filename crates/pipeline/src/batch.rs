@@ -1,0 +1,223 @@
+//! Ingest: a bounded MPSC intake queue with size- and time-based batch
+//! cuts.
+//!
+//! Clients [`submit`](IntakeClient::submit) operations from any thread;
+//! the engine side pulls [`Batch`]es. A batch closes as soon as it holds
+//! [`BatchConfig::max_ops`] operations *or* [`BatchConfig::max_wait`] has
+//! elapsed since its first operation arrived — the standard
+//! latency/throughput knob of every batched execution engine. The queue
+//! is bounded ([`BatchConfig::queue_depth`]), so a slow executor applies
+//! backpressure to producers instead of buffering without limit.
+
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::time::{Duration, Instant};
+
+use tokensync_core::erc20::Erc20Op;
+use tokensync_spec::ProcessId;
+
+/// Batch-cut policy of the intake stage.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchConfig {
+    /// A batch closes when it reaches this many operations.
+    pub max_ops: usize,
+    /// …or when this much time passed since its first operation arrived.
+    pub max_wait: Duration,
+    /// Capacity of the bounded intake queue (backpressure bound).
+    pub queue_depth: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self {
+            max_ops: 1024,
+            max_wait: Duration::from_millis(2),
+            queue_depth: 8192,
+        }
+    }
+}
+
+/// One cut batch: the operations in submission order, tagged with the
+/// batch sequence number.
+#[derive(Clone, Debug)]
+pub struct Batch {
+    /// Zero-based sequence number of this batch in cut order.
+    pub seq: u64,
+    /// The operations, in submission order.
+    pub ops: Vec<(ProcessId, Erc20Op)>,
+}
+
+/// Producer handle: clone one per client thread.
+#[derive(Clone, Debug)]
+pub struct IntakeClient {
+    tx: SyncSender<(ProcessId, Erc20Op)>,
+}
+
+/// Error returned by [`IntakeClient::submit`] when the engine has shut
+/// down (the consuming side of the queue was dropped).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PipelineClosed;
+
+impl std::fmt::Display for PipelineClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pipeline intake closed")
+    }
+}
+
+impl std::error::Error for PipelineClosed {}
+
+impl IntakeClient {
+    /// Enqueues one operation, blocking while the intake queue is full
+    /// (backpressure).
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineClosed`] if the engine stopped consuming.
+    pub fn submit(&self, caller: ProcessId, op: Erc20Op) -> Result<(), PipelineClosed> {
+        self.tx.send((caller, op)).map_err(|_| PipelineClosed)
+    }
+
+    /// Non-blocking variant: `Ok(false)` when the queue is momentarily
+    /// full.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineClosed`] if the engine stopped consuming.
+    pub fn try_submit(&self, caller: ProcessId, op: Erc20Op) -> Result<bool, PipelineClosed> {
+        match self.tx.try_send((caller, op)) {
+            Ok(()) => Ok(true),
+            Err(TrySendError::Full(_)) => Ok(false),
+            Err(TrySendError::Disconnected(_)) => Err(PipelineClosed),
+        }
+    }
+}
+
+/// Consumer side: turns the raw operation stream into batches.
+#[derive(Debug)]
+pub struct Batcher {
+    rx: Receiver<(ProcessId, Erc20Op)>,
+    cfg: BatchConfig,
+    next_seq: u64,
+}
+
+/// Creates a connected intake pair: clients for producers, the batcher
+/// for the engine loop.
+pub fn intake(cfg: BatchConfig) -> (IntakeClient, Batcher) {
+    let (tx, rx) = std::sync::mpsc::sync_channel(cfg.queue_depth.max(1));
+    (
+        IntakeClient { tx },
+        Batcher {
+            rx,
+            cfg,
+            next_seq: 0,
+        },
+    )
+}
+
+impl Batcher {
+    /// Blocks for the next batch; `None` once every client handle is
+    /// dropped and the queue is drained (engine shutdown).
+    pub fn next_batch(&mut self) -> Option<Batch> {
+        // Block indefinitely for the batch's first op: an idle pipeline
+        // burns no CPU.
+        let first = self.rx.recv().ok()?;
+        let mut ops = Vec::with_capacity(self.cfg.max_ops.min(1024));
+        ops.push(first);
+        let deadline = Instant::now() + self.cfg.max_wait;
+        while ops.len() < self.cfg.max_ops {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            match self.rx.recv_timeout(left) {
+                Ok(op) => ops.push(op),
+                // Time cut, or producers gone: the batch closes either way.
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        Some(Batch { seq, ops })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tokensync_spec::AccountId;
+
+    fn op(v: u64) -> Erc20Op {
+        Erc20Op::Transfer {
+            to: AccountId::new(0),
+            value: v,
+        }
+    }
+
+    #[test]
+    fn size_cut_closes_full_batches() {
+        let (client, mut batcher) = intake(BatchConfig {
+            max_ops: 4,
+            max_wait: Duration::from_secs(60),
+            queue_depth: 64,
+        });
+        for v in 0..10u64 {
+            client.submit(ProcessId::new(0), op(v)).unwrap();
+        }
+        drop(client);
+        let sizes: Vec<usize> = std::iter::from_fn(|| batcher.next_batch())
+            .map(|b| b.ops.len())
+            .collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn batches_are_numbered_and_ordered() {
+        let (client, mut batcher) = intake(BatchConfig {
+            max_ops: 3,
+            max_wait: Duration::from_secs(60),
+            queue_depth: 64,
+        });
+        for v in 0..6u64 {
+            client.submit(ProcessId::new(1), op(v)).unwrap();
+        }
+        drop(client);
+        let b0 = batcher.next_batch().unwrap();
+        let b1 = batcher.next_batch().unwrap();
+        assert_eq!((b0.seq, b1.seq), (0, 1));
+        let values: Vec<u64> = b0
+            .ops
+            .iter()
+            .chain(&b1.ops)
+            .map(|(_, o)| match o {
+                Erc20Op::Transfer { value, .. } => *value,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(values, vec![0, 1, 2, 3, 4, 5]);
+        assert!(batcher.next_batch().is_none());
+    }
+
+    #[test]
+    fn time_cut_closes_partial_batches() {
+        let (client, mut batcher) = intake(BatchConfig {
+            max_ops: 1000,
+            max_wait: Duration::from_millis(5),
+            queue_depth: 64,
+        });
+        client.submit(ProcessId::new(0), op(1)).unwrap();
+        let batch = batcher.next_batch().unwrap();
+        assert_eq!(batch.ops.len(), 1, "time cut must not wait for max_ops");
+        drop(client);
+        assert!(batcher.next_batch().is_none());
+    }
+
+    #[test]
+    fn submit_after_shutdown_errors() {
+        let (client, batcher) = intake(BatchConfig::default());
+        drop(batcher);
+        assert_eq!(client.submit(ProcessId::new(0), op(0)), Err(PipelineClosed));
+        assert_eq!(
+            client.try_submit(ProcessId::new(0), op(0)),
+            Err(PipelineClosed)
+        );
+    }
+}

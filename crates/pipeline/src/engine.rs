@@ -1,0 +1,305 @@
+//! The assembled engine: ingest → analyze → schedule → execute → commit.
+//!
+//! Two entry points share one batch-processing core:
+//!
+//! * [`run_script`] — synchronous: chunk a pre-built operation stream
+//!   into batches and push each through the stages on the calling thread
+//!   (plus the wave worker pool). Deterministic, so the property suites
+//!   and benchmarks use it.
+//! * [`Pipeline::spawn`] — the serving shape: a background engine thread
+//!   pulls batches from the bounded intake queue
+//!   ([`IntakeClient::submit`] from any number of client threads),
+//!   executes them, and appends to the commit log; dropping every client
+//!   and calling [`PipelineHandle::finish`] drains the queue and returns
+//!   the [`PipelineRun`].
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use tokensync_core::erc20::Erc20Op;
+use tokensync_core::shared::ConcurrentToken;
+use tokensync_spec::ProcessId;
+
+use crate::batch::{intake, BatchConfig, IntakeClient};
+use crate::commit::CommitLog;
+use crate::exec::{execute, ExecConfig};
+use crate::schedule::{schedule, Schedule, ScheduleConfig};
+
+/// Full engine configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PipelineConfig {
+    /// Intake batching policy.
+    pub batch: BatchConfig,
+    /// Wave scheduling policy.
+    pub schedule: ScheduleConfig,
+    /// Wave execution policy.
+    pub exec: ExecConfig,
+}
+
+/// Aggregate counters over every batch an engine processed.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PipelineStats {
+    /// Batches cut and executed.
+    pub batches: u64,
+    /// Operations committed.
+    pub ops: u64,
+    /// Ops executed in parallel waves.
+    pub parallel_ops: u64,
+    /// Ops funneled through the serial lane.
+    pub serial_ops: u64,
+    /// Parallel waves executed (across all batches).
+    pub waves: u64,
+    /// Contention proxy summed over batches (see
+    /// [`Schedule::conflicts`]).
+    pub conflicts: u64,
+}
+
+impl PipelineStats {
+    /// Mean ops per parallel wave over the whole run — the engine's
+    /// measured wave parallelism. A fully commuting stream approaches the
+    /// batch size; a fully conflicting stream approaches 1.
+    pub fn wave_parallelism(&self) -> f64 {
+        if self.waves == 0 {
+            return 0.0;
+        }
+        self.parallel_ops as f64 / self.waves as f64
+    }
+
+    /// Fraction of ops that needed the serial lane.
+    pub fn serial_fraction(&self) -> f64 {
+        if self.ops == 0 {
+            return 0.0;
+        }
+        self.serial_ops as f64 / self.ops as f64
+    }
+
+    fn absorb(&mut self, s: &Schedule) {
+        self.batches += 1;
+        self.ops += s.ops() as u64;
+        self.parallel_ops += s.parallel_ops() as u64;
+        self.serial_ops += s.serial.len() as u64;
+        self.waves += s.waves.len() as u64;
+        self.conflicts += s.conflicts as u64;
+    }
+}
+
+/// Result of a completed engine run: the linearization record plus the
+/// scheduling counters.
+#[derive(Clone, Debug, Default)]
+pub struct PipelineRun {
+    /// The committed linearization.
+    pub log: CommitLog,
+    /// Scheduling/execution counters.
+    pub stats: PipelineStats,
+}
+
+/// One batch through analyze → schedule → execute → commit.
+fn process_batch<T: ConcurrentToken + ?Sized>(
+    token: &T,
+    seq: u64,
+    ops: &[(ProcessId, Erc20Op)],
+    cfg: &PipelineConfig,
+    run: &mut PipelineRun,
+) {
+    let plan = schedule(ops, &cfg.schedule);
+    let responses = execute(token, ops, &plan, &cfg.exec);
+    run.stats.absorb(&plan);
+    run.log.append_batch(seq, ops, &responses, &plan);
+}
+
+/// Synchronously executes `script` through the pipeline stages against
+/// `token`, cutting batches of [`BatchConfig::max_ops`] (the time cut
+/// never fires: the stream is already complete).
+pub fn run_script<T: ConcurrentToken + ?Sized>(
+    token: &T,
+    script: &[(ProcessId, Erc20Op)],
+    cfg: &PipelineConfig,
+) -> PipelineRun {
+    let mut run = PipelineRun::default();
+    let size = cfg.batch.max_ops.max(1);
+    for (seq, ops) in script.chunks(size).enumerate() {
+        process_batch(token, seq as u64, ops, cfg, &mut run);
+    }
+    run
+}
+
+/// Handle on a spawned engine: join it to collect the run.
+#[derive(Debug)]
+pub struct PipelineHandle {
+    join: JoinHandle<PipelineRun>,
+}
+
+impl PipelineHandle {
+    /// Waits for the engine to drain and stop (all [`IntakeClient`]s must
+    /// be dropped first, or this blocks forever) and returns its run.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic of the engine thread.
+    pub fn finish(self) -> PipelineRun {
+        self.join.join().expect("pipeline engine panicked")
+    }
+}
+
+/// The engine's serving shape.
+pub struct Pipeline;
+
+impl Pipeline {
+    /// Spawns a background engine over `token`; returns the producer
+    /// handle (clone it per client thread) and the engine handle.
+    pub fn spawn<T: ConcurrentToken + 'static>(
+        token: Arc<T>,
+        cfg: PipelineConfig,
+    ) -> (IntakeClient, PipelineHandle) {
+        let (client, mut batcher) = intake(cfg.batch);
+        let join = std::thread::spawn(move || {
+            let mut run = PipelineRun::default();
+            while let Some(batch) = batcher.next_batch() {
+                process_batch(token.as_ref(), batch.seq, &batch.ops, &cfg, &mut run);
+            }
+            run
+        });
+        (client, PipelineHandle { join })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use tokensync_core::erc20::{Erc20Spec, Erc20State};
+    use tokensync_core::shared::ShardedErc20;
+    use tokensync_spec::{check_linearizable, AccountId, ObjectType};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+    fn a(i: usize) -> AccountId {
+        AccountId::new(i)
+    }
+
+    fn small_cfg(max_ops: usize) -> PipelineConfig {
+        PipelineConfig {
+            batch: BatchConfig {
+                max_ops,
+                max_wait: Duration::from_millis(1),
+                queue_depth: 256,
+            },
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn run_script_matches_sequential_replay() {
+        let initial = Erc20State::from_balances(vec![5; 8]);
+        let token = ShardedErc20::from_state(initial.clone());
+        let script: Vec<(ProcessId, Erc20Op)> = (0..30)
+            .map(|i| {
+                (
+                    p(i % 8),
+                    Erc20Op::Transfer {
+                        to: a((i + 3) % 8),
+                        value: (i as u64) % 3,
+                    },
+                )
+            })
+            .collect();
+        let run = run_script(&token, &script, &small_cfg(10));
+        assert_eq!(run.stats.ops, 30);
+        assert_eq!(run.stats.batches, 3);
+        let replayed = run.log.replay(&initial).expect("consistent responses");
+        assert_eq!(replayed, token.state_snapshot());
+        let spec = Erc20Spec::new(initial);
+        check_linearizable(&spec, &spec.initial_state(), &run.log.to_history())
+            .expect("commit log linearizes");
+    }
+
+    #[test]
+    fn disjoint_stream_reports_wave_parallelism_above_one() {
+        let token = ShardedErc20::from_state(Erc20State::from_balances(vec![5; 32]));
+        let script: Vec<(ProcessId, Erc20Op)> = (0..16)
+            .map(|i| {
+                (
+                    p(i),
+                    Erc20Op::Transfer {
+                        to: a(16 + i),
+                        value: 1,
+                    },
+                )
+            })
+            .collect();
+        let run = run_script(&token, &script, &small_cfg(16));
+        assert!(run.stats.wave_parallelism() > 1.0);
+        assert_eq!(run.stats.serial_ops, 0);
+        assert_eq!(run.stats.conflicts, 0);
+    }
+
+    #[test]
+    fn spawned_engine_drains_and_commits_everything() {
+        let initial = Erc20State::from_balances(vec![100; 4]);
+        let token = Arc::new(ShardedErc20::from_state(initial.clone()));
+        let (client, handle) = Pipeline::spawn(Arc::clone(&token), small_cfg(8));
+        crossbeam::scope(|s| {
+            for t in 0..3usize {
+                let client = client.clone();
+                s.spawn(move |_| {
+                    for i in 0..20 {
+                        client
+                            .submit(
+                                p(t),
+                                Erc20Op::Transfer {
+                                    to: a((t + i) % 4),
+                                    value: 1,
+                                },
+                            )
+                            .expect("engine alive");
+                    }
+                });
+            }
+        })
+        .expect("producers panicked");
+        drop(client);
+        let run = handle.finish();
+        assert_eq!(run.stats.ops, 60);
+        // Responses in the log are consistent with its linearization, and
+        // the replayed state is exactly the token's final state.
+        let replayed = run.log.replay(&initial).expect("consistent responses");
+        assert_eq!(replayed, token.state_snapshot());
+        assert_eq!(replayed.total_supply(), 400);
+    }
+
+    #[test]
+    fn serial_fraction_reflects_hot_row_contention() {
+        // k spenders hammering one allowance row: almost everything
+        // conflicts, so waves are narrow and the serial lane fills.
+        let mut initial = Erc20State::from_balances(vec![1000; 8]);
+        for sp in 1..8 {
+            initial.set_allowance(a(0), p(sp), 500);
+        }
+        let token = ShardedErc20::from_state(initial.clone());
+        let script: Vec<(ProcessId, Erc20Op)> = (0..64)
+            .map(|i| {
+                (
+                    p(1 + (i % 7)),
+                    Erc20Op::TransferFrom {
+                        from: a(0),
+                        to: a(1 + ((i + 1) % 7)),
+                        value: 1,
+                    },
+                )
+            })
+            .collect();
+        let cfg = PipelineConfig {
+            schedule: ScheduleConfig {
+                max_parallel_waves: 4,
+            },
+            ..small_cfg(64)
+        };
+        let run = run_script(&token, &script, &cfg);
+        assert!(run.stats.serial_ops > 0, "hot row must spill serial");
+        assert!(run.stats.wave_parallelism() < 2.0);
+        assert!(run.stats.conflicts > 0);
+        let replayed = run.log.replay(&initial).expect("consistent responses");
+        assert_eq!(replayed, token.state_snapshot());
+    }
+}

@@ -1,0 +1,165 @@
+//! Wave execution: a scoped worker pool applying one batch's schedule to
+//! a [`ConcurrentToken`].
+//!
+//! Waves execute in order; within a wave the ops are split across up to
+//! [`ExecConfig::workers`] scoped threads. Because a wave is pairwise
+//! commuting (the scheduler's invariant), *any* thread interleaving
+//! produces the same responses and the same post-wave state — the
+//! executor needs no synchronization beyond the token's own
+//! linearizability, and the result is deterministic even though the
+//! execution is parallel. Waves too narrow to amortize a thread spawn run
+//! inline ([`ExecConfig::min_ops_per_worker`]); the serial lane always
+//! runs inline, in submission order.
+
+use tokensync_core::erc20::{Erc20Op, Erc20Resp};
+use tokensync_core::shared::ConcurrentToken;
+use tokensync_spec::ProcessId;
+
+use crate::schedule::Schedule;
+
+/// Worker-pool sizing.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecConfig {
+    /// Maximum threads per wave.
+    pub workers: usize,
+    /// A wave shorter than `workers × min_ops_per_worker` runs inline —
+    /// spawning threads for a handful of ops costs more than it buys.
+    pub min_ops_per_worker: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism().map_or(1, |c| c.get()),
+            min_ops_per_worker: 32,
+        }
+    }
+}
+
+/// Executes `schedule` over `ops` against `token`; returns the responses
+/// indexed like `ops`.
+///
+/// # Panics
+///
+/// Propagates panics from worker threads (a panicking token is a bug, not
+/// a recoverable condition).
+pub fn execute<T: ConcurrentToken + ?Sized>(
+    token: &T,
+    ops: &[(ProcessId, Erc20Op)],
+    schedule: &Schedule,
+    cfg: &ExecConfig,
+) -> Vec<Erc20Resp> {
+    debug_assert_eq!(schedule.ops(), ops.len());
+    // FALSE placeholder; every scheduled index is overwritten below.
+    let mut responses = vec![Erc20Resp::FALSE; ops.len()];
+    let workers = cfg.workers.max(1);
+    for wave in &schedule.waves {
+        if workers == 1 || wave.len() < workers * cfg.min_ops_per_worker.max(1) {
+            for &idx in wave {
+                let (caller, op) = &ops[idx];
+                responses[idx] = token.apply(*caller, op);
+            }
+            continue;
+        }
+        let chunk = wave.len().div_ceil(workers);
+        let results = crossbeam::scope(|s| {
+            let handles: Vec<_> = wave
+                .chunks(chunk)
+                .map(|part| {
+                    s.spawn(move |_| {
+                        part.iter()
+                            .map(|&idx| {
+                                let (caller, op) = &ops[idx];
+                                (idx, token.apply(*caller, op))
+                            })
+                            .collect::<Vec<(usize, Erc20Resp)>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("wave worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("wave worker panicked");
+        for part in results {
+            for (idx, resp) in part {
+                responses[idx] = resp;
+            }
+        }
+    }
+    for &idx in &schedule.serial {
+        let (caller, op) = &ops[idx];
+        responses[idx] = token.apply(*caller, op);
+    }
+    responses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{schedule, ScheduleConfig};
+    use tokensync_core::erc20::Erc20State;
+    use tokensync_core::shared::ShardedErc20;
+    use tokensync_spec::AccountId;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+    fn a(i: usize) -> AccountId {
+        AccountId::new(i)
+    }
+
+    fn run(ops: &[(ProcessId, Erc20Op)], workers: usize, min: usize) -> (Vec<Erc20Resp>, u64) {
+        let n = 64;
+        let token = ShardedErc20::from_state(Erc20State::from_balances(vec![10; n]));
+        let s = schedule(ops, &ScheduleConfig::default());
+        let responses = execute(
+            &token,
+            ops,
+            &s,
+            &ExecConfig {
+                workers,
+                min_ops_per_worker: min,
+            },
+        );
+        (responses, token.state_snapshot().total_supply())
+    }
+
+    #[test]
+    fn parallel_and_inline_paths_agree() {
+        let ops: Vec<(ProcessId, Erc20Op)> = (0..32)
+            .map(|i| {
+                (
+                    p(i),
+                    Erc20Op::Transfer {
+                        to: a(32 + i),
+                        value: (i as u64) % 4,
+                    },
+                )
+            })
+            .collect();
+        let (inline, s1) = run(&ops, 1, 1);
+        let (parallel, s2) = run(&ops, 4, 1);
+        assert_eq!(inline, parallel, "wave determinism broken");
+        assert_eq!(s1, s2);
+        assert_eq!(s1, 640);
+    }
+
+    #[test]
+    fn narrow_waves_run_inline_without_changing_results() {
+        let ops = vec![
+            (p(0), Erc20Op::Transfer { to: a(1), value: 3 }),
+            (
+                p(0),
+                Erc20Op::Transfer {
+                    to: a(1),
+                    value: 20, // fails after the first debit (10 - 3 < 20)
+                },
+            ),
+        ];
+        let (resps, supply) = run(&ops, 8, 64);
+        assert_eq!(resps, vec![Erc20Resp::TRUE, Erc20Resp::FALSE]);
+        assert_eq!(supply, 640);
+    }
+}

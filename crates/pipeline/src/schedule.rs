@@ -1,0 +1,369 @@
+//! Conflict analysis and wave scheduling: greedy graph coloring of a
+//! batch's conflict graph.
+//!
+//! Each operation's [`OpFootprint`] is computed once; a per-cell registry
+//! (balance slots split by debit/credit/read, allowance cells by
+//! write/read) tracks the highest wave of every earlier operation that
+//! touched the cell, so the whole batch schedules in
+//! `O(ops × footprint)` — no quadratic pairwise comparison. The wave
+//! assigned to an operation is one more than the highest wave of any
+//! earlier conflicting operation: the classic greedy coloring, which on
+//! the *precedence-closed* conflict graph of a batch is exactly "earliest
+//! wave that preserves submission order between conflicting ops".
+//!
+//! Operations pushed past [`ScheduleConfig::max_parallel_waves`] by
+//! conflicts (a hot allowance row with `k` contending spenders degenerates
+//! to one op per wave) are funneled into the **serial lane**: they execute
+//! sequentially, in submission order, after all waves. Any later operation
+//! conflicting with a serial-lane op joins the serial lane too, so the
+//! cross-lane order is still the submission order — the scheduler never
+//! reorders conflicting operations, only commuting ones.
+
+use std::collections::HashMap;
+
+use tokensync_core::analysis::OpFootprint;
+use tokensync_core::erc20::Erc20Op;
+use tokensync_spec::ProcessId;
+
+/// Scheduling policy.
+#[derive(Clone, Copy, Debug)]
+pub struct ScheduleConfig {
+    /// Conflict chains longer than this spill into the serial lane
+    /// (waves are worth their barrier only while they stay wide).
+    pub max_parallel_waves: usize,
+}
+
+impl Default for ScheduleConfig {
+    fn default() -> Self {
+        Self {
+            max_parallel_waves: 8,
+        }
+    }
+}
+
+/// The execution plan of one batch: conflict-free parallel waves plus the
+/// deterministic serial lane. Indices refer to positions in the batch's
+/// op vector.
+#[derive(Clone, Debug, Default)]
+pub struct Schedule {
+    /// Wave `w` holds pairwise non-conflicting ops; waves execute in
+    /// order, each with internal parallelism.
+    pub waves: Vec<Vec<usize>>,
+    /// Ops executed sequentially after all waves, in submission order.
+    pub serial: Vec<usize>,
+    /// Conflict signals observed against the cell registries while
+    /// scheduling — a cheap contention proxy (0 iff the batch is fully
+    /// commuting), not an exact conflict-edge count.
+    pub conflicts: usize,
+}
+
+impl Schedule {
+    /// Total scheduled operations.
+    pub fn ops(&self) -> usize {
+        self.waves.iter().map(Vec::len).sum::<usize>() + self.serial.len()
+    }
+
+    /// Ops placed in parallel waves (not the serial lane).
+    pub fn parallel_ops(&self) -> usize {
+        self.waves.iter().map(Vec::len).sum()
+    }
+
+    /// Mean ops per parallel wave — the batch's exploitable parallelism.
+    /// Greater than 1 exactly when some wave holds concurrent work.
+    pub fn wave_parallelism(&self) -> f64 {
+        if self.waves.is_empty() {
+            return 0.0;
+        }
+        self.parallel_ops() as f64 / self.waves.len() as f64
+    }
+
+    /// The linearization order this schedule commits: waves in order
+    /// (each internally in submission order), then the serial lane.
+    pub fn commit_order(&self) -> impl Iterator<Item = usize> + '_ {
+        self.waves
+            .iter()
+            .flat_map(|w| w.iter().copied())
+            .chain(self.serial.iter().copied())
+    }
+}
+
+/// Per-balance-slot registry entry: highest wave of an earlier op in each
+/// access mode (`NONE` = no such op yet).
+#[derive(Clone, Copy, Debug)]
+struct SlotWaves {
+    debit: usize,
+    credit: usize,
+    read: usize,
+}
+
+/// Per-allowance-cell registry entry.
+#[derive(Clone, Copy, Debug)]
+struct CellWaves {
+    write: usize,
+    read: usize,
+}
+
+/// Sentinel for "no earlier access": below every real wave.
+const NONE: usize = usize::MAX; // NONE.wrapping_add(1) == 0
+
+impl Default for SlotWaves {
+    fn default() -> Self {
+        Self {
+            debit: NONE,
+            credit: NONE,
+            read: NONE,
+        }
+    }
+}
+
+impl Default for CellWaves {
+    fn default() -> Self {
+        Self {
+            write: NONE,
+            read: NONE,
+        }
+    }
+}
+
+/// Assigns every op of `ops` a wave (or the serial lane) such that
+/// conflicting ops keep their submission order across waves and within
+/// the serial lane, while commuting ops share waves.
+pub fn schedule(ops: &[(ProcessId, Erc20Op)], cfg: &ScheduleConfig) -> Schedule {
+    let serial_wave = cfg.max_parallel_waves.max(1);
+    let mut slots: HashMap<usize, SlotWaves> = HashMap::new();
+    let mut cells: HashMap<(usize, usize), CellWaves> = HashMap::new();
+    let mut out = Schedule::default();
+    for (idx, (caller, op)) in ops.iter().enumerate() {
+        let f = OpFootprint::of(*caller, op);
+        // Highest wave of any earlier conflicting op (NONE if none). The
+        // mode pairs consulted here mirror `OpFootprint::conflicts_with`
+        // exactly; `waves_agree_with_pairwise_conflicts` in the tests
+        // cross-checks the two against each other.
+        let mut floor = NONE;
+        let mut hits = 0usize;
+        let mut bump = |w: usize| {
+            if w != NONE {
+                hits += 1;
+                if floor == NONE || w > floor {
+                    floor = w;
+                }
+            }
+        };
+        if let Some(d) = f.debit {
+            let s = slots.entry(d.index()).or_default();
+            bump(s.debit);
+            bump(s.credit);
+            bump(s.read);
+        }
+        if let Some(c) = f.credit {
+            let s = slots.entry(c.index()).or_default();
+            bump(s.debit);
+            bump(s.read);
+        }
+        if let Some(r) = f.balance_read {
+            let s = slots.entry(r.index()).or_default();
+            bump(s.debit);
+            bump(s.credit);
+        }
+        if let Some((a, p)) = f.allowance_write {
+            let c = cells.entry((a.index(), p.index())).or_default();
+            bump(c.write);
+            bump(c.read);
+        }
+        if let Some((a, p)) = f.allowance_read {
+            let c = cells.entry((a.index(), p.index())).or_default();
+            bump(c.write);
+        }
+        out.conflicts += hits;
+        // One past the floor; serial ops saturate at the serial wave so
+        // everything conflicting with them lands serial too.
+        let wave = floor.wrapping_add(1).min(serial_wave);
+        if wave < serial_wave {
+            if out.waves.len() <= wave {
+                out.waves.resize(wave + 1, Vec::new());
+            }
+            out.waves[wave].push(idx);
+        } else {
+            out.serial.push(idx);
+        }
+        // Register this op's own accesses at its assigned wave.
+        let mark = |entry: &mut usize| {
+            if *entry == NONE || wave > *entry {
+                *entry = wave;
+            }
+        };
+        if let Some(d) = f.debit {
+            mark(&mut slots.entry(d.index()).or_default().debit);
+        }
+        if let Some(c) = f.credit {
+            mark(&mut slots.entry(c.index()).or_default().credit);
+        }
+        if let Some(r) = f.balance_read {
+            mark(&mut slots.entry(r.index()).or_default().read);
+        }
+        if let Some((a, p)) = f.allowance_write {
+            mark(&mut cells.entry((a.index(), p.index())).or_default().write);
+        }
+        if let Some((a, p)) = f.allowance_read {
+            mark(&mut cells.entry((a.index(), p.index())).or_default().read);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tokensync_core::analysis::ops_conflict;
+    use tokensync_spec::AccountId;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+    fn a(i: usize) -> AccountId {
+        AccountId::new(i)
+    }
+
+    fn transfer(caller: usize, to: usize, value: u64) -> (ProcessId, Erc20Op) {
+        (p(caller), Erc20Op::Transfer { to: a(to), value })
+    }
+
+    fn spend(caller: usize, from: usize, to: usize) -> (ProcessId, Erc20Op) {
+        (
+            p(caller),
+            Erc20Op::TransferFrom {
+                from: a(from),
+                to: a(to),
+                value: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn disjoint_transfers_share_one_wave() {
+        let ops: Vec<_> = (0..8).map(|i| transfer(i, 8 + i, 1)).collect();
+        let s = schedule(&ops, &ScheduleConfig::default());
+        assert_eq!(s.waves.len(), 1);
+        assert_eq!(s.waves[0].len(), 8);
+        assert!(s.serial.is_empty());
+        assert_eq!(s.conflicts, 0);
+        assert!(s.wave_parallelism() > 1.0);
+    }
+
+    #[test]
+    fn same_source_chain_gets_one_wave_each() {
+        // Three withdrawals from account 0 must keep submission order.
+        let ops = vec![spend(1, 0, 1), spend(2, 0, 2), spend(3, 0, 3)];
+        let s = schedule(&ops, &ScheduleConfig::default());
+        assert_eq!(s.waves.len(), 3);
+        for (w, wave) in s.waves.iter().enumerate() {
+            assert_eq!(wave, &vec![w]);
+        }
+    }
+
+    #[test]
+    fn long_conflict_chains_spill_into_the_serial_lane() {
+        let cfg = ScheduleConfig {
+            max_parallel_waves: 2,
+        };
+        let ops: Vec<_> = (1..8).map(|i| spend(i, 0, i)).collect();
+        let s = schedule(&ops, &cfg);
+        assert_eq!(s.waves.len(), 2);
+        assert_eq!(s.serial, vec![2, 3, 4, 5, 6]);
+        // Submission order survives lane routing end to end.
+        let order: Vec<usize> = s.commit_order().collect();
+        assert_eq!(order, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn op_conflicting_with_a_serial_op_goes_serial() {
+        let cfg = ScheduleConfig {
+            max_parallel_waves: 1,
+        };
+        // Chain on account 0 fills wave 0 then spills; an unrelated
+        // transfer still rides wave 0; a late op on account 0 must not
+        // jump the spilled ones.
+        let ops = vec![
+            spend(1, 0, 1),    // wave 0
+            spend(2, 0, 2),    // serial (chain)
+            transfer(5, 6, 1), // wave 0 (commutes with everything here)
+            spend(3, 0, 3),    // serial, after idx 1
+        ];
+        let s = schedule(&ops, &cfg);
+        assert_eq!(s.waves[0], vec![0, 2]);
+        assert_eq!(s.serial, vec![1, 3]);
+    }
+
+    #[test]
+    fn hot_sink_credits_stay_parallel() {
+        // Distinct owners all paying one exchange account: commuting
+        // credits, one wave.
+        let ops: Vec<_> = (1..9).map(|i| transfer(i, 0, 1)).collect();
+        let s = schedule(&ops, &ScheduleConfig::default());
+        assert_eq!(s.waves.len(), 1);
+        assert_eq!(s.waves[0].len(), 8);
+    }
+
+    #[test]
+    fn waves_agree_with_pairwise_conflicts() {
+        // The registry shortcut must equal the quadratic ground truth:
+        // ops sharing a wave never conflict, and conflicting pairs appear
+        // in commit order matching submission order.
+        let mut rng = 0x9E3779B97F4A7C15u64;
+        let mut next = move |m: usize| {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            (rng as usize) % m
+        };
+        for _ in 0..50 {
+            let n = 6;
+            let ops: Vec<(ProcessId, Erc20Op)> = (0..24)
+                .map(|_| match next(4) {
+                    0 => transfer(next(n), next(n), next(3) as u64),
+                    1 => spend(next(n), next(n), next(n)),
+                    2 => (
+                        p(next(n)),
+                        Erc20Op::Approve {
+                            spender: p(next(n)),
+                            value: next(5) as u64,
+                        },
+                    ),
+                    _ => (
+                        p(next(n)),
+                        Erc20Op::BalanceOf {
+                            account: a(next(n)),
+                        },
+                    ),
+                })
+                .collect();
+            let s = schedule(
+                &ops,
+                &ScheduleConfig {
+                    max_parallel_waves: 3,
+                },
+            );
+            assert_eq!(s.ops(), ops.len());
+            for wave in &s.waves {
+                for (i, &x) in wave.iter().enumerate() {
+                    for &y in &wave[i + 1..] {
+                        assert!(
+                            !ops_conflict((ops[x].0, &ops[x].1), (ops[y].0, &ops[y].1)),
+                            "conflicting ops {x} and {y} share a wave"
+                        );
+                    }
+                }
+            }
+            // Conflicting pairs keep submission order in commit order.
+            let pos: HashMap<usize, usize> =
+                s.commit_order().enumerate().map(|(c, i)| (i, c)).collect();
+            for x in 0..ops.len() {
+                for y in x + 1..ops.len() {
+                    if ops_conflict((ops[x].0, &ops[x].1), (ops[y].0, &ops[y].1)) {
+                        assert!(pos[&x] < pos[&y], "conflicting pair ({x}, {y}) reordered");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -18,6 +18,7 @@
 //! | [`core`] | `tokensync-core` | ERC20 object, Section 5 analysis, Algorithms 1 & 2, token standards |
 //! | [`mc`] | `tokensync-mc` | explorer, valency analysis, commutativity sweep, census |
 //! | [`net`] | `tokensync-net` | simulator, reliable broadcast, payment + dynamic token protocols |
+//! | [`pipeline`] | `tokensync-pipeline` | commutativity-aware batched execution engine |
 //!
 //! ## Quickstart
 //!
@@ -46,6 +47,8 @@
 //!   [`core::emulation::RestrictedToken`] (Algorithm 2 / Theorem 4).
 //! * Machine-checked impossibility boundaries: [`mc`] (Theorem 3).
 //! * Consensus-free payments and the Section 7 dynamic protocol: [`net`].
+//! * The analysis *exploited* as a serving path — batched, wave-parallel
+//!   execution with a replayable commit log: [`pipeline`].
 //! * Every table/figure of the evaluation: `cargo run -p
 //!   tokensync-experiments --bin e1_lower_bound` … `e8_standards`, and
 //!   `cargo bench -p tokensync-bench`; see README.md and ARCHITECTURE.md.
@@ -59,5 +62,6 @@ pub use tokensync_core as core;
 pub use tokensync_kat as kat;
 pub use tokensync_mc as mc;
 pub use tokensync_net as net;
+pub use tokensync_pipeline as pipeline;
 pub use tokensync_registers as registers;
 pub use tokensync_spec as spec;
