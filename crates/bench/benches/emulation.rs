@@ -11,7 +11,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use tokensync_bench::workloads::{funded_state, mixed_ops};
 use tokensync_core::emulation::RestrictedToken;
-use tokensync_core::shared::{ConcurrentToken, SharedErc20};
+use tokensync_core::shared::{ConcurrentObject, SharedErc20};
 
 const OPS: usize = 2048;
 

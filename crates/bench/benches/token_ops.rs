@@ -15,7 +15,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use tokensync_bench::workloads::{funded_state, mixed_ops};
 use tokensync_consensus::Universal;
 use tokensync_core::erc20::Erc20Spec;
-use tokensync_core::shared::{CoarseErc20, ConcurrentToken, SharedErc20};
+use tokensync_core::shared::{CoarseErc20, ConcurrentObject, ConcurrentToken, SharedErc20};
 
 const N_ACCOUNTS: usize = 16;
 const OPS_PER_THREAD: usize = 256;

@@ -6,19 +6,19 @@
 
 use std::sync::Arc;
 
-use tokensync_core::erc20::Erc20Op;
-use tokensync_core::shared::ConcurrentToken;
+use tokensync_core::shared::ConcurrentObject;
 use tokensync_spec::ProcessId;
 
 /// Splits `workload` into `threads` contiguous chunks and applies each
-/// chunk on its own thread against `token`, blocking until all finish.
+/// chunk on its own thread against `token` — any standard's object,
+/// blocking until all finish.
 ///
 /// # Panics
 ///
 /// Panics (propagated) if a worker thread panics.
-pub fn run_split<T: ConcurrentToken>(
+pub fn run_split<T: ConcurrentObject>(
     token: &Arc<T>,
-    workload: &[(ProcessId, Erc20Op)],
+    workload: &[(ProcessId, T::Op)],
     threads: usize,
 ) {
     let chunk = workload.len().div_ceil(threads.max(1)).max(1);
@@ -39,7 +39,7 @@ pub fn run_split<T: ConcurrentToken>(
 mod tests {
     use super::*;
     use crate::workloads::{funded_state, mixed_ops};
-    use tokensync_core::shared::CoarseErc20;
+    use tokensync_core::shared::{CoarseErc20, ConcurrentToken};
 
     #[test]
     fn applies_every_op_once() {

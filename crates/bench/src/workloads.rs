@@ -1,8 +1,12 @@
-//! Deterministic operation workloads shared by the bench targets.
+//! Deterministic operation workloads shared by the bench targets —
+//! ERC20 traffic plus the Section 6 standards (an NFT marketplace over
+//! ERC721 and batch-transfer streams over ERC1155).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tokensync_core::erc20::{Erc20Op, Erc20State};
+use tokensync_core::standards::erc1155::{Erc1155Op, Erc1155State, TypeId};
+use tokensync_core::standards::erc721::{Erc721Op, Erc721State, TokenId};
 use tokensync_spec::{AccountId, ProcessId};
 
 /// Uniform draw from `0..n` excluding `not` (requires `n >= 2`): sample
@@ -260,6 +264,160 @@ pub fn hot_row_ops(n: usize, ops: usize, seed: u64, k: usize) -> Vec<(ProcessId,
         .collect()
 }
 
+/// The ERC721 marketplace starting grid behind [`nft_marketplace_ops`]:
+/// the first half of the `tokens`-id space pre-minted round-robin over
+/// the `n` processes, the second half left for lazy mints.
+pub fn nft_market_state(n: usize, tokens: usize) -> Erc721State {
+    Erc721State::minted_round_robin(n, tokens, tokens / 2)
+}
+
+/// An NFT-marketplace workload over [`nft_market_state`]`(n, tokens)`:
+/// Zipf-skewed token ids (a few hot collections absorb most traffic),
+/// ~70% owner `transferFrom`s, ~15% owner `approve`s, ~10% reads, ~5%
+/// lazy mints of the unminted second half.
+///
+/// The generator tracks ownership while generating (the sequential
+/// semantics), so transfers are issued *by the current owner* — the
+/// owner-disjoint regime the paper says needs no synchronization: ops on
+/// distinct token ids have disjoint footprints and the pipeline should
+/// schedule them into wide waves, while the Zipf head creates genuine
+/// same-token conflict chains.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `tokens < 2`.
+pub fn nft_marketplace_ops(
+    n: usize,
+    tokens: usize,
+    ops: usize,
+    seed: u64,
+    theta: f64,
+) -> Vec<(ProcessId, Erc721Op)> {
+    assert!(n > 0 && tokens >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = ZipfSampler::new(tokens / 2, theta);
+    // Mirror of nft_market_state's ownership, maintained as we generate.
+    let mut owner: Vec<Option<usize>> = (0..tokens)
+        .map(|t| (t < tokens / 2).then_some(t % n))
+        .collect();
+    let mut next_mint = tokens / 2;
+    (0..ops)
+        .map(|_| {
+            let hot = zipf.sample(&mut rng); // pre-minted half
+            match rng.gen_range(0..20) {
+                0..=13 => {
+                    let from = owner[hot].expect("pre-minted");
+                    let to = rng.gen_range(0..n);
+                    owner[hot] = Some(to);
+                    (
+                        ProcessId::new(from),
+                        Erc721Op::TransferFrom {
+                            from: ProcessId::new(from),
+                            to: ProcessId::new(to),
+                            token: TokenId::new(hot),
+                        },
+                    )
+                }
+                14..=16 => {
+                    let holder = owner[hot].expect("pre-minted");
+                    (
+                        ProcessId::new(holder),
+                        Erc721Op::Approve {
+                            approved: Some(ProcessId::new(rng.gen_range(0..n))),
+                            token: TokenId::new(hot),
+                        },
+                    )
+                }
+                17..=18 => (
+                    ProcessId::new(rng.gen_range(0..n)),
+                    Erc721Op::OwnerOf {
+                        token: TokenId::new(hot),
+                    },
+                ),
+                _ => {
+                    // Lazy mint of the next unminted id (wrapping into
+                    // re-mint attempts — harmless FALSEs — once the
+                    // space is exhausted).
+                    let token = if next_mint < tokens {
+                        let t = next_mint;
+                        next_mint += 1;
+                        t
+                    } else {
+                        tokens - 1
+                    };
+                    let to = rng.gen_range(0..n);
+                    if owner[token].is_none() {
+                        owner[token] = Some(to);
+                    }
+                    (
+                        ProcessId::new(to),
+                        Erc721Op::Mint {
+                            to: ProcessId::new(to),
+                            token: TokenId::new(token),
+                        },
+                    )
+                }
+            }
+        })
+        .collect()
+}
+
+/// The ERC1155 starting state behind [`erc1155_batch_ops`]: every
+/// account holds 1000 of each of `types` token types.
+pub fn erc1155_funded_state(n: usize, types: usize) -> Erc1155State {
+    let mut state = Erc1155State::deploy(n, ProcessId::new(0), &vec![0; types]);
+    for a in 0..n {
+        for t in 0..types {
+            state.set_balance(AccountId::new(a), TypeId::new(t), 1000);
+        }
+    }
+    state
+}
+
+/// An ERC1155 batch-transfer workload over
+/// [`erc1155_funded_state`]`(n, types)`: each op is a
+/// `safeBatchTransferFrom` of 1–4 type rows issued by its source's
+/// owner. Sources stripe over the first half of the accounts and sinks
+/// over the second (the owner-disjoint regime — batch cell sets of
+/// distinct sources never intersect on the update side), except a
+/// `hot_fraction` (in percent) of batches that all drain **account 0**
+/// — intersecting cell sets that must serialize.
+///
+/// # Panics
+///
+/// Panics if `n < 4`, `types == 0`, or `hot_percent > 100`.
+pub fn erc1155_batch_ops(
+    n: usize,
+    types: usize,
+    ops: usize,
+    seed: u64,
+    hot_percent: usize,
+) -> Vec<(ProcessId, Erc1155Op)> {
+    assert!(n >= 4 && types > 0 && hot_percent <= 100);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let half = n / 2;
+    (0..ops)
+        .map(|i| {
+            let hot = rng.gen_range(0..100) < hot_percent;
+            let from = if hot { 0 } else { i % half };
+            let to = half + rng.gen_range(0..n - half);
+            let rows = rng.gen_range(1..=4.min(types));
+            let start = rng.gen_range(0..types);
+            let entries = (0..rows)
+                .map(|r| (TypeId::new((start + r) % types), rng.gen_range(0..3)))
+                .collect();
+            (
+                ProcessId::new(from),
+                Erc1155Op::BatchTransfer {
+                    from: AccountId::new(from),
+                    to: AccountId::new(to),
+                    entries,
+                },
+            )
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,6 +504,56 @@ mod tests {
             }
         }
         assert_eq!(disjoint_transfers(n, 64, 3), disjoint_transfers(n, 64, 3));
+    }
+
+    #[test]
+    fn nft_marketplace_transfers_are_issued_by_the_running_owner() {
+        use tokensync_core::standards::erc721::{Erc721Resp, Erc721Spec};
+        use tokensync_spec::ObjectType;
+        let (n, tokens) = (8, 32);
+        let ops = nft_marketplace_ops(n, tokens, 500, 9, 0.9);
+        assert_eq!(ops, nft_marketplace_ops(n, tokens, 500, 9, 0.9));
+        // Replaying sequentially, every transfer and approve must be
+        // authorized (the generator tracks ownership), so the only FALSE
+        // responses are re-mint attempts.
+        let spec = Erc721Spec::new(nft_market_state(n, tokens));
+        let mut q = spec.initial_state();
+        for (caller, op) in &ops {
+            let resp = spec.apply(&mut q, *caller, op);
+            if resp == Erc721Resp::FALSE {
+                assert!(
+                    matches!(op, Erc721Op::Mint { .. }),
+                    "unauthorized marketplace op: {op:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn erc1155_disjoint_batches_have_disjoint_footprints() {
+        use tokensync_core::analysis::FootprintedOp;
+        let (n, types) = (16, 4);
+        let ops = erc1155_batch_ops(n, types, n / 2, 5, 0);
+        assert_eq!(ops, erc1155_batch_ops(n, types, n / 2, 5, 0));
+        // A window of n/2 consecutive hot-free batches has pairwise
+        // disjoint sources and only co-credits sinks: fully commuting.
+        for (i, x) in ops.iter().enumerate() {
+            for y in &ops[i + 1..] {
+                assert!(
+                    !x.1.footprint(x.0).conflicts_with(&y.1.footprint(y.0)),
+                    "disjoint-regime batches must commute"
+                );
+            }
+        }
+        // The hot regime concentrates sources on account 0.
+        let hot = erc1155_batch_ops(n, types, 100, 5, 100);
+        for (caller, op) in &hot {
+            assert_eq!(caller.index(), 0);
+            match op {
+                Erc1155Op::BatchTransfer { from, .. } => assert_eq!(from.index(), 0),
+                other => panic!("unexpected op {other:?}"),
+            }
+        }
     }
 
     #[test]

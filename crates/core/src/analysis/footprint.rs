@@ -1,42 +1,226 @@
 //! Per-operation state footprints and the *state-independent* conflict
-//! relation the batched execution pipeline schedules by.
+//! relation the batched execution pipeline schedules by — for **every**
+//! token standard, not just ERC20.
 //!
 //! The Section 5 analysis asks which operations need synchronization at a
 //! *given* state `q` (the σ_q machinery); a batch scheduler needs the
 //! stronger, state-free question: *can these two operations ever fail to
 //! commute, at any state?* This module answers it by charging every
-//! operation a footprint over the token's mutable cells — balance slots
-//! `β(a)` and allowance cells `α(a, p̄)` — split by access mode:
+//! operation a [`Footprint`] over the token's mutable [`Cell`]s, each
+//! tagged with an [`Access`] mode:
 //!
-//! * a **debit** both reads and decreases a balance (its precondition and
-//!   its response depend on the cell);
-//! * a **credit** blindly increases a balance (`+=` commutes with `+=`,
-//!   so two credits to the same account are *not* a conflict — this is
-//!   what lets a hot sink account absorb parallel deposits);
-//! * an **allowance write** overwrites (`approve`) or consumes
-//!   (`transferFrom`) one allowance cell;
-//! * **reads** (`balanceOf`, `allowance`) observe one cell;
-//!   `totalSupply` has an *empty* footprint — the supply is invariant
-//!   under `Δ`, so it commutes with everything.
+//! * [`Access::Update`] both reads and rewrites a cell — a balance
+//!   **debit** (precondition and response depend on the cell), an
+//!   allowance overwrite/consumption, an NFT ownership change, an
+//!   operator-row toggle;
+//! * [`Access::Credit`] blindly increases a cell (`+=` commutes with
+//!   `+=`, so two credits to the same account are *not* a conflict —
+//!   this is what lets a hot sink account absorb parallel deposits);
+//! * [`Access::Read`] observes a cell without changing it. Supply reads
+//!   (`totalSupply`) have an *empty* footprint — the supply is invariant
+//!   under `Δ`, so they commute with everything.
 //!
-//! Two operations [`conflict`](OpFootprint::conflicts_with) iff one
-//! accesses a cell the other writes (with the credit/credit exception).
-//! Disjoint footprints touch disjoint mutable state apart from shared
-//! pure increments, so the operations commute — identical final state
-//! *and* identical responses in either order, at **every** state. This is
-//! checked exhaustively against the sequential spec by the property tests
-//! below, and it is the soundness argument of `tokensync-pipeline`'s wave
+//! Two operations conflict iff they touch a common cell and the accesses
+//! are not both reads and not both credits. Disjoint footprints touch
+//! disjoint mutable state apart from shared pure increments, so the
+//! operations commute — identical final state *and* identical responses
+//! in either order, at **every** state. This is checked exhaustively
+//! against the sequential specs by property tests (here for ERC20, in
+//! `standards::erc721`/`standards::erc1155` for the Section 6 objects),
+//! and it is the soundness argument of `tokensync-pipeline`'s wave
 //! scheduler. The paper's catalogued conflicts (Theorem 3's proof:
 //! same-source withdrawals, the approve/spender race — see
-//! `tokensync-mc::commute`) appear here as debit/debit and
-//! allowance-write/allowance-write collisions; the footprint relation is
-//! deliberately a *superset* of the catalog because an executor must also
-//! order pairs the proof may discharge as "read-only at q" (e.g. a credit
-//! landing on an account another op is draining).
+//! `tokensync-mc::commute`) appear here as update/update collisions; the
+//! footprint relation is deliberately a *superset* of the catalog because
+//! an executor must also order pairs the proof may discharge as
+//! "read-only at q" (e.g. a credit landing on an account another op is
+//! draining).
+//!
+//! [`OpFootprint`] is the original ERC20-shaped footprint (a handful of
+//! `Option` fields, `Copy`, no allocation); it remains as the ERC20
+//! instance and [`FootprintedOp`] for [`Erc20Op`] is defined by lowering
+//! it into the generic cell form — the two relations are proven to agree
+//! by the tests below.
 
 use tokensync_spec::{AccountId, ProcessId};
 
 use crate::erc20::Erc20Op;
+
+/// One mutable cell of a token object's state, across all the standards
+/// of Section 6. The pipeline never interprets a cell — it only compares
+/// them for equality — so one enum covers every standard without the
+/// scheduler knowing which object it is serving.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Cell {
+    /// An ERC20/ERC777 balance slot `β(a)`.
+    Balance(u32),
+    /// An ERC20 allowance cell `α(a, p̄)`.
+    Allowance(u32, u32),
+    /// An ERC721 per-token cell: ownership plus the single-use approval
+    /// of one `tokenId`.
+    Token(u32),
+    /// The operator *column* of one process: every
+    /// `isApprovedForAll(·, p)` row with `p` as the operator
+    /// (ERC721/ERC1155/ERC777 `setApprovalForAll` /
+    /// `authorizeOperator`). Keyed by the operator alone — coarser than
+    /// the `(holder, operator)` pair, which over-approximates (two
+    /// holders toggling the same operator conflict spuriously) but stays
+    /// state-independent: an authorization check by caller `p` cannot
+    /// know which holder's row it will consult, yet always consults a
+    /// row in `p`'s column.
+    Operator(u32),
+    /// An ERC1155 `(token type, account)` balance cell.
+    Typed(u32, u32),
+}
+
+/// How an operation touches a [`Cell`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Access {
+    /// Observes the cell without changing it.
+    Read,
+    /// Blindly increases the cell (`+=`): commutes with other credits of
+    /// the same cell, conflicts with everything else.
+    Credit,
+    /// Reads and/or rewrites the cell: debits, overwrites, consumption,
+    /// ownership moves, operator toggles. Conflicts with every other
+    /// access of the cell.
+    Update,
+}
+
+impl Access {
+    /// Whether two accesses of the *same* cell commute: only read/read
+    /// and credit/credit do.
+    pub fn commutes_with(self, other: Access) -> bool {
+        matches!(
+            (self, other),
+            (Access::Read, Access::Read) | (Access::Credit, Access::Credit)
+        )
+    }
+}
+
+/// The set of `(cell, access)` charges of one operation. Built via
+/// [`FootprintedOp::footprint_into`] into a caller-owned buffer so the
+/// scheduler's hot loop performs no allocation in steady state (the
+/// buffer is cleared and refilled per op).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Footprint {
+    entries: Vec<(Cell, Access)>,
+}
+
+impl Footprint {
+    /// An empty footprint (commutes with everything).
+    pub const fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Removes all charges, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Charges `access` on `cell`.
+    pub fn push(&mut self, cell: Cell, access: Access) {
+        self.entries.push((cell, access));
+    }
+
+    /// The charges, in push order (one op may charge a cell repeatedly —
+    /// e.g. a batch naming a token type twice; self-collisions are
+    /// meaningless and ignored by the scheduler).
+    pub fn iter(&self) -> impl Iterator<Item = (Cell, Access)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Whether no cell is charged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of charges.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether this op and `other` may fail to commute at *some* state:
+    /// a shared cell with accesses that are not read/read or
+    /// credit/credit. Symmetric. If this returns `false` the two
+    /// operations commute at **every** state (same final state, same two
+    /// responses in either order) — the per-standard property suites
+    /// check that claim against the sequential specs.
+    pub fn conflicts_with(&self, other: &Footprint) -> bool {
+        self.entries.iter().any(|&(cell, access)| {
+            other
+                .entries
+                .iter()
+                .any(|&(c, a)| c == cell && !access.commutes_with(a))
+        })
+    }
+}
+
+/// An operation that can report its state footprint — the one bound the
+/// generic pipeline scheduler needs. Implemented by [`Erc20Op`] (lowering
+/// [`OpFootprint`]) and by the ERC721/ERC1155 op alphabets in
+/// [`standards`](crate::standards).
+pub trait FootprintedOp {
+    /// Appends the `(cell, access)` charges of this op invoked by
+    /// `caller` into `out` (which the caller has cleared). Batch
+    /// operations append one charge per touched cell — their footprint
+    /// is the union of their parts.
+    fn footprint_into(&self, caller: ProcessId, out: &mut Footprint);
+
+    /// Convenience allocating form of
+    /// [`footprint_into`](FootprintedOp::footprint_into).
+    fn footprint(&self, caller: ProcessId) -> Footprint {
+        let mut out = Footprint::new();
+        self.footprint_into(caller, &mut out);
+        out
+    }
+}
+
+/// Convenience: whether two raw `(caller, op)` pairs may fail to commute,
+/// per the generic footprint relation.
+pub fn footprints_conflict<O: FootprintedOp>(a: (ProcessId, &O), b: (ProcessId, &O)) -> bool {
+    a.1.footprint(a.0).conflicts_with(&b.1.footprint(b.0))
+}
+
+/// Saturating index → cell-key conversion shared by every standard's
+/// [`FootprintedOp`] impl. Ids beyond `u32::MAX` all alias onto the
+/// `u32::MAX` sentinel cell, which is *sound*: the specs treat every
+/// out-of-range id as a failing/no-op operation, so aliasing them can
+/// only add spurious conflicts (serializing what would commute), never
+/// hide one — and, unlike a panicking conversion, a hostile op id can
+/// never take down the scheduler.
+pub(crate) fn cell_index(i: usize) -> u32 {
+    u32::try_from(i).unwrap_or(u32::MAX)
+}
+
+impl FootprintedOp for Erc20Op {
+    fn footprint_into(&self, caller: ProcessId, out: &mut Footprint) {
+        let f = OpFootprint::of(caller, self);
+        if let Some(d) = f.debit {
+            out.push(Cell::Balance(cell_index(d.index())), Access::Update);
+        }
+        if let Some(c) = f.credit {
+            out.push(Cell::Balance(cell_index(c.index())), Access::Credit);
+        }
+        if let Some((a, p)) = f.allowance_write {
+            out.push(
+                Cell::Allowance(cell_index(a.index()), cell_index(p.index())),
+                Access::Update,
+            );
+        }
+        if let Some(r) = f.balance_read {
+            out.push(Cell::Balance(cell_index(r.index())), Access::Read);
+        }
+        if let Some((a, p)) = f.allowance_read {
+            out.push(
+                Cell::Allowance(cell_index(a.index()), cell_index(p.index())),
+                Access::Read,
+            );
+        }
+    }
+}
 
 /// The cells of the state `q = (β, α)` one operation may touch, split by
 /// access mode. Built by [`OpFootprint::of`]; cheap (a few `Option`s, no
@@ -267,6 +451,84 @@ mod tests {
         assert!(ops_conflict((p(3), &alw), (p(0), &approve)));
         // Reads never conflict with reads.
         assert!(!ops_conflict((p(3), &bal), (p(1), &bal)));
+    }
+
+    #[test]
+    fn generic_footprint_agrees_with_erc20_specialized_relation() {
+        // The generic Cell/Access lowering must induce exactly the
+        // relation `OpFootprint::conflicts_with` defines — every mode
+        // pair of the specialized table maps onto the three-mode rule.
+        let ops = [
+            Erc20Op::Transfer { to: a(1), value: 1 },
+            Erc20Op::Transfer { to: a(2), value: 2 },
+            Erc20Op::TransferFrom {
+                from: a(0),
+                to: a(2),
+                value: 1,
+            },
+            Erc20Op::TransferFrom {
+                from: a(1),
+                to: a(3),
+                value: 1,
+            },
+            Erc20Op::Approve {
+                spender: p(2),
+                value: 5,
+            },
+            Erc20Op::BalanceOf { account: a(1) },
+            Erc20Op::Allowance {
+                account: a(0),
+                spender: p(2),
+            },
+            Erc20Op::TotalSupply,
+        ];
+        for c1 in 0..N {
+            for c2 in 0..N {
+                for o1 in &ops {
+                    for o2 in &ops {
+                        let (c1, c2) = (p(c1), p(c2));
+                        assert_eq!(
+                            footprints_conflict((c1, o1), (c2, o2)),
+                            ops_conflict((c1, o1), (c2, o2)),
+                            "generic and ERC20 relations disagree on \
+                             {c1}:{o1:?} vs {c2}:{o2:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_footprint_commutes_with_everything() {
+        let supply = Erc20Op::TotalSupply.footprint(p(0));
+        assert!(supply.is_empty());
+        assert_eq!(supply.len(), 0);
+        let spend = Erc20Op::TransferFrom {
+            from: a(0),
+            to: a(1),
+            value: 1,
+        }
+        .footprint(p(2));
+        assert_eq!(spend.len(), 3);
+        assert!(!supply.conflicts_with(&spend));
+        assert!(spend.conflicts_with(&spend.clone()));
+    }
+
+    #[test]
+    fn access_mode_table() {
+        use Access::*;
+        assert!(Read.commutes_with(Read));
+        assert!(Credit.commutes_with(Credit));
+        for (x, y) in [
+            (Read, Credit),
+            (Read, Update),
+            (Credit, Update),
+            (Update, Update),
+        ] {
+            assert!(!x.commutes_with(y));
+            assert!(!y.commutes_with(x));
+        }
     }
 
     const N: usize = 4;

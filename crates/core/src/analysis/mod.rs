@@ -17,7 +17,10 @@ mod spenders;
 mod sync_state;
 
 pub use bounds::{consensus_number_bounds, CnBounds};
-pub use footprint::{ops_conflict, OpFootprint};
+pub(crate) use footprint::cell_index;
+pub use footprint::{
+    footprints_conflict, ops_conflict, Access, Cell, Footprint, FootprintedOp, OpFootprint,
+};
 pub use monitor::{SyncMonitor, SyncPoint};
 pub use partition::{max_spender_account, partition_index};
 pub use spenders::enabled_spenders;

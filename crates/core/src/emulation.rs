@@ -45,7 +45,7 @@ use tokensync_spec::{AccountId, Amount, ObjectType, ProcessId};
 use crate::analysis::enabled_spenders;
 use crate::erc20::{Erc20Op, Erc20Resp, Erc20State};
 use crate::error::TokenError;
-use crate::shared::ConcurrentToken;
+use crate::shared::{apply_erc20, ConcurrentObject, ConcurrentToken};
 
 /// Sequential specification of the object [`RestrictedToken`] implements:
 /// the ERC20 transition function with the growth-gated `approve` (the
@@ -272,6 +272,29 @@ impl RestrictedToken {
     }
 }
 
+impl ConcurrentObject for RestrictedToken {
+    type Op = Erc20Op;
+    type Resp = Erc20Resp;
+    type State = Erc20State;
+
+    fn apply(&self, process: ProcessId, op: &Erc20Op) -> Erc20Resp {
+        apply_erc20(self, process, op)
+    }
+
+    fn snapshot(&self) -> Erc20State {
+        // Quiesce allowance sections, then read balances. Diagnostic: exact
+        // at quiescent points, which is how the tests use it.
+        let _guards: Vec<_> = self.sections.iter().map(Mutex::lock).collect();
+        let mut state = Erc20State::from_balances(self.at.balances_snapshot());
+        for (i, row) in self.allowances.iter().enumerate() {
+            for (j, reg) in row.iter().enumerate() {
+                state.set_allowance(AccountId::new(i), ProcessId::new(j), reg.read());
+            }
+        }
+        state
+    }
+}
+
 impl ConcurrentToken for RestrictedToken {
     fn accounts(&self) -> usize {
         self.allowances.len()
@@ -367,19 +390,6 @@ impl ConcurrentToken for RestrictedToken {
     /// Constant under every operation, so trivially linearizable.
     fn total_supply(&self) -> Amount {
         self.supply
-    }
-
-    fn state_snapshot(&self) -> Erc20State {
-        // Quiesce allowance sections, then read balances. Diagnostic: exact
-        // at quiescent points, which is how the tests use it.
-        let _guards: Vec<_> = self.sections.iter().map(Mutex::lock).collect();
-        let mut state = Erc20State::from_balances(self.at.balances_snapshot());
-        for (i, row) in self.allowances.iter().enumerate() {
-            for (j, reg) in row.iter().enumerate() {
-                state.set_allowance(AccountId::new(i), ProcessId::new(j), reg.read());
-            }
-        }
-        state
     }
 }
 

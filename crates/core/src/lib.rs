@@ -13,8 +13,10 @@
 //!   ([`Erc20Spec`]), convenience sequential token ([`Erc20Token`],
 //!   Algorithm 3 of the paper) with typed errors.
 //! * [`shared`] — linearizable concurrent implementations
-//!   ([`CoarseErc20`], [`SharedErc20`]) behind the [`ConcurrentToken`]
-//!   interface.
+//!   ([`CoarseErc20`], [`SharedErc20`], [`ShardedErc20`]) behind the
+//!   ERC20 [`ConcurrentToken`] interface, itself an instance of the
+//!   standard-generic [`ConcurrentObject`] trait (footprinted ops +
+//!   oracle snapshots) the batched pipeline serves.
 //! * [`analysis`] — the Section 5 machinery: enabled spenders `σ_q`,
 //!   the partition `{Q_k}`, the unique-winner predicate `U`,
 //!   synchronization states `S_k`, and per-state consensus-number bounds
@@ -30,7 +32,11 @@
 //!   Theorem 3).
 //! * [`standards`] — Section 6 extensions: ERC777 operators, ERC721
 //!   non-fungible tokens, ERC1155 multi-tokens, with their consensus
-//!   constructions.
+//!   constructions (deduplicated over [`standards::race`]) and the
+//!   lock-striped, footprinted serving objects
+//!   ([`standards::erc721::ShardedErc721`],
+//!   [`standards::erc1155::ShardedErc1155`]) the generic pipeline
+//!   executes.
 //!
 //! # Quickstart
 //!
@@ -68,11 +74,12 @@ pub mod setup;
 pub mod shared;
 pub mod standards;
 pub mod token_consensus;
+mod util;
 
 pub use analysis::{consensus_number_bounds, enabled_spenders, CnBounds, SyncMonitor};
 pub use emulation::RestrictedToken;
 pub use erc20::{Erc20Op, Erc20Resp, Erc20Spec, Erc20State, Erc20Token};
 pub use error::TokenError;
 pub use setup::prepare_sync_state;
-pub use shared::{CoarseErc20, ConcurrentToken, SharedErc20};
+pub use shared::{CoarseErc20, ConcurrentObject, ConcurrentToken, ShardedErc20, SharedErc20};
 pub use token_consensus::TokenConsensus;

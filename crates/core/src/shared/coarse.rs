@@ -3,10 +3,10 @@
 use parking_lot::Mutex;
 use tokensync_spec::{AccountId, Amount, ProcessId};
 
-use crate::erc20::Erc20State;
+use crate::erc20::{Erc20Op, Erc20Resp, Erc20State};
 use crate::error::TokenError;
 
-use super::interface::ConcurrentToken;
+use super::interface::{apply_erc20, ConcurrentObject, ConcurrentToken};
 
 /// An ERC20 token behind one global mutex.
 ///
@@ -52,6 +52,20 @@ impl CoarseErc20 {
     }
 }
 
+impl ConcurrentObject for CoarseErc20 {
+    type Op = Erc20Op;
+    type Resp = Erc20Resp;
+    type State = Erc20State;
+
+    fn apply(&self, process: ProcessId, op: &Erc20Op) -> Erc20Resp {
+        apply_erc20(self, process, op)
+    }
+
+    fn snapshot(&self) -> Erc20State {
+        self.state.lock().clone()
+    }
+}
+
 impl ConcurrentToken for CoarseErc20 {
     fn accounts(&self) -> usize {
         self.accounts
@@ -90,10 +104,6 @@ impl ConcurrentToken for CoarseErc20 {
 
     fn total_supply(&self) -> Amount {
         self.state.lock().total_supply()
-    }
-
-    fn state_snapshot(&self) -> Erc20State {
-        self.state.lock().clone()
     }
 }
 

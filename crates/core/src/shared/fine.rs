@@ -5,10 +5,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use parking_lot::{Mutex, MutexGuard};
 use tokensync_spec::{AccountId, Amount, ProcessId};
 
-use crate::erc20::{Erc20State, SpenderMap};
+use crate::erc20::{Erc20Op, Erc20Resp, Erc20State, SpenderMap};
 use crate::error::TokenError;
 
-use super::interface::ConcurrentToken;
+use super::interface::{apply_erc20, ConcurrentObject, ConcurrentToken};
 
 /// Everything owned by one account: its balance and the allowances it has
 /// granted (`α(a, ·)` is written only through `a`'s lock). The allowance
@@ -130,6 +130,27 @@ impl SharedErc20 {
     }
 }
 
+impl ConcurrentObject for SharedErc20 {
+    type Op = Erc20Op;
+    type Resp = Erc20Resp;
+    type State = Erc20State;
+
+    fn apply(&self, process: ProcessId, op: &Erc20Op) -> Erc20Resp {
+        apply_erc20(self, process, op)
+    }
+
+    fn snapshot(&self) -> Erc20State {
+        let guards = self.lock_all();
+        let mut state = Erc20State::from_balances(guards.iter().map(|c| c.balance).collect());
+        for (i, cell) in guards.iter().enumerate() {
+            for (spender, v) in cell.allowances.iter() {
+                state.set_allowance(AccountId::new(i), spender, v);
+            }
+        }
+        state
+    }
+}
+
 impl ConcurrentToken for SharedErc20 {
     fn accounts(&self) -> usize {
         self.cells.len()
@@ -248,17 +269,6 @@ impl ConcurrentToken for SharedErc20 {
             "supply cache diverged from the locked scan"
         );
         self.supply.load(Ordering::Relaxed)
-    }
-
-    fn state_snapshot(&self) -> Erc20State {
-        let guards = self.lock_all();
-        let mut state = Erc20State::from_balances(guards.iter().map(|c| c.balance).collect());
-        for (i, cell) in guards.iter().enumerate() {
-            for (spender, v) in cell.allowances.iter() {
-                state.set_allowance(AccountId::new(i), spender, v);
-            }
-        }
-        state
     }
 }
 

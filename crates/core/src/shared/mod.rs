@@ -24,7 +24,7 @@ mod sharded;
 
 pub use coarse::CoarseErc20;
 pub use fine::SharedErc20;
-pub use interface::ConcurrentToken;
+pub use interface::{apply_erc20, ConcurrentObject, ConcurrentToken};
 pub use sharded::ShardedErc20;
 
 #[cfg(test)]

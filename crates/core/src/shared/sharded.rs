@@ -21,16 +21,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use parking_lot::{Mutex, MutexGuard};
 use tokensync_spec::{AccountId, Amount, ProcessId};
 
-use crate::erc20::{Erc20State, SpenderMap};
+use crate::erc20::{Erc20Op, Erc20Resp, Erc20State, SpenderMap};
 use crate::error::TokenError;
+use crate::util::CacheLine;
 
-use super::interface::ConcurrentToken;
-
-/// Pads each shard to its own cache line so neighbouring shard locks do
-/// not false-share under cross-core traffic.
-#[derive(Debug)]
-#[repr(align(64))]
-struct CacheLine<T>(T);
+use super::interface::{apply_erc20, ConcurrentObject, ConcurrentToken};
 
 /// The accounts striped onto one lock: account `i` lives in shard
 /// `i % stripe` at slot `i / stripe`.
@@ -99,12 +94,7 @@ impl ShardedErc20 {
     /// for a mutex per account; the power-of-two constraint turns the
     /// per-operation stripe math into shift/mask.
     pub fn default_shards(n: usize) -> usize {
-        let cores = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1);
-        let bound = n.clamp(1, 4 * cores);
-        // Largest power of two ≤ bound (bound ≥ 1, so this is well-formed).
-        1 << (usize::BITS - 1 - bound.leading_zeros())
+        crate::util::default_stripe(n)
     }
 
     /// Deploys a fresh token (deployer holds the whole supply) over the
@@ -197,6 +187,32 @@ impl ShardedErc20 {
     /// Locks every shard in ascending order (snapshot only).
     fn lock_all(&self) -> Vec<MutexGuard<'_, Shard>> {
         self.shards.iter().map(|s| s.0.lock()).collect()
+    }
+}
+
+impl ConcurrentObject for ShardedErc20 {
+    type Op = Erc20Op;
+    type Resp = Erc20Resp;
+    type State = Erc20State;
+
+    fn apply(&self, process: ProcessId, op: &Erc20Op) -> Erc20Resp {
+        apply_erc20(self, process, op)
+    }
+
+    fn snapshot(&self) -> Erc20State {
+        let guards = self.lock_all();
+        let mut balances = vec![0; self.accounts];
+        for i in 0..self.accounts {
+            balances[i] = guards[self.shard_of(i)].balances[self.slot_of(i)];
+        }
+        let mut state = Erc20State::from_balances(balances);
+        for i in 0..self.accounts {
+            let shard = &guards[self.shard_of(i)];
+            for (spender, v) in shard.allowances[self.slot_of(i)].iter() {
+                state.set_allowance(AccountId::new(i), spender, v);
+            }
+        }
+        state
     }
 }
 
@@ -342,22 +358,6 @@ impl ConcurrentToken for ShardedErc20 {
         // value at every linearization point; no lock needed. Relaxed is
         // enough: the atomic is written once, before the object is shared.
         self.supply.load(Ordering::Relaxed)
-    }
-
-    fn state_snapshot(&self) -> Erc20State {
-        let guards = self.lock_all();
-        let mut balances = vec![0; self.accounts];
-        for i in 0..self.accounts {
-            balances[i] = guards[self.shard_of(i)].balances[self.slot_of(i)];
-        }
-        let mut state = Erc20State::from_balances(balances);
-        for i in 0..self.accounts {
-            let shard = &guards[self.shard_of(i)];
-            for (spender, v) in shard.allowances[self.slot_of(i)].iter() {
-                state.set_allowance(AccountId::new(i), spender, v);
-            }
-        }
-        state
     }
 }
 

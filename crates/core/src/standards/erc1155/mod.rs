@@ -7,11 +7,21 @@
 //! in-depth analysis, based on combinations of accounts" — we implement the
 //! object, its operator census (an upper-bound analogue of `σ`), and leave
 //! the exact characterization as documented future work (EXPERIMENTS.md).
+//!
+//! The `object` submodule provides the standard as a *servable*
+//! concurrent object: the footprinted [`Erc1155Op`]/[`Erc1155Resp`]
+//! alphabet (batch ops union their `(type, account)` cells), the
+//! [`Erc1155Spec`] oracle, and the lock-striped [`ShardedErc1155`] the
+//! generic pipeline executes.
 
 use std::collections::BTreeSet;
 use std::fmt;
 
 use tokensync_spec::{AccountId, Amount, ProcessId};
+
+mod object;
+
+pub use object::{Erc1155Op, Erc1155Resp, Erc1155Spec, Erc1155State, ShardedErc1155};
 
 /// Identifier of a token *type* within an ERC1155 contract.
 #[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default)]

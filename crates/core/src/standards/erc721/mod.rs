@@ -6,13 +6,24 @@
 //! sketches how the consensus construction adapts: approved processes race
 //! `transferFrom` on a single `tokenId` and the winner is read off
 //! `ownerOf`.
+//!
+//! Besides the sequential [`Erc721Token`] and the consensus race, the
+//! `object` submodule provides the standard as a *servable* concurrent
+//! object: the formal [`Erc721Op`]/[`Erc721Resp`] alphabet with per-op
+//! footprints, the [`Erc721Spec`] oracle, and the lock-striped
+//! [`ShardedErc721`] the generic pipeline executes.
 
 use std::collections::BTreeSet;
 use std::fmt;
 
 use parking_lot::Mutex;
-use tokensync_registers::{Register, RegisterArray};
 use tokensync_spec::ProcessId;
+
+use super::race;
+
+mod object;
+
+pub use object::{Erc721Op, Erc721Resp, Erc721Spec, Erc721State, ShardedErc721};
 
 /// Identifier of a non-fungible token.
 #[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default)]
@@ -285,20 +296,51 @@ impl SharedErc721 {
     }
 }
 
-/// Wait-free consensus from one NFT (Section 6): the `k` movers of a token
-/// race `transferFrom` on the same `tokenId`; ownership changes exactly
-/// once, and `ownerOf` names the winner.
+/// The ERC721 decisive race: the `k` movers of one NFT race
+/// `transferFrom` on the same `tokenId`; ownership changes exactly once,
+/// and `ownerOf` names the winner.
 ///
-/// The owner transfers the NFT to a dedicated *sink* process (not a mover)
-/// rather than to itself — an owner-to-owner transfer would leave `ownerOf`
-/// unchanged and the race winnable twice.
-pub struct Erc721Consensus<V> {
+/// The owner transfers the NFT to a dedicated *sink* process (not a
+/// mover) rather than to itself — an owner-to-owner transfer would leave
+/// `ownerOf` unchanged and the race winnable twice.
+struct NftRace {
     token: SharedErc721,
     nft: TokenId,
     original_owner: ProcessId,
     sink: ProcessId,
-    movers: Vec<ProcessId>,
-    proposals: RegisterArray<Option<V>>,
+}
+
+impl race::DecisiveRace for NftRace {
+    fn fire(&self, mover: usize) {
+        // The owner sends the NFT to the sink; every other mover sends it
+        // to itself. Exactly one transferFrom can succeed because a
+        // successful transfer changes `ownerOf` away from the original
+        // owner, failing all later `from = original_owner` claims.
+        let process = ProcessId::new(mover);
+        let target = if mover == 0 { self.sink } else { process };
+        let _ = self
+            .token
+            .transfer_from(process, self.original_owner, target, self.nft);
+    }
+
+    fn winner(&self) -> Option<usize> {
+        let current = self.token.owner_of(self.nft)?;
+        if current == self.original_owner {
+            return None;
+        }
+        Some(if current == self.sink {
+            0 // the owner won by parking the NFT at the sink
+        } else {
+            current.index()
+        })
+    }
+}
+
+/// Wait-free consensus from one NFT (Section 6): an instance of the
+/// generic [`race::RaceConsensus`] choreography whose decisive transfer
+/// is a `transferFrom` race on a single `tokenId`.
+pub struct Erc721Consensus<V> {
+    inner: race::RaceConsensus<V, NftRace>,
 }
 
 impl<V: Clone + Send + Sync> Erc721Consensus<V> {
@@ -317,12 +359,15 @@ impl<V: Clone + Send + Sync> Erc721Consensus<V> {
             token.set_approval_for_all(owner, ProcessId::new(i), true);
         }
         Self {
-            token: SharedErc721::new(token),
-            nft: TokenId::new(0),
-            original_owner: owner,
-            sink: ProcessId::new(k),
-            movers: (0..k).map(ProcessId::new).collect(),
-            proposals: RegisterArray::new(k, None),
+            inner: race::RaceConsensus::new(
+                (0..k).map(ProcessId::new).collect(),
+                NftRace {
+                    token: SharedErc721::new(token),
+                    nft: TokenId::new(0),
+                    original_owner: owner,
+                    sink: ProcessId::new(k),
+                },
+            ),
         }
     }
 
@@ -332,42 +377,13 @@ impl<V: Clone + Send + Sync> Erc721Consensus<V> {
     ///
     /// Panics if `process` is not a mover.
     pub fn propose(&self, process: ProcessId, value: V) -> V {
-        let i = self
-            .movers
-            .iter()
-            .position(|p| *p == process)
-            .unwrap_or_else(|| panic!("{process} is not a mover"));
-        self.proposals.at(i).write(Some(value));
-        // The owner sends the NFT to the sink; every other mover sends it
-        // to itself. Exactly one transferFrom can succeed because a
-        // successful transfer changes `ownerOf` away from the original
-        // owner, failing all later `from = original_owner` claims.
-        let target = if i == 0 { self.sink } else { process };
-        let _ = self
-            .token
-            .transfer_from(process, self.original_owner, target, self.nft);
-        self.peek()
-            .expect("after any transfer attempt ownerOf names a winner")
+        self.inner.propose(process, value)
     }
 
     /// The decided value: the proposal of the process that captured the
     /// NFT, or `None` if it has not moved yet.
     pub fn peek(&self) -> Option<V> {
-        let current = self.token.owner_of(self.nft)?;
-        if current == self.original_owner {
-            return None;
-        }
-        let j = if current == self.sink {
-            0 // the owner won by parking the NFT at the sink
-        } else {
-            self.movers.iter().position(|p| *p == current)?
-        };
-        Some(
-            self.proposals
-                .at(j)
-                .read()
-                .expect("winner published its proposal before racing"),
-        )
+        self.inner.peek()
     }
 }
 

@@ -1,0 +1,959 @@
+//! The ERC721 object as a formal, footprinted, concurrently servable
+//! standard: op/response alphabets, a sparse sequential state and
+//! [`ObjectType`] spec, per-op [`Footprint`]s, and the lock-striped
+//! [`ShardedErc721`] scaling to ~1M token ids.
+//!
+//! Section 6 of the paper transfers the σ_q analysis to ERC721: a
+//! token's movers are its owner, its approved process and the owner's
+//! operators, and racing `transferFrom`s on one `tokenId` decide
+//! consensus among them. For *serving*, the useful flip side is that
+//! transfers of **distinct** tokens by their owners touch disjoint state
+//! and commute — which the footprints below encode so the generic
+//! pipeline can schedule NFT traffic into wide waves.
+//!
+//! Footprint catalog (soundness property-tested below):
+//!
+//! * every op on a `tokenId` charges [`Cell::Token`] — ownership and the
+//!   single-use approval live in the same cell, so owner-disjoint
+//!   transfers commute while two claims on one token serialize;
+//! * an op whose authorization may consult operator rows (`caller` not
+//!   the claimed owner) charges a read of [`Cell::Operator`]`(caller)`;
+//!   `setApprovalForAll(op, ·)` charges an update of
+//!   [`Cell::Operator`]`(op)` — the op serializes against its operator's
+//!   column, never against unrelated approvals.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use parking_lot::{Mutex, MutexGuard};
+use tokensync_spec::{ObjectType, ProcessId};
+
+use crate::analysis::cell_index;
+use crate::analysis::{Access, Cell, Footprint, FootprintedOp};
+use crate::shared::ConcurrentObject;
+use crate::util::CacheLine;
+
+use super::TokenId;
+
+/// Capacity guard shared by the constructors: ids are stored as `u32`
+/// keys, so the id spaces must fit (a bound no real deployment meets).
+fn assert_u32_space(what: &str, n: usize) {
+    assert!(
+        n as u128 <= u32::MAX as u128 + 1,
+        "{what} space exceeds the u32 key range"
+    );
+}
+
+/// The storage key of `token` if it lies inside the id space — the one
+/// conversion state code may use (in-range ids always fit `u32`, per the
+/// constructor guard, so this is exact where `cell_index` saturates).
+fn token_key(token: TokenId, span: usize) -> Option<u32> {
+    (token.index() < span).then(|| cell_index(token.index()))
+}
+
+/// Operations `O` of the ERC721 object (the subset with cell-granular
+/// footprints; `balanceOf` — a whole-contract scan — is served off
+/// snapshots, not the pipeline).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Erc721Op {
+    /// Mints `token` to `to`: succeeds iff the id is in range and not
+    /// yet minted (lazy minting — any process may trigger it).
+    Mint {
+        /// The receiving process.
+        to: ProcessId,
+        /// The token id to create.
+        token: TokenId,
+    },
+    /// `transferFrom(from, to, tokenId)` by the caller.
+    TransferFrom {
+        /// The claimed current owner.
+        from: ProcessId,
+        /// The receiving process.
+        to: ProcessId,
+        /// The token moved.
+        token: TokenId,
+    },
+    /// `approve(approved, tokenId)` by the caller; `None` clears.
+    Approve {
+        /// The process approved to move the token (single-use).
+        approved: Option<ProcessId>,
+        /// The token involved.
+        token: TokenId,
+    },
+    /// `setApprovalForAll(operator, on)` by the caller.
+    SetApprovalForAll {
+        /// The operator enabled/disabled for all of the caller's tokens.
+        operator: ProcessId,
+        /// Enable or disable.
+        on: bool,
+    },
+    /// `ownerOf(tokenId)`.
+    OwnerOf {
+        /// The token read.
+        token: TokenId,
+    },
+    /// `getApproved(tokenId)`.
+    GetApproved {
+        /// The token read.
+        token: TokenId,
+    },
+}
+
+/// Responses `R` of the ERC721 object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Erc721Resp {
+    /// Outcome of a mutating method.
+    Bool(bool),
+    /// Result of `ownerOf` / `getApproved` (`None`: unminted token or no
+    /// approval).
+    Process(Option<ProcessId>),
+}
+
+impl Erc721Resp {
+    /// `TRUE`.
+    pub const TRUE: Self = Erc721Resp::Bool(true);
+    /// `FALSE`.
+    pub const FALSE: Self = Erc721Resp::Bool(false);
+}
+
+impl FootprintedOp for Erc721Op {
+    fn footprint_into(&self, caller: ProcessId, out: &mut Footprint) {
+        match *self {
+            Erc721Op::Mint { token, .. } => {
+                out.push(Cell::Token(cell_index(token.index())), Access::Update);
+            }
+            Erc721Op::TransferFrom { from, token, .. } => {
+                out.push(Cell::Token(cell_index(token.index())), Access::Update);
+                // Only a non-owner caller's authorization can depend on
+                // operator rows (an owner check and the single-use
+                // approval both live in the token cell).
+                if caller != from {
+                    out.push(Cell::Operator(cell_index(caller.index())), Access::Read);
+                }
+            }
+            Erc721Op::Approve { token, .. } => {
+                out.push(Cell::Token(cell_index(token.index())), Access::Update);
+                // The caller may or may not be the owner — statically
+                // unknown, so conservatively read the caller's operator
+                // column.
+                out.push(Cell::Operator(cell_index(caller.index())), Access::Read);
+            }
+            Erc721Op::SetApprovalForAll { operator, .. } => {
+                out.push(Cell::Operator(cell_index(operator.index())), Access::Update);
+            }
+            Erc721Op::OwnerOf { token } | Erc721Op::GetApproved { token } => {
+                out.push(Cell::Token(cell_index(token.index())), Access::Read);
+            }
+        }
+    }
+}
+
+/// The sequential ERC721 state: sparse maps over minted tokens only, so
+/// a contract spanning a million token ids costs memory proportional to
+/// what has actually been minted and approved. Entries are canonical
+/// (no tombstones), so derived `Eq`/`Hash` coincide with mathematical
+/// state equality — the linearizability checker and the model checker
+/// both rely on that.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Erc721State {
+    processes: usize,
+    /// Capacity of the token-id space; mint beyond it fails.
+    token_span: usize,
+    /// Minted tokens: `tokenId → owner`.
+    owners: BTreeMap<u32, u32>,
+    /// Outstanding single-use approvals: `tokenId → approved` (minted
+    /// tokens only, `Some` entries only).
+    approved: BTreeMap<u32, u32>,
+    /// Enabled operator pairs `(holder, operator)`.
+    operators: BTreeSet<(u32, u32)>,
+}
+
+impl Erc721State {
+    /// The all-unminted state over `processes` processes and a token-id
+    /// space of `token_span` ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either space exceeds the `u32` key range.
+    pub fn new(processes: usize, token_span: usize) -> Self {
+        assert_u32_space("process", processes);
+        assert_u32_space("token-id", token_span);
+        Self {
+            processes,
+            token_span,
+            owners: BTreeMap::new(),
+            approved: BTreeMap::new(),
+            operators: BTreeSet::new(),
+        }
+    }
+
+    /// Pre-mints tokens `0..tokens`, distributing ownership round-robin
+    /// over all processes (token `t` to process `t % processes`) — the
+    /// marketplace starting grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens > token_span` or `processes == 0`.
+    pub fn minted_round_robin(processes: usize, token_span: usize, tokens: usize) -> Self {
+        assert!(processes > 0, "need at least one process");
+        assert!(tokens <= token_span, "cannot pre-mint past the id space");
+        let mut state = Self::new(processes, token_span);
+        for t in 0..tokens {
+            state
+                .owners
+                .insert(cell_index(t), cell_index(t % processes));
+        }
+        state
+    }
+
+    /// Number of processes.
+    pub fn processes(&self) -> usize {
+        self.processes
+    }
+
+    /// The token-id space bound.
+    pub fn token_span(&self) -> usize {
+        self.token_span
+    }
+
+    /// Number of minted tokens.
+    pub fn minted(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// `ownerOf(token)`.
+    pub fn owner_of(&self, token: TokenId) -> Option<ProcessId> {
+        u32::try_from(token.index())
+            .ok()
+            .and_then(|t| self.owners.get(&t))
+            .map(|&o| ProcessId::new(o as usize))
+    }
+
+    /// `getApproved(token)`.
+    pub fn get_approved(&self, token: TokenId) -> Option<ProcessId> {
+        u32::try_from(token.index())
+            .ok()
+            .and_then(|t| self.approved.get(&t))
+            .map(|&p| ProcessId::new(p as usize))
+    }
+
+    /// `isApprovedForAll(holder, operator)`.
+    pub fn is_approved_for_all(&self, holder: ProcessId, operator: ProcessId) -> bool {
+        match (
+            u32::try_from(holder.index()),
+            u32::try_from(operator.index()),
+        ) {
+            (Ok(h), Ok(o)) => self.operators.contains(&(h, o)),
+            _ => false,
+        }
+    }
+
+    /// `balanceOf(holder)` — a scan over minted tokens (oracle-side
+    /// only; deliberately not in the pipeline op alphabet).
+    pub fn balance_of(&self, holder: ProcessId) -> usize {
+        let Ok(h) = u32::try_from(holder.index()) else {
+            return 0;
+        };
+        self.owners.values().filter(|&&o| o == h).count()
+    }
+
+    /// Enables `(holder, operator)` directly — test-fixture aid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn set_operator(&mut self, holder: ProcessId, operator: ProcessId, on: bool) {
+        assert!(holder.index() < self.processes && operator.index() < self.processes);
+        let pair = (cell_index(holder.index()), cell_index(operator.index()));
+        if on {
+            self.operators.insert(pair);
+        } else {
+            self.operators.remove(&pair);
+        }
+    }
+
+    fn may_manage(&self, caller: ProcessId, owner: ProcessId, token: u32) -> bool {
+        caller == owner
+            || self.approved.get(&token) == Some(&cell_index(caller.index()))
+            || self.is_approved_for_all(owner, caller)
+    }
+}
+
+/// The ERC721 object type over `Erc721State` — the sequential oracle
+/// the pipeline's commit log replays against. Transitions are total:
+/// out-of-range ids and failed preconditions return `FALSE` (mutators)
+/// or `None` (reads) with the state unchanged.
+#[derive(Clone, Debug)]
+pub struct Erc721Spec {
+    initial: Erc721State,
+}
+
+impl Erc721Spec {
+    /// Object type starting from an arbitrary state.
+    pub fn new(initial: Erc721State) -> Self {
+        Self { initial }
+    }
+}
+
+impl ObjectType for Erc721Spec {
+    type State = Erc721State;
+    type Op = Erc721Op;
+    type Resp = Erc721Resp;
+
+    fn initial_state(&self) -> Erc721State {
+        self.initial.clone()
+    }
+
+    fn apply(&self, state: &mut Erc721State, process: ProcessId, op: &Erc721Op) -> Erc721Resp {
+        let in_range = |p: ProcessId| p.index() < state.processes;
+        match *op {
+            Erc721Op::Mint { to, token } => {
+                let Some(t) = token_key(token, state.token_span) else {
+                    return Erc721Resp::FALSE;
+                };
+                if !in_range(to) || !in_range(process) {
+                    return Erc721Resp::FALSE;
+                }
+                if state.owners.contains_key(&t) {
+                    return Erc721Resp::FALSE;
+                }
+                state.owners.insert(t, cell_index(to.index()));
+                Erc721Resp::TRUE
+            }
+            Erc721Op::TransferFrom { from, to, token } => {
+                let Some(t) = token_key(token, state.token_span) else {
+                    return Erc721Resp::FALSE;
+                };
+                if !in_range(process) || !in_range(to) || !in_range(from) {
+                    return Erc721Resp::FALSE;
+                }
+                let Some(owner) = state.owner_of(token) else {
+                    return Erc721Resp::FALSE;
+                };
+                // The ERC721 check order the sequential token uses:
+                // claimed owner first, then authorization.
+                if owner != from || !state.may_manage(process, owner, t) {
+                    return Erc721Resp::FALSE;
+                }
+                state.owners.insert(t, cell_index(to.index()));
+                state.approved.remove(&t); // single-use approval cleared
+                Erc721Resp::TRUE
+            }
+            Erc721Op::Approve { approved, token } => {
+                let Some(t) = token_key(token, state.token_span) else {
+                    return Erc721Resp::FALSE;
+                };
+                if !in_range(process) || approved.is_some_and(|p| !in_range(p)) {
+                    return Erc721Resp::FALSE;
+                }
+                let Some(owner) = state.owner_of(token) else {
+                    return Erc721Resp::FALSE;
+                };
+                if process != owner && !state.is_approved_for_all(owner, process) {
+                    return Erc721Resp::FALSE;
+                }
+                match approved {
+                    Some(p) => state.approved.insert(t, cell_index(p.index())),
+                    None => state.approved.remove(&t),
+                };
+                Erc721Resp::TRUE
+            }
+            Erc721Op::SetApprovalForAll { operator, on } => {
+                if !in_range(process) || !in_range(operator) || operator == process {
+                    return Erc721Resp::FALSE;
+                }
+                let pair = (cell_index(process.index()), cell_index(operator.index()));
+                if on {
+                    state.operators.insert(pair);
+                } else {
+                    state.operators.remove(&pair);
+                }
+                Erc721Resp::TRUE
+            }
+            Erc721Op::OwnerOf { token } => Erc721Resp::Process(state.owner_of(token)),
+            Erc721Op::GetApproved { token } => Erc721Resp::Process(state.get_approved(token)),
+        }
+    }
+}
+
+/// One minted token's mutable cell.
+#[derive(Clone, Copy, Debug)]
+struct NftCell {
+    owner: u32,
+    approved: Option<u32>,
+}
+
+/// An ERC721 contract lock-striped by **token id**, scaling to ~1M
+/// token ids.
+///
+/// Token `t` lives in shard `t & (S−1)` with `S = min(span, 4 × cores)`
+/// shards; each shard is a sparse hash map over its minted ids, so the
+/// unminted tail of the id space costs nothing. Operator rows are
+/// striped separately by holder. The global lock order is *every token
+/// shard before every operator stripe* (token ops read operator rows
+/// under their token lock; `setApprovalForAll` touches only its operator
+/// stripe), so no deadlock is possible.
+///
+/// Linearizability is established empirically by the per-standard
+/// pipeline proptests
+/// (`tokensync-pipeline/tests/standards_linearizability.rs`) through
+/// [`check_linearizable`](tokensync_spec::check_linearizable).
+///
+/// # Example
+///
+/// ```
+/// use tokensync_core::shared::ConcurrentObject;
+/// use tokensync_core::standards::erc721::{Erc721Op, Erc721Resp, Erc721State, ShardedErc721, TokenId};
+/// use tokensync_spec::ProcessId;
+///
+/// let nft = ShardedErc721::from_state(Erc721State::minted_round_robin(4, 1000, 8));
+/// let resp = nft.apply(ProcessId::new(1), &Erc721Op::TransferFrom {
+///     from: ProcessId::new(1),
+///     to: ProcessId::new(2),
+///     token: TokenId::new(1),
+/// });
+/// assert_eq!(resp, Erc721Resp::TRUE);
+/// assert_eq!(nft.snapshot().owner_of(TokenId::new(1)), Some(ProcessId::new(2)));
+/// ```
+#[derive(Debug)]
+pub struct ShardedErc721 {
+    /// Minted tokens of shard `s`: `tokenId → cell` for ids with
+    /// `id & mask == s`.
+    token_shards: Vec<CacheLine<Mutex<HashMap<u32, NftCell>>>>,
+    /// Operator pairs `(holder, operator)` of holder stripe `h & op_mask`.
+    operator_stripes: Vec<CacheLine<Mutex<BTreeSet<(u32, u32)>>>>,
+    mask: usize,
+    op_mask: usize,
+    processes: usize,
+    token_span: usize,
+}
+
+impl ShardedErc721 {
+    /// Builds from a sequential state over the default stripe count
+    /// (`min(span, 4 × cores)` rounded down to a power of two).
+    pub fn from_state(state: Erc721State) -> Self {
+        let shards = crate::util::default_stripe(state.token_span.max(1));
+        Self::with_shards(state, shards)
+    }
+
+    /// Builds over an explicit number of token shards (tests exercise
+    /// degenerate stripings).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or not a power of two.
+    pub fn with_shards(state: Erc721State, shards: usize) -> Self {
+        assert!(
+            shards.is_power_of_two(),
+            "shard count must be a power of two (got {shards})"
+        );
+        let op_stripes = crate::util::default_stripe(state.processes.max(1));
+        let mut token_shards: Vec<HashMap<u32, NftCell>> = vec![HashMap::new(); shards];
+        for (&t, &owner) in &state.owners {
+            token_shards[t as usize & (shards - 1)].insert(
+                t,
+                NftCell {
+                    owner,
+                    approved: state.approved.get(&t).copied(),
+                },
+            );
+        }
+        let mut operator_stripes: Vec<BTreeSet<(u32, u32)>> = vec![BTreeSet::new(); op_stripes];
+        for &(h, o) in &state.operators {
+            operator_stripes[h as usize & (op_stripes - 1)].insert((h, o));
+        }
+        Self {
+            token_shards: token_shards
+                .into_iter()
+                .map(|s| CacheLine(Mutex::new(s)))
+                .collect(),
+            operator_stripes: operator_stripes
+                .into_iter()
+                .map(|s| CacheLine(Mutex::new(s)))
+                .collect(),
+            mask: shards - 1,
+            op_mask: op_stripes - 1,
+            processes: state.processes,
+            token_span: state.token_span,
+        }
+    }
+
+    /// The token stripe count (diagnostic; benchmarks record it).
+    pub fn shard_count(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Number of processes.
+    pub fn processes(&self) -> usize {
+        self.processes
+    }
+
+    fn token_shard(&self, token: u32) -> MutexGuard<'_, HashMap<u32, NftCell>> {
+        self.token_shards[token as usize & self.mask].0.lock()
+    }
+
+    /// Whether `(holder, operator)` is enabled — acquires the holder's
+    /// operator stripe (callers must already hold no operator stripe and
+    /// may hold token shards: the global token-before-operator order).
+    fn operator_enabled(&self, holder: u32, operator: u32) -> bool {
+        self.operator_stripes[holder as usize & self.op_mask]
+            .0
+            .lock()
+            .contains(&(holder, operator))
+    }
+
+    fn in_range(&self, p: ProcessId) -> bool {
+        p.index() < self.processes
+    }
+}
+
+impl ConcurrentObject for ShardedErc721 {
+    type Op = Erc721Op;
+    type Resp = Erc721Resp;
+    type State = Erc721State;
+
+    fn apply(&self, process: ProcessId, op: &Erc721Op) -> Erc721Resp {
+        match *op {
+            Erc721Op::Mint { to, token } => {
+                let Some(t) = token_key(token, self.token_span) else {
+                    return Erc721Resp::FALSE;
+                };
+                if !self.in_range(to) || !self.in_range(process) {
+                    return Erc721Resp::FALSE;
+                }
+                let mut shard = self.token_shard(t);
+                if shard.contains_key(&t) {
+                    return Erc721Resp::FALSE;
+                }
+                shard.insert(
+                    t,
+                    NftCell {
+                        owner: cell_index(to.index()),
+                        approved: None,
+                    },
+                );
+                Erc721Resp::TRUE
+            }
+            Erc721Op::TransferFrom { from, to, token } => {
+                let Some(t) = token_key(token, self.token_span) else {
+                    return Erc721Resp::FALSE;
+                };
+                if !self.in_range(process) || !self.in_range(to) || !self.in_range(from) {
+                    return Erc721Resp::FALSE;
+                }
+                let mut shard = self.token_shard(t);
+                let Some(cell) = shard.get_mut(&t) else {
+                    return Erc721Resp::FALSE;
+                };
+                if cell.owner != cell_index(from.index()) {
+                    return Erc721Resp::FALSE;
+                }
+                let caller = cell_index(process.index());
+                let authorized = cell.owner == caller
+                    || cell.approved == Some(caller)
+                    || self.operator_enabled(cell.owner, caller);
+                if !authorized {
+                    return Erc721Resp::FALSE;
+                }
+                cell.owner = cell_index(to.index());
+                cell.approved = None;
+                Erc721Resp::TRUE
+            }
+            Erc721Op::Approve { approved, token } => {
+                let Some(t) = token_key(token, self.token_span) else {
+                    return Erc721Resp::FALSE;
+                };
+                if !self.in_range(process) || approved.is_some_and(|p| !self.in_range(p)) {
+                    return Erc721Resp::FALSE;
+                }
+                let mut shard = self.token_shard(t);
+                let Some(cell) = shard.get_mut(&t) else {
+                    return Erc721Resp::FALSE;
+                };
+                let caller = cell_index(process.index());
+                if cell.owner != caller && !self.operator_enabled(cell.owner, caller) {
+                    return Erc721Resp::FALSE;
+                }
+                cell.approved = approved.map(|p| cell_index(p.index()));
+                Erc721Resp::TRUE
+            }
+            Erc721Op::SetApprovalForAll { operator, on } => {
+                if !self.in_range(process) || !self.in_range(operator) || operator == process {
+                    return Erc721Resp::FALSE;
+                }
+                let pair = (cell_index(process.index()), cell_index(operator.index()));
+                let mut stripe = self.operator_stripes[pair.0 as usize & self.op_mask]
+                    .0
+                    .lock();
+                if on {
+                    stripe.insert(pair);
+                } else {
+                    stripe.remove(&pair);
+                }
+                Erc721Resp::TRUE
+            }
+            Erc721Op::OwnerOf { token } => {
+                let Some(t) = token_key(token, self.token_span) else {
+                    return Erc721Resp::Process(None);
+                };
+                Erc721Resp::Process(
+                    self.token_shard(t)
+                        .get(&t)
+                        .map(|c| ProcessId::new(c.owner as usize)),
+                )
+            }
+            Erc721Op::GetApproved { token } => {
+                let Some(t) = token_key(token, self.token_span) else {
+                    return Erc721Resp::Process(None);
+                };
+                Erc721Resp::Process(
+                    self.token_shard(t)
+                        .get(&t)
+                        .and_then(|c| c.approved)
+                        .map(|p| ProcessId::new(p as usize)),
+                )
+            }
+        }
+    }
+
+    fn snapshot(&self) -> Erc721State {
+        // Global lock order: every token shard (ascending), then every
+        // operator stripe (ascending).
+        let token_guards: Vec<_> = self.token_shards.iter().map(|s| s.0.lock()).collect();
+        let operator_guards: Vec<_> = self.operator_stripes.iter().map(|s| s.0.lock()).collect();
+        let mut state = Erc721State::new(self.processes, self.token_span);
+        for shard in &token_guards {
+            for (&t, cell) in shard.iter() {
+                state.owners.insert(t, cell.owner);
+                if let Some(a) = cell.approved {
+                    state.approved.insert(t, a);
+                }
+            }
+        }
+        for stripe in &operator_guards {
+            state.operators.extend(stripe.iter().copied());
+        }
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::collection::vec;
+    use proptest::prelude::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+    fn t(i: usize) -> TokenId {
+        TokenId::new(i)
+    }
+
+    #[test]
+    fn spec_mint_transfer_approve_flow() {
+        let spec = Erc721Spec::new(Erc721State::new(3, 8));
+        let mut q = spec.initial_state();
+        assert_eq!(
+            spec.apply(
+                &mut q,
+                p(0),
+                &Erc721Op::Mint {
+                    to: p(0),
+                    token: t(1)
+                }
+            ),
+            Erc721Resp::TRUE
+        );
+        // Double mint of the same id fails.
+        assert_eq!(
+            spec.apply(
+                &mut q,
+                p(2),
+                &Erc721Op::Mint {
+                    to: p(2),
+                    token: t(1)
+                }
+            ),
+            Erc721Resp::FALSE
+        );
+        assert_eq!(
+            spec.apply(
+                &mut q,
+                p(0),
+                &Erc721Op::Approve {
+                    approved: Some(p(2)),
+                    token: t(1)
+                }
+            ),
+            Erc721Resp::TRUE
+        );
+        assert_eq!(
+            spec.apply(
+                &mut q,
+                p(2),
+                &Erc721Op::TransferFrom {
+                    from: p(0),
+                    to: p(2),
+                    token: t(1)
+                }
+            ),
+            Erc721Resp::TRUE
+        );
+        // Approval is single-use: cleared by the transfer.
+        assert_eq!(q.get_approved(t(1)), None);
+        assert_eq!(q.owner_of(t(1)), Some(p(2)));
+        // The losing race: a second claim on the old owner fails.
+        assert_eq!(
+            spec.apply(
+                &mut q,
+                p(0),
+                &Erc721Op::TransferFrom {
+                    from: p(0),
+                    to: p(1),
+                    token: t(1)
+                }
+            ),
+            Erc721Resp::FALSE
+        );
+    }
+
+    #[test]
+    fn sharded_matches_spec_on_scripts() {
+        let initial = Erc721State::minted_round_robin(4, 64, 12);
+        let spec = Erc721Spec::new(initial.clone());
+        for shards in [1, 2, 8] {
+            let nft = ShardedErc721::with_shards(initial.clone(), shards);
+            let mut oracle = spec.initial_state();
+            let script: Vec<(ProcessId, Erc721Op)> = vec![
+                (
+                    p(1),
+                    Erc721Op::SetApprovalForAll {
+                        operator: p(3),
+                        on: true,
+                    },
+                ),
+                (
+                    p(3),
+                    Erc721Op::TransferFrom {
+                        from: p(1),
+                        to: p(0),
+                        token: t(5),
+                    },
+                ),
+                (
+                    p(0),
+                    Erc721Op::Approve {
+                        approved: Some(p(2)),
+                        token: t(0),
+                    },
+                ),
+                (
+                    p(2),
+                    Erc721Op::TransferFrom {
+                        from: p(0),
+                        to: p(2),
+                        token: t(0),
+                    },
+                ),
+                (
+                    p(2),
+                    Erc721Op::Mint {
+                        to: p(2),
+                        token: t(40),
+                    },
+                ),
+                (
+                    p(2),
+                    Erc721Op::Mint {
+                        to: p(2),
+                        token: t(40),
+                    },
+                ),
+                (p(0), Erc721Op::OwnerOf { token: t(5) }),
+                (p(0), Erc721Op::GetApproved { token: t(0) }),
+                (
+                    p(3),
+                    Erc721Op::TransferFrom {
+                        from: p(1),
+                        to: p(3),
+                        token: t(9),
+                    },
+                ),
+                (
+                    p(1),
+                    Erc721Op::SetApprovalForAll {
+                        operator: p(3),
+                        on: false,
+                    },
+                ),
+                (
+                    p(3),
+                    Erc721Op::TransferFrom {
+                        from: p(1),
+                        to: p(3),
+                        token: t(1),
+                    },
+                ),
+            ];
+            for (caller, op) in &script {
+                let expected = spec.apply(&mut oracle, *caller, op);
+                assert_eq!(
+                    ConcurrentObject::apply(&nft, *caller, op),
+                    expected,
+                    "sharded diverged on {op:?} (shards={shards})"
+                );
+            }
+            assert_eq!(
+                nft.snapshot(),
+                oracle,
+                "snapshot diverged (shards={shards})"
+            );
+        }
+    }
+
+    #[test]
+    fn huge_token_ids_fail_cleanly_instead_of_panicking() {
+        // Ids beyond the u32 key range: the spec and the sharded object
+        // must agree on FALSE/None (totality), and the footprint must
+        // saturate rather than panic — a hostile op id submitted through
+        // the intake must never take down the engine.
+        let huge = TokenId::new(u32::MAX as usize + 7);
+        let spec = Erc721Spec::new(Erc721State::minted_round_robin(3, 8, 4));
+        let nft = ShardedErc721::from_state(Erc721State::minted_round_robin(3, 8, 4));
+        let ops = [
+            Erc721Op::Mint {
+                to: p(1),
+                token: huge,
+            },
+            Erc721Op::TransferFrom {
+                from: p(0),
+                to: p(1),
+                token: huge,
+            },
+            Erc721Op::Approve {
+                approved: Some(p(1)),
+                token: huge,
+            },
+            Erc721Op::OwnerOf { token: huge },
+            Erc721Op::GetApproved { token: huge },
+        ];
+        let mut q = spec.initial_state();
+        for op in &ops {
+            let expected = spec.apply(&mut q, p(0), op);
+            assert!(matches!(
+                expected,
+                Erc721Resp::FALSE | Erc721Resp::Process(None)
+            ));
+            assert_eq!(ConcurrentObject::apply(&nft, p(0), op), expected);
+            assert!(!op.footprint(p(0)).is_empty()); // saturates, no panic
+        }
+        assert_eq!(q, spec.initial_state(), "huge ids must not mutate state");
+    }
+
+    #[test]
+    fn owner_disjoint_transfers_have_disjoint_footprints() {
+        let a = Erc721Op::TransferFrom {
+            from: p(0),
+            to: p(2),
+            token: t(0),
+        };
+        let b = Erc721Op::TransferFrom {
+            from: p(1),
+            to: p(2),
+            token: t(1),
+        };
+        assert!(!a.footprint(p(0)).conflicts_with(&b.footprint(p(1))));
+        // Same token: both claims serialize.
+        let c = Erc721Op::TransferFrom {
+            from: p(0),
+            to: p(3),
+            token: t(0),
+        };
+        assert!(a.footprint(p(0)).conflicts_with(&c.footprint(p(3))));
+        // An operator-authorized transfer serializes against its
+        // operator's setApprovalForAll…
+        let toggle = Erc721Op::SetApprovalForAll {
+            operator: p(2),
+            on: false,
+        };
+        let by_operator = Erc721Op::TransferFrom {
+            from: p(0),
+            to: p(2),
+            token: t(3),
+        };
+        assert!(by_operator
+            .footprint(p(2))
+            .conflicts_with(&toggle.footprint(p(0))));
+        // …but an owner's own transfer does not.
+        assert!(!a.footprint(p(0)).conflicts_with(&toggle.footprint(p(1))));
+    }
+
+    const N: usize = 3;
+    const SPAN: usize = 4;
+
+    fn arb_op() -> impl Strategy<Value = Erc721Op> {
+        prop_oneof![
+            (0..N, 0..SPAN).prop_map(|(to, token)| Erc721Op::Mint {
+                to: p(to),
+                token: t(token)
+            }),
+            (0..N, 0..N, 0..SPAN).prop_map(|(from, to, token)| Erc721Op::TransferFrom {
+                from: p(from),
+                to: p(to),
+                token: t(token),
+            }),
+            (0..=N, 0..SPAN).prop_map(|(ap, token)| Erc721Op::Approve {
+                approved: (ap < N).then(|| p(ap)),
+                token: t(token),
+            }),
+            (0..N, 0..2usize).prop_map(|(op, on)| Erc721Op::SetApprovalForAll {
+                operator: p(op),
+                on: on == 1,
+            }),
+            (0..SPAN).prop_map(|token| Erc721Op::OwnerOf { token: t(token) }),
+            (0..SPAN).prop_map(|token| Erc721Op::GetApproved { token: t(token) }),
+        ]
+    }
+
+    proptest! {
+        /// Soundness of the ERC721 footprint catalog: footprint-disjoint
+        /// pairs commute — same final state, same responses, both
+        /// orders, from arbitrary reachable states (mirror of the ERC20
+        /// suite).
+        #[test]
+        fn disjoint_footprints_commute_at_every_state(
+            minted in vec((0..SPAN, 0..N), 0..4),
+            approvals in vec((0..SPAN, 0..N), 0..3),
+            operators in vec((0..N, 0..N), 0..3),
+            c1 in 0..N,
+            c2 in 0..N,
+            o1 in arb_op(),
+            o2 in arb_op(),
+        ) {
+            let (c1, c2) = (p(c1), p(c2));
+            prop_assume!(!o1.footprint(c1).conflicts_with(&o2.footprint(c2)));
+            let mut q = Erc721State::new(N, SPAN);
+            for &(token, owner) in &minted {
+                q.owners.insert(token as u32, owner as u32);
+            }
+            for &(token, ap) in &approvals {
+                if q.owners.contains_key(&(token as u32)) {
+                    q.approved.insert(token as u32, ap as u32);
+                }
+            }
+            for &(h, o) in &operators {
+                q.operators.insert((h as u32, o as u32));
+            }
+            let spec = Erc721Spec::new(Erc721State::new(N, SPAN));
+            let mut qa = q.clone();
+            let r1a = spec.apply(&mut qa, c1, &o1);
+            let r2a = spec.apply(&mut qa, c2, &o2);
+            let mut qb = q.clone();
+            let r2b = spec.apply(&mut qb, c2, &o2);
+            let r1b = spec.apply(&mut qb, c1, &o1);
+            prop_assert_eq!(qa, qb, "states diverge for a non-conflicting pair");
+            prop_assert_eq!(r1a, r1b, "first op's response depends on order");
+            prop_assert_eq!(r2a, r2b, "second op's response depends on order");
+        }
+    }
+}

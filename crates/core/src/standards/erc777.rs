@@ -10,10 +10,11 @@
 use std::collections::BTreeSet;
 
 use parking_lot::Mutex;
-use tokensync_registers::{Register, RegisterArray};
 use tokensync_spec::{AccountId, Amount, ProcessId};
 
 use crate::error::TokenError;
+
+use super::race;
 
 /// A sequential ERC777 token: balances plus per-holder operator sets.
 ///
@@ -249,18 +250,40 @@ impl SharedErc777 {
     }
 }
 
-/// Wait-free consensus among the `k` movers of an ERC777 account — the
-/// Section 6 adaptation of Algorithm 1: every mover races to
-/// `operatorSend` the **full balance** to its private destination account;
-/// exactly one succeeds, and the winner is the unique destination with a
-/// non-zero balance.
-pub struct Erc777Consensus<V> {
+/// The ERC777 decisive race: every mover races to `operatorSend` the
+/// **full balance** of the shared source account to its private
+/// destination; exactly one send succeeds, and the winner is the unique
+/// destination holding the balance.
+struct DrainRace {
     token: SharedErc777,
-    movers: Vec<ProcessId>,
     source: AccountId,
     destinations: Vec<AccountId>,
     balance: Amount,
-    proposals: RegisterArray<Option<V>>,
+}
+
+impl race::DecisiveRace for DrainRace {
+    fn fire(&self, mover: usize) {
+        let _ = self.token.operator_send(
+            ProcessId::new(mover),
+            self.source,
+            self.destinations[mover],
+            self.balance,
+        );
+    }
+
+    fn winner(&self) -> Option<usize> {
+        self.destinations
+            .iter()
+            .position(|d| self.token.balance_of(*d) == self.balance)
+    }
+}
+
+/// Wait-free consensus among the `k` movers of an ERC777 account — the
+/// Section 6 adaptation of Algorithm 1 as an instance of the generic
+/// [`race::RaceConsensus`] choreography whose decisive transfer is a
+/// full-balance `operatorSend` drain.
+pub struct Erc777Consensus<V> {
+    inner: race::RaceConsensus<V, DrainRace>,
 }
 
 impl<V: Clone + Send + Sync> Erc777Consensus<V> {
@@ -283,15 +306,16 @@ impl<V: Clone + Send + Sync> Erc777Consensus<V> {
                 .authorize_operator(ProcessId::new(0), ProcessId::new(i))
                 .expect("ids in range");
         }
-        let movers: Vec<ProcessId> = (0..k).map(ProcessId::new).collect();
-        let destinations: Vec<AccountId> = (1..=k).map(AccountId::new).collect();
         Self {
-            token: SharedErc777::new(token),
-            movers,
-            source: AccountId::new(0),
-            destinations,
-            balance,
-            proposals: RegisterArray::new(k, None),
+            inner: race::RaceConsensus::new(
+                (0..k).map(ProcessId::new).collect(),
+                DrainRace {
+                    token: SharedErc777::new(token),
+                    source: AccountId::new(0),
+                    destinations: (1..=k).map(AccountId::new).collect(),
+                    balance,
+                },
+            ),
         }
     }
 
@@ -301,29 +325,12 @@ impl<V: Clone + Send + Sync> Erc777Consensus<V> {
     ///
     /// Panics if `process` is not a mover.
     pub fn propose(&self, process: ProcessId, value: V) -> V {
-        let i = self
-            .movers
-            .iter()
-            .position(|p| *p == process)
-            .unwrap_or_else(|| panic!("{process} is not a mover"));
-        self.proposals.at(i).write(Some(value));
-        let _ = self
-            .token
-            .operator_send(process, self.source, self.destinations[i], self.balance);
-        self.peek().expect("a completed race exposes a winner")
+        self.inner.propose(process, value)
     }
 
     /// The decided value, if any mover's full-balance send has landed.
     pub fn peek(&self) -> Option<V> {
-        self.destinations
-            .iter()
-            .position(|d| self.token.balance_of(*d) == self.balance)
-            .map(|j| {
-                self.proposals
-                    .at(j)
-                    .read()
-                    .expect("winner published its proposal before sending")
-            })
+        self.inner.peek()
     }
 }
 

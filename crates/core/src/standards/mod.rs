@@ -1,5 +1,6 @@
-//! Other Ethereum token standards (Section 6 of the paper) and the
-//! adaptations of the consensus constructions to each.
+//! Other Ethereum token standards (Section 6 of the paper), the
+//! adaptations of the consensus constructions to each, and the
+//! standard-generic serving objects the batched pipeline executes.
 //!
 //! * [`erc777`] — operator-based fungible tokens: an operator may move the
 //!   holder's *entire* balance, so the unique-winner predicate `U` holds
@@ -7,16 +8,25 @@
 //!   drain (the paper: "it is immediate to extend our results to ERC777").
 //! * [`erc721`] — non-fungible tokens: each token is transferred
 //!   individually; the race is per-`tokenId` and the winner is read off
-//!   `ownerOf` (the paper's suggested adaptation).
+//!   `ownerOf` (the paper's suggested adaptation). Also home of the
+//!   footprinted [`erc721::Erc721Op`] alphabet, the sequential
+//!   [`erc721::Erc721Spec`] oracle, and the lock-striped
+//!   [`erc721::ShardedErc721`] the generic pipeline serves.
 //! * [`erc1155`] — multi-token contracts: per-account operators moving any
-//!   of several token types, including atomic batches. The paper leaves the
-//!   exact requirements open; we implement the object and the per-account
-//!   census that upper-bounds its synchronization power.
+//!   of several token types, including atomic batches whose footprints are
+//!   the **union** of their per-type cells. The paper leaves the exact
+//!   requirements open; we implement the object, the per-account census
+//!   that upper-bounds its synchronization power, and the lock-striped
+//!   [`erc1155::ShardedErc1155`] serving path.
 //! * [`erc1363`] — payable tokens with receiver callbacks: the paper notes
 //!   their synchronization requirements are unbounded a priori; the module
 //!   demonstrates why (the callback embeds arbitrary shared objects).
+//! * [`race`] — the shared skeleton of the Section 6 consensus
+//!   constructions: publish a proposal, fire one decisive transfer, read
+//!   the winner off the token state.
 
 pub mod erc1155;
 pub mod erc1363;
 pub mod erc721;
 pub mod erc777;
+pub mod race;

@@ -1,0 +1,144 @@
+//! The shared skeleton of the Section 6 consensus constructions.
+//!
+//! Every standard's adaptation of Algorithm 1 has the same three-beat
+//! shape: a mover **publishes** its proposal in a register, **fires** one
+//! decisive token transfer that at most one racer can land, and **reads
+//! the winner** off the token state. Only the middle beat differs per
+//! standard — which transfer is decisive and how the winner is read —
+//! so that part is a small [`DecisiveRace`] object and the publish/decide
+//! choreography lives here once, instead of being copied into
+//! `Erc721Consensus`, `Erc777Consensus`, ….
+
+use tokensync_registers::{Register, RegisterArray};
+use tokensync_spec::ProcessId;
+
+/// The standard-specific heart of a racing-transfer consensus: firing a
+/// mover's decisive transfer and reading the winner off the token.
+///
+/// Implementations must guarantee that (a) once any fire has completed,
+/// [`winner`](DecisiveRace::winner) is `Some` and stays fixed forever
+/// (the decisive transfer succeeds exactly once, losers fail harmlessly
+/// inside the token's own linearization), and (b) `winner` only ever
+/// names a mover whose fire has started — which is what makes reading
+/// the winner's proposal register safe.
+pub trait DecisiveRace: Send + Sync {
+    /// Fires mover `i`'s decisive transfer.
+    fn fire(&self, mover: usize);
+
+    /// Index of the mover whose transfer landed, or `None` if the race
+    /// has not resolved yet.
+    fn winner(&self) -> Option<usize>;
+}
+
+/// Wait-free consensus for `k` movers from a [`DecisiveRace`] plus `k`
+/// atomic registers — the generic body of the paper's Section 6
+/// constructions. Agreement comes from the token's linearization of the
+/// racing transfers; validity from reading the winner's published
+/// proposal; wait-freedom from each mover firing exactly once and
+/// reading.
+pub struct RaceConsensus<V, R> {
+    race: R,
+    movers: Vec<ProcessId>,
+    proposals: RegisterArray<Option<V>>,
+}
+
+impl<V: Clone + Send + Sync, R: DecisiveRace> RaceConsensus<V, R> {
+    /// Builds the consensus object over `movers` (the processes allowed
+    /// to propose, in race-index order) and their decisive race.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `movers` is empty.
+    pub fn new(movers: Vec<ProcessId>, race: R) -> Self {
+        assert!(!movers.is_empty(), "consensus requires at least one mover");
+        let proposals = RegisterArray::new(movers.len(), None);
+        Self {
+            race,
+            movers,
+            proposals,
+        }
+    }
+
+    /// The movers, in race-index order.
+    pub fn movers(&self) -> &[ProcessId] {
+        &self.movers
+    }
+
+    /// Proposes `value` on behalf of `process`: publish, fire, decide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `process` is not a mover.
+    pub fn propose(&self, process: ProcessId, value: V) -> V {
+        let i = self
+            .movers
+            .iter()
+            .position(|p| *p == process)
+            .unwrap_or_else(|| panic!("{process} is not a mover"));
+        self.proposals.at(i).write(Some(value));
+        self.race.fire(i);
+        self.peek()
+            .expect("after any fire the race exposes a winner")
+    }
+
+    /// The decided value, or `None` if no decisive transfer has landed.
+    pub fn peek(&self) -> Option<V> {
+        self.race.winner().map(|j| {
+            self.proposals
+                .at(j)
+                .read()
+                .expect("winner published its proposal before racing")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A race decided by one compare-and-swap on an atomic — the minimal
+    /// DecisiveRace, for testing the choreography in isolation.
+    struct CasRace {
+        slot: AtomicUsize, // usize::MAX = unresolved
+    }
+
+    impl DecisiveRace for CasRace {
+        fn fire(&self, mover: usize) {
+            let _ =
+                self.slot
+                    .compare_exchange(usize::MAX, mover, Ordering::AcqRel, Ordering::Acquire);
+        }
+        fn winner(&self) -> Option<usize> {
+            match self.slot.load(Ordering::Acquire) {
+                usize::MAX => None,
+                w => Some(w),
+            }
+        }
+    }
+
+    fn fresh(k: usize) -> RaceConsensus<&'static str, CasRace> {
+        RaceConsensus::new(
+            (0..k).map(ProcessId::new).collect(),
+            CasRace {
+                slot: AtomicUsize::new(usize::MAX),
+            },
+        )
+    }
+
+    #[test]
+    fn first_fire_decides() {
+        let c = fresh(3);
+        assert_eq!(c.peek(), None);
+        assert_eq!(c.propose(ProcessId::new(1), "one"), "one");
+        assert_eq!(c.propose(ProcessId::new(0), "zero"), "one");
+        assert_eq!(c.peek(), Some("one"));
+        assert_eq!(c.movers().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a mover")]
+    fn non_mover_rejected() {
+        fresh(2).propose(ProcessId::new(7), "x");
+    }
+}

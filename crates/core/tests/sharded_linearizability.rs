@@ -13,7 +13,7 @@ use std::sync::Arc;
 use proptest::collection::vec;
 use proptest::prelude::*;
 use tokensync_core::erc20::{Erc20Op, Erc20Resp, Erc20Spec, Erc20State};
-use tokensync_core::shared::{ConcurrentToken, ShardedErc20};
+use tokensync_core::shared::{ConcurrentObject, ConcurrentToken, ShardedErc20};
 use tokensync_spec::{check_linearizable, AccountId, ObjectType, ProcessId, Recorder};
 
 const N: usize = 4;

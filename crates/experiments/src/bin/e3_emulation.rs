@@ -9,7 +9,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tokensync_core::emulation::{within_restriction, RestrictedErc20Spec, RestrictedToken};
 use tokensync_core::erc20::{Erc20Op, Erc20State};
-use tokensync_core::shared::ConcurrentToken;
+use tokensync_core::shared::{ConcurrentObject, ConcurrentToken};
 use tokensync_experiments::Table;
 use tokensync_spec::{AccountId, ObjectType, ProcessId};
 

@@ -45,12 +45,15 @@ pub enum ConflictKind {
     ApproveSpenderRace,
 }
 
-/// Classifies the ordered pair `(p1 doing o1, p2 doing o2)` at `state`.
-pub fn classify_pair(
-    spec: &Erc20Spec,
-    state: &Erc20State,
-    (p1, o1): (ProcessId, &Erc20Op),
-    (p2, o2): (ProcessId, &Erc20Op),
+/// Classifies the ordered pair `(p1 doing o1, p2 doing o2)` at `state`
+/// for **any** sequential object type — the generic machinery behind the
+/// ERC20 sweep, reused by the ERC721/ERC1155 footprint cross-checks
+/// (`tests/standards_footprints.rs`).
+pub fn classify_pair_for<S: ObjectType>(
+    spec: &S,
+    state: &S::State,
+    (p1, o1): (ProcessId, &S::Op),
+    (p2, o2): (ProcessId, &S::Op),
 ) -> PairClass {
     if spec.is_read_only(state, p1, o1) || spec.is_read_only(state, p2, o2) {
         return PairClass::ReadOnly;
@@ -66,6 +69,16 @@ pub fn classify_pair(
     } else {
         PairClass::Conflict
     }
+}
+
+/// Classifies the ordered pair `(p1 doing o1, p2 doing o2)` at `state`.
+pub fn classify_pair(
+    spec: &Erc20Spec,
+    state: &Erc20State,
+    (p1, o1): (ProcessId, &Erc20Op),
+    (p2, o2): (ProcessId, &Erc20Op),
+) -> PairClass {
+    classify_pair_for(spec, state, (p1, o1), (p2, o2))
 }
 
 /// The source account an operation withdraws from, if it is a withdrawal.

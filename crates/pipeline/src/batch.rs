@@ -12,7 +12,6 @@
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::time::{Duration, Instant};
 
-use tokensync_core::erc20::Erc20Op;
 use tokensync_spec::ProcessId;
 
 /// Batch-cut policy of the intake stage.
@@ -37,19 +36,20 @@ impl Default for BatchConfig {
 }
 
 /// One cut batch: the operations in submission order, tagged with the
-/// batch sequence number.
+/// batch sequence number. Generic over the op alphabet — the intake
+/// carries whichever standard's operations the engine serves.
 #[derive(Clone, Debug)]
-pub struct Batch {
+pub struct Batch<Op> {
     /// Zero-based sequence number of this batch in cut order.
     pub seq: u64,
     /// The operations, in submission order.
-    pub ops: Vec<(ProcessId, Erc20Op)>,
+    pub ops: Vec<(ProcessId, Op)>,
 }
 
 /// Producer handle: clone one per client thread.
 #[derive(Clone, Debug)]
-pub struct IntakeClient {
-    tx: SyncSender<(ProcessId, Erc20Op)>,
+pub struct IntakeClient<Op> {
+    tx: SyncSender<(ProcessId, Op)>,
 }
 
 /// Error returned by [`IntakeClient::submit`] when the engine has shut
@@ -65,14 +65,14 @@ impl std::fmt::Display for PipelineClosed {
 
 impl std::error::Error for PipelineClosed {}
 
-impl IntakeClient {
+impl<Op> IntakeClient<Op> {
     /// Enqueues one operation, blocking while the intake queue is full
     /// (backpressure).
     ///
     /// # Errors
     ///
     /// [`PipelineClosed`] if the engine stopped consuming.
-    pub fn submit(&self, caller: ProcessId, op: Erc20Op) -> Result<(), PipelineClosed> {
+    pub fn submit(&self, caller: ProcessId, op: Op) -> Result<(), PipelineClosed> {
         self.tx.send((caller, op)).map_err(|_| PipelineClosed)
     }
 
@@ -82,7 +82,7 @@ impl IntakeClient {
     /// # Errors
     ///
     /// [`PipelineClosed`] if the engine stopped consuming.
-    pub fn try_submit(&self, caller: ProcessId, op: Erc20Op) -> Result<bool, PipelineClosed> {
+    pub fn try_submit(&self, caller: ProcessId, op: Op) -> Result<bool, PipelineClosed> {
         match self.tx.try_send((caller, op)) {
             Ok(()) => Ok(true),
             Err(TrySendError::Full(_)) => Ok(false),
@@ -93,15 +93,15 @@ impl IntakeClient {
 
 /// Consumer side: turns the raw operation stream into batches.
 #[derive(Debug)]
-pub struct Batcher {
-    rx: Receiver<(ProcessId, Erc20Op)>,
+pub struct Batcher<Op> {
+    rx: Receiver<(ProcessId, Op)>,
     cfg: BatchConfig,
     next_seq: u64,
 }
 
 /// Creates a connected intake pair: clients for producers, the batcher
 /// for the engine loop.
-pub fn intake(cfg: BatchConfig) -> (IntakeClient, Batcher) {
+pub fn intake<Op>(cfg: BatchConfig) -> (IntakeClient<Op>, Batcher<Op>) {
     let (tx, rx) = std::sync::mpsc::sync_channel(cfg.queue_depth.max(1));
     (
         IntakeClient { tx },
@@ -113,10 +113,10 @@ pub fn intake(cfg: BatchConfig) -> (IntakeClient, Batcher) {
     )
 }
 
-impl Batcher {
+impl<Op> Batcher<Op> {
     /// Blocks for the next batch; `None` once every client handle is
     /// dropped and the queue is drained (engine shutdown).
-    pub fn next_batch(&mut self) -> Option<Batch> {
+    pub fn next_batch(&mut self) -> Option<Batch<Op>> {
         // Block indefinitely for the batch's first op: an idle pipeline
         // burns no CPU.
         let first = self.rx.recv().ok()?;
@@ -143,6 +143,7 @@ impl Batcher {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tokensync_core::erc20::Erc20Op;
     use tokensync_spec::AccountId;
 
     fn op(v: u64) -> Erc20Op {

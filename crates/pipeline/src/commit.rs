@@ -1,24 +1,28 @@
 //! The commit log: the linearization order the pipeline chose, as a
-//! replayable artifact.
+//! replayable artifact — generic over the served standard.
 //!
 //! Every batch appends its operations in [`Schedule::commit_order`] —
 //! waves in order, then the serial lane — together with the responses the
 //! concurrent execution actually produced. Because ops sharing a wave
 //! commute (the scheduler's invariant) and conflicting ops never overtake
 //! each other, this sequential order *is* a linearization of the
-//! concurrent execution: [`CommitLog::replay`] re-runs it against the
-//! sequential [`Erc20Spec`] and verifies every recorded response, and
-//! [`CommitLog::to_history`] exposes it to the workspace's
-//! Wing–Gong–Lowe checker.
+//! concurrent execution: [`CommitLog::replay`] re-runs it against any
+//! sequential [`ObjectType`] oracle over the same alphabet
+//! ([`Erc20Spec`](tokensync_core::erc20::Erc20Spec),
+//! [`Erc721Spec`](tokensync_core::standards::erc721::Erc721Spec),
+//! [`Erc1155Spec`](tokensync_core::standards::erc1155::Erc1155Spec), …)
+//! and verifies every recorded response, and [`CommitLog::to_history`]
+//! exposes it to the workspace's Wing–Gong–Lowe checker.
 
-use tokensync_core::erc20::{Erc20Op, Erc20Resp, Erc20Spec, Erc20State};
+use std::fmt::Debug;
+
 use tokensync_spec::{History, ObjectType, ProcessId};
 
 use crate::schedule::Schedule;
 
 /// One committed operation.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct CommittedOp {
+pub struct CommittedOp<Op, Resp> {
     /// Global commit sequence number (gap-free from 0).
     pub seq: u64,
     /// Batch the op was cut into.
@@ -26,25 +30,25 @@ pub struct CommittedOp {
     /// Invoking process.
     pub caller: ProcessId,
     /// The operation.
-    pub op: Erc20Op,
+    pub op: Op,
     /// The response produced by the concurrent execution.
-    pub resp: Erc20Resp,
+    pub resp: Resp,
 }
 
 /// Divergence found by [`CommitLog::replay`]: the recorded response of
 /// one commit does not match the sequential replay — the linearization
 /// the pipeline claims is not one the spec admits.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct ReplayDivergence {
+pub struct ReplayDivergence<Resp> {
     /// Commit sequence number of the diverging op.
     pub seq: u64,
     /// Response the execution recorded.
-    pub recorded: Erc20Resp,
+    pub recorded: Resp,
     /// Response the sequential spec produces at that point.
-    pub expected: Erc20Resp,
+    pub expected: Resp,
 }
 
-impl std::fmt::Display for ReplayDivergence {
+impl<Resp: Debug> std::fmt::Display for ReplayDivergence<Resp> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
@@ -54,15 +58,23 @@ impl std::fmt::Display for ReplayDivergence {
     }
 }
 
-impl std::error::Error for ReplayDivergence {}
+impl<Resp: Debug> std::error::Error for ReplayDivergence<Resp> {}
 
 /// The pipeline's append-only linearization record.
-#[derive(Clone, Debug, Default)]
-pub struct CommitLog {
-    entries: Vec<CommittedOp>,
+#[derive(Clone, Debug)]
+pub struct CommitLog<Op, Resp> {
+    entries: Vec<CommittedOp<Op, Resp>>,
 }
 
-impl CommitLog {
+impl<Op, Resp> Default for CommitLog<Op, Resp> {
+    fn default() -> Self {
+        Self {
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl<Op: Clone + Debug, Resp: Clone + PartialEq + Debug> CommitLog<Op, Resp> {
     /// An empty log.
     pub fn new() -> Self {
         Self::default()
@@ -73,8 +85,8 @@ impl CommitLog {
     pub fn append_batch(
         &mut self,
         batch: u64,
-        ops: &[(ProcessId, Erc20Op)],
-        responses: &[Erc20Resp],
+        ops: &[(ProcessId, Op)],
+        responses: &[Resp],
         schedule: &Schedule,
     ) {
         debug_assert_eq!(ops.len(), responses.len());
@@ -87,13 +99,13 @@ impl CommitLog {
                 batch,
                 caller: *caller,
                 op: op.clone(),
-                resp: responses[idx],
+                resp: responses[idx].clone(),
             });
         }
     }
 
     /// The committed operations in linearization order.
-    pub fn entries(&self) -> &[CommittedOp] {
+    pub fn entries(&self) -> &[CommittedOp<Op, Resp>] {
         &self.entries
     }
 
@@ -107,22 +119,25 @@ impl CommitLog {
         self.entries.is_empty()
     }
 
-    /// Replays the log sequentially from `initial`, checking every
-    /// recorded response against the spec; returns the final state.
+    /// Replays the log sequentially from `spec`'s initial state,
+    /// checking every recorded response against the oracle; returns the
+    /// final state.
     ///
     /// # Errors
     ///
     /// The first [`ReplayDivergence`] encountered, if the concurrent
     /// execution's responses are not consistent with this linearization.
-    pub fn replay(&self, initial: &Erc20State) -> Result<Erc20State, ReplayDivergence> {
-        let spec = Erc20Spec::new(Erc20State::new(0));
-        let mut state = initial.clone();
+    pub fn replay<S>(&self, spec: &S) -> Result<S::State, ReplayDivergence<Resp>>
+    where
+        S: ObjectType<Op = Op, Resp = Resp>,
+    {
+        let mut state = spec.initial_state();
         for entry in &self.entries {
             let expected = spec.apply(&mut state, entry.caller, &entry.op);
             if expected != entry.resp {
                 return Err(ReplayDivergence {
                     seq: entry.seq,
-                    recorded: entry.resp,
+                    recorded: entry.resp.clone(),
                     expected,
                 });
             }
@@ -133,11 +148,11 @@ impl CommitLog {
     /// The log as a complete sequential [`History`] (each op returns
     /// before the next invokes), for
     /// [`check_linearizable`](tokensync_spec::check_linearizable).
-    pub fn to_history(&self) -> History<Erc20Op, Erc20Resp> {
+    pub fn to_history(&self) -> History<Op, Resp> {
         History::from_sequential(
             self.entries
                 .iter()
-                .map(|e| (e.caller, e.op.clone(), e.resp)),
+                .map(|e| (e.caller, e.op.clone(), e.resp.clone())),
         )
     }
 }
@@ -146,6 +161,7 @@ impl CommitLog {
 mod tests {
     use super::*;
     use crate::schedule::{schedule, ScheduleConfig};
+    use tokensync_core::erc20::{Erc20Op, Erc20Resp, Erc20Spec, Erc20State};
     use tokensync_spec::AccountId;
 
     fn p(i: usize) -> ProcessId {
@@ -170,8 +186,8 @@ mod tests {
         let s = schedule(&ops, &ScheduleConfig::default());
         let mut log = CommitLog::new();
         log.append_batch(0, &ops, &[Erc20Resp::TRUE, Erc20Resp::FALSE], &s);
-        let initial = Erc20State::with_deployer(3, p(0), 10);
-        let state = log.replay(&initial).expect("responses consistent");
+        let spec = Erc20Spec::new(Erc20State::with_deployer(3, p(0), 10));
+        let state = log.replay(&spec).expect("responses consistent");
         assert_eq!(state.balance(a(1)), 3);
         assert_eq!(state.total_supply(), 10);
         assert_eq!(log.entries()[0].seq, 0);
@@ -191,9 +207,8 @@ mod tests {
         let mut log = CommitLog::new();
         // Recorded TRUE, but account 0 cannot cover 99.
         log.append_batch(0, &ops, &[Erc20Resp::TRUE], &s);
-        let err = log
-            .replay(&Erc20State::with_deployer(2, p(0), 10))
-            .unwrap_err();
+        let spec = Erc20Spec::new(Erc20State::with_deployer(2, p(0), 10));
+        let err = log.replay(&spec).unwrap_err();
         assert_eq!(err.seq, 0);
         assert_eq!(err.expected, Erc20Resp::FALSE);
     }

@@ -1,4 +1,5 @@
-//! The assembled engine: ingest → analyze → schedule → execute → commit.
+//! The assembled engine: ingest → analyze → schedule → execute → commit,
+//! generic over every footprinted standard.
 //!
 //! Two entry points share one batch-processing core:
 //!
@@ -12,12 +13,20 @@
 //!   executes them, and appends to the commit log; dropping every client
 //!   and calling [`PipelineHandle::finish`] drains the queue and returns
 //!   the [`PipelineRun`].
+//!
+//! There is exactly **one** engine: the same schedule/execute/commit
+//! machinery serves an ERC20 [`ShardedErc20`], an ERC721
+//! [`ShardedErc721`] or an ERC1155 [`ShardedErc1155`] — the standard is
+//! a type parameter, not a copy of the pipeline.
+//!
+//! [`ShardedErc20`]: tokensync_core::shared::ShardedErc20
+//! [`ShardedErc721`]: tokensync_core::standards::erc721::ShardedErc721
+//! [`ShardedErc1155`]: tokensync_core::standards::erc1155::ShardedErc1155
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use tokensync_core::erc20::Erc20Op;
-use tokensync_core::shared::ConcurrentToken;
+use tokensync_core::shared::ConcurrentObject;
 use tokensync_spec::ProcessId;
 
 use crate::batch::{intake, BatchConfig, IntakeClient};
@@ -85,21 +94,30 @@ impl PipelineStats {
 
 /// Result of a completed engine run: the linearization record plus the
 /// scheduling counters.
-#[derive(Clone, Debug, Default)]
-pub struct PipelineRun {
+#[derive(Clone, Debug)]
+pub struct PipelineRun<Op, Resp> {
     /// The committed linearization.
-    pub log: CommitLog,
+    pub log: CommitLog<Op, Resp>,
     /// Scheduling/execution counters.
     pub stats: PipelineStats,
 }
 
+impl<Op, Resp> Default for PipelineRun<Op, Resp> {
+    fn default() -> Self {
+        Self {
+            log: CommitLog::default(),
+            stats: PipelineStats::default(),
+        }
+    }
+}
+
 /// One batch through analyze → schedule → execute → commit.
-fn process_batch<T: ConcurrentToken + ?Sized>(
+fn process_batch<T: ConcurrentObject + ?Sized>(
     token: &T,
     seq: u64,
-    ops: &[(ProcessId, Erc20Op)],
+    ops: &[(ProcessId, T::Op)],
     cfg: &PipelineConfig,
-    run: &mut PipelineRun,
+    run: &mut PipelineRun<T::Op, T::Resp>,
 ) {
     let plan = schedule(ops, &cfg.schedule);
     let responses = execute(token, ops, &plan, &cfg.exec);
@@ -110,11 +128,11 @@ fn process_batch<T: ConcurrentToken + ?Sized>(
 /// Synchronously executes `script` through the pipeline stages against
 /// `token`, cutting batches of [`BatchConfig::max_ops`] (the time cut
 /// never fires: the stream is already complete).
-pub fn run_script<T: ConcurrentToken + ?Sized>(
+pub fn run_script<T: ConcurrentObject + ?Sized>(
     token: &T,
-    script: &[(ProcessId, Erc20Op)],
+    script: &[(ProcessId, T::Op)],
     cfg: &PipelineConfig,
-) -> PipelineRun {
+) -> PipelineRun<T::Op, T::Resp> {
     let mut run = PipelineRun::default();
     let size = cfg.batch.max_ops.max(1);
     for (seq, ops) in script.chunks(size).enumerate() {
@@ -125,18 +143,18 @@ pub fn run_script<T: ConcurrentToken + ?Sized>(
 
 /// Handle on a spawned engine: join it to collect the run.
 #[derive(Debug)]
-pub struct PipelineHandle {
-    join: JoinHandle<PipelineRun>,
+pub struct PipelineHandle<Op, Resp> {
+    join: JoinHandle<PipelineRun<Op, Resp>>,
 }
 
-impl PipelineHandle {
+impl<Op, Resp> PipelineHandle<Op, Resp> {
     /// Waits for the engine to drain and stop (all [`IntakeClient`]s must
     /// be dropped first, or this blocks forever) and returns its run.
     ///
     /// # Panics
     ///
     /// Propagates a panic of the engine thread.
-    pub fn finish(self) -> PipelineRun {
+    pub fn finish(self) -> PipelineRun<Op, Resp> {
         self.join.join().expect("pipeline engine panicked")
     }
 }
@@ -147,10 +165,10 @@ pub struct Pipeline;
 impl Pipeline {
     /// Spawns a background engine over `token`; returns the producer
     /// handle (clone it per client thread) and the engine handle.
-    pub fn spawn<T: ConcurrentToken + 'static>(
+    pub fn spawn<T: ConcurrentObject + 'static>(
         token: Arc<T>,
         cfg: PipelineConfig,
-    ) -> (IntakeClient, PipelineHandle) {
+    ) -> (IntakeClient<T::Op>, PipelineHandle<T::Op, T::Resp>) {
         let (client, mut batcher) = intake(cfg.batch);
         let join = std::thread::spawn(move || {
             let mut run = PipelineRun::default();
@@ -167,8 +185,8 @@ impl Pipeline {
 mod tests {
     use super::*;
     use std::time::Duration;
-    use tokensync_core::erc20::{Erc20Spec, Erc20State};
-    use tokensync_core::shared::ShardedErc20;
+    use tokensync_core::erc20::{Erc20Op, Erc20Spec, Erc20State};
+    use tokensync_core::shared::{ConcurrentToken, ShardedErc20};
     use tokensync_spec::{check_linearizable, AccountId, ObjectType};
 
     fn p(i: usize) -> ProcessId {
@@ -207,9 +225,9 @@ mod tests {
         let run = run_script(&token, &script, &small_cfg(10));
         assert_eq!(run.stats.ops, 30);
         assert_eq!(run.stats.batches, 3);
-        let replayed = run.log.replay(&initial).expect("consistent responses");
-        assert_eq!(replayed, token.state_snapshot());
         let spec = Erc20Spec::new(initial);
+        let replayed = run.log.replay(&spec).expect("consistent responses");
+        assert_eq!(replayed, token.state_snapshot());
         check_linearizable(&spec, &spec.initial_state(), &run.log.to_history())
             .expect("commit log linearizes");
     }
@@ -263,7 +281,8 @@ mod tests {
         assert_eq!(run.stats.ops, 60);
         // Responses in the log are consistent with its linearization, and
         // the replayed state is exactly the token's final state.
-        let replayed = run.log.replay(&initial).expect("consistent responses");
+        let spec = Erc20Spec::new(initial);
+        let replayed = run.log.replay(&spec).expect("consistent responses");
         assert_eq!(replayed, token.state_snapshot());
         assert_eq!(replayed.total_supply(), 400);
     }
@@ -299,7 +318,10 @@ mod tests {
         assert!(run.stats.serial_ops > 0, "hot row must spill serial");
         assert!(run.stats.wave_parallelism() < 2.0);
         assert!(run.stats.conflicts > 0);
-        let replayed = run.log.replay(&initial).expect("consistent responses");
+        let replayed = run
+            .log
+            .replay(&Erc20Spec::new(initial))
+            .expect("consistent responses");
         assert_eq!(replayed, token.state_snapshot());
     }
 }

@@ -1,18 +1,19 @@
 //! Wave execution: a scoped worker pool applying one batch's schedule to
-//! a [`ConcurrentToken`].
+//! any [`ConcurrentObject`].
 //!
 //! Waves execute in order; within a wave the ops are split across up to
 //! [`ExecConfig::workers`] scoped threads. Because a wave is pairwise
 //! commuting (the scheduler's invariant), *any* thread interleaving
 //! produces the same responses and the same post-wave state — the
-//! executor needs no synchronization beyond the token's own
+//! executor needs no synchronization beyond the object's own
 //! linearizability, and the result is deterministic even though the
-//! execution is parallel. Waves too narrow to amortize a thread spawn run
-//! inline ([`ExecConfig::min_ops_per_worker`]); the serial lane always
-//! runs inline, in submission order.
+//! execution is parallel. The executor is standard-agnostic: it drives
+//! `T::apply` for whatever op alphabet the object serves. Waves too
+//! narrow to amortize a thread spawn run inline
+//! ([`ExecConfig::min_ops_per_worker`]); the serial lane always runs
+//! inline, in submission order.
 
-use tokensync_core::erc20::{Erc20Op, Erc20Resp};
-use tokensync_core::shared::ConcurrentToken;
+use tokensync_core::shared::ConcurrentObject;
 use tokensync_spec::ProcessId;
 
 use crate::schedule::Schedule;
@@ -41,23 +42,23 @@ impl Default for ExecConfig {
 ///
 /// # Panics
 ///
-/// Propagates panics from worker threads (a panicking token is a bug, not
-/// a recoverable condition).
-pub fn execute<T: ConcurrentToken + ?Sized>(
+/// Propagates panics from worker threads (a panicking object is a bug,
+/// not a recoverable condition).
+pub fn execute<T: ConcurrentObject + ?Sized>(
     token: &T,
-    ops: &[(ProcessId, Erc20Op)],
+    ops: &[(ProcessId, T::Op)],
     schedule: &Schedule,
     cfg: &ExecConfig,
-) -> Vec<Erc20Resp> {
+) -> Vec<T::Resp> {
     debug_assert_eq!(schedule.ops(), ops.len());
-    // FALSE placeholder; every scheduled index is overwritten below.
-    let mut responses = vec![Erc20Resp::FALSE; ops.len()];
+    // `None` placeholder; every scheduled index is filled below.
+    let mut responses: Vec<Option<T::Resp>> = vec![None; ops.len()];
     let workers = cfg.workers.max(1);
     for wave in &schedule.waves {
         if workers == 1 || wave.len() < workers * cfg.min_ops_per_worker.max(1) {
             for &idx in wave {
                 let (caller, op) = &ops[idx];
-                responses[idx] = token.apply(*caller, op);
+                responses[idx] = Some(token.apply(*caller, op));
             }
             continue;
         }
@@ -72,7 +73,7 @@ pub fn execute<T: ConcurrentToken + ?Sized>(
                                 let (caller, op) = &ops[idx];
                                 (idx, token.apply(*caller, op))
                             })
-                            .collect::<Vec<(usize, Erc20Resp)>>()
+                            .collect::<Vec<(usize, T::Resp)>>()
                     })
                 })
                 .collect();
@@ -84,23 +85,29 @@ pub fn execute<T: ConcurrentToken + ?Sized>(
         .expect("wave worker panicked");
         for part in results {
             for (idx, resp) in part {
-                responses[idx] = resp;
+                responses[idx] = Some(resp);
             }
         }
     }
     for &idx in &schedule.serial {
         let (caller, op) = &ops[idx];
-        responses[idx] = token.apply(*caller, op);
+        responses[idx] = Some(token.apply(*caller, op));
     }
     responses
+        .into_iter()
+        .map(|r| r.expect("every scheduled index executed"))
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::schedule::{schedule, ScheduleConfig};
-    use tokensync_core::erc20::Erc20State;
-    use tokensync_core::shared::ShardedErc20;
+    use tokensync_core::erc20::{Erc20Op, Erc20Resp, Erc20State};
+    use tokensync_core::shared::{ConcurrentToken, ShardedErc20};
+    use tokensync_core::standards::erc721::{
+        Erc721Op, Erc721Resp, Erc721State, ShardedErc721, TokenId,
+    };
     use tokensync_spec::AccountId;
 
     fn p(i: usize) -> ProcessId {
@@ -161,5 +168,40 @@ mod tests {
         let (resps, supply) = run(&ops, 8, 64);
         assert_eq!(resps, vec![Erc20Resp::TRUE, Erc20Resp::FALSE]);
         assert_eq!(supply, 640);
+    }
+
+    #[test]
+    fn executes_nft_waves_in_parallel() {
+        // The same executor, a different standard: owner-disjoint NFT
+        // transfers land in one wave and run across workers.
+        let nft = ShardedErc721::from_state(Erc721State::minted_round_robin(16, 64, 16));
+        let ops: Vec<(ProcessId, Erc721Op)> = (0..16)
+            .map(|i| {
+                (
+                    p(i),
+                    Erc721Op::TransferFrom {
+                        from: p(i),
+                        to: p((i + 1) % 16),
+                        token: TokenId::new(i),
+                    },
+                )
+            })
+            .collect();
+        let s = schedule(&ops, &ScheduleConfig::default());
+        assert_eq!(s.waves.len(), 1);
+        let resps = execute(
+            &nft,
+            &ops,
+            &s,
+            &ExecConfig {
+                workers: 4,
+                min_ops_per_worker: 1,
+            },
+        );
+        assert!(resps.iter().all(|r| *r == Erc721Resp::TRUE));
+        let snap = nft.snapshot();
+        for i in 0..16 {
+            assert_eq!(snap.owner_of(TokenId::new(i)), Some(p((i + 1) % 16)));
+        }
     }
 }

@@ -1,51 +1,66 @@
-//! Commutativity-aware batched transaction execution for ERC20 operation
-//! streams — turning the paper's analysis into a serving path.
+//! Commutativity-aware batched transaction execution for token operation
+//! streams of **any standard** — turning the paper's analysis into a
+//! serving path.
 //!
 //! The paper's central insight is that most token operations need no
 //! consensus: transfers by distinct owners commute, and only states whose
 //! allowance rows carry several enabled spenders (the partition classes
-//! `Q_k`, Section 5) demand synchronization. The rest of this workspace
-//! *proves* that — the σ_q analysis (`tokensync-core::analysis`), the
-//! mechanized conflict catalog (`tokensync-mc::commute`), the §7 dynamic
-//! protocol (`tokensync-net::dynamic`). This crate *exploits* it: a
-//! five-stage engine that executes operation streams with parallelism
-//! exactly where commutativity licenses it.
+//! `Q_k`, Section 5) demand synchronization. Section 6 transfers the
+//! same analysis to ERC721, ERC777 and ERC1155. The rest of this
+//! workspace *proves* that — the σ_q analysis
+//! (`tokensync-core::analysis`), the mechanized conflict catalog
+//! (`tokensync-mc::commute`), the §7 dynamic protocol
+//! (`tokensync-net::dynamic`). This crate *exploits* it: a five-stage
+//! engine, generic over the
+//! [`ConcurrentObject`](tokensync_core::shared::ConcurrentObject) /
+//! [`FootprintedOp`](tokensync_core::analysis::FootprintedOp) trait
+//! pair, that executes operation streams with parallelism exactly where
+//! commutativity licenses it. One engine serves ERC20, ERC721 and
+//! ERC1155 — the standard is a type parameter, not a fork of the
+//! pipeline.
 //!
 //! ```text
 //!  ingest ──▶ analyze ──▶ schedule ──▶ execute ──▶ commit
 //!  (batch)   (footprints) (waves +    (worker     (replayable
 //!   bounded   per op       serial      pool per    linearization
-//!   queue,    [`OpFootprint`]) lane)   wave)       log)
+//!   queue,    [`Footprint`]) lane)     wave)       log)
 //! ```
 //!
-//! * [`batch`] — bounded MPSC intake with size/time batch cuts.
+//! * [`batch`] — bounded MPSC intake with size/time batch cuts, generic
+//!   over the op alphabet.
 //! * [`schedule`] — greedy graph coloring of the batch's conflict graph
 //!   into pairwise-commuting **waves**, with heavily contended ops
 //!   funneled through a deterministic **serial lane**. Conflicts come
-//!   from the state-independent footprint relation
-//!   ([`tokensync_core::analysis::OpFootprint`]), the executable form of
-//!   the σ_q/commutativity rules: owner-disjoint transfers commute,
-//!   withdrawals racing one source serialize, `approve` serializes
-//!   against its row's spenders.
+//!   from the state-independent cell footprints
+//!   ([`tokensync_core::analysis::Footprint`]), the executable form of
+//!   the σ_q/commutativity rules: owner-disjoint transfers commute (ERC20
+//!   balances, ERC721 token ids, ERC1155 typed cells alike), withdrawals
+//!   racing one source serialize, `approve`/`setApprovalForAll`
+//!   serialize against the cells they rewrite, and batch ops conflict
+//!   iff their cell sets intersect.
 //! * [`exec`] — waves run in parallel on a scoped worker pool over any
-//!   [`ConcurrentToken`](tokensync_core::shared::ConcurrentToken)
-//!   (the sharded million-account token in production); commutativity
-//!   makes the result deterministic despite the parallelism.
+//!   [`ConcurrentObject`](tokensync_core::shared::ConcurrentObject)
+//!   (the sharded million-account/million-token objects in production);
+//!   commutativity makes the result deterministic despite the
+//!   parallelism.
 //! * [`commit`] — the chosen linearization with recorded responses,
-//!   replayable against [`Erc20Spec`](tokensync_core::erc20::Erc20Spec)
+//!   replayable against the standard's sequential
+//!   [`ObjectType`](tokensync_spec::ObjectType) oracle
+//!   ([`Erc20Spec`](tokensync_core::erc20::Erc20Spec),
+//!   [`Erc721Spec`](tokensync_core::standards::erc721::Erc721Spec),
+//!   [`Erc1155Spec`](tokensync_core::standards::erc1155::Erc1155Spec))
 //!   and checkable with
 //!   [`check_linearizable`](tokensync_spec::check_linearizable).
 //! * [`engine`] — the assembled [`Pipeline`]: a synchronous
 //!   [`run_script`] for benchmarks/tests and a spawned serving loop.
-//! * [`dynamic_lane`] — scheduled batches driving the §7 dynamic
+//! * [`dynamic_lane`] — scheduled ERC20 batches driving the §7 dynamic
 //!   protocol: one quiescence barrier per commuting wave on the
 //!   consensus-free lane.
 //!
 //! # Example
 //!
 //! ```
-//! use std::sync::Arc;
-//! use tokensync_core::erc20::{Erc20Op, Erc20State};
+//! use tokensync_core::erc20::{Erc20Op, Erc20Spec, Erc20State};
 //! use tokensync_core::shared::{ConcurrentToken, ShardedErc20};
 //! use tokensync_pipeline::{run_script, PipelineConfig};
 //! use tokensync_spec::{AccountId, ProcessId};
@@ -62,7 +77,31 @@
 //! let run = run_script(&token, &script, &PipelineConfig::default());
 //! assert!(run.stats.wave_parallelism() > 1.0);
 //! // The commit log replays to exactly the token's final state.
-//! assert_eq!(run.log.replay(&initial).unwrap(), token.state_snapshot());
+//! let spec = Erc20Spec::new(initial);
+//! assert_eq!(run.log.replay(&spec).unwrap(), token.state_snapshot());
+//! ```
+//!
+//! The identical engine over an ERC721 object:
+//!
+//! ```
+//! use tokensync_core::shared::ConcurrentObject;
+//! use tokensync_core::standards::erc721::{Erc721Op, Erc721Spec, Erc721State, ShardedErc721, TokenId};
+//! use tokensync_pipeline::{run_script, PipelineConfig};
+//! use tokensync_spec::ProcessId;
+//!
+//! let initial = Erc721State::minted_round_robin(8, 1000, 8);
+//! let nft = ShardedErc721::from_state(initial.clone());
+//! // Owner-disjoint NFT transfers: one wave, full parallelism.
+//! let script: Vec<(ProcessId, Erc721Op)> = (0..8)
+//!     .map(|i| (ProcessId::new(i), Erc721Op::TransferFrom {
+//!         from: ProcessId::new(i),
+//!         to: ProcessId::new((i + 1) % 8),
+//!         token: TokenId::new(i),
+//!     }))
+//!     .collect();
+//! let run = run_script(&nft, &script, &PipelineConfig::default());
+//! assert!(run.stats.wave_parallelism() > 1.0);
+//! assert_eq!(run.log.replay(&Erc721Spec::new(initial)).unwrap(), nft.snapshot());
 //! ```
 
 #![forbid(unsafe_code)]

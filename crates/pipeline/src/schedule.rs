@@ -1,15 +1,23 @@
 //! Conflict analysis and wave scheduling: greedy graph coloring of a
-//! batch's conflict graph.
+//! batch's conflict graph — generic over every footprinted standard.
 //!
-//! Each operation's [`OpFootprint`] is computed once; a per-cell registry
-//! (balance slots split by debit/credit/read, allowance cells by
-//! write/read) tracks the highest wave of every earlier operation that
-//! touched the cell, so the whole batch schedules in
-//! `O(ops × footprint)` — no quadratic pairwise comparison. The wave
+//! Each operation's [`Footprint`] is computed once (into a reused buffer,
+//! so the hot loop performs no steady-state allocation); a per-[`Cell`]
+//! registry tracks the highest wave of every earlier operation that
+//! touched the cell in each [`Access`] mode, so the whole batch schedules
+//! in `O(ops × footprint)` — no quadratic pairwise comparison. The wave
 //! assigned to an operation is one more than the highest wave of any
 //! earlier conflicting operation: the classic greedy coloring, which on
 //! the *precedence-closed* conflict graph of a batch is exactly "earliest
 //! wave that preserves submission order between conflicting ops".
+//!
+//! The mode pairs consulted mirror [`Access::commutes_with`] exactly —
+//! an update conflicts with every earlier access of its cell, a credit
+//! with earlier updates and reads, a read with earlier updates and
+//! credits — so the registry shortcut computes the same relation as the
+//! pairwise [`Footprint::conflicts_with`]
+//! (`waves_agree_with_pairwise_conflicts` in the tests cross-checks the
+//! two on random ERC20 batches).
 //!
 //! Operations pushed past [`ScheduleConfig::max_parallel_waves`] by
 //! conflicts (a hot allowance row with `k` contending spenders degenerates
@@ -21,8 +29,7 @@
 
 use std::collections::HashMap;
 
-use tokensync_core::analysis::OpFootprint;
-use tokensync_core::erc20::Erc20Op;
+use tokensync_core::analysis::{Access, Cell, Footprint, FootprintedOp};
 use tokensync_spec::ProcessId;
 
 /// Scheduling policy.
@@ -51,7 +58,7 @@ pub struct Schedule {
     pub waves: Vec<Vec<usize>>,
     /// Ops executed sequentially after all waves, in submission order.
     pub serial: Vec<usize>,
-    /// Conflict signals observed against the cell registries while
+    /// Conflict signals observed against the cell registry while
     /// scheduling — a cheap contention proxy (0 iff the batch is fully
     /// commuting), not an exact conflict-edge count.
     pub conflicts: usize,
@@ -87,39 +94,23 @@ impl Schedule {
     }
 }
 
-/// Per-balance-slot registry entry: highest wave of an earlier op in each
-/// access mode (`NONE` = no such op yet).
-#[derive(Clone, Copy, Debug)]
-struct SlotWaves {
-    debit: usize,
-    credit: usize,
-    read: usize,
-}
-
-/// Per-allowance-cell registry entry.
+/// Per-cell registry entry: highest wave of an earlier op in each access
+/// mode (`NONE` = no such op yet).
 #[derive(Clone, Copy, Debug)]
 struct CellWaves {
-    write: usize,
+    update: usize,
+    credit: usize,
     read: usize,
 }
 
 /// Sentinel for "no earlier access": below every real wave.
 const NONE: usize = usize::MAX; // NONE.wrapping_add(1) == 0
 
-impl Default for SlotWaves {
-    fn default() -> Self {
-        Self {
-            debit: NONE,
-            credit: NONE,
-            read: NONE,
-        }
-    }
-}
-
 impl Default for CellWaves {
     fn default() -> Self {
         Self {
-            write: NONE,
+            update: NONE,
+            credit: NONE,
             read: NONE,
         }
     }
@@ -127,52 +118,47 @@ impl Default for CellWaves {
 
 /// Assigns every op of `ops` a wave (or the serial lane) such that
 /// conflicting ops keep their submission order across waves and within
-/// the serial lane, while commuting ops share waves.
-pub fn schedule(ops: &[(ProcessId, Erc20Op)], cfg: &ScheduleConfig) -> Schedule {
+/// the serial lane, while commuting ops share waves. Works for any
+/// footprinted op alphabet — ERC20, ERC721, ERC1155 traffic all
+/// schedule through this one function.
+pub fn schedule<Op: FootprintedOp>(ops: &[(ProcessId, Op)], cfg: &ScheduleConfig) -> Schedule {
     let serial_wave = cfg.max_parallel_waves.max(1);
-    let mut slots: HashMap<usize, SlotWaves> = HashMap::new();
-    let mut cells: HashMap<(usize, usize), CellWaves> = HashMap::new();
+    let mut cells: HashMap<Cell, CellWaves> = HashMap::new();
     let mut out = Schedule::default();
+    let mut fp = Footprint::new();
     for (idx, (caller, op)) in ops.iter().enumerate() {
-        let f = OpFootprint::of(*caller, op);
-        // Highest wave of any earlier conflicting op (NONE if none). The
-        // mode pairs consulted here mirror `OpFootprint::conflicts_with`
-        // exactly; `waves_agree_with_pairwise_conflicts` in the tests
-        // cross-checks the two against each other.
+        fp.clear();
+        op.footprint_into(*caller, &mut fp);
+        // Highest wave of any earlier conflicting op (NONE if none).
         let mut floor = NONE;
         let mut hits = 0usize;
-        let mut bump = |w: usize| {
-            if w != NONE {
-                hits += 1;
-                if floor == NONE || w > floor {
-                    floor = w;
+        for (cell, access) in fp.iter() {
+            let Some(w) = cells.get(&cell) else { continue };
+            let mut bump = |wave: usize| {
+                if wave != NONE {
+                    hits += 1;
+                    if floor == NONE || wave > floor {
+                        floor = wave;
+                    }
+                }
+            };
+            // An earlier access conflicts unless it commutes with ours:
+            // exactly the Access::commutes_with table.
+            match access {
+                Access::Update => {
+                    bump(w.update);
+                    bump(w.credit);
+                    bump(w.read);
+                }
+                Access::Credit => {
+                    bump(w.update);
+                    bump(w.read);
+                }
+                Access::Read => {
+                    bump(w.update);
+                    bump(w.credit);
                 }
             }
-        };
-        if let Some(d) = f.debit {
-            let s = slots.entry(d.index()).or_default();
-            bump(s.debit);
-            bump(s.credit);
-            bump(s.read);
-        }
-        if let Some(c) = f.credit {
-            let s = slots.entry(c.index()).or_default();
-            bump(s.debit);
-            bump(s.read);
-        }
-        if let Some(r) = f.balance_read {
-            let s = slots.entry(r.index()).or_default();
-            bump(s.debit);
-            bump(s.credit);
-        }
-        if let Some((a, p)) = f.allowance_write {
-            let c = cells.entry((a.index(), p.index())).or_default();
-            bump(c.write);
-            bump(c.read);
-        }
-        if let Some((a, p)) = f.allowance_read {
-            let c = cells.entry((a.index(), p.index())).or_default();
-            bump(c.write);
         }
         out.conflicts += hits;
         // One past the floor; serial ops saturate at the serial wave so
@@ -187,25 +173,16 @@ pub fn schedule(ops: &[(ProcessId, Erc20Op)], cfg: &ScheduleConfig) -> Schedule 
             out.serial.push(idx);
         }
         // Register this op's own accesses at its assigned wave.
-        let mark = |entry: &mut usize| {
-            if *entry == NONE || wave > *entry {
-                *entry = wave;
+        for (cell, access) in fp.iter() {
+            let entry = cells.entry(cell).or_default();
+            let slot = match access {
+                Access::Update => &mut entry.update,
+                Access::Credit => &mut entry.credit,
+                Access::Read => &mut entry.read,
+            };
+            if *slot == NONE || wave > *slot {
+                *slot = wave;
             }
-        };
-        if let Some(d) = f.debit {
-            mark(&mut slots.entry(d.index()).or_default().debit);
-        }
-        if let Some(c) = f.credit {
-            mark(&mut slots.entry(c.index()).or_default().credit);
-        }
-        if let Some(r) = f.balance_read {
-            mark(&mut slots.entry(r.index()).or_default().read);
-        }
-        if let Some((a, p)) = f.allowance_write {
-            mark(&mut cells.entry((a.index(), p.index())).or_default().write);
-        }
-        if let Some((a, p)) = f.allowance_read {
-            mark(&mut cells.entry((a.index(), p.index())).or_default().read);
         }
     }
     out
@@ -215,6 +192,9 @@ pub fn schedule(ops: &[(ProcessId, Erc20Op)], cfg: &ScheduleConfig) -> Schedule 
 mod tests {
     use super::*;
     use tokensync_core::analysis::ops_conflict;
+    use tokensync_core::erc20::Erc20Op;
+    use tokensync_core::standards::erc1155::{Erc1155Op, TypeId};
+    use tokensync_core::standards::erc721::{Erc721Op, TokenId};
     use tokensync_spec::AccountId;
 
     fn p(i: usize) -> ProcessId {
@@ -302,6 +282,57 @@ mod tests {
         let s = schedule(&ops, &ScheduleConfig::default());
         assert_eq!(s.waves.len(), 1);
         assert_eq!(s.waves[0].len(), 8);
+    }
+
+    #[test]
+    fn owner_disjoint_nft_transfers_share_one_wave() {
+        // The §6 regime: transfers of distinct tokens by their owners
+        // commute; two claims on one token serialize.
+        let mv = |caller: usize, token: usize| {
+            (
+                p(caller),
+                Erc721Op::TransferFrom {
+                    from: p(caller),
+                    to: p(7),
+                    token: TokenId::new(token),
+                },
+            )
+        };
+        let ops: Vec<_> = (0..6).map(|i| mv(i, i)).collect();
+        let s = schedule(&ops, &ScheduleConfig::default());
+        assert_eq!(s.waves.len(), 1);
+        assert_eq!(s.waves[0].len(), 6);
+        // A second claim on token 0 lands one wave later.
+        let mut contended = ops;
+        contended.push(mv(3, 0));
+        let s = schedule(&contended, &ScheduleConfig::default());
+        assert_eq!(s.waves.len(), 2);
+        assert_eq!(s.waves[1], vec![6]);
+    }
+
+    #[test]
+    fn erc1155_batches_schedule_by_cell_intersection() {
+        let batch = |caller: usize, from: usize, to: usize, types: &[usize]| {
+            (
+                p(caller),
+                Erc1155Op::BatchTransfer {
+                    from: a(from),
+                    to: a(to),
+                    entries: types.iter().map(|&t| (TypeId::new(t), 1)).collect(),
+                },
+            )
+        };
+        // Account-disjoint batches (even over the same types) commute on
+        // the source side and merely co-credit the sinks.
+        let ops = vec![
+            batch(0, 0, 8, &[0, 1]),
+            batch(1, 1, 8, &[0, 1]),
+            batch(2, 2, 8, &[0, 1]),
+            batch(0, 0, 9, &[1]), // intersects op 0's source cells
+        ];
+        let s = schedule(&ops, &ScheduleConfig::default());
+        assert_eq!(s.waves[0], vec![0, 1, 2]);
+        assert_eq!(s.waves[1], vec![3]);
     }
 
     #[test]

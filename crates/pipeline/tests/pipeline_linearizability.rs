@@ -89,15 +89,15 @@ fn check_pipeline(initial: Erc20State, script: Vec<(ProcessId, Erc20Op)>, batch:
     };
     let run = run_script(&token, &script, &cfg);
     assert_eq!(run.stats.ops as usize, script.len());
+    let spec = Erc20Spec::new(initial.clone());
 
     // (1) Recorded responses are consistent with the committed order.
     let committed_state = run
         .log
-        .replay(&initial)
+        .replay(&spec)
         .expect("commit log replays without divergence");
 
     // (2) The commit history linearizes against the spec.
-    let spec = Erc20Spec::new(initial.clone());
     check_linearizable(&spec, &spec.initial_state(), &run.log.to_history())
         .expect("commit log linearizes");
 

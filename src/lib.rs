@@ -18,7 +18,7 @@
 //! | [`core`] | `tokensync-core` | ERC20 object, Section 5 analysis, Algorithms 1 & 2, token standards |
 //! | [`mc`] | `tokensync-mc` | explorer, valency analysis, commutativity sweep, census |
 //! | [`net`] | `tokensync-net` | simulator, reliable broadcast, payment + dynamic token protocols |
-//! | [`pipeline`] | `tokensync-pipeline` | commutativity-aware batched execution engine |
+//! | [`pipeline`] | `tokensync-pipeline` | standard-generic commutativity-aware batched execution engine (ERC20/721/1155) |
 //!
 //! ## Quickstart
 //!
@@ -48,7 +48,8 @@
 //! * Machine-checked impossibility boundaries: [`mc`] (Theorem 3).
 //! * Consensus-free payments and the Section 7 dynamic protocol: [`net`].
 //! * The analysis *exploited* as a serving path — batched, wave-parallel
-//!   execution with a replayable commit log: [`pipeline`].
+//!   execution with a replayable commit log, one engine for every
+//!   footprinted standard (ERC20, ERC721, ERC1155): [`pipeline`].
 //! * Every table/figure of the evaluation: `cargo run -p
 //!   tokensync-experiments --bin e1_lower_bound` … `e8_standards`, and
 //!   `cargo bench -p tokensync-bench`; see README.md and ARCHITECTURE.md.

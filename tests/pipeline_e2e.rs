@@ -71,7 +71,8 @@ fn owner_disjoint_traffic_executes_with_wave_parallelism() {
     );
     assert_eq!(run.stats.serial_ops, 0);
     assert_eq!(run.stats.conflicts, 0);
-    assert_eq!(run.log.replay(&initial).unwrap(), token.state_snapshot());
+    let spec = Erc20Spec::new(initial.clone());
+    assert_eq!(run.log.replay(&spec).unwrap(), token.state_snapshot());
     assert_eq!(token.state_snapshot(), sequential(&initial, &script));
 }
 
@@ -122,10 +123,10 @@ fn concurrent_clients_through_the_spawned_engine_linearize() {
     let run = handle.finish();
     assert_eq!(run.stats.ops, 40);
     // The commit log is a genuine linearization of what the token did.
-    let committed = run.log.replay(&initial).expect("responses consistent");
+    let spec = Erc20Spec::new(initial);
+    let committed = run.log.replay(&spec).expect("responses consistent");
     assert_eq!(committed, token.state_snapshot());
     assert_eq!(committed.total_supply(), 160);
-    let spec = Erc20Spec::new(initial);
     check_linearizable(&spec, &spec.initial_state(), &run.log.to_history())
         .expect("commit log linearizes");
 }
@@ -171,7 +172,8 @@ fn hot_allowance_row_serializes_but_stays_correct() {
     let run = run_script(&token, &script, &cfg);
     assert!(run.stats.serial_ops > 0, "hot row must spill serial");
     assert_eq!(token.state_snapshot(), sequential(&initial, &script));
-    assert_eq!(run.log.replay(&initial).unwrap(), token.state_snapshot());
+    let spec = Erc20Spec::new(initial.clone());
+    assert_eq!(run.log.replay(&spec).unwrap(), token.state_snapshot());
 }
 
 #[test]

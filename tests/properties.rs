@@ -7,7 +7,7 @@ use tokensync::core::analysis::{
 };
 use tokensync::core::emulation::{within_restriction, RestrictedErc20Spec, RestrictedToken};
 use tokensync::core::erc20::{Erc20Op, Erc20Spec, Erc20State};
-use tokensync::core::shared::{CoarseErc20, ConcurrentToken, SharedErc20};
+use tokensync::core::shared::{CoarseErc20, ConcurrentObject, ConcurrentToken, SharedErc20};
 use tokensync::spec::{check_linearizable, AccountId, History, ObjectType, ProcessId};
 
 const N: usize = 4;
