@@ -161,22 +161,15 @@ fn write_json(path: &str, quick: bool, cells: &[Cell]) {
             "    {{\"n\": {n}, \"threads\": {mt}, \"sharded_over_coarse\": {ratio:.3}}}{sep}\n"
         ));
     }
-    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
     // Lock striping trades per-op overhead (a second shard lock on
     // cross-shard transfers) for parallel critical sections. A host
     // without parallel cores can only express the cost side of that
-    // trade, so flag single-core environments right in the artifact —
+    // trade; the shared host object flags that right in the artifact —
     // the CI bench-smoke job reproduces this file on multi-core runners.
-    let note = if cores == 1 {
-        "\n  \"note\": \"single-core host: threads time-slice one CPU, so \
-         the sharded/coarse ratio reflects striping overhead only, not the \
-         parallel speedup shards exist for\","
-    } else {
-        ""
-    };
+    let host = tokensync_bench::harness::host_json();
     let json = format!(
-        "{{\n  \"bench\": \"baseline\",\n  \"config\": {{\"quick\": {quick}, \
-         \"theta\": {THETA}, \"threads\": {THREADS:?}, \"cores\": {cores}}},{note}\n  \
+        "{{\n  \"bench\": \"baseline\",\n  {host},\n  \"config\": {{\"quick\": {quick}, \
+         \"theta\": {THETA}, \"threads\": {THREADS:?}}},\n  \
          \"runs\": [\n{rows}  ],\n  \"summary\": [\n{speedups}  ]\n}}\n"
     );
     std::fs::write(path, json).expect("write benchmark JSON");

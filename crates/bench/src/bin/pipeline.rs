@@ -222,22 +222,14 @@ fn write_json(path: &str, quick: bool, batch_1k: usize, cells: &[Cell]) {
             p.pipeline.map(|s| s.wave_parallelism()).unwrap_or(0.0),
         ));
     }
-    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
-    // Same caveat as BENCH_baseline.json: on a single-core host the wave
-    // pool time-slices one CPU, so the pipeline rows can only show the
-    // scheduling overhead and the *measured* parallelism it exposes, not
-    // the wall-clock win of executing a wave on real parallel hardware.
-    let note = if cores == 1 {
-        "\n  \"note\": \"single-core host: wave workers time-slice one CPU, so \
-         pipeline ratios reflect scheduling overhead; the parallel win needs \
-         the multi-core CI artifact\","
-    } else {
-        ""
-    };
+    // The shared host object carries the single-core caveat: without
+    // parallel cores the pipeline rows can only show scheduling overhead
+    // and the *measured* parallelism, not the wall-clock win.
+    let host = tokensync_bench::harness::host_json();
     let json = format!(
-        "{{\n  \"bench\": \"pipeline\",\n  \"config\": {{\"quick\": {quick}, \
+        "{{\n  \"bench\": \"pipeline\",\n  {host},\n  \"config\": {{\"quick\": {quick}, \
          \"theta\": {THETA}, \"hot_spenders\": {HOT_SPENDERS}, \"threads\": {THREADS}, \
-         \"batch_1k\": {batch_1k}, \"cores\": {cores}}},{note}\n  \
+         \"batch_1k\": {batch_1k}}},\n  \
          \"runs\": [\n{rows}  ],\n  \"summary\": [\n{summary}  ]\n}}\n"
     );
     std::fs::write(path, json).expect("write benchmark JSON");

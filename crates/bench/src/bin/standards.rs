@@ -240,22 +240,14 @@ fn write_json(path: &str, quick: bool, cells: &[Cell]) {
             p.pipeline.map(|s| s.serial_fraction()).unwrap_or(0.0),
         ));
     }
-    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
-    // Same caveat as the other artifacts: on a single-core host the wave
-    // pool time-slices one CPU, so pipeline ratios reflect scheduling
-    // overhead plus the *measured* parallelism, not the wall-clock win.
-    let note = if cores == 1 {
-        "\n  \"note\": \"single-core host: wave workers time-slice one CPU, so \
-         pipeline ratios reflect scheduling overhead; the parallel win needs \
-         the multi-core CI artifact\","
-    } else {
-        ""
-    };
+    // The shared host object carries the single-core caveat (see
+    // bench::harness::host_json): identical wording in every artifact.
+    let host = tokensync_bench::harness::host_json();
     let json = format!(
-        "{{\n  \"bench\": \"standards\",\n  \"config\": {{\"quick\": {quick}, \
+        "{{\n  \"bench\": \"standards\",\n  {host},\n  \"config\": {{\"quick\": {quick}, \
          \"theta_hot\": {THETA_HOT}, \"hot_spenders\": {HOT_SPENDERS}, \
          \"hot_batches_percent\": {HOT_BATCHES}, \"types\": {TYPES}, \
-         \"threads\": {THREADS}, \"cores\": {cores}}},{note}\n  \
+         \"threads\": {THREADS}}},\n  \
          \"runs\": [\n{rows}  ],\n  \"summary\": [\n{summary}  ]\n}}\n"
     );
     std::fs::write(path, json).expect("write benchmark JSON");

@@ -1,0 +1,309 @@
+//! **`store`** — the durability baseline behind `BENCH_store.json`.
+//!
+//! Measures what crash-safety costs and what recovery buys, on the same
+//! ERC20 Zipf workload the other artifacts use, at n ∈ {1k, 1M}:
+//!
+//! * **ingest** — pipeline throughput per durability policy:
+//!   `volatile` (no sink at all), `off` (store sink wired, nothing
+//!   persisted — the sink-plumbing overhead), `group-commit` (append
+//!   every wave, one fsync per batch — the intended serving mode) and
+//!   `per-wave` (fsync every wave — the paranoid bound);
+//! * **recovery** — wall-clock to rebuild a live `ShardedErc20` from
+//!   the group-commit run's directory (newest snapshot + verified
+//!   replay of the log suffix), with the recovered state asserted equal
+//!   to the pre-crash object (the acceptance criterion, run here on
+//!   every invocation).
+//!
+//! ```sh
+//! cargo run --release -p tokensync-bench --bin store             # full (includes n = 1M)
+//! cargo run --release -p tokensync-bench --bin store -- --quick  # CI smoke: n <= 1k
+//! cargo run --release -p tokensync-bench --bin store -- --out path.json
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use tokensync_bench::harness::host_json;
+use tokensync_bench::workloads::{funded_state, zipf_ops};
+use tokensync_core::erc20::{Erc20Op, Erc20State};
+use tokensync_core::shared::{ConcurrentObject, ShardedErc20};
+use tokensync_pipeline::{
+    run_script, run_script_with_sink, BatchConfig, PipelineConfig, PipelineRun,
+};
+use tokensync_spec::ProcessId;
+use tokensync_store::{recover, Durability, Store, StoreConfig};
+
+/// Zipf skew of the workload (the YCSB default the other benches use).
+const THETA: f64 = 0.6;
+/// Timed repetitions per cell (min taken).
+const REPS: usize = 3;
+
+struct IngestCell {
+    n: usize,
+    policy: &'static str,
+    ops: usize,
+    run_ms: f64,
+    ops_per_sec: f64,
+    wal_bytes: u64,
+}
+
+struct RecoveryCell {
+    n: usize,
+    ops: usize,
+    recover_ms: f64,
+    replayed: u64,
+    snapshot_watermark: u64,
+    wal_bytes: u64,
+}
+
+fn ms(from: Instant) -> f64 {
+    from.elapsed().as_secs_f64() * 1e3
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "tokensync-bench-store-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn pipeline_cfg(n: usize) -> PipelineConfig {
+    PipelineConfig {
+        batch: BatchConfig {
+            max_ops: (n / 2).clamp(1, 1024),
+            ..BatchConfig::default()
+        },
+        ..PipelineConfig::default()
+    }
+}
+
+fn store_cfg(durability: Durability, ops: usize) -> StoreConfig {
+    StoreConfig {
+        durability,
+        // A handful of snapshots per run: recovery loads the last one
+        // and replays the tail, like a long-lived server would. The odd
+        // offset keeps the last snapshot off the exact end of the run,
+        // so the recovery measurement always includes real replay.
+        snapshot_every_ops: (ops as u64 / 4 + 137).max(1),
+        ..StoreConfig::default()
+    }
+}
+
+/// One durable ingest run; returns the run, the ingest wall time
+/// (excluding store creation — the genesis snapshot is a one-time
+/// deploy cost, not ingest), the store dir (kept for recovery) and the
+/// WAL size.
+fn durable_run(
+    tag: &str,
+    initial: &Erc20State,
+    workload: &[(ProcessId, Erc20Op)],
+    cfg: &PipelineConfig,
+    durability: Durability,
+) -> (
+    PipelineRun<Erc20Op, tokensync_core::erc20::Erc20Resp>,
+    f64,
+    PathBuf,
+    u64,
+) {
+    let dir = scratch(tag);
+    let token = ShardedErc20::from_state(initial.clone());
+    let mut store: Store<ShardedErc20> =
+        Store::create(&dir, initial, store_cfg(durability, workload.len())).expect("create store");
+    let start = Instant::now();
+    let run = run_script_with_sink(&token, workload, cfg, &mut store);
+    let wal_bytes = store.wal_bytes().expect("wal size");
+    store.close().expect("store close");
+    (run, ms(start), dir, wal_bytes)
+}
+
+fn push_ingest(
+    out: &mut Vec<IngestCell>,
+    n: usize,
+    policy: &'static str,
+    ops: usize,
+    run_ms: f64,
+    wal_bytes: u64,
+) {
+    let cell = IngestCell {
+        n,
+        policy,
+        ops,
+        run_ms,
+        ops_per_sec: ops as f64 / (run_ms / 1e3),
+        wal_bytes,
+    };
+    eprintln!(
+        "  ingest n={:>9} {:>12} run={:>9.1}ms {:>12.0} ops/s wal={:>10} B",
+        cell.n, cell.policy, cell.run_ms, cell.ops_per_sec, cell.wal_bytes
+    );
+    out.push(cell);
+}
+
+fn measure(n: usize, ops: usize, ingest: &mut Vec<IngestCell>, recovery: &mut Vec<RecoveryCell>) {
+    let initial = funded_state(n);
+    let workload = zipf_ops(n, ops, 0x57_0E, THETA);
+    let cfg = pipeline_cfg(n);
+
+    // Volatile reference: the engine with no sink at all.
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let token = ShardedErc20::from_state(initial.clone());
+        let start = Instant::now();
+        let run = run_script(&token, &workload, &cfg);
+        best = best.min(ms(start));
+        assert_eq!(run.stats.ops as usize, workload.len());
+    }
+    push_ingest(ingest, n, "volatile", ops, best, 0);
+
+    // Store sink per policy.
+    for (policy, durability) in [
+        ("off", Durability::Off),
+        ("group-commit", Durability::GroupCommit),
+        ("per-wave", Durability::PerWave),
+    ] {
+        let mut best = f64::INFINITY;
+        let mut wal_bytes = 0;
+        let mut keep: Option<(PathBuf, Erc20State)> = None;
+        for rep in 0..REPS {
+            let (run, run_ms, dir, bytes) = durable_run(
+                &format!("{policy}-{n}-{rep}"),
+                &initial,
+                &workload,
+                &cfg,
+                durability,
+            );
+            best = best.min(run_ms);
+            wal_bytes = bytes;
+            assert_eq!(run.stats.ops as usize, workload.len());
+            // Keep the last group-commit directory for the recovery
+            // measurement; drop the others.
+            if policy == "group-commit" {
+                let token_state = run
+                    .log
+                    .replay(&tokensync_core::erc20::Erc20Spec::new(initial.clone()))
+                    .expect("commit log replays");
+                if let Some((old, _)) = keep.replace((dir, token_state)) {
+                    let _ = std::fs::remove_dir_all(old);
+                }
+            } else {
+                let _ = std::fs::remove_dir_all(dir);
+            }
+        }
+        push_ingest(ingest, n, policy, ops, best, wal_bytes);
+
+        if let Some((dir, expected_state)) = keep {
+            // Recovery: rebuild the live object from disk alone.
+            let start = Instant::now();
+            let recovered = recover::<ShardedErc20>(&dir).expect("recovery succeeds");
+            let recover_ms = ms(start);
+            // Acceptance: the recovered state is exactly the pre-crash
+            // state (the full prefix — nothing was torn here).
+            assert_eq!(recovered.next_seq as usize, workload.len());
+            assert_eq!(recovered.state, expected_state);
+            assert_eq!(recovered.object.snapshot(), expected_state);
+            let cell = RecoveryCell {
+                n,
+                ops,
+                recover_ms,
+                replayed: recovered.replayed,
+                snapshot_watermark: recovered.snapshot_watermark,
+                wal_bytes,
+            };
+            eprintln!(
+                "  recover n={:>8} {:>9.1}ms (snapshot@{} + {} replayed)",
+                cell.n, cell.recover_ms, cell.snapshot_watermark, cell.replayed
+            );
+            recovery.push(cell);
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}
+
+fn write_json(path: &Path, quick: bool, ingest: &[IngestCell], recovery: &[RecoveryCell]) {
+    let mut rows = String::new();
+    for (i, c) in ingest.iter().enumerate() {
+        let sep = if i + 1 < ingest.len() { "," } else { "" };
+        rows.push_str(&format!(
+            "    {{\"n\": {}, \"policy\": \"{}\", \"ops\": {}, \"run_ms\": {:.3}, \
+             \"ops_per_sec\": {:.0}, \"wal_bytes\": {}}}{sep}\n",
+            c.n, c.policy, c.ops, c.run_ms, c.ops_per_sec, c.wal_bytes
+        ));
+    }
+    let mut recs = String::new();
+    for (i, c) in recovery.iter().enumerate() {
+        let sep = if i + 1 < recovery.len() { "," } else { "" };
+        recs.push_str(&format!(
+            "    {{\"n\": {}, \"ops\": {}, \"recover_ms\": {:.3}, \"replayed\": {}, \
+             \"snapshot_watermark\": {}, \"wal_bytes\": {}}}{sep}\n",
+            c.n, c.ops, c.recover_ms, c.replayed, c.snapshot_watermark, c.wal_bytes
+        ));
+    }
+    // Summary: the price of durability (group-commit over volatile) and
+    // recovery throughput, per n.
+    let mut summary = String::new();
+    let ns: Vec<usize> = {
+        let mut ns: Vec<usize> = ingest.iter().map(|c| c.n).collect();
+        ns.dedup();
+        ns
+    };
+    for (i, &n) in ns.iter().enumerate() {
+        let find = |policy: &str| {
+            ingest
+                .iter()
+                .find(|c| c.n == n && c.policy == policy)
+                .expect("ingest grid complete")
+        };
+        let rec = recovery.iter().find(|c| c.n == n).expect("recovery cell");
+        let sep = if i + 1 < ns.len() { "," } else { "" };
+        summary.push_str(&format!(
+            "    {{\"n\": {n}, \"group_commit_over_volatile\": {:.3}, \
+             \"per_wave_over_group_commit\": {:.3}, \"recover_ms\": {:.3}, \
+             \"recovered_ops_per_sec\": {:.0}}}{sep}\n",
+            find("group-commit").ops_per_sec / find("volatile").ops_per_sec,
+            find("per-wave").ops_per_sec / find("group-commit").ops_per_sec,
+            rec.recover_ms,
+            rec.ops as f64 / (rec.recover_ms / 1e3),
+        ));
+    }
+    let host = host_json();
+    let json = format!(
+        "{{\n  \"bench\": \"store\",\n  {host},\n  \"config\": {{\"quick\": {quick}, \
+         \"theta\": {THETA}, \"durabilities\": [\"volatile\", \"off\", \"group-commit\", \
+         \"per-wave\"]}},\n  \
+         \"runs\": [\n{rows}  ],\n  \"recovery\": [\n{recs}  ],\n  \"summary\": [\n{summary}  ]\n}}\n"
+    );
+    std::fs::write(path, json).expect("write benchmark JSON");
+    eprintln!("wrote {}", path.display());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_store.json")
+        .to_owned();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: store [--quick] [--out PATH]");
+        return;
+    }
+
+    let sizes: &[(usize, usize)] = if quick {
+        &[(64, 20_000), (1_000, 50_000)]
+    } else {
+        &[(1_000, 200_000), (1_000_000, 200_000)]
+    };
+
+    let mut ingest = Vec::new();
+    let mut recovery = Vec::new();
+    for &(n, ops) in sizes {
+        eprintln!("n={n}, ops={ops}");
+        measure(n, ops, &mut ingest, &mut recovery);
+    }
+    write_json(Path::new(&out), quick, &ingest, &recovery);
+}

@@ -102,6 +102,26 @@ impl Access {
 /// [`FootprintedOp::footprint_into`] into a caller-owned buffer so the
 /// scheduler's hot loop performs no allocation in steady state (the
 /// buffer is cleared and refilled per op).
+///
+/// # Examples
+///
+/// Two owner-disjoint transfers commute (their cell sets only co-credit);
+/// two withdrawals racing one source conflict on its balance cell:
+///
+/// ```
+/// use tokensync_core::analysis::FootprintedOp;
+/// use tokensync_core::erc20::Erc20Op;
+/// use tokensync_spec::{AccountId, ProcessId};
+///
+/// let pay = |to: usize| Erc20Op::Transfer { to: AccountId::new(to), value: 1 };
+/// let alice = (ProcessId::new(0), pay(7));
+/// let bob = (ProcessId::new(1), pay(7));
+/// // Disjoint sources, shared destination: credits commute.
+/// assert!(!alice.1.footprint(alice.0).conflicts_with(&bob.1.footprint(bob.0)));
+/// // Same source racing itself: update/update on one balance cell.
+/// let again = (ProcessId::new(0), pay(3));
+/// assert!(alice.1.footprint(alice.0).conflicts_with(&again.1.footprint(again.0)));
+/// ```
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Footprint {
     entries: Vec<(Cell, Access)>,
@@ -225,6 +245,27 @@ impl FootprintedOp for Erc20Op {
 /// The cells of the state `q = (β, α)` one operation may touch, split by
 /// access mode. Built by [`OpFootprint::of`]; cheap (a few `Option`s, no
 /// allocation) because the pipeline computes one per op per batch.
+///
+/// # Examples
+///
+/// ```
+/// use tokensync_core::analysis::OpFootprint;
+/// use tokensync_core::erc20::Erc20Op;
+/// use tokensync_spec::{AccountId, ProcessId};
+///
+/// let op = Erc20Op::TransferFrom {
+///     from: AccountId::new(2),
+///     to: AccountId::new(5),
+///     value: 1,
+/// };
+/// let f = OpFootprint::of(ProcessId::new(9), &op);
+/// assert_eq!(f.debit, Some(AccountId::new(2)));             // source debited
+/// assert_eq!(f.credit, Some(AccountId::new(5)));            // sink credited
+/// assert_eq!(
+///     f.allowance_write,
+///     Some((AccountId::new(2), ProcessId::new(9)))          // allowance consumed
+/// );
+/// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct OpFootprint {
     /// Balance slot the op reads *and* may decrease (`β(a) -= v`): the

@@ -1,0 +1,965 @@
+//! Binary wire codec for the servable standards — the encoding layer the
+//! durable store (`tokensync-store`) persists through.
+//!
+//! Every op/response alphabet and every sequential oracle state of the
+//! three served standards (ERC20, ERC721, ERC1155) implements [`Codec`]:
+//! a compact little-endian binary encoding with explicit enum tags.
+//! States additionally implement [`StateCodec`], which pins a *standard
+//! tag* and an *encoding version* — the write-ahead log and snapshot
+//! headers embed both, so a store directory can never be silently
+//! replayed through the wrong standard or a stale layout.
+//!
+//! Design rules:
+//!
+//! * **Canonical** — the encoders walk the canonical public views of the
+//!   states (positive sparse entries only, sorted), so
+//!   encode → decode → encode is byte-identical and decode → `Eq`
+//!   coincides with mathematical state equality.
+//! * **Total decoding** — [`Codec::decode`] never panics on hostile
+//!   bytes: truncation, range violations and non-canonical payloads
+//!   surface as [`CodecError`]. The recovery path relies on this to stop
+//!   cleanly at a torn or corrupted record.
+//! * **No allocation surprises** — encoders append to a caller-owned
+//!   buffer ([`Codec::encode_into`]), so the WAL writer frames records
+//!   without intermediate copies.
+
+use tokensync_spec::{AccountId, Amount, ProcessId};
+
+use crate::erc20::{Erc20Op, Erc20Resp, Erc20State};
+use crate::standards::erc1155::{Erc1155Op, Erc1155Resp, Erc1155State, TypeId};
+use crate::standards::erc721::{Erc721Op, Erc721Resp, Erc721State, TokenId};
+
+/// Why a decode failed. The store layer wraps this into its record /
+/// snapshot errors; nothing in the codec panics on bad input.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before the value was complete.
+    Truncated,
+    /// A structurally complete value violated a semantic bound (unknown
+    /// enum tag, id out of the declared space, non-canonical entry, …).
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "input truncated mid-value"),
+            CodecError::Invalid(what) => write!(f, "invalid encoding: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A value with a self-contained binary encoding.
+///
+/// # Examples
+///
+/// ```
+/// use tokensync_core::codec::Codec;
+/// use tokensync_core::erc20::Erc20Op;
+/// use tokensync_spec::AccountId;
+///
+/// let op = Erc20Op::Transfer { to: AccountId::new(7), value: 42 };
+/// let bytes = op.encode();
+/// let mut input = bytes.as_slice();
+/// assert_eq!(Erc20Op::decode(&mut input).unwrap(), op);
+/// assert!(input.is_empty()); // decode consumes exactly the value
+/// ```
+pub trait Codec: Sized {
+    /// Appends the encoding of `self` to `out`.
+    fn encode_into(&self, out: &mut Vec<u8>);
+
+    /// Decodes one value from the front of `input`, advancing it past
+    /// the consumed bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] if `input` is too short,
+    /// [`CodecError::Invalid`] if the bytes do not form a valid value.
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError>;
+
+    /// The encoding as a fresh buffer.
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+}
+
+/// A sequential oracle state with a versioned, tagged encoding. The
+/// store embeds both constants in segment and snapshot headers and
+/// refuses to recover through a mismatch.
+pub trait StateCodec: Codec {
+    /// Which standard this state belongs to (distinct per standard).
+    const STANDARD: u8;
+    /// Version of the binary layout; bump on any incompatible change.
+    const VERSION: u8;
+}
+
+// ── primitive helpers ──────────────────────────────────────────────────
+
+pub(crate) fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn get_u8(input: &mut &[u8]) -> Result<u8, CodecError> {
+    let (&first, rest) = input.split_first().ok_or(CodecError::Truncated)?;
+    *input = rest;
+    Ok(first)
+}
+
+pub(crate) fn get_u32(input: &mut &[u8]) -> Result<u32, CodecError> {
+    if input.len() < 4 {
+        return Err(CodecError::Truncated);
+    }
+    let (head, rest) = input.split_at(4);
+    *input = rest;
+    Ok(u32::from_le_bytes(head.try_into().expect("4-byte slice")))
+}
+
+pub(crate) fn get_u64(input: &mut &[u8]) -> Result<u64, CodecError> {
+    if input.len() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    let (head, rest) = input.split_at(8);
+    *input = rest;
+    Ok(u64::from_le_bytes(head.try_into().expect("8-byte slice")))
+}
+
+/// Ids are encoded as `u32` — the same key width every sparse state
+/// layout uses internally (guarded there by constructor asserts).
+fn put_id(out: &mut Vec<u8>, index: usize) {
+    let key = u32::try_from(index).expect("id exceeds the u32 key space");
+    put_u32(out, key);
+}
+
+fn get_id(input: &mut &[u8]) -> Result<usize, CodecError> {
+    Ok(get_u32(input)? as usize)
+}
+
+fn get_bool(input: &mut &[u8]) -> Result<bool, CodecError> {
+    match get_u8(input)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(CodecError::Invalid("boolean byte not 0/1")),
+    }
+}
+
+// ── ERC20 ──────────────────────────────────────────────────────────────
+
+const ERC20_TRANSFER: u8 = 0;
+const ERC20_TRANSFER_FROM: u8 = 1;
+const ERC20_APPROVE: u8 = 2;
+const ERC20_BALANCE_OF: u8 = 3;
+const ERC20_ALLOWANCE: u8 = 4;
+const ERC20_TOTAL_SUPPLY: u8 = 5;
+
+impl Codec for Erc20Op {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match *self {
+            Erc20Op::Transfer { to, value } => {
+                put_u8(out, ERC20_TRANSFER);
+                put_id(out, to.index());
+                put_u64(out, value);
+            }
+            Erc20Op::TransferFrom { from, to, value } => {
+                put_u8(out, ERC20_TRANSFER_FROM);
+                put_id(out, from.index());
+                put_id(out, to.index());
+                put_u64(out, value);
+            }
+            Erc20Op::Approve { spender, value } => {
+                put_u8(out, ERC20_APPROVE);
+                put_id(out, spender.index());
+                put_u64(out, value);
+            }
+            Erc20Op::BalanceOf { account } => {
+                put_u8(out, ERC20_BALANCE_OF);
+                put_id(out, account.index());
+            }
+            Erc20Op::Allowance { account, spender } => {
+                put_u8(out, ERC20_ALLOWANCE);
+                put_id(out, account.index());
+                put_id(out, spender.index());
+            }
+            Erc20Op::TotalSupply => put_u8(out, ERC20_TOTAL_SUPPLY),
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(match get_u8(input)? {
+            ERC20_TRANSFER => Erc20Op::Transfer {
+                to: AccountId::new(get_id(input)?),
+                value: get_u64(input)?,
+            },
+            ERC20_TRANSFER_FROM => Erc20Op::TransferFrom {
+                from: AccountId::new(get_id(input)?),
+                to: AccountId::new(get_id(input)?),
+                value: get_u64(input)?,
+            },
+            ERC20_APPROVE => Erc20Op::Approve {
+                spender: ProcessId::new(get_id(input)?),
+                value: get_u64(input)?,
+            },
+            ERC20_BALANCE_OF => Erc20Op::BalanceOf {
+                account: AccountId::new(get_id(input)?),
+            },
+            ERC20_ALLOWANCE => Erc20Op::Allowance {
+                account: AccountId::new(get_id(input)?),
+                spender: ProcessId::new(get_id(input)?),
+            },
+            ERC20_TOTAL_SUPPLY => Erc20Op::TotalSupply,
+            _ => return Err(CodecError::Invalid("unknown Erc20Op tag")),
+        })
+    }
+}
+
+const RESP_BOOL: u8 = 0;
+const RESP_PAYLOAD: u8 = 1;
+
+impl Codec for Erc20Resp {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match *self {
+            Erc20Resp::Bool(b) => {
+                put_u8(out, RESP_BOOL);
+                put_u8(out, b as u8);
+            }
+            Erc20Resp::Amount(v) => {
+                put_u8(out, RESP_PAYLOAD);
+                put_u64(out, v);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(match get_u8(input)? {
+            RESP_BOOL => Erc20Resp::Bool(get_bool(input)?),
+            RESP_PAYLOAD => Erc20Resp::Amount(get_u64(input)?),
+            _ => return Err(CodecError::Invalid("unknown Erc20Resp tag")),
+        })
+    }
+}
+
+impl Codec for Erc20State {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        let n = self.accounts();
+        put_id(out, n);
+        for i in 0..n {
+            put_u64(out, self.balance(AccountId::new(i)));
+        }
+        let rows: Vec<AccountId> = self.accounts_with_approvals().collect();
+        put_id(out, rows.len());
+        for account in rows {
+            put_id(out, account.index());
+            put_id(out, self.approval_count(account));
+            for (spender, value) in self.approvals(account) {
+                put_id(out, spender.index());
+                put_u64(out, value);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let n = get_id(input)?;
+        let mut balances = Vec::with_capacity(n.min(input.len() / 8 + 1));
+        let mut supply = 0u64;
+        for _ in 0..n {
+            let balance = get_u64(input)?;
+            // `from_balances` sums the vector to cache the supply; a
+            // hostile payload must not push that sum past u64 (debug
+            // panic / silent wrap) — reject it here instead.
+            supply = supply
+                .checked_add(balance)
+                .ok_or(CodecError::Invalid("balance sum overflows the supply"))?;
+            balances.push(balance);
+        }
+        let mut state = Erc20State::from_balances(balances);
+        let rows = get_id(input)?;
+        let mut last_account = None;
+        for _ in 0..rows {
+            let account = get_id(input)?;
+            if account >= n {
+                return Err(CodecError::Invalid("allowance row account out of range"));
+            }
+            if last_account.is_some_and(|last| account <= last) {
+                return Err(CodecError::Invalid("allowance rows not strictly sorted"));
+            }
+            last_account = Some(account);
+            let entries = get_id(input)?;
+            if entries == 0 {
+                return Err(CodecError::Invalid("empty allowance row not canonical"));
+            }
+            let mut last_spender = None;
+            for _ in 0..entries {
+                let spender = get_id(input)?;
+                let value = get_u64(input)?;
+                if spender >= n {
+                    return Err(CodecError::Invalid("allowance spender out of range"));
+                }
+                if value == 0 {
+                    return Err(CodecError::Invalid("zero allowance entry not canonical"));
+                }
+                if last_spender.is_some_and(|last| spender <= last) {
+                    return Err(CodecError::Invalid("allowance entries not strictly sorted"));
+                }
+                last_spender = Some(spender);
+                state.set_allowance(AccountId::new(account), ProcessId::new(spender), value);
+            }
+        }
+        Ok(state)
+    }
+}
+
+impl StateCodec for Erc20State {
+    const STANDARD: u8 = 0x20;
+    const VERSION: u8 = 1;
+}
+
+// ── ERC721 ─────────────────────────────────────────────────────────────
+
+const ERC721_MINT: u8 = 0;
+const ERC721_TRANSFER_FROM: u8 = 1;
+const ERC721_APPROVE: u8 = 2;
+const ERC721_SET_APPROVAL_FOR_ALL: u8 = 3;
+const ERC721_OWNER_OF: u8 = 4;
+const ERC721_GET_APPROVED: u8 = 5;
+
+fn put_opt_process(out: &mut Vec<u8>, p: Option<ProcessId>) {
+    match p {
+        Some(p) => {
+            put_u8(out, 1);
+            put_id(out, p.index());
+        }
+        None => put_u8(out, 0),
+    }
+}
+
+fn get_opt_process(input: &mut &[u8]) -> Result<Option<ProcessId>, CodecError> {
+    Ok(if get_bool(input)? {
+        Some(ProcessId::new(get_id(input)?))
+    } else {
+        None
+    })
+}
+
+impl Codec for Erc721Op {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match *self {
+            Erc721Op::Mint { to, token } => {
+                put_u8(out, ERC721_MINT);
+                put_id(out, to.index());
+                put_id(out, token.index());
+            }
+            Erc721Op::TransferFrom { from, to, token } => {
+                put_u8(out, ERC721_TRANSFER_FROM);
+                put_id(out, from.index());
+                put_id(out, to.index());
+                put_id(out, token.index());
+            }
+            Erc721Op::Approve { approved, token } => {
+                put_u8(out, ERC721_APPROVE);
+                put_opt_process(out, approved);
+                put_id(out, token.index());
+            }
+            Erc721Op::SetApprovalForAll { operator, on } => {
+                put_u8(out, ERC721_SET_APPROVAL_FOR_ALL);
+                put_id(out, operator.index());
+                put_u8(out, on as u8);
+            }
+            Erc721Op::OwnerOf { token } => {
+                put_u8(out, ERC721_OWNER_OF);
+                put_id(out, token.index());
+            }
+            Erc721Op::GetApproved { token } => {
+                put_u8(out, ERC721_GET_APPROVED);
+                put_id(out, token.index());
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(match get_u8(input)? {
+            ERC721_MINT => Erc721Op::Mint {
+                to: ProcessId::new(get_id(input)?),
+                token: TokenId::new(get_id(input)?),
+            },
+            ERC721_TRANSFER_FROM => Erc721Op::TransferFrom {
+                from: ProcessId::new(get_id(input)?),
+                to: ProcessId::new(get_id(input)?),
+                token: TokenId::new(get_id(input)?),
+            },
+            ERC721_APPROVE => Erc721Op::Approve {
+                approved: get_opt_process(input)?,
+                token: TokenId::new(get_id(input)?),
+            },
+            ERC721_SET_APPROVAL_FOR_ALL => Erc721Op::SetApprovalForAll {
+                operator: ProcessId::new(get_id(input)?),
+                on: get_bool(input)?,
+            },
+            ERC721_OWNER_OF => Erc721Op::OwnerOf {
+                token: TokenId::new(get_id(input)?),
+            },
+            ERC721_GET_APPROVED => Erc721Op::GetApproved {
+                token: TokenId::new(get_id(input)?),
+            },
+            _ => return Err(CodecError::Invalid("unknown Erc721Op tag")),
+        })
+    }
+}
+
+impl Codec for Erc721Resp {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match *self {
+            Erc721Resp::Bool(b) => {
+                put_u8(out, RESP_BOOL);
+                put_u8(out, b as u8);
+            }
+            Erc721Resp::Process(p) => {
+                put_u8(out, RESP_PAYLOAD);
+                put_opt_process(out, p);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(match get_u8(input)? {
+            RESP_BOOL => Erc721Resp::Bool(get_bool(input)?),
+            RESP_PAYLOAD => Erc721Resp::Process(get_opt_process(input)?),
+            _ => return Err(CodecError::Invalid("unknown Erc721Resp tag")),
+        })
+    }
+}
+
+impl Codec for Erc721State {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        put_id(out, self.processes());
+        put_id(out, self.token_span());
+        put_id(out, self.minted());
+        for (token, owner, approved) in self.minted_tokens() {
+            put_id(out, token.index());
+            put_id(out, owner.index());
+            put_opt_process(out, approved);
+        }
+        let pairs: Vec<(ProcessId, ProcessId)> = self.operator_pairs().collect();
+        put_id(out, pairs.len());
+        for (holder, operator) in pairs {
+            put_id(out, holder.index());
+            put_id(out, operator.index());
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let processes = get_id(input)?;
+        let token_span = get_id(input)?;
+        let mut state = Erc721State::new(processes, token_span);
+        let minted = get_id(input)?;
+        let mut last_token = None;
+        for _ in 0..minted {
+            let token = get_id(input)?;
+            let owner = get_id(input)?;
+            let approved = get_opt_process(input)?;
+            if token >= token_span || owner >= processes {
+                return Err(CodecError::Invalid("minted token out of range"));
+            }
+            if approved.is_some_and(|p| p.index() >= processes) {
+                return Err(CodecError::Invalid("approved process out of range"));
+            }
+            // Strictly increasing ids keep the encoding canonical.
+            if last_token.is_some_and(|last| token <= last) {
+                return Err(CodecError::Invalid("minted tokens not strictly sorted"));
+            }
+            last_token = Some(token);
+            state.put_token(TokenId::new(token), ProcessId::new(owner), approved);
+        }
+        let pairs = get_id(input)?;
+        let mut last_pair = None;
+        for _ in 0..pairs {
+            let holder = get_id(input)?;
+            let operator = get_id(input)?;
+            if holder >= processes || operator >= processes {
+                return Err(CodecError::Invalid("operator pair out of range"));
+            }
+            if last_pair.is_some_and(|last| (holder, operator) <= last) {
+                return Err(CodecError::Invalid("operator pairs not strictly sorted"));
+            }
+            last_pair = Some((holder, operator));
+            state.set_operator(ProcessId::new(holder), ProcessId::new(operator), true);
+        }
+        Ok(state)
+    }
+}
+
+impl StateCodec for Erc721State {
+    const STANDARD: u8 = 0x21;
+    const VERSION: u8 = 1;
+}
+
+// ── ERC1155 ────────────────────────────────────────────────────────────
+
+const ERC1155_TRANSFER: u8 = 0;
+const ERC1155_BATCH_TRANSFER: u8 = 1;
+const ERC1155_SET_APPROVAL_FOR_ALL: u8 = 2;
+const ERC1155_BALANCE_OF: u8 = 3;
+const ERC1155_TOTAL_SUPPLY: u8 = 4;
+
+impl Codec for Erc1155Op {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match *self {
+            Erc1155Op::Transfer {
+                from,
+                to,
+                type_id,
+                value,
+            } => {
+                put_u8(out, ERC1155_TRANSFER);
+                put_id(out, from.index());
+                put_id(out, to.index());
+                put_id(out, type_id.index());
+                put_u64(out, value);
+            }
+            Erc1155Op::BatchTransfer {
+                from,
+                to,
+                ref entries,
+            } => {
+                put_u8(out, ERC1155_BATCH_TRANSFER);
+                put_id(out, from.index());
+                put_id(out, to.index());
+                put_id(out, entries.len());
+                for &(type_id, value) in entries {
+                    put_id(out, type_id.index());
+                    put_u64(out, value);
+                }
+            }
+            Erc1155Op::SetApprovalForAll { operator, on } => {
+                put_u8(out, ERC1155_SET_APPROVAL_FOR_ALL);
+                put_id(out, operator.index());
+                put_u8(out, on as u8);
+            }
+            Erc1155Op::BalanceOf { account, type_id } => {
+                put_u8(out, ERC1155_BALANCE_OF);
+                put_id(out, account.index());
+                put_id(out, type_id.index());
+            }
+            Erc1155Op::TotalSupply { type_id } => {
+                put_u8(out, ERC1155_TOTAL_SUPPLY);
+                put_id(out, type_id.index());
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(match get_u8(input)? {
+            ERC1155_TRANSFER => Erc1155Op::Transfer {
+                from: AccountId::new(get_id(input)?),
+                to: AccountId::new(get_id(input)?),
+                type_id: TypeId::new(get_id(input)?),
+                value: get_u64(input)?,
+            },
+            ERC1155_BATCH_TRANSFER => {
+                let from = AccountId::new(get_id(input)?);
+                let to = AccountId::new(get_id(input)?);
+                let rows = get_id(input)?;
+                if rows > input.len() / 12 + 1 {
+                    // 12 bytes per row minimum: reject length-bomb counts
+                    // before allocating.
+                    return Err(CodecError::Truncated);
+                }
+                let mut entries = Vec::with_capacity(rows);
+                for _ in 0..rows {
+                    entries.push((TypeId::new(get_id(input)?), get_u64(input)?));
+                }
+                Erc1155Op::BatchTransfer { from, to, entries }
+            }
+            ERC1155_SET_APPROVAL_FOR_ALL => Erc1155Op::SetApprovalForAll {
+                operator: ProcessId::new(get_id(input)?),
+                on: get_bool(input)?,
+            },
+            ERC1155_BALANCE_OF => Erc1155Op::BalanceOf {
+                account: AccountId::new(get_id(input)?),
+                type_id: TypeId::new(get_id(input)?),
+            },
+            ERC1155_TOTAL_SUPPLY => Erc1155Op::TotalSupply {
+                type_id: TypeId::new(get_id(input)?),
+            },
+            _ => return Err(CodecError::Invalid("unknown Erc1155Op tag")),
+        })
+    }
+}
+
+impl Codec for Erc1155Resp {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match *self {
+            Erc1155Resp::Bool(b) => {
+                put_u8(out, RESP_BOOL);
+                put_u8(out, b as u8);
+            }
+            Erc1155Resp::Amount(v) => {
+                put_u8(out, RESP_PAYLOAD);
+                put_u64(out, v);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(match get_u8(input)? {
+            RESP_BOOL => Erc1155Resp::Bool(get_bool(input)?),
+            RESP_PAYLOAD => Erc1155Resp::Amount(get_u64(input)?),
+            _ => return Err(CodecError::Invalid("unknown Erc1155Resp tag")),
+        })
+    }
+}
+
+impl Codec for Erc1155State {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        put_id(out, self.accounts());
+        let types = self.types();
+        put_id(out, types);
+        for t in 0..types {
+            put_u64(out, self.total_supply(TypeId::new(t)));
+        }
+        let entries: Vec<(TypeId, AccountId, Amount)> = self.balance_entries().collect();
+        put_id(out, entries.len());
+        for (type_id, account, value) in entries {
+            put_id(out, type_id.index());
+            put_id(out, account.index());
+            put_u64(out, value);
+        }
+        let pairs: Vec<(AccountId, ProcessId)> = self.operator_pairs().collect();
+        put_id(out, pairs.len());
+        for (holder, operator) in pairs {
+            put_id(out, holder.index());
+            put_id(out, operator.index());
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let accounts = get_id(input)?;
+        if accounts == 0 {
+            return Err(CodecError::Invalid("ERC1155 state needs >= 1 account"));
+        }
+        let types = get_id(input)?;
+        if types > input.len() / 8 + 1 {
+            return Err(CodecError::Truncated);
+        }
+        let mut supplies = Vec::with_capacity(types);
+        for _ in 0..types {
+            supplies.push(get_u64(input)?);
+        }
+        // Deploy parks every supply at account 0, then redistribute: the
+        // cached per-type supplies are rebuilt by `set_balance`, so the
+        // final cache equals the sum of the decoded entries — validated
+        // against the declared supplies below.
+        let deployer = ProcessId::new(0);
+        let mut state = Erc1155State::deploy(accounts, deployer, &supplies);
+        for t in 0..types {
+            state.set_balance(deployer.own_account(), TypeId::new(t), 0);
+        }
+        let entries = get_id(input)?;
+        let mut last_entry = None;
+        for _ in 0..entries {
+            let type_id = get_id(input)?;
+            let account = get_id(input)?;
+            let value = get_u64(input)?;
+            if type_id >= types || account >= accounts {
+                return Err(CodecError::Invalid("balance entry out of range"));
+            }
+            if value == 0 {
+                return Err(CodecError::Invalid("zero balance entry not canonical"));
+            }
+            if last_entry.is_some_and(|last| (type_id, account) <= last) {
+                return Err(CodecError::Invalid("balance entries not strictly sorted"));
+            }
+            last_entry = Some((type_id, account));
+            state.set_balance(AccountId::new(account), TypeId::new(type_id), value);
+        }
+        for (t, &declared) in supplies.iter().enumerate() {
+            if state.total_supply(TypeId::new(t)) != declared {
+                return Err(CodecError::Invalid("per-type supply mismatch"));
+            }
+        }
+        let pairs = get_id(input)?;
+        let mut last_pair = None;
+        for _ in 0..pairs {
+            let holder = get_id(input)?;
+            let operator = get_id(input)?;
+            if holder >= accounts || operator >= accounts {
+                return Err(CodecError::Invalid("operator pair out of range"));
+            }
+            if last_pair.is_some_and(|last| (holder, operator) <= last) {
+                return Err(CodecError::Invalid("operator pairs not strictly sorted"));
+            }
+            last_pair = Some((holder, operator));
+            state.set_operator(AccountId::new(holder), ProcessId::new(operator), true);
+        }
+        Ok(state)
+    }
+}
+
+impl StateCodec for Erc1155State {
+    const STANDARD: u8 = 0x55;
+    const VERSION: u8 = 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Codec + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = value.encode();
+        let mut input = bytes.as_slice();
+        let back = T::decode(&mut input).expect("decodes");
+        assert_eq!(back, value);
+        assert!(input.is_empty(), "decode left trailing bytes");
+        // Canonical: re-encoding is byte-identical.
+        assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn erc20_ops_and_resps_round_trip() {
+        roundtrip(Erc20Op::Transfer {
+            to: AccountId::new(3),
+            value: u64::MAX,
+        });
+        roundtrip(Erc20Op::TransferFrom {
+            from: AccountId::new(0),
+            to: AccountId::new(9),
+            value: 0,
+        });
+        roundtrip(Erc20Op::Approve {
+            spender: ProcessId::new(7),
+            value: 5,
+        });
+        roundtrip(Erc20Op::BalanceOf {
+            account: AccountId::new(1),
+        });
+        roundtrip(Erc20Op::Allowance {
+            account: AccountId::new(1),
+            spender: ProcessId::new(2),
+        });
+        roundtrip(Erc20Op::TotalSupply);
+        roundtrip(Erc20Resp::TRUE);
+        roundtrip(Erc20Resp::FALSE);
+        roundtrip(Erc20Resp::Amount(123_456_789));
+    }
+
+    #[test]
+    fn erc721_ops_and_resps_round_trip() {
+        roundtrip(Erc721Op::Mint {
+            to: ProcessId::new(2),
+            token: TokenId::new(40),
+        });
+        roundtrip(Erc721Op::TransferFrom {
+            from: ProcessId::new(1),
+            to: ProcessId::new(2),
+            token: TokenId::new(0),
+        });
+        roundtrip(Erc721Op::Approve {
+            approved: Some(ProcessId::new(3)),
+            token: TokenId::new(9),
+        });
+        roundtrip(Erc721Op::Approve {
+            approved: None,
+            token: TokenId::new(9),
+        });
+        roundtrip(Erc721Op::SetApprovalForAll {
+            operator: ProcessId::new(5),
+            on: true,
+        });
+        roundtrip(Erc721Op::OwnerOf {
+            token: TokenId::new(77),
+        });
+        roundtrip(Erc721Op::GetApproved {
+            token: TokenId::new(77),
+        });
+        roundtrip(Erc721Resp::TRUE);
+        roundtrip(Erc721Resp::Process(None));
+        roundtrip(Erc721Resp::Process(Some(ProcessId::new(4))));
+    }
+
+    #[test]
+    fn erc1155_ops_and_resps_round_trip() {
+        roundtrip(Erc1155Op::Transfer {
+            from: AccountId::new(0),
+            to: AccountId::new(1),
+            type_id: TypeId::new(2),
+            value: 3,
+        });
+        roundtrip(Erc1155Op::BatchTransfer {
+            from: AccountId::new(0),
+            to: AccountId::new(1),
+            entries: vec![(TypeId::new(0), 1), (TypeId::new(3), 9)],
+        });
+        roundtrip(Erc1155Op::BatchTransfer {
+            from: AccountId::new(0),
+            to: AccountId::new(1),
+            entries: Vec::new(),
+        });
+        roundtrip(Erc1155Op::SetApprovalForAll {
+            operator: ProcessId::new(1),
+            on: false,
+        });
+        roundtrip(Erc1155Op::BalanceOf {
+            account: AccountId::new(4),
+            type_id: TypeId::new(0),
+        });
+        roundtrip(Erc1155Op::TotalSupply {
+            type_id: TypeId::new(1),
+        });
+        roundtrip(Erc1155Resp::FALSE);
+        roundtrip(Erc1155Resp::Amount(42));
+    }
+
+    #[test]
+    fn states_round_trip() {
+        let mut erc20 = Erc20State::with_deployer(5, ProcessId::new(0), 100);
+        erc20
+            .transfer(ProcessId::new(0), AccountId::new(3), 7)
+            .unwrap();
+        erc20
+            .approve(ProcessId::new(3), ProcessId::new(1), 5)
+            .unwrap();
+        erc20
+            .approve(ProcessId::new(0), ProcessId::new(4), 9)
+            .unwrap();
+        roundtrip(erc20);
+
+        let mut erc721 = Erc721State::minted_round_robin(6, 50, 10);
+        erc721.set_operator(ProcessId::new(1), ProcessId::new(2), true);
+        roundtrip(erc721);
+
+        let mut erc1155 = Erc1155State::deploy(4, ProcessId::new(1), &[10, 0, 3]);
+        erc1155.set_balance(AccountId::new(2), TypeId::new(0), 4);
+        erc1155.set_operator(AccountId::new(2), ProcessId::new(3), true);
+        roundtrip(erc1155);
+    }
+
+    #[test]
+    fn truncated_inputs_error_cleanly() {
+        let bytes = Erc20State::with_deployer(4, ProcessId::new(0), 10).encode();
+        for cut in 0..bytes.len() {
+            let mut input = &bytes[..cut];
+            assert!(
+                Erc20State::decode(&mut input).is_err(),
+                "prefix of length {cut} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn non_canonical_payloads_rejected() {
+        // A zero allowance entry is representable on the wire but not
+        // canonical: decode must refuse it rather than silently drop it.
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, 2); // n = 2
+        put_u64(&mut bytes, 5);
+        put_u64(&mut bytes, 0);
+        put_u32(&mut bytes, 1); // one allowance row
+        put_u32(&mut bytes, 0); // account 0
+        put_u32(&mut bytes, 1); // one entry
+        put_u32(&mut bytes, 1); // spender 1
+        put_u64(&mut bytes, 0); // value 0: not canonical
+        let mut input = bytes.as_slice();
+        assert_eq!(
+            Erc20State::decode(&mut input),
+            Err(CodecError::Invalid("zero allowance entry not canonical"))
+        );
+    }
+
+    #[test]
+    fn overflowing_balance_sum_rejected() {
+        // Two u64::MAX balances: `from_balances` would panic (debug) or
+        // wrap (release) computing the cached supply — decode must
+        // reject the payload before that.
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, 2); // n = 2
+        put_u64(&mut bytes, u64::MAX);
+        put_u64(&mut bytes, u64::MAX);
+        put_u32(&mut bytes, 0); // no allowance rows
+        let mut input = bytes.as_slice();
+        assert_eq!(
+            Erc20State::decode(&mut input),
+            Err(CodecError::Invalid("balance sum overflows the supply"))
+        );
+    }
+
+    #[test]
+    fn unsorted_or_duplicate_allowance_rows_rejected() {
+        let row = |bytes: &mut Vec<u8>, account: u32, spender: u32| {
+            put_u32(bytes, account);
+            put_u32(bytes, 1); // one entry
+            put_u32(bytes, spender);
+            put_u64(bytes, 5);
+        };
+        // Duplicate rows for account 0.
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, 3);
+        for _ in 0..3 {
+            put_u64(&mut bytes, 1);
+        }
+        put_u32(&mut bytes, 2); // two rows
+        row(&mut bytes, 0, 1);
+        row(&mut bytes, 0, 2); // duplicate account: not canonical
+        let mut input = bytes.as_slice();
+        assert_eq!(
+            Erc20State::decode(&mut input),
+            Err(CodecError::Invalid("allowance rows not strictly sorted"))
+        );
+        // Unsorted spenders within a row.
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, 3);
+        for _ in 0..3 {
+            put_u64(&mut bytes, 1);
+        }
+        put_u32(&mut bytes, 1); // one row
+        put_u32(&mut bytes, 0); // account 0
+        put_u32(&mut bytes, 2); // two entries
+        put_u32(&mut bytes, 2);
+        put_u64(&mut bytes, 5);
+        put_u32(&mut bytes, 1); // out of order
+        put_u64(&mut bytes, 5);
+        let mut input = bytes.as_slice();
+        assert_eq!(
+            Erc20State::decode(&mut input),
+            Err(CodecError::Invalid("allowance entries not strictly sorted"))
+        );
+        // An empty row is never emitted by the encoder.
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, 3);
+        for _ in 0..3 {
+            put_u64(&mut bytes, 1);
+        }
+        put_u32(&mut bytes, 1); // one row
+        put_u32(&mut bytes, 0); // account 0
+        put_u32(&mut bytes, 0); // zero entries: not canonical
+        let mut input = bytes.as_slice();
+        assert_eq!(
+            Erc20State::decode(&mut input),
+            Err(CodecError::Invalid("empty allowance row not canonical"))
+        );
+    }
+
+    #[test]
+    fn out_of_range_ids_rejected() {
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, 2); // n = 2
+        put_u64(&mut bytes, 5);
+        put_u64(&mut bytes, 0);
+        put_u32(&mut bytes, 1); // one allowance row
+        put_u32(&mut bytes, 7); // account 7 out of range
+        let mut input = bytes.as_slice();
+        assert!(matches!(
+            Erc20State::decode(&mut input),
+            Err(CodecError::Invalid(_))
+        ));
+    }
+}

@@ -30,6 +30,8 @@
 //! * [`setup`] — driving a token from `q0` into a chosen synchronization
 //!   state (the inherently non-wait-free preparation discussed after
 //!   Theorem 3).
+//! * [`codec`] — the binary wire codec (ops, responses, versioned
+//!   states) the durable store persists through.
 //! * [`standards`] — Section 6 extensions: ERC777 operators, ERC721
 //!   non-fungible tokens, ERC1155 multi-tokens, with their consensus
 //!   constructions (deduplicated over [`standards::race`]) and the
@@ -67,6 +69,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod codec;
 pub mod emulation;
 pub mod erc20;
 mod error;

@@ -263,6 +263,22 @@ impl Erc1155State {
         *supply = *supply - old + value;
     }
 
+    /// The positive balance entries `((type, account) → amount)` in
+    /// increasing `(type, account)` order — the canonical walk the state
+    /// codec serializes.
+    pub fn balance_entries(&self) -> impl Iterator<Item = (TypeId, AccountId, Amount)> + '_ {
+        self.balances
+            .iter()
+            .map(|(&(t, a), &v)| (TypeId::new(t as usize), AccountId::new(a as usize), v))
+    }
+
+    /// The enabled `(holder, operator)` pairs in increasing order.
+    pub fn operator_pairs(&self) -> impl Iterator<Item = (AccountId, ProcessId)> + '_ {
+        self.operators
+            .iter()
+            .map(|&(h, o)| (AccountId::new(h as usize), ProcessId::new(o as usize)))
+    }
+
     /// Enables `(holder, operator)` directly — test-fixture aid.
     ///
     /// # Panics

@@ -256,6 +256,50 @@ impl Erc721State {
         self.owners.values().filter(|&&o| o == h).count()
     }
 
+    /// The minted tokens in increasing id order, each with its owner and
+    /// outstanding single-use approval — the canonical walk the state
+    /// codec serializes.
+    pub fn minted_tokens(
+        &self,
+    ) -> impl Iterator<Item = (TokenId, ProcessId, Option<ProcessId>)> + '_ {
+        self.owners.iter().map(|(&t, &owner)| {
+            (
+                TokenId::new(t as usize),
+                ProcessId::new(owner as usize),
+                self.approved.get(&t).map(|&p| ProcessId::new(p as usize)),
+            )
+        })
+    }
+
+    /// The enabled `(holder, operator)` pairs in increasing order.
+    pub fn operator_pairs(&self) -> impl Iterator<Item = (ProcessId, ProcessId)> + '_ {
+        self.operators
+            .iter()
+            .map(|&(h, o)| (ProcessId::new(h as usize), ProcessId::new(o as usize)))
+    }
+
+    /// Directly mints or overwrites `token` with an owner and optional
+    /// single-use approval — codec/fixture aid, not an object operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the token or either process is out of range.
+    pub fn put_token(&mut self, token: TokenId, owner: ProcessId, approved: Option<ProcessId>) {
+        assert!(token.index() < self.token_span, "token out of range");
+        assert!(owner.index() < self.processes, "owner out of range");
+        let t = cell_index(token.index());
+        self.owners.insert(t, cell_index(owner.index()));
+        match approved {
+            Some(p) => {
+                assert!(p.index() < self.processes, "approved out of range");
+                self.approved.insert(t, cell_index(p.index()));
+            }
+            None => {
+                self.approved.remove(&t);
+            }
+        }
+    }
+
     /// Enables `(holder, operator)` directly — test-fixture aid.
     ///
     /// # Panics

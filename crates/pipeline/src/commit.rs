@@ -82,15 +82,19 @@ impl<Op: Clone + Debug, Resp: Clone + PartialEq + Debug> CommitLog<Op, Resp> {
 
     /// Appends one executed batch: `ops` and `responses` are indexed the
     /// same way; `schedule.commit_order()` decides the linearization.
+    /// Returns the index of the first entry appended (the batch occupies
+    /// `entries()[returned..]`), so durability sinks can address exactly
+    /// the commits this call produced.
     pub fn append_batch(
         &mut self,
         batch: u64,
         ops: &[(ProcessId, Op)],
         responses: &[Resp],
         schedule: &Schedule,
-    ) {
+    ) -> usize {
         debug_assert_eq!(ops.len(), responses.len());
         debug_assert_eq!(schedule.ops(), ops.len());
+        let start = self.entries.len();
         self.entries.reserve(ops.len());
         for idx in schedule.commit_order() {
             let (caller, op) = &ops[idx];
@@ -102,6 +106,7 @@ impl<Op: Clone + Debug, Resp: Clone + PartialEq + Debug> CommitLog<Op, Resp> {
                 resp: responses[idx].clone(),
             });
         }
+        start
     }
 
     /// The committed operations in linearization order.

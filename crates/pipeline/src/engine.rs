@@ -29,10 +29,37 @@ use std::thread::JoinHandle;
 use tokensync_core::shared::ConcurrentObject;
 use tokensync_spec::ProcessId;
 
-use crate::batch::{intake, BatchConfig, IntakeClient};
-use crate::commit::CommitLog;
+use crate::batch::{intake, BatchConfig, Batcher, IntakeClient};
+use crate::commit::{CommitLog, CommittedOp};
 use crate::exec::{execute, ExecConfig};
 use crate::schedule::{schedule, Schedule, ScheduleConfig};
+
+/// A durability hook on the commit stage: the engine hands every wave's
+/// committed entries to the sink the moment they enter the log, and
+/// signals each batch boundary (the group-commit cut).
+///
+/// The unit sink `()` is the volatile engine; `tokensync-store`'s
+/// `Store` implements this trait to stream the commit log into a
+/// write-ahead log with snapshots.
+pub trait CommitSink<T: ConcurrentObject + ?Sized> {
+    /// One committed wave (waves arrive in commit order; the serial lane
+    /// arrives last, as one group). `entries` is the contiguous slice of
+    /// the commit log this wave appended.
+    fn wave_committed(&mut self, token: &T, entries: &[CommittedOp<T::Op, T::Resp>]);
+
+    /// The batch boundary after all of a batch's waves committed — where
+    /// group-commit durability syncs and snapshot policies trigger.
+    /// `token` is quiescent here (no wave in flight), so a
+    /// [`snapshot`](ConcurrentObject::snapshot) taken now corresponds
+    /// exactly to the log prefix.
+    fn batch_sealed(&mut self, token: &T, batch: u64);
+}
+
+/// The volatile engine: no durability.
+impl<T: ConcurrentObject + ?Sized> CommitSink<T> for () {
+    fn wave_committed(&mut self, _token: &T, _entries: &[CommittedOp<T::Op, T::Resp>]) {}
+    fn batch_sealed(&mut self, _token: &T, _batch: u64) {}
+}
 
 /// Full engine configuration.
 #[derive(Clone, Copy, Debug, Default)]
@@ -111,32 +138,78 @@ impl<Op, Resp> Default for PipelineRun<Op, Resp> {
     }
 }
 
-/// One batch through analyze → schedule → execute → commit.
-fn process_batch<T: ConcurrentObject + ?Sized>(
+/// One batch through analyze → schedule → execute → commit, streaming
+/// each committed wave (and the batch seal) into `sink`.
+fn process_batch<T: ConcurrentObject + ?Sized, K: CommitSink<T>>(
     token: &T,
     seq: u64,
     ops: &[(ProcessId, T::Op)],
     cfg: &PipelineConfig,
     run: &mut PipelineRun<T::Op, T::Resp>,
+    sink: &mut K,
 ) {
     let plan = schedule(ops, &cfg.schedule);
     let responses = execute(token, ops, &plan, &cfg.exec);
     run.stats.absorb(&plan);
-    run.log.append_batch(seq, ops, &responses, &plan);
+    let start = run.log.append_batch(seq, ops, &responses, &plan);
+    // The appended slice is waves in order, then the serial lane: hand
+    // the sink one contiguous group per wave.
+    let committed = &run.log.entries()[start..];
+    let mut cursor = 0usize;
+    for len in plan
+        .waves
+        .iter()
+        .map(Vec::len)
+        .chain(std::iter::once(plan.serial.len()))
+    {
+        if len > 0 {
+            sink.wave_committed(token, &committed[cursor..cursor + len]);
+            cursor += len;
+        }
+    }
+    sink.batch_sealed(token, seq);
 }
 
 /// Synchronously executes `script` through the pipeline stages against
 /// `token`, cutting batches of [`BatchConfig::max_ops`] (the time cut
 /// never fires: the stream is already complete).
+///
+/// # Example
+///
+/// ```
+/// use tokensync_core::erc20::{Erc20Op, Erc20State};
+/// use tokensync_core::shared::ShardedErc20;
+/// use tokensync_pipeline::{run_script, PipelineConfig};
+/// use tokensync_spec::{AccountId, ProcessId};
+///
+/// let token = ShardedErc20::from_state(Erc20State::from_balances(vec![5; 8]));
+/// let script = vec![(ProcessId::new(0), Erc20Op::Transfer {
+///     to: AccountId::new(1),
+///     value: 2,
+/// })];
+/// let run = run_script(&token, &script, &PipelineConfig::default());
+/// assert_eq!(run.log.len(), 1);
+/// ```
 pub fn run_script<T: ConcurrentObject + ?Sized>(
     token: &T,
     script: &[(ProcessId, T::Op)],
     cfg: &PipelineConfig,
 ) -> PipelineRun<T::Op, T::Resp> {
+    run_script_with_sink(token, script, cfg, &mut ())
+}
+
+/// [`run_script`] with a durability [`CommitSink`] observing every
+/// committed wave and batch seal.
+pub fn run_script_with_sink<T: ConcurrentObject + ?Sized, K: CommitSink<T>>(
+    token: &T,
+    script: &[(ProcessId, T::Op)],
+    cfg: &PipelineConfig,
+    sink: &mut K,
+) -> PipelineRun<T::Op, T::Resp> {
     let mut run = PipelineRun::default();
     let size = cfg.batch.max_ops.max(1);
     for (seq, ops) in script.chunks(size).enumerate() {
-        process_batch(token, seq as u64, ops, cfg, &mut run);
+        process_batch(token, seq as u64, ops, cfg, &mut run, sink);
     }
     run
 }
@@ -159,8 +232,43 @@ impl<Op, Resp> PipelineHandle<Op, Resp> {
     }
 }
 
+/// Handle on a spawned engine carrying a durability sink: join it to
+/// collect the run *and* the sink (e.g. the store, ready to be closed
+/// or queried for its watermark).
+#[derive(Debug)]
+pub struct SinkedPipelineHandle<Op, Resp, K> {
+    join: JoinHandle<(PipelineRun<Op, Resp>, K)>,
+}
+
+impl<Op, Resp, K> SinkedPipelineHandle<Op, Resp, K> {
+    /// Waits for the engine to drain and stop (all [`IntakeClient`]s must
+    /// be dropped first, or this blocks forever); returns the run and
+    /// gives the sink back.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic of the engine thread.
+    pub fn finish(self) -> (PipelineRun<Op, Resp>, K) {
+        self.join.join().expect("pipeline engine panicked")
+    }
+}
+
 /// The engine's serving shape.
 pub struct Pipeline;
+
+/// The engine thread body shared by both spawn shapes.
+fn engine_loop<T: ConcurrentObject, K: CommitSink<T>>(
+    token: &T,
+    batcher: &mut Batcher<T::Op>,
+    cfg: &PipelineConfig,
+    sink: &mut K,
+) -> PipelineRun<T::Op, T::Resp> {
+    let mut run = PipelineRun::default();
+    while let Some(batch) = batcher.next_batch() {
+        process_batch(token, batch.seq, &batch.ops, cfg, &mut run, sink);
+    }
+    run
+}
 
 impl Pipeline {
     /// Spawns a background engine over `token`; returns the producer
@@ -170,14 +278,29 @@ impl Pipeline {
         cfg: PipelineConfig,
     ) -> (IntakeClient<T::Op>, PipelineHandle<T::Op, T::Resp>) {
         let (client, mut batcher) = intake(cfg.batch);
-        let join = std::thread::spawn(move || {
-            let mut run = PipelineRun::default();
-            while let Some(batch) = batcher.next_batch() {
-                process_batch(token.as_ref(), batch.seq, &batch.ops, &cfg, &mut run);
-            }
-            run
-        });
+        let join =
+            std::thread::spawn(move || engine_loop(token.as_ref(), &mut batcher, &cfg, &mut ()));
         (client, PipelineHandle { join })
+    }
+
+    /// [`Pipeline::spawn`] with a durability [`CommitSink`]: the sink
+    /// moves onto the engine thread (commit-stage callbacks run there)
+    /// and is returned by [`SinkedPipelineHandle::finish`].
+    pub fn spawn_with_sink<T, K>(
+        token: Arc<T>,
+        cfg: PipelineConfig,
+        mut sink: K,
+    ) -> (IntakeClient<T::Op>, SinkedPipelineHandle<T::Op, T::Resp, K>)
+    where
+        T: ConcurrentObject + 'static,
+        K: CommitSink<T> + Send + 'static,
+    {
+        let (client, mut batcher) = intake(cfg.batch);
+        let join = std::thread::spawn(move || {
+            let run = engine_loop(token.as_ref(), &mut batcher, &cfg, &mut sink);
+            (run, sink)
+        });
+        (client, SinkedPipelineHandle { join })
     }
 }
 

@@ -119,7 +119,8 @@ pub use batch::{intake, Batch, BatchConfig, Batcher, IntakeClient, PipelineClose
 pub use commit::{CommitLog, CommittedOp, ReplayDivergence};
 pub use dynamic_lane::{drive_dynamic, DynamicDriveReport};
 pub use engine::{
-    run_script, Pipeline, PipelineConfig, PipelineHandle, PipelineRun, PipelineStats,
+    run_script, run_script_with_sink, CommitSink, Pipeline, PipelineConfig, PipelineHandle,
+    PipelineRun, PipelineStats, SinkedPipelineHandle,
 };
 pub use exec::{execute, ExecConfig};
 // The `schedule` *function* stays at `schedule::schedule` — re-exporting

@@ -1,0 +1,175 @@
+//! Versioned state snapshots with atomic publish.
+//!
+//! A snapshot file `snap-<watermark>.snap` holds the full oracle state
+//! after exactly `watermark` committed operations:
+//!
+//! ```text
+//! snapshot := magic "TSSNAP01" · payload · crc32(payload) u32
+//! payload  := standard u8 · version u8 · watermark u64
+//!             · state_len u64 · state bytes
+//! ```
+//!
+//! Publishing is crash-atomic: the bytes are written to a `.tmp` file,
+//! fsynced, then renamed into place (rename is atomic on POSIX), then
+//! the directory is fsynced. A reader therefore sees either the
+//! complete old set of snapshots or the complete new one — never a half
+//! snapshot — and recovery simply takes the newest file that validates.
+
+use std::fs::{self, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use tokensync_core::codec::StateCodec;
+
+use crate::crc::crc32;
+use crate::error::StoreError;
+use crate::wal::sync_dir;
+
+/// Magic prefix of every snapshot file.
+pub const SNAP_MAGIC: &[u8; 8] = b"TSSNAP01";
+
+fn snapshot_name(watermark: u64) -> String {
+    format!("snap-{watermark:020}.snap")
+}
+
+/// The sorted `(watermark, path)` list of snapshot files in `dir`.
+pub(crate) fn snapshot_files(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StoreError> {
+    let mut snaps = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(mark) = name
+            .strip_prefix("snap-")
+            .and_then(|rest| rest.strip_suffix(".snap"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        {
+            snaps.push((mark, entry.path()));
+        }
+    }
+    snaps.sort();
+    Ok(snaps)
+}
+
+/// Writes and atomically publishes a snapshot of `state` at
+/// `watermark`; returns its path.
+pub(crate) fn write_snapshot<S: StateCodec>(
+    dir: &Path,
+    watermark: u64,
+    state: &S,
+) -> Result<PathBuf, StoreError> {
+    let mut payload = Vec::new();
+    payload.push(S::STANDARD);
+    payload.push(S::VERSION);
+    payload.extend_from_slice(&watermark.to_le_bytes());
+    let state_start = payload.len() + 8;
+    payload.extend_from_slice(&0u64.to_le_bytes()); // placeholder
+    state.encode_into(&mut payload);
+    let state_len = (payload.len() - state_start) as u64;
+    payload[state_start - 8..state_start].copy_from_slice(&state_len.to_le_bytes());
+
+    let final_path = dir.join(snapshot_name(watermark));
+    let tmp_path = dir.join(format!("snap-{watermark:020}.tmp"));
+    let mut file = OpenOptions::new()
+        .create(true)
+        .truncate(true)
+        .write(true)
+        .open(&tmp_path)?;
+    file.write_all(SNAP_MAGIC)?;
+    file.write_all(&payload)?;
+    file.write_all(&crc32(&payload).to_le_bytes())?;
+    file.sync_all()?;
+    drop(file);
+    fs::rename(&tmp_path, &final_path)?;
+    sync_dir(dir);
+    Ok(final_path)
+}
+
+/// Validates and decodes one snapshot file.
+pub(crate) fn read_snapshot<S: StateCodec>(path: &Path) -> Result<(u64, S), SnapshotDefect> {
+    let bytes = fs::read(path).map_err(|_| SnapshotDefect::Unreadable)?;
+    if bytes.len() < 8 + 2 + 8 + 8 + 4 || &bytes[0..8] != SNAP_MAGIC {
+        return Err(SnapshotDefect::Unreadable);
+    }
+    let payload = &bytes[8..bytes.len() - 4];
+    let crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+    if crc32(payload) != crc {
+        return Err(SnapshotDefect::Unreadable);
+    }
+    let (standard, version) = (payload[0], payload[1]);
+    if (standard, version) != (S::STANDARD, S::VERSION) {
+        return Err(SnapshotDefect::WrongStandard {
+            found: (standard, version),
+        });
+    }
+    let watermark = u64::from_le_bytes(payload[2..10].try_into().expect("8 bytes"));
+    let state_len = u64::from_le_bytes(payload[10..18].try_into().expect("8 bytes")) as usize;
+    let state_bytes = &payload[18..];
+    if state_bytes.len() != state_len {
+        return Err(SnapshotDefect::Unreadable);
+    }
+    let mut input = state_bytes;
+    let state = S::decode(&mut input).map_err(|_| SnapshotDefect::Unreadable)?;
+    if !input.is_empty() {
+        return Err(SnapshotDefect::Unreadable);
+    }
+    Ok((watermark, state))
+}
+
+/// Why one snapshot file was rejected (recovery falls back to the next
+/// older file on `Unreadable`, but surfaces `WrongStandard` loudly).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum SnapshotDefect {
+    /// Missing bytes, bad magic, bad CRC, or an undecodable state.
+    Unreadable,
+    /// Valid file for a different standard/version — the caller opened
+    /// the wrong directory or skewed the codec version.
+    WrongStandard {
+        /// `(standard, version)` found in the header.
+        found: (u8, u8),
+    },
+}
+
+/// Loads the newest snapshot that validates; skips corrupt files.
+pub(crate) fn latest_snapshot<S: StateCodec>(dir: &Path) -> Result<(u64, S), StoreError> {
+    let mut snaps = snapshot_files(dir)?;
+    snaps.reverse();
+    for (_, path) in snaps {
+        match read_snapshot::<S>(&path) {
+            Ok(found) => return Ok(found),
+            Err(SnapshotDefect::WrongStandard { found }) => {
+                return Err(StoreError::WrongStandard {
+                    found,
+                    expected: (S::STANDARD, S::VERSION),
+                });
+            }
+            Err(SnapshotDefect::Unreadable) => continue,
+        }
+    }
+    Err(StoreError::NoSnapshot)
+}
+
+/// Removes all but the newest `keep` snapshots.
+pub(crate) fn prune_snapshots(dir: &Path, keep: usize) -> Result<(), StoreError> {
+    let snaps = snapshot_files(dir)?;
+    if snaps.len() > keep {
+        for (_, path) in &snaps[..snaps.len() - keep] {
+            fs::remove_file(path)?;
+        }
+        sync_dir(dir);
+    }
+    Ok(())
+}
+
+/// Leftover `.tmp` files from a crash mid-publish are dead weight;
+/// remove them on open.
+pub(crate) fn clear_tmp(dir: &Path) -> Result<(), StoreError> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        if name.to_str().is_some_and(|n| n.ends_with(".tmp")) {
+            fs::remove_file(entry.path())?;
+        }
+    }
+    Ok(())
+}

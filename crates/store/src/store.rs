@@ -1,0 +1,307 @@
+//! The durable store: the pipeline's [`CommitSink`], wired to the WAL
+//! and the snapshotter under a [`Durability`] policy.
+
+use std::marker::PhantomData;
+use std::path::{Path, PathBuf};
+
+use tokensync_core::codec::{Codec, StateCodec};
+use tokensync_core::shared::ConcurrentObject;
+use tokensync_pipeline::{CommitSink, CommittedOp};
+
+use crate::error::StoreError;
+use crate::snapshot::{
+    clear_tmp, latest_snapshot, prune_snapshots, snapshot_files, write_snapshot,
+};
+use crate::wal::Wal;
+
+/// When committed operations reach stable storage.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Durability {
+    /// Nothing is persisted: the volatile PR 3/4 engine. A crash loses
+    /// every wave; recovery returns the genesis snapshot.
+    Off,
+    /// Every committed wave is appended *and fsynced* before the next
+    /// wave executes — the smallest possible loss window, one `fsync`
+    /// per wave.
+    PerWave,
+    /// Waves are appended as they commit but fsynced **once per batch
+    /// seal** — durability rides the batch cuts the ingest stage already
+    /// makes, so the fsync cost amortizes over the whole batch. A crash
+    /// can lose at most the current batch. This is the default.
+    #[default]
+    GroupCommit,
+}
+
+/// Store tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreConfig {
+    /// The durability policy.
+    pub durability: Durability,
+    /// Publish a snapshot after this many committed operations since
+    /// the last one (`0` = only the genesis snapshot; the whole log
+    /// replays on recovery).
+    pub snapshot_every_ops: u64,
+    /// Roll to a fresh WAL segment once the current one exceeds this.
+    pub segment_max_bytes: u64,
+    /// How many published snapshots to keep (older ones are pruned;
+    /// at least 1).
+    pub snapshots_kept: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            durability: Durability::GroupCommit,
+            snapshot_every_ops: 0,
+            segment_max_bytes: 64 << 20,
+            snapshots_kept: 2,
+        }
+    }
+}
+
+/// A durable store for one served object: a segmented write-ahead
+/// commit log plus periodic snapshots, generic over the standard via
+/// the [`Codec`]/[`StateCodec`] bounds — one store type serves ERC20,
+/// ERC721 and ERC1155.
+///
+/// The store *is* a [`CommitSink`]: hand it to
+/// [`run_script_with_sink`](tokensync_pipeline::run_script_with_sink)
+/// or [`Pipeline::spawn_with_sink`](tokensync_pipeline::Pipeline::spawn_with_sink)
+/// and every committed wave streams into the WAL as it enters the
+/// commit log.
+///
+/// # Examples
+///
+/// ```
+/// use tokensync_core::erc20::{Erc20Op, Erc20State};
+/// use tokensync_core::shared::{ConcurrentObject, ShardedErc20};
+/// use tokensync_pipeline::{run_script_with_sink, PipelineConfig};
+/// use tokensync_spec::{AccountId, ProcessId};
+/// use tokensync_store::{recover, Store, StoreConfig};
+///
+/// let dir = std::env::temp_dir().join(format!("tokensync-doc-{}", std::process::id()));
+/// # let _ = std::fs::remove_dir_all(&dir);
+/// let genesis = Erc20State::from_balances(vec![10; 4]);
+/// let token = ShardedErc20::from_state(genesis.clone());
+/// let mut store: Store<ShardedErc20> =
+///     Store::create(&dir, &genesis, StoreConfig::default()).unwrap();
+///
+/// let script = vec![(ProcessId::new(0), Erc20Op::Transfer {
+///     to: AccountId::new(1),
+///     value: 4,
+/// })];
+/// run_script_with_sink(&token, &script, &PipelineConfig::default(), &mut store);
+/// store.close().unwrap();
+///
+/// // A "restart": rebuild the live object from disk alone.
+/// let recovered = recover::<ShardedErc20>(&dir).unwrap();
+/// assert_eq!(recovered.object.snapshot(), token.snapshot());
+/// assert_eq!(recovered.replayed, 1);
+/// # std::fs::remove_dir_all(&dir).unwrap();
+/// ```
+#[derive(Debug)]
+pub struct Store<T: ConcurrentObject> {
+    dir: PathBuf,
+    cfg: StoreConfig,
+    wal: Wal,
+    /// Watermark of the newest published snapshot.
+    watermark: u64,
+    /// Ops appended since that snapshot.
+    ops_since_snapshot: u64,
+    /// The durable position when this store handle was opened: engine
+    /// runs number their commits from 0, so WAL appends translate a
+    /// run-relative `seq` to the global `base + seq`.
+    base: u64,
+    /// First error hit on the write path; once set, the store stops
+    /// writing (the commit-sink interface is infallible, so errors are
+    /// parked here for the owner to inspect).
+    error: Option<StoreError>,
+    _object: PhantomData<fn(T)>,
+}
+
+impl<T> Store<T>
+where
+    T: ConcurrentObject,
+    T::Op: Codec,
+    T::Resp: Codec,
+    T::State: StateCodec,
+{
+    /// Initializes a fresh store in `dir` (created if missing): writes
+    /// the genesis snapshot at watermark 0 and an empty first segment.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::AlreadyInitialized`] if `dir` already holds store
+    /// files; I/O errors otherwise.
+    pub fn create(dir: &Path, genesis: &T::State, cfg: StoreConfig) -> Result<Self, StoreError> {
+        std::fs::create_dir_all(dir)?;
+        if !snapshot_files(dir)?.is_empty() || !crate::wal::segment_files(dir)?.is_empty() {
+            return Err(StoreError::AlreadyInitialized);
+        }
+        write_snapshot(dir, 0, genesis)?;
+        Self::open(dir, cfg)
+    }
+
+    /// Opens an existing store for appending: truncates any torn WAL
+    /// tail, clears stale `.tmp` files, and positions the writer after
+    /// the last valid record.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NoSnapshot`] if the directory was never
+    /// initialized; [`StoreError::WrongStandard`] if it belongs to a
+    /// different standard or codec version; I/O errors otherwise.
+    pub fn open(dir: &Path, cfg: StoreConfig) -> Result<Self, StoreError> {
+        clear_tmp(dir)?;
+        // The *validated* newest snapshot (corrupt files are skipped,
+        // a foreign directory errors): its watermark is both the GC
+        // bookkeeping floor and the sequence floor the WAL may never
+        // restart below.
+        let (watermark, _state) = latest_snapshot::<T::State>(dir)?;
+        let wal = Wal::open(
+            dir,
+            <T::State as StateCodec>::STANDARD,
+            <T::State as StateCodec>::VERSION,
+            cfg.segment_max_bytes,
+            watermark,
+        )?;
+        let ops_since_snapshot = wal.next_seq().saturating_sub(watermark);
+        let base = wal.next_seq();
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            cfg,
+            wal,
+            watermark,
+            ops_since_snapshot,
+            base,
+            error: None,
+            _object: PhantomData,
+        })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// First sequence number not yet appended (== committed ops if the
+    /// store has written the whole history).
+    pub fn next_seq(&self) -> u64 {
+        self.wal.next_seq()
+    }
+
+    /// Watermark of the newest published snapshot.
+    pub fn snapshot_watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// The first write-path error, if the store is poisoned. Writes
+    /// stop at the first error; callers that care about durability must
+    /// check this (or use [`Store::close`]) after a run.
+    pub fn error(&self) -> Option<&StoreError> {
+        self.error.as_ref()
+    }
+
+    /// Total WAL bytes currently on disk (diagnostic).
+    pub fn wal_bytes(&self) -> Result<u64, StoreError> {
+        self.wal.disk_bytes()
+    }
+
+    /// Syncs outstanding appends and surfaces any parked write error.
+    ///
+    /// # Errors
+    ///
+    /// The first parked write error, or the final sync's.
+    pub fn close(mut self) -> Result<(), StoreError> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        if self.cfg.durability != Durability::Off {
+            self.wal.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Publishes a snapshot of `state` at the current log position and
+    /// garbage-collects segments and snapshots it supersedes. The state
+    /// must reflect exactly the operations appended so far (the engine
+    /// guarantees this at batch seals).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the write, rename, or GC.
+    pub fn publish_snapshot(&mut self, state: &T::State) -> Result<(), StoreError> {
+        // The log must be on disk before the snapshot that supersedes
+        // it: a snapshot may outlive the segments GC deletes.
+        self.wal.sync()?;
+        let watermark = self.wal.next_seq();
+        write_snapshot(&self.dir, watermark, state)?;
+        self.watermark = watermark;
+        self.ops_since_snapshot = 0;
+        prune_snapshots(&self.dir, self.cfg.snapshots_kept.max(1))?;
+        // GC only below the *oldest kept* snapshot: if the newest one is
+        // later found corrupt, recovery falls back to an older snapshot
+        // and still needs that snapshot's log suffix on disk.
+        let gc_floor = snapshot_files(&self.dir)?
+            .first()
+            .map_or(0, |&(mark, _)| mark);
+        self.wal.gc(gc_floor)?;
+        Ok(())
+    }
+
+    fn try_wave(&mut self, entries: &[CommittedOp<T::Op, T::Resp>]) -> Result<(), StoreError> {
+        // Engine runs number their commits from 0, and within one run
+        // sequence numbers only grow — so seq 0 arriving after this
+        // handle has already appended marks a *new* run on the same
+        // store: rebase to the current durable position instead of
+        // tripping the WAL's contiguity assert.
+        if let Some(head) = entries.first() {
+            if head.seq == 0 && self.wal.next_seq() > self.base {
+                self.base = self.wal.next_seq();
+            }
+        }
+        self.wal.append(self.base, entries)?;
+        self.ops_since_snapshot += entries.len() as u64;
+        if self.cfg.durability == Durability::PerWave {
+            self.wal.sync()?;
+        }
+        Ok(())
+    }
+
+    fn try_seal(&mut self, token: &T) -> Result<(), StoreError> {
+        if self.cfg.durability == Durability::GroupCommit {
+            self.wal.sync()?;
+        }
+        if self.cfg.snapshot_every_ops > 0 && self.ops_since_snapshot >= self.cfg.snapshot_every_ops
+        {
+            self.publish_snapshot(&token.snapshot())?;
+        }
+        Ok(())
+    }
+}
+
+impl<T> CommitSink<T> for Store<T>
+where
+    T: ConcurrentObject,
+    T::Op: Codec,
+    T::Resp: Codec,
+    T::State: StateCodec,
+{
+    fn wave_committed(&mut self, _token: &T, entries: &[CommittedOp<T::Op, T::Resp>]) {
+        if self.error.is_some() || self.cfg.durability == Durability::Off {
+            return;
+        }
+        if let Err(e) = self.try_wave(entries) {
+            self.error = Some(e);
+        }
+    }
+
+    fn batch_sealed(&mut self, token: &T, _batch: u64) {
+        if self.error.is_some() || self.cfg.durability == Durability::Off {
+            return;
+        }
+        if let Err(e) = self.try_seal(token) {
+            self.error = Some(e);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Shared helpers of the store's integration suites: temp directories
+//! and crash injection on the WAL byte stream.
+//!
+//! Each integration binary compiles this module independently and uses
+//! a different subset, so unused-helper warnings are suppressed.
+#![allow(dead_code)]
+
+use std::fs::{self, OpenOptions};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh, empty scratch directory unique to this test + invocation.
+pub fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "tokensync-store-{name}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// The store's WAL segment files, sorted by first sequence number.
+pub fn wal_segments(dir: &Path) -> Vec<PathBuf> {
+    let mut segs: Vec<PathBuf> = fs::read_dir(dir)
+        .expect("read store dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("wal-") && n.ends_with(".seg"))
+        })
+        .collect();
+    segs.sort();
+    segs
+}
+
+/// Total bytes across all WAL segments.
+pub fn wal_total_bytes(dir: &Path) -> u64 {
+    wal_segments(dir)
+        .iter()
+        .map(|p| fs::metadata(p).expect("segment metadata").len())
+        .sum()
+}
+
+/// Simulates a crash at byte `offset` of the concatenated WAL stream:
+/// segments wholly before the offset survive, the segment containing it
+/// is truncated there, segments after it are deleted (they were created
+/// later, so at the crash instant they did not exist).
+pub fn crash_wal_at(dir: &Path, offset: u64) {
+    let mut remaining = offset;
+    let mut killed = false;
+    for path in wal_segments(dir) {
+        if killed {
+            fs::remove_file(&path).expect("remove post-crash segment");
+            continue;
+        }
+        let len = fs::metadata(&path).expect("segment metadata").len();
+        if remaining >= len {
+            remaining -= len;
+            continue;
+        }
+        let file = OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .expect("open segment");
+        file.set_len(remaining).expect("truncate segment");
+        killed = true;
+    }
+}
+
+/// Flips one bit of `path` at byte `offset` (wrapped into range).
+pub fn flip_byte(path: &Path, offset: u64) {
+    let mut bytes = fs::read(path).expect("read file");
+    assert!(!bytes.is_empty());
+    let at = (offset % bytes.len() as u64) as usize;
+    bytes[at] ^= 0x40;
+    fs::write(path, bytes).expect("rewrite file");
+}

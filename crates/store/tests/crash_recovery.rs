@@ -1,0 +1,334 @@
+//! Crash-point property tests — the store's acceptance criterion.
+//!
+//! For every standard: run a random script through the durable
+//! pipeline, kill the WAL at a random byte offset (keeping published
+//! snapshots — they were fsynced and atomically renamed before later
+//! writes), recover, and assert the recovered state is **identical to
+//! the sequential prefix-replay oracle**: the state obtained by
+//! replaying exactly the first `next_seq` operations of the pre-crash
+//! commit log from genesis. Additional invariants:
+//!
+//! * recovery never loses a published snapshot's coverage
+//!   (`next_seq >= snapshot_watermark`);
+//! * a "crash" at the very end of the stream loses nothing;
+//! * replayed responses must verify — the oracle check inside recovery
+//!   ran on every replayed record.
+
+mod common;
+
+use common::{crash_wal_at, temp_dir, wal_total_bytes};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use tokensync_core::codec::{Codec, StateCodec};
+use tokensync_core::erc20::{Erc20Op, Erc20State};
+use tokensync_core::shared::ShardedErc20;
+use tokensync_core::standards::erc1155::{Erc1155Op, Erc1155State, ShardedErc1155, TypeId};
+use tokensync_core::standards::erc721::{Erc721Op, Erc721State, ShardedErc721, TokenId};
+use tokensync_pipeline::{
+    run_script_with_sink, BatchConfig, CommittedOp, PipelineConfig, ScheduleConfig,
+};
+use tokensync_spec::{AccountId, ObjectType, ProcessId};
+use tokensync_store::{recover, Durability, Restorable, Store, StoreConfig};
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+fn a(i: usize) -> AccountId {
+    AccountId::new(i)
+}
+
+fn pipeline_cfg(batch: usize) -> PipelineConfig {
+    PipelineConfig {
+        batch: BatchConfig {
+            max_ops: batch,
+            ..BatchConfig::default()
+        },
+        schedule: ScheduleConfig {
+            max_parallel_waves: 3,
+        },
+        ..PipelineConfig::default()
+    }
+}
+
+/// Runs `script` through the durable pipeline and returns the full
+/// pre-crash commit log (the paper trail the prefix oracle replays).
+fn durable_run<T>(
+    dir: &std::path::Path,
+    genesis: &T::State,
+    script: &[(ProcessId, T::Op)],
+    batch: usize,
+    durability: Durability,
+    snapshot_every_ops: u64,
+    segment_max_bytes: u64,
+) -> Vec<CommittedOp<T::Op, T::Resp>>
+where
+    T: Restorable,
+    T::Op: Codec,
+    T::Resp: Codec,
+    T::State: StateCodec,
+{
+    let token = T::restore(genesis.clone());
+    let mut store: Store<T> = Store::create(
+        dir,
+        genesis,
+        StoreConfig {
+            durability,
+            snapshot_every_ops,
+            segment_max_bytes,
+            snapshots_kept: 2,
+        },
+    )
+    .expect("create store");
+    let run = run_script_with_sink(&token, script, &pipeline_cfg(batch), &mut store);
+    assert_eq!(run.stats.ops as usize, script.len());
+    store.close().expect("no parked write errors");
+    run.log.entries().to_vec()
+}
+
+/// Recovers `dir` and checks the prefix-replay oracle against the
+/// pre-crash log. Returns the number of operations recovered.
+fn assert_prefix_recovery<T>(
+    dir: &std::path::Path,
+    genesis: &T::State,
+    full_log: &[CommittedOp<T::Op, T::Resp>],
+) -> u64
+where
+    T: Restorable,
+    T::Op: Codec,
+    T::Resp: Codec,
+    T::State: StateCodec,
+{
+    let recovered = recover::<T>(dir).expect("recovery succeeds");
+    let prefix = usize::try_from(recovered.next_seq).expect("prefix fits");
+    assert!(
+        prefix <= full_log.len(),
+        "recovered more ops than were committed"
+    );
+    assert!(
+        recovered.next_seq >= recovered.snapshot_watermark,
+        "recovery went backwards past its own snapshot"
+    );
+    // The sequential prefix-replay oracle: exactly the first `prefix`
+    // committed operations, applied from genesis.
+    let spec = T::spec(genesis.clone());
+    let mut state = genesis.clone();
+    for entry in &full_log[..prefix] {
+        let resp = spec.apply(&mut state, entry.caller, &entry.op);
+        assert_eq!(resp, entry.resp, "oracle disagrees with the commit log");
+    }
+    assert_eq!(
+        recovered.state, state,
+        "recovered state is not the prefix state"
+    );
+    assert_eq!(
+        recovered.object.snapshot(),
+        state,
+        "rebuilt live object does not hold the recovered state"
+    );
+    recovered.next_seq
+}
+
+// ── ERC20 ──────────────────────────────────────────────────────────────
+
+const N20: usize = 6;
+
+fn arb_erc20_op() -> impl Strategy<Value = Erc20Op> {
+    prop_oneof![
+        (0..N20, 0u64..5).prop_map(|(to, value)| Erc20Op::Transfer { to: a(to), value }),
+        (0..N20, 0..N20, 0u64..5).prop_map(|(from, to, value)| Erc20Op::TransferFrom {
+            from: a(from),
+            to: a(to),
+            value,
+        }),
+        (0..N20, 0u64..6).prop_map(|(spender, value)| Erc20Op::Approve {
+            spender: p(spender),
+            value,
+        }),
+        (0..N20).prop_map(|account| Erc20Op::BalanceOf {
+            account: a(account)
+        }),
+        (0..N20, 0..N20).prop_map(|(account, spender)| Erc20Op::Allowance {
+            account: a(account),
+            spender: p(spender),
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn erc20_recovery_matches_prefix_replay_at_any_kill_offset(
+        callers in vec(0..N20, 1..48),
+        ops in vec(arb_erc20_op(), 1..48),
+        batch in 1usize..12,
+        snapshot_every in 0u64..3,
+        kill in 0u64..1_000_000,
+    ) {
+        let dir = temp_dir("erc20-crash");
+        let genesis = Erc20State::from_balances(vec![6; N20]);
+        let script: Vec<(ProcessId, Erc20Op)> = callers
+            .iter()
+            .zip(&ops)
+            .map(|(&c, op)| (p(c), op.clone()))
+            .collect();
+        // Tiny segments force rolling; snapshot_every 0 disables
+        // mid-run snapshots, 8/16 exercise them plus segment GC.
+        let full_log = durable_run::<ShardedErc20>(
+            &dir, &genesis, &script, batch,
+            Durability::GroupCommit, snapshot_every * 8, 512,
+        );
+        let total = wal_total_bytes(&dir);
+        let offset = kill % (total + 1);
+        crash_wal_at(&dir, offset);
+        let next_seq = assert_prefix_recovery::<ShardedErc20>(&dir, &genesis, &full_log);
+        if offset == total {
+            prop_assert_eq!(next_seq as usize, full_log.len(),
+                "a crash after the last byte must lose nothing");
+        }
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn erc20_per_wave_durability_also_recovers(
+        callers in vec(0..N20, 1..24),
+        ops in vec(arb_erc20_op(), 1..24),
+        kill in 0u64..1_000_000,
+    ) {
+        let dir = temp_dir("erc20-perwave");
+        let genesis = Erc20State::from_balances(vec![4; N20]);
+        let script: Vec<(ProcessId, Erc20Op)> = callers
+            .iter()
+            .zip(&ops)
+            .map(|(&c, op)| (p(c), op.clone()))
+            .collect();
+        let full_log = durable_run::<ShardedErc20>(
+            &dir, &genesis, &script, 7, Durability::PerWave, 0, 4096,
+        );
+        crash_wal_at(&dir, kill % (wal_total_bytes(&dir) + 1));
+        assert_prefix_recovery::<ShardedErc20>(&dir, &genesis, &full_log);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}
+
+// ── ERC721 ─────────────────────────────────────────────────────────────
+
+const N721: usize = 5;
+const SPAN: usize = 8;
+
+fn arb_721_op() -> impl Strategy<Value = Erc721Op> {
+    prop_oneof![
+        (0..N721, 0..SPAN).prop_map(|(to, token)| Erc721Op::Mint {
+            to: p(to),
+            token: TokenId::new(token),
+        }),
+        (0..N721, 0..N721, 0..SPAN).prop_map(|(from, to, token)| Erc721Op::TransferFrom {
+            from: p(from),
+            to: p(to),
+            token: TokenId::new(token),
+        }),
+        (0..=N721, 0..SPAN).prop_map(|(ap, token)| Erc721Op::Approve {
+            approved: (ap < N721).then(|| p(ap)),
+            token: TokenId::new(token),
+        }),
+        (0..N721, 0..2usize).prop_map(|(op, on)| Erc721Op::SetApprovalForAll {
+            operator: p(op),
+            on: on == 1,
+        }),
+        (0..SPAN).prop_map(|token| Erc721Op::OwnerOf {
+            token: TokenId::new(token)
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn erc721_recovery_matches_prefix_replay_at_any_kill_offset(
+        premint in 0..SPAN,
+        callers in vec(0..N721, 1..40),
+        ops in vec(arb_721_op(), 1..40),
+        batch in 1usize..10,
+        snapshot_every in 0u64..3,
+        kill in 0u64..1_000_000,
+    ) {
+        let dir = temp_dir("erc721-crash");
+        let genesis = Erc721State::minted_round_robin(N721, SPAN, premint);
+        let script: Vec<(ProcessId, Erc721Op)> = callers
+            .iter()
+            .zip(&ops)
+            .map(|(&c, op)| (p(c), op.clone()))
+            .collect();
+        let full_log = durable_run::<ShardedErc721>(
+            &dir, &genesis, &script, batch,
+            Durability::GroupCommit, snapshot_every * 8, 512,
+        );
+        crash_wal_at(&dir, kill % (wal_total_bytes(&dir) + 1));
+        assert_prefix_recovery::<ShardedErc721>(&dir, &genesis, &full_log);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}
+
+// ── ERC1155 ────────────────────────────────────────────────────────────
+
+const N1155: usize = 5;
+const TYPES: usize = 3;
+
+fn arb_1155_op() -> impl Strategy<Value = Erc1155Op> {
+    prop_oneof![
+        (0..N1155, 0..N1155, 0..TYPES, 0u64..4).prop_map(|(from, to, ty, value)| {
+            Erc1155Op::Transfer {
+                from: a(from),
+                to: a(to),
+                type_id: TypeId::new(ty),
+                value,
+            }
+        }),
+        (0..N1155, 0..N1155, vec((0..TYPES, 0u64..4), 0..3)).prop_map(|(from, to, rows)| {
+            Erc1155Op::BatchTransfer {
+                from: a(from),
+                to: a(to),
+                entries: rows
+                    .into_iter()
+                    .map(|(ty, v)| (TypeId::new(ty), v))
+                    .collect(),
+            }
+        }),
+        (0..N1155, 0..2usize).prop_map(|(op, on)| Erc1155Op::SetApprovalForAll {
+            operator: p(op),
+            on: on == 1,
+        }),
+        (0..N1155, 0..TYPES).prop_map(|(account, ty)| Erc1155Op::BalanceOf {
+            account: a(account),
+            type_id: TypeId::new(ty),
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn erc1155_recovery_matches_prefix_replay_at_any_kill_offset(
+        balances in vec((0..TYPES, 0..N1155, 1u64..6), 0..8),
+        callers in vec(0..N1155, 1..40),
+        ops in vec(arb_1155_op(), 1..40),
+        batch in 1usize..10,
+        snapshot_every in 0u64..3,
+        kill in 0u64..1_000_000,
+    ) {
+        let dir = temp_dir("erc1155-crash");
+        let mut genesis = Erc1155State::deploy(N1155, p(0), &[0; TYPES]);
+        for &(ty, acct, v) in &balances {
+            let old = genesis.balance_of(a(acct), TypeId::new(ty));
+            genesis.set_balance(a(acct), TypeId::new(ty), old.max(v));
+        }
+        let script: Vec<(ProcessId, Erc1155Op)> = callers
+            .iter()
+            .zip(&ops)
+            .map(|(&c, op)| (p(c), op.clone()))
+            .collect();
+        let full_log = durable_run::<ShardedErc1155>(
+            &dir, &genesis, &script, batch,
+            Durability::GroupCommit, snapshot_every * 8, 512,
+        );
+        crash_wal_at(&dir, kill % (wal_total_bytes(&dir) + 1));
+        assert_prefix_recovery::<ShardedErc1155>(&dir, &genesis, &full_log);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}

@@ -1,0 +1,109 @@
+//! The docs book's link integrity gate: every *relative* markdown link
+//! in README.md, ARCHITECTURE.md and `docs/*.md` must point at a file
+//! (or directory) that exists in the repository. CI runs this suite in
+//! its docs job, so a renamed file or a typo'd path fails the build
+//! instead of shipping a dangling link.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Extracts the `(target)` of every inline markdown link `[text](target)`
+/// in `source`. Good enough for this repo's hand-written markdown: no
+/// reference-style links, no nested brackets in link text, and code
+/// spans/fences containing `](` do not occur in the scanned files with
+/// relative paths inside.
+fn link_targets(source: &str) -> Vec<String> {
+    let bytes = source.as_bytes();
+    let mut targets = Vec::new();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        if bytes[i] == b']' && bytes[i + 1] == b'(' {
+            if let Some(close) = source[i + 2..].find(')') {
+                targets.push(source[i + 2..i + 2 + close].to_owned());
+                i += 2 + close;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    targets
+}
+
+/// Whether `target` is a relative filesystem link this test must check.
+fn is_relative_file_link(target: &str) -> bool {
+    !(target.is_empty()
+        || target.starts_with('#')
+        || target.contains("://")
+        || target.starts_with("mailto:"))
+}
+
+fn check_file(path: &Path, failures: &mut Vec<String>) {
+    let source =
+        fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let base = path.parent().expect("markdown file has a parent dir");
+    for target in link_targets(&source) {
+        if !is_relative_file_link(&target) {
+            continue;
+        }
+        // Strip an anchor suffix: `file.md#section` checks `file.md`.
+        let file_part = target.split('#').next().expect("split yields at least one");
+        if file_part.is_empty() {
+            continue; // pure anchor
+        }
+        let resolved = base.join(file_part);
+        if !resolved.exists() {
+            failures.push(format!(
+                "{}: dangling link `{}` (resolved to {})",
+                path.display(),
+                target,
+                resolved.display()
+            ));
+        }
+    }
+}
+
+#[test]
+fn no_dangling_relative_links_in_readme_and_docs() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut files = vec![root.join("README.md"), root.join("ARCHITECTURE.md")];
+    let docs = root.join("docs");
+    assert!(docs.is_dir(), "docs/ book is missing");
+    let mut doc_pages = 0;
+    for entry in fs::read_dir(&docs).expect("read docs/") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "md") {
+            doc_pages += 1;
+            files.push(path);
+        }
+    }
+    assert!(
+        doc_pages >= 3,
+        "expected the docs book (paper-map, pipeline, persistence); found {doc_pages} pages"
+    );
+
+    let mut failures = Vec::new();
+    for file in &files {
+        check_file(file, &mut failures);
+    }
+    assert!(
+        failures.is_empty(),
+        "dangling relative links:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn readme_links_the_docs_book() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let readme = fs::read_to_string(root.join("README.md")).expect("read README");
+    for page in [
+        "docs/paper-map.md",
+        "docs/pipeline.md",
+        "docs/persistence.md",
+    ] {
+        assert!(
+            readme.contains(page),
+            "README.md must link the docs book page {page}"
+        );
+    }
+}
