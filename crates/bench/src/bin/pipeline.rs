@@ -19,13 +19,19 @@
 //! `hotrow` (k spenders racing one shared allowance row — the `Q_k`
 //! regime where almost nothing commutes and the serial lane dominates).
 //! For the pipeline rows the JSON also records the measured wave
-//! parallelism and serial fraction, so the conflict-dependence of the
-//! engine is visible in the artifact, not just its throughput.
+//! parallelism, serial fraction, and the adaptive-bypass counters, so
+//! the conflict-dependence of the engine is visible in the artifact,
+//! not just its throughput. The bench *asserts* the bypass contract:
+//! disjoint traffic must ride the bypass on (nearly) every batch, and
+//! the hot-row regime must never engage it. The `prior` object embeds
+//! the pre-bypass numbers (same host, engine as of the previous PR) so
+//! the before/after is part of the artifact.
 //!
 //! ```sh
 //! cargo run --release -p tokensync-bench --bin pipeline             # full (includes n = 1M)
 //! cargo run --release -p tokensync-bench --bin pipeline -- --quick  # CI smoke: n <= 1k
 //! cargo run --release -p tokensync-bench --bin pipeline -- --out path.json
+//! cargo run --release -p tokensync-bench --bin pipeline -- --quick --assert-min-ratio 0.1
 //! ```
 
 use std::sync::Arc;
@@ -48,6 +54,20 @@ const HOT_SPENDERS: usize = 8;
 const THREADS: usize = 4;
 /// Timed repetitions per cell (min taken, scheduler noise stripped).
 const REPS: usize = 3;
+
+/// Pre-bypass pipeline numbers from the previous full run of this bench
+/// on the same host (engine with per-wave commit records, channel
+/// intake, no bypass). Embedded in the JSON so the artifact carries its
+/// own before/after.
+const PRIOR: &[(usize, &str, f64, f64)] = &[
+    // (n, regime, pipeline ops/s, pipeline_over_sharded)
+    (1_000, "disjoint", 2_788_844.0, 0.035),
+    (1_000, "zipf", 2_427_394.0, 0.101),
+    (1_000, "hotrow", 3_909_160.0, 0.088),
+    (1_000_000, "disjoint", 2_126_664.0, 0.031),
+    (1_000_000, "zipf", 2_168_680.0, 0.208),
+    (1_000_000, "hotrow", 2_711_256.0, 0.121),
+];
 
 struct Cell {
     n: usize,
@@ -111,9 +131,11 @@ fn measure_pipeline(
         },
         schedule: ScheduleConfig::default(),
         exec: tokensync_pipeline::ExecConfig {
-            workers: THREADS,
+            workers: THREADS
+                .min(std::thread::available_parallelism().map_or(1, std::num::NonZero::get)),
             ..tokensync_pipeline::ExecConfig::default()
         },
+        ..PipelineConfig::default()
     };
     let mut run_ms = f64::INFINITY;
     let mut stats = PipelineStats::default();
@@ -129,6 +151,25 @@ fn measure_pipeline(
         );
         assert_eq!(run.stats.ops as usize, workload.len(), "ops dropped");
         stats = run.stats;
+    }
+    // The adaptive-bypass contract is part of the measurement: disjoint
+    // traffic must certify and bypass (nearly) every batch — the first
+    // batch pays the probe, everything after rides the fast path — while
+    // the hot-row regime must never slip a conflicting batch past the
+    // commutativity probe.
+    match regime {
+        "disjoint" => assert!(
+            stats.bypassed_batches >= stats.batches * 9 / 10,
+            "disjoint regime must engage the bypass: {}/{} batches bypassed",
+            stats.bypassed_batches,
+            stats.batches
+        ),
+        "hotrow" => assert_eq!(
+            stats.bypassed_batches, 0,
+            "hotrow regime must never bypass, got {} batches",
+            stats.bypassed_batches
+        ),
+        _ => {}
     }
     push_cell(
         out,
@@ -163,10 +204,12 @@ fn push_cell(
         .pipeline
         .map(|s| {
             format!(
-                " waves/batch={:.1} wave-par={:.1} serial={:.0}%",
+                " waves/batch={:.1} wave-par={:.1} serial={:.0}% bypass={}/{}",
                 s.waves as f64 / s.batches.max(1) as f64,
                 s.wave_parallelism(),
-                100.0 * s.serial_fraction()
+                100.0 * s.serial_fraction(),
+                s.bypassed_batches,
+                s.batches
             )
         })
         .unwrap_or_default();
@@ -186,11 +229,16 @@ fn write_json(path: &str, quick: bool, batch_1k: usize, cells: &[Cell]) {
             .map(|s| {
                 format!(
                     ", \"wave_parallelism\": {:.2}, \"serial_fraction\": {:.4}, \
-                     \"waves\": {}, \"batches\": {}",
+                     \"waves\": {}, \"batches\": {}, \"bypassed_batches\": {}, \
+                     \"bypass_aborts\": {}, \"bypass_rate\": {:.4}, \"commit_records\": {}",
                     s.wave_parallelism(),
                     s.serial_fraction(),
                     s.waves,
-                    s.batches
+                    s.batches,
+                    s.bypassed_batches,
+                    s.bypass_aborts,
+                    s.bypass_rate(),
+                    s.commit_records
                 )
             })
             .unwrap_or_default();
@@ -213,13 +261,32 @@ fn write_json(path: &str, quick: bool, batch_1k: usize, cells: &[Cell]) {
         };
         let p = find("pipeline");
         let sep = if i + 1 < keys.len() { "," } else { "" };
+        // Before/after against the embedded pre-bypass numbers, where
+        // the grid cell matches a prior cell (full runs only).
+        let over_prior = PRIOR
+            .iter()
+            .find(|&&(pn, pr, _, _)| pn == n && pr == regime)
+            .map(|&(_, _, prior_ops, _)| {
+                format!(", \"over_prior\": {:.2}", p.ops_per_sec / prior_ops)
+            })
+            .unwrap_or_default();
         summary.push_str(&format!(
             "    {{\"n\": {n}, \"regime\": \"{regime}\", \
              \"pipeline_over_coarse\": {:.3}, \"pipeline_over_sharded\": {:.3}, \
-             \"wave_parallelism\": {:.2}}}{sep}\n",
+             \"wave_parallelism\": {:.2}, \"bypass_rate\": {:.4}{over_prior}}}{sep}\n",
             p.ops_per_sec / find("coarse-direct").ops_per_sec,
             p.ops_per_sec / find("sharded-direct").ops_per_sec,
             p.pipeline.map(|s| s.wave_parallelism()).unwrap_or(0.0),
+            p.pipeline.map(|s| s.bypass_rate()).unwrap_or(0.0),
+        ));
+    }
+    // The prior pipeline numbers this PR is measured against.
+    let mut prior = String::new();
+    for (i, &(n, regime, ops_per_sec, over_sharded)) in PRIOR.iter().enumerate() {
+        let sep = if i + 1 < PRIOR.len() { "," } else { "" };
+        prior.push_str(&format!(
+            "    {{\"n\": {n}, \"regime\": \"{regime}\", \"ops_per_sec\": {ops_per_sec:.0}, \
+             \"pipeline_over_sharded\": {over_sharded}}}{sep}\n"
         ));
     }
     // The shared host object carries the single-core caveat: without
@@ -230,6 +297,9 @@ fn write_json(path: &str, quick: bool, batch_1k: usize, cells: &[Cell]) {
         "{{\n  \"bench\": \"pipeline\",\n  {host},\n  \"config\": {{\"quick\": {quick}, \
          \"theta\": {THETA}, \"hot_spenders\": {HOT_SPENDERS}, \"threads\": {THREADS}, \
          \"batch_1k\": {batch_1k}}},\n  \
+         \"prior\": {{\"note\": \"pipeline before allocation-free footprints + sharded \
+         intake + wave fusion + adaptive bypass (previous PR, same host)\", \
+         \"runs\": [\n{prior}  ]}},\n  \
          \"runs\": [\n{rows}  ],\n  \"summary\": [\n{summary}  ]\n}}\n"
     );
     std::fs::write(path, json).expect("write benchmark JSON");
@@ -246,8 +316,13 @@ fn main() {
         .map(String::as_str)
         .unwrap_or("BENCH_pipeline.json")
         .to_owned();
+    let assert_min_ratio = args
+        .iter()
+        .position(|a| a == "--assert-min-ratio")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse::<f64>().expect("--assert-min-ratio takes a float"));
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: pipeline [--quick] [--out PATH]");
+        eprintln!("usage: pipeline [--quick] [--out PATH] [--assert-min-ratio R]");
         return;
     }
 
@@ -301,4 +376,23 @@ fn main() {
         }
     }
     write_json(&out, quick, batch_1k, &cells);
+
+    // CI gate: the disjoint pipeline/sharded-direct ratio at the largest
+    // grid size must clear the floor — catches regressions that re-open
+    // the throughput gap this PR closed.
+    if let Some(floor) = assert_min_ratio {
+        let n_max = cells.iter().map(|c| c.n).max().expect("grid nonempty");
+        let find = |path: &str| {
+            cells
+                .iter()
+                .find(|c| c.n == n_max && c.regime == "disjoint" && c.path == path)
+                .expect("disjoint cells present")
+        };
+        let ratio = find("pipeline").ops_per_sec / find("sharded-direct").ops_per_sec;
+        assert!(
+            ratio >= floor,
+            "disjoint pipeline/sharded ratio {ratio:.3} fell below the floor {floor}"
+        );
+        eprintln!("ratio gate passed: disjoint n={n_max} pipeline/sharded = {ratio:.3} >= {floor}");
+    }
 }

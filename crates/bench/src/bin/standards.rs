@@ -120,6 +120,7 @@ fn measure<T, B, V>(
             workers: THREADS,
             ..tokensync_pipeline::ExecConfig::default()
         },
+        ..PipelineConfig::default()
     };
     let mut run_ms = f64::INFINITY;
     let mut stats = PipelineStats::default();

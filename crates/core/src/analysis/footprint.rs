@@ -42,9 +42,15 @@
 //! it into the generic cell form — the two relations are proven to agree
 //! by the tests below.
 
+use smallvec::SmallVec;
 use tokensync_spec::{AccountId, ProcessId};
 
 use crate::erc20::Erc20Op;
+
+/// Inline charge capacity of a [`Footprint`]: every single-op footprint
+/// in the tree fits (the widest, `transferFrom`, charges 3 cells; an
+/// ERC1155 batch charges `2·rows + 1` and only spills past 3 rows).
+const INLINE_CHARGES: usize = 8;
 
 /// One mutable cell of a token object's state, across all the standards
 /// of Section 6. The pipeline never interprets a cell — it only compares
@@ -71,6 +77,77 @@ pub enum Cell {
     Operator(u32),
     /// An ERC1155 `(token type, account)` balance cell.
     Typed(u32, u32),
+}
+
+impl Cell {
+    /// The interned, pre-hashed form of this cell — computed once per
+    /// charge so downstream registries (the wave scheduler, the bypass
+    /// probe) neither re-hash nor re-compare variant structure per
+    /// lookup. See [`CellKey`].
+    pub fn key(self) -> CellKey {
+        let (tag, a, b) = match self {
+            Cell::Balance(a) => (0u128, a, 0),
+            Cell::Allowance(a, p) => (1, a, p),
+            Cell::Token(t) => (2, t, 0),
+            Cell::Operator(p) => (3, p, 0),
+            Cell::Typed(t, a) => (4, t, a),
+        };
+        let packed = (tag << 64) | ((a as u128) << 32) | b as u128;
+        CellKey {
+            packed,
+            hash: mix64((packed as u64) ^ (packed >> 64) as u64 ^ GOLDEN),
+        }
+    }
+}
+
+/// 2⁶⁴/φ — the usual odd multiplicative constant; separates the variant
+/// tag bits before the finalizer.
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// SplitMix64 finalizer: a cheap full-avalanche mix, so the low bits of a
+/// [`CellKey`] hash are usable as open-addressing bucket indices even
+/// though account/token ids are small dense integers.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// An interned [`Cell`]: the variant packed into one `u128` plus its
+/// hash, computed once at [`Cell::key`] time. Equality compares the
+/// packing (exact — the packing is injective); [`std::hash::Hash`]
+/// forwards the pre-computed hash, so hashing a `CellKey` is free no
+/// matter which hasher consumes it.
+#[derive(Clone, Copy, Debug, PartialOrd, Ord)]
+pub struct CellKey {
+    packed: u128,
+    hash: u64,
+}
+
+impl CellKey {
+    /// The injectively packed `(variant, ids)` value.
+    pub fn packed(self) -> u128 {
+        self.packed
+    }
+
+    /// The pre-computed 64-bit hash of [`packed`](CellKey::packed).
+    pub fn hash(self) -> u64 {
+        self.hash
+    }
+}
+
+impl PartialEq for CellKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.packed == other.packed
+    }
+}
+
+impl Eq for CellKey {}
+
+impl std::hash::Hash for CellKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
 }
 
 /// How an operation touches a [`Cell`].
@@ -100,8 +177,11 @@ impl Access {
 
 /// The set of `(cell, access)` charges of one operation. Built via
 /// [`FootprintedOp::footprint_into`] into a caller-owned buffer so the
-/// scheduler's hot loop performs no allocation in steady state (the
-/// buffer is cleared and refilled per op).
+/// scheduler's hot loop performs no allocation at all: the charges live
+/// in an inline small-vector (8 slots — every single-op footprint fits
+/// without spilling), and clearing keeps whatever spill
+/// capacity a wide batch op ever forced, so the reused buffer is
+/// allocation-free in steady state.
 ///
 /// # Examples
 ///
@@ -124,14 +204,14 @@ impl Access {
 /// ```
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Footprint {
-    entries: Vec<(Cell, Access)>,
+    entries: SmallVec<(Cell, Access), INLINE_CHARGES>,
 }
 
 impl Footprint {
     /// An empty footprint (commutes with everything).
     pub const fn new() -> Self {
         Self {
-            entries: Vec::new(),
+            entries: SmallVec::new(),
         }
     }
 
@@ -169,11 +249,10 @@ impl Footprint {
     /// responses in either order) — the per-standard property suites
     /// check that claim against the sequential specs.
     pub fn conflicts_with(&self, other: &Footprint) -> bool {
-        self.entries.iter().any(|&(cell, access)| {
+        self.iter().any(|(cell, access)| {
             other
-                .entries
                 .iter()
-                .any(|&(c, a)| c == cell && !access.commutes_with(a))
+                .any(|(c, a)| c == cell && !access.commutes_with(a))
         })
     }
 }
@@ -554,6 +633,72 @@ mod tests {
         assert_eq!(spend.len(), 3);
         assert!(!supply.conflicts_with(&spend));
         assert!(spend.conflicts_with(&spend.clone()));
+    }
+
+    #[test]
+    fn cell_keys_are_injective_and_prehashed() {
+        // Distinct cells — including same-id cells of different variants,
+        // and transposed pair ids — must pack to distinct keys.
+        let cells = [
+            Cell::Balance(0),
+            Cell::Balance(1),
+            Cell::Allowance(0, 1),
+            Cell::Allowance(1, 0),
+            Cell::Token(0),
+            Cell::Token(1),
+            Cell::Operator(0),
+            Cell::Typed(0, 1),
+            Cell::Typed(1, 0),
+            Cell::Balance(u32::MAX),
+            Cell::Allowance(u32::MAX, u32::MAX),
+        ];
+        for (i, x) in cells.iter().enumerate() {
+            for (j, y) in cells.iter().enumerate() {
+                assert_eq!(
+                    x.key() == y.key(),
+                    i == j,
+                    "key packing not injective on {x:?} vs {y:?}"
+                );
+                assert_eq!(x.key().packed() == y.key().packed(), i == j);
+            }
+            // Stable and pre-hashed: recomputing yields the same hash.
+            assert_eq!(x.key().hash(), x.key().hash());
+        }
+        // The std Hash impl forwards the pre-computed value.
+        use std::hash::{Hash, Hasher};
+        let mut h = std::hash::DefaultHasher::new();
+        Hash::hash(&cells[0].key(), &mut h);
+        let _ = h.finish();
+    }
+
+    #[test]
+    fn footprints_never_spill_for_single_ops() {
+        // The inline capacity covers every single-op footprint in the
+        // ERC20 alphabet — the scheduler's hot loop stays allocation-free.
+        let ops = [
+            Erc20Op::Transfer { to: a(1), value: 1 },
+            Erc20Op::TransferFrom {
+                from: a(0),
+                to: a(1),
+                value: 1,
+            },
+            Erc20Op::Approve {
+                spender: p(1),
+                value: 1,
+            },
+            Erc20Op::BalanceOf { account: a(0) },
+            Erc20Op::Allowance {
+                account: a(0),
+                spender: p(1),
+            },
+            Erc20Op::TotalSupply,
+        ];
+        let mut fp = Footprint::new();
+        for op in &ops {
+            fp.clear();
+            op.footprint_into(p(3), &mut fp);
+            assert!(fp.len() <= 3, "{op:?} charges more cells than expected");
+        }
     }
 
     #[test]

@@ -1,15 +1,38 @@
-//! Ingest: a bounded MPSC intake queue with size- and time-based batch
+//! Ingest: a sharded bounded intake with size- and time-based batch
 //! cuts.
 //!
 //! Clients [`submit`](IntakeClient::submit) operations from any thread;
 //! the engine side pulls [`Batch`]es. A batch closes as soon as it holds
 //! [`BatchConfig::max_ops`] operations *or* [`BatchConfig::max_wait`] has
 //! elapsed since its first operation arrived — the standard
-//! latency/throughput knob of every batched execution engine. The queue
-//! is bounded ([`BatchConfig::queue_depth`]), so a slow executor applies
-//! backpressure to producers instead of buffering without limit.
+//! latency/throughput knob of every batched execution engine.
+//!
+//! # Sharding
+//!
+//! The intake is split into [`BatchConfig::intake_shards`] independent
+//! bounded queues. Every client handle is pinned to one shard
+//! (round-robin at [`Clone`] time), so producers on different shards
+//! never contend on a shared lock — the single-MPSC intake this
+//! replaces made every submitting thread serialize on one channel.
+//! Operations submitted through one handle stay FIFO (they live in one
+//! shard's queue and the consumer drains each shard front-to-back);
+//! operations from *different* handles carry no ordering contract, same
+//! as before, since independent producers race to the queue anyway.
+//!
+//! # Backpressure
+//!
+//! Each shard holds at most `queue_depth / intake_shards` operations
+//! (at least one), so total buffering stays bounded by
+//! [`BatchConfig::queue_depth`] and a slow executor applies
+//! backpressure to producers instead of buffering without limit —
+//! [`submit`](IntakeClient::submit) blocks on the producer's own shard
+//! until the consumer drains it. An idle pipeline burns no CPU: the
+//! consumer parks on a doorbell condvar, and producers only ring it
+//! when the parked flag says someone is listening.
 
-use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use tokensync_spec::ProcessId;
@@ -21,8 +44,11 @@ pub struct BatchConfig {
     pub max_ops: usize,
     /// …or when this much time passed since its first operation arrived.
     pub max_wait: Duration,
-    /// Capacity of the bounded intake queue (backpressure bound).
+    /// Total capacity of the bounded intake (backpressure bound),
+    /// divided evenly across the shards.
     pub queue_depth: usize,
+    /// Number of independent intake queues producers are spread over.
+    pub intake_shards: usize,
 }
 
 impl Default for BatchConfig {
@@ -31,6 +57,7 @@ impl Default for BatchConfig {
             max_ops: 1024,
             max_wait: Duration::from_millis(2),
             queue_depth: 8192,
+            intake_shards: 8,
         }
     }
 }
@@ -46,12 +73,6 @@ pub struct Batch<Op> {
     pub ops: Vec<(ProcessId, Op)>,
 }
 
-/// Producer handle: clone one per client thread.
-#[derive(Clone, Debug)]
-pub struct IntakeClient<Op> {
-    tx: SyncSender<(ProcessId, Op)>,
-}
-
 /// Error returned by [`IntakeClient::submit`] when the engine has shut
 /// down (the consuming side of the queue was dropped).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -65,73 +86,293 @@ impl std::fmt::Display for PipelineClosed {
 
 impl std::error::Error for PipelineClosed {}
 
+/// One bounded producer queue.
+#[derive(Debug)]
+struct Shard<Op> {
+    queue: Mutex<VecDeque<(ProcessId, Op)>>,
+    /// Signalled when the consumer frees shard slots (and on shutdown).
+    not_full: Condvar,
+}
+
+/// State shared by every client handle and the batcher.
+#[derive(Debug)]
+struct Intake<Op> {
+    shards: Vec<Shard<Op>>,
+    /// Per-shard capacity: `queue_depth / shards`, at least 1.
+    shard_cap: usize,
+    /// Version counter rung by producers to wake a parked consumer; the
+    /// consumer re-scans whenever the version moved under it.
+    doorbell: Mutex<u64>,
+    data_ready: Condvar,
+    /// True only while the consumer is blocked in
+    /// [`Batcher::next_batch`]; producers skip the doorbell otherwise.
+    parked: AtomicBool,
+    /// Live client handles; 0 means producers are gone for good.
+    clients: AtomicUsize,
+    /// Round-robin cursor assigning shards to cloned client handles.
+    next_client: AtomicUsize,
+    /// Set when the batcher drops: submissions fail from then on.
+    closed: AtomicBool,
+}
+
+impl<Op> Intake<Op> {
+    /// Rings the consumer doorbell (push completed, client gone, or
+    /// shutdown). Cheap no-op unless the consumer is parked.
+    fn ring(&self) {
+        if self.parked.load(Ordering::SeqCst) {
+            let mut version = self.doorbell.lock().unwrap();
+            *version = version.wrapping_add(1);
+            self.data_ready.notify_one();
+        }
+    }
+}
+
+/// Producer handle: clone one per client thread. Each handle is pinned
+/// to one intake shard, so its submissions stay FIFO relative to each
+/// other and never contend with other handles' shards.
+#[derive(Debug)]
+pub struct IntakeClient<Op> {
+    intake: Arc<Intake<Op>>,
+    shard: usize,
+}
+
+impl<Op> Clone for IntakeClient<Op> {
+    fn clone(&self) -> Self {
+        self.intake.clients.fetch_add(1, Ordering::SeqCst);
+        let shard =
+            self.intake.next_client.fetch_add(1, Ordering::Relaxed) % self.intake.shards.len();
+        Self {
+            intake: Arc::clone(&self.intake),
+            shard,
+        }
+    }
+}
+
+impl<Op> Drop for IntakeClient<Op> {
+    fn drop(&mut self) {
+        if self.intake.clients.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last producer gone: a parked consumer must wake to drain
+            // the remainder and observe shutdown.
+            self.intake.ring();
+        }
+    }
+}
+
 impl<Op> IntakeClient<Op> {
-    /// Enqueues one operation, blocking while the intake queue is full
-    /// (backpressure).
+    /// Enqueues one operation, blocking while this handle's shard is
+    /// full (backpressure).
     ///
     /// # Errors
     ///
     /// [`PipelineClosed`] if the engine stopped consuming.
     pub fn submit(&self, caller: ProcessId, op: Op) -> Result<(), PipelineClosed> {
-        self.tx.send((caller, op)).map_err(|_| PipelineClosed)
+        let shard = &self.intake.shards[self.shard];
+        let mut queue = shard.queue.lock().unwrap();
+        loop {
+            if self.intake.closed.load(Ordering::SeqCst) {
+                return Err(PipelineClosed);
+            }
+            if queue.len() < self.intake.shard_cap {
+                break;
+            }
+            queue = shard.not_full.wait(queue).unwrap();
+        }
+        queue.push_back((caller, op));
+        drop(queue);
+        self.intake.ring();
+        Ok(())
     }
 
-    /// Non-blocking variant: `Ok(false)` when the queue is momentarily
+    /// Non-blocking variant: `Ok(false)` when the shard is momentarily
     /// full.
     ///
     /// # Errors
     ///
     /// [`PipelineClosed`] if the engine stopped consuming.
     pub fn try_submit(&self, caller: ProcessId, op: Op) -> Result<bool, PipelineClosed> {
-        match self.tx.try_send((caller, op)) {
-            Ok(()) => Ok(true),
-            Err(TrySendError::Full(_)) => Ok(false),
-            Err(TrySendError::Disconnected(_)) => Err(PipelineClosed),
+        if self.intake.closed.load(Ordering::SeqCst) {
+            return Err(PipelineClosed);
         }
+        let shard = &self.intake.shards[self.shard];
+        let mut queue = shard.queue.lock().unwrap();
+        if self.intake.closed.load(Ordering::SeqCst) {
+            return Err(PipelineClosed);
+        }
+        if queue.len() >= self.intake.shard_cap {
+            return Ok(false);
+        }
+        queue.push_back((caller, op));
+        drop(queue);
+        self.intake.ring();
+        Ok(true)
     }
 }
 
 /// Consumer side: turns the raw operation stream into batches.
 #[derive(Debug)]
 pub struct Batcher<Op> {
-    rx: Receiver<(ProcessId, Op)>,
+    intake: Arc<Intake<Op>>,
     cfg: BatchConfig,
     next_seq: u64,
+    /// Round-robin drain cursor across shards.
+    cursor: usize,
 }
 
 /// Creates a connected intake pair: clients for producers, the batcher
 /// for the engine loop.
 pub fn intake<Op>(cfg: BatchConfig) -> (IntakeClient<Op>, Batcher<Op>) {
-    let (tx, rx) = std::sync::mpsc::sync_channel(cfg.queue_depth.max(1));
+    let shards = cfg.intake_shards.max(1);
+    let shard_cap = (cfg.queue_depth / shards).max(1);
+    let intake = Arc::new(Intake {
+        shards: (0..shards)
+            .map(|_| Shard {
+                queue: Mutex::new(VecDeque::new()),
+                not_full: Condvar::new(),
+            })
+            .collect(),
+        shard_cap,
+        doorbell: Mutex::new(0),
+        data_ready: Condvar::new(),
+        parked: AtomicBool::new(false),
+        clients: AtomicUsize::new(1),
+        next_client: AtomicUsize::new(1),
+        closed: AtomicBool::new(false),
+    });
     (
-        IntakeClient { tx },
+        IntakeClient {
+            intake: Arc::clone(&intake),
+            shard: 0,
+        },
         Batcher {
-            rx,
+            intake,
             cfg,
             next_seq: 0,
+            cursor: 0,
         },
     )
 }
 
+impl<Op> Drop for Batcher<Op> {
+    fn drop(&mut self) {
+        self.intake.closed.store(true, Ordering::SeqCst);
+        // Wake every producer blocked on backpressure so it can fail.
+        for shard in &self.intake.shards {
+            let _guard = shard.queue.lock().unwrap();
+            shard.not_full.notify_all();
+        }
+    }
+}
+
 impl<Op> Batcher<Op> {
-    /// Blocks for the next batch; `None` once every client handle is
-    /// dropped and the queue is drained (engine shutdown).
-    pub fn next_batch(&mut self) -> Option<Batch<Op>> {
-        // Block indefinitely for the batch's first op: an idle pipeline
-        // burns no CPU.
-        let first = self.rx.recv().ok()?;
-        let mut ops = Vec::with_capacity(self.cfg.max_ops.min(1024));
-        ops.push(first);
-        let deadline = Instant::now() + self.cfg.max_wait;
-        while ops.len() < self.cfg.max_ops {
-            let left = deadline.saturating_duration_since(Instant::now());
-            if left.is_zero() {
+    /// Drains queued operations round-robin across shards into `ops`,
+    /// up to `max`. Each shard is drained front-to-back, preserving
+    /// per-producer FIFO. Returns how many were taken.
+    fn drain_into(&mut self, ops: &mut Vec<(ProcessId, Op)>, max: usize) -> usize {
+        let shards = &self.intake.shards;
+        let mut taken = 0;
+        for visit in 0..shards.len() {
+            if taken >= max {
                 break;
             }
-            match self.rx.recv_timeout(left) {
-                Ok(op) => ops.push(op),
-                // Time cut, or producers gone: the batch closes either way.
-                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+            let idx = (self.cursor + visit) % shards.len();
+            let shard = &shards[idx];
+            let mut queue = shard.queue.lock().unwrap();
+            let was_full = queue.len() >= self.intake.shard_cap;
+            let take = queue.len().min(max - taken);
+            ops.extend(queue.drain(..take));
+            taken += take;
+            if was_full && take > 0 {
+                shard.not_full.notify_all();
+            }
+        }
+        // Resume at the next shard so no producer is structurally
+        // favored when every shard stays hot.
+        self.cursor = (self.cursor + 1) % shards.len();
+        taken
+    }
+
+    /// Parks until a producer rings the doorbell or `timeout` elapses
+    /// (`None` blocks indefinitely). Returns `false` on timeout.
+    fn park(&self, timeout: Option<Duration>) -> bool {
+        let intake = &self.intake;
+        let mut version = intake.doorbell.lock().unwrap();
+        let seen = *version;
+        intake.parked.store(true, Ordering::SeqCst);
+        // Re-check after publishing the parked flag: a producer that
+        // pushed before seeing it would otherwise be missed (its push
+        // is visible to the caller's next scan; a producer pushing
+        // after sees the flag and rings).
+        if self.queued() > 0 || intake.clients.load(Ordering::SeqCst) == 0 {
+            intake.parked.store(false, Ordering::SeqCst);
+            return true;
+        }
+        let woken = loop {
+            match timeout {
+                Some(left) => {
+                    let (guard, result) = intake.data_ready.wait_timeout(version, left).unwrap();
+                    version = guard;
+                    if *version != seen {
+                        break true;
+                    }
+                    if result.timed_out() {
+                        break false;
+                    }
+                }
+                None => {
+                    version = intake.data_ready.wait(version).unwrap();
+                    if *version != seen {
+                        break true;
+                    }
+                }
+            }
+        };
+        intake.parked.store(false, Ordering::SeqCst);
+        woken
+    }
+
+    /// Operations currently buffered across every shard (diagnostic).
+    pub fn queued(&self) -> usize {
+        self.intake
+            .shards
+            .iter()
+            .map(|s| s.queue.lock().unwrap().len())
+            .sum()
+    }
+
+    /// Blocks for the next batch; `None` once every client handle is
+    /// dropped and the shards are drained (engine shutdown).
+    pub fn next_batch(&mut self) -> Option<Batch<Op>> {
+        let max_ops = self.cfg.max_ops.max(1);
+        let mut ops = Vec::with_capacity(max_ops.min(1024));
+        // Block indefinitely for the batch's first op: an idle pipeline
+        // burns no CPU.
+        loop {
+            // Read the client count *before* scanning: every push by an
+            // already-departed producer is then visible to the scan, so
+            // `0 clients + empty scan` really means end of stream.
+            let clients = self.intake.clients.load(Ordering::SeqCst);
+            if self.drain_into(&mut ops, max_ops) > 0 {
+                break;
+            }
+            if clients == 0 {
+                return None;
+            }
+            self.park(None);
+        }
+        let deadline = Instant::now() + self.cfg.max_wait;
+        while ops.len() < max_ops {
+            let clients = self.intake.clients.load(Ordering::SeqCst);
+            let room = max_ops - ops.len();
+            if self.drain_into(&mut ops, room) > 0 {
+                continue;
+            }
+            if clients == 0 {
+                // Producers gone and queues drained: close the batch.
+                break;
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() || !self.park(Some(left)) {
+                break;
             }
         }
         let seq = self.next_seq;
@@ -159,6 +400,7 @@ mod tests {
             max_ops: 4,
             max_wait: Duration::from_secs(60),
             queue_depth: 64,
+            intake_shards: 1,
         });
         for v in 0..10u64 {
             client.submit(ProcessId::new(0), op(v)).unwrap();
@@ -176,6 +418,7 @@ mod tests {
             max_ops: 3,
             max_wait: Duration::from_secs(60),
             queue_depth: 64,
+            intake_shards: 1,
         });
         for v in 0..6u64 {
             client.submit(ProcessId::new(1), op(v)).unwrap();
@@ -203,6 +446,7 @@ mod tests {
             max_ops: 1000,
             max_wait: Duration::from_millis(5),
             queue_depth: 64,
+            intake_shards: 8,
         });
         client.submit(ProcessId::new(0), op(1)).unwrap();
         let batch = batcher.next_batch().unwrap();
@@ -213,12 +457,49 @@ mod tests {
 
     #[test]
     fn submit_after_shutdown_errors() {
-        let (client, batcher) = intake(BatchConfig::default());
+        let (client, batcher) = intake::<Erc20Op>(BatchConfig::default());
         drop(batcher);
         assert_eq!(client.submit(ProcessId::new(0), op(0)), Err(PipelineClosed));
         assert_eq!(
             client.try_submit(ProcessId::new(0), op(0)),
             Err(PipelineClosed)
         );
+    }
+
+    #[test]
+    fn cloned_handles_land_on_distinct_shards() {
+        let (client, batcher) = intake::<Erc20Op>(BatchConfig::default());
+        let clones: Vec<_> = (0..8).map(|_| client.clone()).collect();
+        let mut shards: Vec<usize> = std::iter::once(client.shard)
+            .chain(clones.iter().map(|c| c.shard))
+            .collect();
+        shards.sort_unstable();
+        shards.dedup();
+        assert!(
+            shards.len() >= 8,
+            "9 handles over 8 shards must cover every shard, got {shards:?}"
+        );
+        drop(batcher);
+    }
+
+    #[test]
+    fn try_submit_reports_full_shard_without_blocking() {
+        let (client, mut batcher) = intake(BatchConfig {
+            max_ops: 4,
+            max_wait: Duration::from_millis(1),
+            queue_depth: 2,
+            intake_shards: 2,
+        });
+        // Shard cap is 1: the second try_submit on the same handle must
+        // report full, not block or drop the op.
+        assert_eq!(client.try_submit(ProcessId::new(0), op(0)), Ok(true));
+        assert_eq!(client.try_submit(ProcessId::new(0), op(1)), Ok(false));
+        assert_eq!(batcher.queued(), 1);
+        let batch = batcher.next_batch().unwrap();
+        assert_eq!(batch.ops.len(), 1);
+        assert_eq!(client.try_submit(ProcessId::new(0), op(2)), Ok(true));
+        drop(client);
+        assert_eq!(batcher.next_batch().unwrap().ops.len(), 1);
+        assert!(batcher.next_batch().is_none());
     }
 }

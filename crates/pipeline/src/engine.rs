@@ -31,8 +31,8 @@ use tokensync_spec::ProcessId;
 
 use crate::batch::{intake, BatchConfig, Batcher, IntakeClient};
 use crate::commit::{CommitLog, CommittedOp};
-use crate::exec::{execute, ExecConfig};
-use crate::schedule::{schedule, Schedule, ScheduleConfig};
+use crate::exec::{execute, execute_unordered, ExecConfig};
+use crate::schedule::{Schedule, ScheduleConfig, Scheduler};
 
 /// A durability hook on the commit stage: the engine hands every wave's
 /// committed entries to the sink the moment they enter the log, and
@@ -61,8 +61,43 @@ impl<T: ConcurrentObject + ?Sized> CommitSink<T> for () {
     fn batch_sealed(&mut self, _token: &T, _batch: u64) {}
 }
 
+/// Adaptive-bypass policy: when the engine's measured conflict density
+/// is low it *probes* each batch ([`Scheduler::batch_commutes`]) and, on
+/// a clean probe, routes the batch straight to the object — no wave
+/// construction, no per-wave barriers — committing in submission order.
+/// The probe runs **before** anything executes, so a failed check costs
+/// one prefix scan and the batch simply takes the full scheduled path
+/// from its intake buffer: no speculative effect ever needs undoing, and
+/// no response is emitted twice.
+///
+/// [`Scheduler::batch_commutes`]: crate::schedule::Scheduler::batch_commutes
+#[derive(Clone, Copy, Debug)]
+pub struct BypassConfig {
+    /// Master switch; `false` forces every batch through the scheduler.
+    pub enabled: bool,
+    /// The engine probes a batch only while its conflict-density EWMA is
+    /// at or below this threshold — once traffic turns contended the
+    /// probe's prefix scans stop being paid at all, and the bypass
+    /// re-engages only after the density decays back down.
+    pub max_density: f64,
+    /// EWMA smoothing factor in `(0, 1]`: weight of the newest batch's
+    /// measured density (conflict hits per op on the scheduled path, 0
+    /// on a bypassed batch).
+    pub alpha: f64,
+}
+
+impl Default for BypassConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            max_density: 0.05,
+            alpha: 0.3,
+        }
+    }
+}
+
 /// Full engine configuration.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct PipelineConfig {
     /// Intake batching policy.
     pub batch: BatchConfig,
@@ -70,6 +105,29 @@ pub struct PipelineConfig {
     pub schedule: ScheduleConfig,
     /// Wave execution policy.
     pub exec: ExecConfig,
+    /// Adaptive-bypass policy.
+    pub bypass: BypassConfig,
+    /// Whether to fuse a batch's committed waves into a single
+    /// [`CommitSink::wave_committed`] record (the commit order is
+    /// identical either way — waves in order, then the serial lane — so
+    /// fusion changes durability *granularity*, not the linearization:
+    /// the disjoint regime pays one WAL record per batch instead of one
+    /// per wave). `false` restores the PR-5 record-per-wave behavior,
+    /// which also narrows `Durability::PerWave` syncs back to single
+    /// waves.
+    pub fuse_waves: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            batch: BatchConfig::default(),
+            schedule: ScheduleConfig::default(),
+            exec: ExecConfig::default(),
+            bypass: BypassConfig::default(),
+            fuse_waves: true,
+        }
+    }
 }
 
 /// Aggregate counters over every batch an engine processed.
@@ -83,11 +141,26 @@ pub struct PipelineStats {
     pub parallel_ops: u64,
     /// Ops funneled through the serial lane.
     pub serial_ops: u64,
-    /// Parallel waves executed (across all batches).
+    /// Parallel waves executed (across all batches). A bypassed batch
+    /// counts as one wave — it *is* one all-commuting wave.
     pub waves: u64,
     /// Contention proxy summed over batches (see
     /// [`Schedule::conflicts`]).
     pub conflicts: u64,
+    /// Batches the adaptive bypass routed around the scheduler (probe
+    /// certified all-commuting; executed unordered, committed in
+    /// submission order).
+    pub bypassed_batches: u64,
+    /// Operations committed through the bypass path.
+    pub bypassed_ops: u64,
+    /// Probes that found a conflict: the batch was mispredicted as
+    /// low-conflict and fell back to the full scheduled path (from its
+    /// intake buffer — nothing had executed yet).
+    pub bypass_aborts: u64,
+    /// `CommitSink::wave_committed` records emitted: with wave fusion
+    /// one per non-empty batch, without it one per non-empty wave plus
+    /// one for a non-empty serial lane.
+    pub commit_records: u64,
 }
 
 impl PipelineStats {
@@ -109,6 +182,14 @@ impl PipelineStats {
         self.serial_ops as f64 / self.ops as f64
     }
 
+    /// Fraction of batches the bypass carried.
+    pub fn bypass_rate(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.bypassed_batches as f64 / self.batches as f64
+    }
+
     fn absorb(&mut self, s: &Schedule) {
         self.batches += 1;
         self.ops += s.ops() as u64;
@@ -116,6 +197,15 @@ impl PipelineStats {
         self.serial_ops += s.serial.len() as u64;
         self.waves += s.waves.len() as u64;
         self.conflicts += s.conflicts as u64;
+    }
+
+    fn absorb_bypass(&mut self, ops: usize) {
+        self.batches += 1;
+        self.ops += ops as u64;
+        self.parallel_ops += ops as u64;
+        self.waves += 1;
+        self.bypassed_batches += 1;
+        self.bypassed_ops += ops as u64;
     }
 }
 
@@ -138,9 +228,38 @@ impl<Op, Resp> Default for PipelineRun<Op, Resp> {
     }
 }
 
-/// One batch through analyze → schedule → execute → commit, streaming
-/// each committed wave (and the batch seal) into `sink`.
+/// The engine's retained per-loop state: the reusable scheduling context
+/// (registries + footprint buffer — the reason analyze/schedule allocate
+/// nothing per op) and the conflict-density EWMA the adaptive bypass
+/// steers by. One per serving loop; batches of one loop always flow
+/// through the same core, so the predictor sees the full traffic
+/// history.
+struct EngineCore {
+    scheduler: Scheduler,
+    /// EWMA of measured conflict density (conflict hits per op), in
+    /// `[0, 1]`. Starts at 0 — optimistic, so the first batch of a
+    /// stream is probed and a conflicting stream pays exactly one
+    /// aborted probe before the bypass disengages.
+    density: f64,
+}
+
+impl EngineCore {
+    fn new() -> Self {
+        Self {
+            scheduler: Scheduler::new(),
+            density: 0.0,
+        }
+    }
+
+    fn observe(&mut self, alpha: f64, batch_density: f64) {
+        self.density = (1.0 - alpha) * self.density + alpha * batch_density.clamp(0.0, 1.0);
+    }
+}
+
+/// One batch through analyze → (bypass | schedule → execute) → commit,
+/// streaming each committed record (and the batch seal) into `sink`.
 fn process_batch<T: ConcurrentObject + ?Sized, K: CommitSink<T>>(
+    core: &mut EngineCore,
     token: &T,
     seq: u64,
     ops: &[(ProcessId, T::Op)],
@@ -148,23 +267,55 @@ fn process_batch<T: ConcurrentObject + ?Sized, K: CommitSink<T>>(
     run: &mut PipelineRun<T::Op, T::Resp>,
     sink: &mut K,
 ) {
-    let plan = schedule(ops, &cfg.schedule);
+    // Speculation gate: probe only while measured density is low, and
+    // execute unordered only on a *certified* all-commuting batch. The
+    // certification precedes every effect, so the fallback below re-runs
+    // the identical buffered ops with nothing to roll back.
+    if cfg.bypass.enabled && core.density <= cfg.bypass.max_density && !ops.is_empty() {
+        if core.scheduler.batch_commutes(ops) {
+            let responses = execute_unordered(token, ops, &cfg.exec);
+            run.stats.absorb_bypass(ops.len());
+            core.observe(cfg.bypass.alpha, 0.0);
+            let start = run.log.append_sequential(seq, ops, &responses);
+            run.stats.commit_records += 1;
+            sink.wave_committed(token, &run.log.entries()[start..]);
+            sink.batch_sealed(token, seq);
+            return;
+        }
+        // Misprediction caught before execution: fall through to the
+        // scheduled path on the same buffered batch.
+        run.stats.bypass_aborts += 1;
+    }
+    let plan = core.scheduler.schedule(ops, &cfg.schedule);
     let responses = execute(token, ops, &plan, &cfg.exec);
     run.stats.absorb(&plan);
+    core.observe(
+        cfg.bypass.alpha,
+        plan.conflicts as f64 / ops.len().max(1) as f64,
+    );
     let start = run.log.append_batch(seq, ops, &responses, &plan);
-    // The appended slice is waves in order, then the serial lane: hand
-    // the sink one contiguous group per wave.
+    // The appended slice is waves in order, then the serial lane: one
+    // fused record for the whole batch, or (unfused) one contiguous
+    // group per wave.
     let committed = &run.log.entries()[start..];
-    let mut cursor = 0usize;
-    for len in plan
-        .waves
-        .iter()
-        .map(Vec::len)
-        .chain(std::iter::once(plan.serial.len()))
-    {
-        if len > 0 {
-            sink.wave_committed(token, &committed[cursor..cursor + len]);
-            cursor += len;
+    if cfg.fuse_waves {
+        if !committed.is_empty() {
+            sink.wave_committed(token, committed);
+            run.stats.commit_records += 1;
+        }
+    } else {
+        let mut cursor = 0usize;
+        for len in plan
+            .waves
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(plan.serial.len()))
+        {
+            if len > 0 {
+                sink.wave_committed(token, &committed[cursor..cursor + len]);
+                run.stats.commit_records += 1;
+                cursor += len;
+            }
         }
     }
     sink.batch_sealed(token, seq);
@@ -206,10 +357,11 @@ pub fn run_script_with_sink<T: ConcurrentObject + ?Sized, K: CommitSink<T>>(
     cfg: &PipelineConfig,
     sink: &mut K,
 ) -> PipelineRun<T::Op, T::Resp> {
+    let mut core = EngineCore::new();
     let mut run = PipelineRun::default();
     let size = cfg.batch.max_ops.max(1);
     for (seq, ops) in script.chunks(size).enumerate() {
-        process_batch(token, seq as u64, ops, cfg, &mut run, sink);
+        process_batch(&mut core, token, seq as u64, ops, cfg, &mut run, sink);
     }
     run
 }
@@ -263,9 +415,10 @@ fn engine_loop<T: ConcurrentObject, K: CommitSink<T>>(
     cfg: &PipelineConfig,
     sink: &mut K,
 ) -> PipelineRun<T::Op, T::Resp> {
+    let mut core = EngineCore::new();
     let mut run = PipelineRun::default();
     while let Some(batch) = batcher.next_batch() {
-        process_batch(token, batch.seq, &batch.ops, cfg, &mut run, sink);
+        process_batch(&mut core, token, batch.seq, &batch.ops, cfg, &mut run, sink);
     }
     run
 }
@@ -325,6 +478,7 @@ mod tests {
                 max_ops,
                 max_wait: Duration::from_millis(1),
                 queue_depth: 256,
+                ..BatchConfig::default()
             },
             ..PipelineConfig::default()
         }

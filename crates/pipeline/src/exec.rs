@@ -12,6 +12,23 @@
 //! narrow to amortize a thread spawn run inline
 //! ([`ExecConfig::min_ops_per_worker`]); the serial lane always runs
 //! inline, in submission order.
+//!
+//! **Wave fusion.** Consecutive waves wide enough for the pool are
+//! *fused*: the pool is spawned once for the whole run of waves and the
+//! workers rendezvous on a [`Barrier`] at each wave boundary instead of
+//! being joined and respawned. The wave-order contract is unchanged —
+//! every op of wave `w` completes before any op of wave `w+1` starts
+//! (the barrier is exactly the old join point) — but a multi-wave batch
+//! pays one thread-spawn per run instead of one per wave.
+//!
+//! **Bypass execution.** [`execute_unordered`] is the adaptive-bypass
+//! fast path: for a batch the scheduler's probe has certified pairwise
+//! commuting, it applies the ops with *no* wave structure at all —
+//! chunked across the pool, no ordering between chunks — which is sound
+//! for exactly the same reason a wave is: commuting neighbors can be
+//! exchanged freely, so any interleaving linearizes in submission order.
+
+use std::sync::Barrier;
 
 use tokensync_core::shared::ConcurrentObject;
 use tokensync_spec::ProcessId;
@@ -54,40 +71,28 @@ pub fn execute<T: ConcurrentObject + ?Sized>(
     // `None` placeholder; every scheduled index is filled below.
     let mut responses: Vec<Option<T::Resp>> = vec![None; ops.len()];
     let workers = cfg.workers.max(1);
-    for wave in &schedule.waves {
-        if workers == 1 || wave.len() < workers * cfg.min_ops_per_worker.max(1) {
-            for &idx in wave {
+    let wide =
+        |wave: &Vec<usize>| workers > 1 && wave.len() >= workers * cfg.min_ops_per_worker.max(1);
+    let mut w = 0;
+    while w < schedule.waves.len() {
+        if !wide(&schedule.waves[w]) {
+            for &idx in &schedule.waves[w] {
                 let (caller, op) = &ops[idx];
                 responses[idx] = Some(token.apply(*caller, op));
             }
+            w += 1;
             continue;
         }
-        let chunk = wave.len().div_ceil(workers);
-        let results = crossbeam::scope(|s| {
-            let handles: Vec<_> = wave
-                .chunks(chunk)
-                .map(|part| {
-                    s.spawn(move |_| {
-                        part.iter()
-                            .map(|&idx| {
-                                let (caller, op) = &ops[idx];
-                                (idx, token.apply(*caller, op))
-                            })
-                            .collect::<Vec<(usize, T::Resp)>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("wave worker panicked"))
-                .collect::<Vec<_>>()
-        })
-        .expect("wave worker panicked");
-        for part in results {
-            for (idx, resp) in part {
-                responses[idx] = Some(resp);
-            }
+        // Fuse the maximal run of pool-worthy waves: one spawn, a
+        // barrier per internal wave boundary.
+        let mut end = w + 1;
+        while end < schedule.waves.len() && wide(&schedule.waves[end]) {
+            end += 1;
         }
+        for (idx, resp) in execute_fused(token, ops, &schedule.waves[w..end], workers) {
+            responses[idx] = Some(resp);
+        }
+        w = end;
     }
     for &idx in &schedule.serial {
         let (caller, op) = &ops[idx];
@@ -97,6 +102,97 @@ pub fn execute<T: ConcurrentObject + ?Sized>(
         .into_iter()
         .map(|r| r.expect("every scheduled index executed"))
         .collect()
+}
+
+/// Executes a fused run of waves on one scoped pool: worker `k` takes
+/// the `k`-th chunk of every wave, and all workers rendezvous on a
+/// barrier between waves, so the cross-wave ordering contract is exactly
+/// what per-wave join gave — without respawning the pool.
+fn execute_fused<T: ConcurrentObject + ?Sized>(
+    token: &T,
+    ops: &[(ProcessId, T::Op)],
+    run: &[Vec<usize>],
+    workers: usize,
+) -> Vec<(usize, T::Resp)> {
+    let barrier = Barrier::new(workers);
+    let parts = crossbeam::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|k| {
+                let barrier = &barrier;
+                s.spawn(move |_| {
+                    let mut out: Vec<(usize, T::Resp)> = Vec::new();
+                    for (i, wave) in run.iter().enumerate() {
+                        let chunk = wave.len().div_ceil(workers);
+                        let lo = (k * chunk).min(wave.len());
+                        let hi = ((k + 1) * chunk).min(wave.len());
+                        for &idx in &wave[lo..hi] {
+                            let (caller, op) = &ops[idx];
+                            out.push((idx, token.apply(*caller, op)));
+                        }
+                        // The fusion point: the barrier replaces the old
+                        // spawn/join edge between consecutive waves.
+                        if i + 1 < run.len() {
+                            barrier.wait();
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("wave worker panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("wave worker panicked");
+    parts.into_iter().flatten().collect()
+}
+
+/// Executes a batch the scheduler's probe certified pairwise commuting,
+/// with no wave structure: ops are chunked contiguously across the pool
+/// and applied with no cross-chunk ordering. Responses come back in
+/// submission-index order, and — because every pair commutes — they are
+/// exactly the responses the submission-order sequential execution
+/// produces, at every state. Batches too small for the pool run inline.
+///
+/// This is the adaptive-bypass fast path; calling it on a batch with a
+/// conflicting pair forfeits that guarantee, which is why the engine
+/// only reaches it behind [`Scheduler::batch_commutes`].
+///
+/// [`Scheduler::batch_commutes`]: crate::schedule::Scheduler::batch_commutes
+///
+/// # Panics
+///
+/// Propagates panics from worker threads (a panicking object is a bug,
+/// not a recoverable condition).
+pub fn execute_unordered<T: ConcurrentObject + ?Sized>(
+    token: &T,
+    ops: &[(ProcessId, T::Op)],
+    cfg: &ExecConfig,
+) -> Vec<T::Resp> {
+    let workers = cfg.workers.max(1);
+    if workers == 1 || ops.len() < workers * cfg.min_ops_per_worker.max(1) {
+        return ops.iter().map(|(c, op)| token.apply(*c, op)).collect();
+    }
+    let chunk = ops.len().div_ceil(workers);
+    let parts = crossbeam::scope(|s| {
+        let handles: Vec<_> = ops
+            .chunks(chunk)
+            .map(|part| {
+                s.spawn(move |_| {
+                    part.iter()
+                        .map(|(c, op)| token.apply(*c, op))
+                        .collect::<Vec<T::Resp>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bypass worker panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("bypass worker panicked");
+    parts.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
@@ -168,6 +264,72 @@ mod tests {
         let (resps, supply) = run(&ops, 8, 64);
         assert_eq!(resps, vec![Erc20Resp::TRUE, Erc20Resp::FALSE]);
         assert_eq!(supply, 640);
+    }
+
+    #[test]
+    fn fused_wave_runs_agree_with_inline_execution() {
+        // Two full-width conflicting rounds: every source repeats, so the
+        // schedule has two consecutive waves of 16 ops each. With
+        // workers=4/min=1 both waves are pool-worthy and fuse under one
+        // scope (barrier at the boundary); the responses and final state
+        // must equal the single-threaded execution's.
+        let round = |r: u64| {
+            (0..16).map(move |i| {
+                (
+                    p(i),
+                    Erc20Op::Transfer {
+                        to: a(32 + i),
+                        value: 6 + r, // second round: 7 > 10 - 6 fails
+                    },
+                )
+            })
+        };
+        let ops: Vec<(ProcessId, Erc20Op)> = round(0).chain(round(1)).collect();
+        let s = schedule(&ops, &ScheduleConfig::default());
+        assert_eq!(s.waves.len(), 2, "rounds must stack into two waves");
+        let (inline, s1) = run(&ops, 1, 1);
+        let (fused, s2) = run(&ops, 4, 1);
+        assert_eq!(inline, fused, "fused run diverged from inline");
+        assert_eq!(s1, s2);
+        // Round 1 succeeds, round 2 fails (insufficient funds): the
+        // barrier kept wave order, otherwise some round-2 op could win.
+        assert!(inline[..16].iter().all(|r| *r == Erc20Resp::TRUE));
+        assert!(inline[16..].iter().all(|r| *r == Erc20Resp::FALSE));
+    }
+
+    #[test]
+    fn unordered_execution_matches_sequential_on_commuting_batches() {
+        let ops: Vec<(ProcessId, Erc20Op)> = (0..24)
+            .map(|i| {
+                (
+                    p(i),
+                    Erc20Op::Transfer {
+                        to: a(32 + i),
+                        value: (i as u64) % 5,
+                    },
+                )
+            })
+            .collect();
+        let token = ShardedErc20::from_state(Erc20State::from_balances(vec![10; 64]));
+        let inline = execute_unordered(
+            &token,
+            &ops,
+            &ExecConfig {
+                workers: 1,
+                min_ops_per_worker: 1,
+            },
+        );
+        let token2 = ShardedErc20::from_state(Erc20State::from_balances(vec![10; 64]));
+        let parallel = execute_unordered(
+            &token2,
+            &ops,
+            &ExecConfig {
+                workers: 4,
+                min_ops_per_worker: 1,
+            },
+        );
+        assert_eq!(inline, parallel);
+        assert_eq!(token.state_snapshot(), token2.state_snapshot());
     }
 
     #[test]

@@ -119,10 +119,10 @@ pub use batch::{intake, Batch, BatchConfig, Batcher, IntakeClient, PipelineClose
 pub use commit::{CommitLog, CommittedOp, ReplayDivergence};
 pub use dynamic_lane::{drive_dynamic, DynamicDriveReport};
 pub use engine::{
-    run_script, run_script_with_sink, CommitSink, Pipeline, PipelineConfig, PipelineHandle,
-    PipelineRun, PipelineStats, SinkedPipelineHandle,
+    run_script, run_script_with_sink, BypassConfig, CommitSink, Pipeline, PipelineConfig,
+    PipelineHandle, PipelineRun, PipelineStats, SinkedPipelineHandle,
 };
-pub use exec::{execute, ExecConfig};
+pub use exec::{execute, execute_unordered, ExecConfig};
 // The `schedule` *function* stays at `schedule::schedule` — re-exporting
 // it at the root would collide with the module of the same name.
-pub use schedule::{Schedule, ScheduleConfig};
+pub use schedule::{Schedule, ScheduleConfig, Scheduler};

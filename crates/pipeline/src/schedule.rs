@@ -1,15 +1,27 @@
 //! Conflict analysis and wave scheduling: greedy graph coloring of a
 //! batch's conflict graph — generic over every footprinted standard.
 //!
-//! Each operation's [`Footprint`] is computed once (into a reused buffer,
-//! so the hot loop performs no steady-state allocation); a per-[`Cell`]
-//! registry tracks the highest wave of every earlier operation that
-//! touched the cell in each [`Access`] mode, so the whole batch schedules
-//! in `O(ops × footprint)` — no quadratic pairwise comparison. The wave
-//! assigned to an operation is one more than the highest wave of any
-//! earlier conflicting operation: the classic greedy coloring, which on
-//! the *precedence-closed* conflict graph of a batch is exactly "earliest
-//! wave that preserves submission order between conflicting ops".
+//! Each operation's [`Footprint`] is computed once (into a reused inline
+//! buffer, so the hot loop performs no steady-state allocation); a
+//! per-[`Cell`](tokensync_core::analysis::Cell) registry tracks the
+//! highest wave of every earlier
+//! operation that touched the cell in each [`Access`] mode, so the whole
+//! batch schedules in `O(ops × footprint)` — no quadratic pairwise
+//! comparison. The wave assigned to an operation is one more than the
+//! highest wave of any earlier conflicting operation: the classic greedy
+//! coloring, which on the *precedence-closed* conflict graph of a batch
+//! is exactly "earliest wave that preserves submission order between
+//! conflicting ops".
+//!
+//! The registry itself is built for the throughput path: a [`Scheduler`]
+//! owns an open-addressing table keyed by interned, pre-hashed
+//! [`CellKey`]s (no SipHash, no per-lookup variant comparison) whose
+//! slots are invalidated by bumping a generation stamp — clearing between
+//! batches is `O(1)` and scheduling allocates nothing in steady state.
+//! The same machinery answers the adaptive-bypass question in
+//! [`Scheduler::batch_commutes`]: a single early-exiting scan that
+//! certifies a batch pairwise-commuting *before* any operation executes,
+//! which is what licenses the engine to skip wave construction entirely.
 //!
 //! The mode pairs consulted mirror [`Access::commutes_with`] exactly —
 //! an update conflicts with every earlier access of its cell, a credit
@@ -27,9 +39,7 @@
 //! cross-lane order is still the submission order — the scheduler never
 //! reorders conflicting operations, only commuting ones.
 
-use std::collections::HashMap;
-
-use tokensync_core::analysis::{Access, Cell, Footprint, FootprintedOp};
+use tokensync_core::analysis::{Access, CellKey, Footprint, FootprintedOp};
 use tokensync_spec::ProcessId;
 
 /// Scheduling policy.
@@ -95,16 +105,18 @@ impl Schedule {
 }
 
 /// Per-cell registry entry: highest wave of an earlier op in each access
-/// mode (`NONE` = no such op yet).
+/// mode (`NONE` = no such op yet). `u32` waves keep a table slot in one
+/// cache line; a batch can't reach 2³² waves (`max_parallel_waves` caps
+/// them far lower).
 #[derive(Clone, Copy, Debug)]
 struct CellWaves {
-    update: usize,
-    credit: usize,
-    read: usize,
+    update: u32,
+    credit: u32,
+    read: u32,
 }
 
 /// Sentinel for "no earlier access": below every real wave.
-const NONE: usize = usize::MAX; // NONE.wrapping_add(1) == 0
+const NONE: u32 = u32::MAX; // NONE.wrapping_add(1) == 0
 
 impl Default for CellWaves {
     fn default() -> Self {
@@ -116,81 +128,317 @@ impl Default for CellWaves {
     }
 }
 
-/// Assigns every op of `ops` a wave (or the serial lane) such that
-/// conflicting ops keep their submission order across waves and within
-/// the serial lane, while commuting ops share waves. Works for any
-/// footprinted op alphabet — ERC20, ERC721, ERC1155 traffic all
-/// schedule through this one function.
-pub fn schedule<Op: FootprintedOp>(ops: &[(ProcessId, Op)], cfg: &ScheduleConfig) -> Schedule {
-    let serial_wave = cfg.max_parallel_waves.max(1);
-    let mut cells: HashMap<Cell, CellWaves> = HashMap::new();
-    let mut out = Schedule::default();
-    let mut fp = Footprint::new();
-    for (idx, (caller, op)) in ops.iter().enumerate() {
-        fp.clear();
-        op.footprint_into(*caller, &mut fp);
-        // Highest wave of any earlier conflicting op (NONE if none).
-        let mut floor = NONE;
-        let mut hits = 0usize;
-        for (cell, access) in fp.iter() {
-            let Some(w) = cells.get(&cell) else { continue };
-            let mut bump = |wave: usize| {
-                if wave != NONE {
-                    hits += 1;
-                    if floor == NONE || wave > floor {
-                        floor = wave;
-                    }
-                }
-            };
-            // An earlier access conflicts unless it commutes with ours:
-            // exactly the Access::commutes_with table.
-            match access {
-                Access::Update => {
-                    bump(w.update);
-                    bump(w.credit);
-                    bump(w.read);
-                }
-                Access::Credit => {
-                    bump(w.update);
-                    bump(w.read);
-                }
-                Access::Read => {
-                    bump(w.update);
-                    bump(w.credit);
-                }
-            }
-        }
-        out.conflicts += hits;
-        // One past the floor; serial ops saturate at the serial wave so
-        // everything conflicting with them lands serial too.
-        let wave = floor.wrapping_add(1).min(serial_wave);
-        if wave < serial_wave {
-            if out.waves.len() <= wave {
-                out.waves.resize(wave + 1, Vec::new());
-            }
-            out.waves[wave].push(idx);
-        } else {
-            out.serial.push(idx);
-        }
-        // Register this op's own accesses at its assigned wave.
-        for (cell, access) in fp.iter() {
-            let entry = cells.entry(cell).or_default();
-            let slot = match access {
-                Access::Update => &mut entry.update,
-                Access::Credit => &mut entry.credit,
-                Access::Read => &mut entry.read,
-            };
-            if *slot == NONE || wave > *slot {
-                *slot = wave;
-            }
+/// Access-mode bitflags for the bypass probe's registry.
+const M_UPDATE: u8 = 1;
+const M_CREDIT: u8 = 2;
+const M_READ: u8 = 4;
+
+/// An open-addressing hash table keyed by pre-hashed [`CellKey`]s, with
+/// generation-stamped slots: [`reset`](CellTable::reset) invalidates
+/// every entry in `O(1)` by bumping the generation, so the table's
+/// allocation is reused across batches. Linear probing over a
+/// power-of-two slot array kept at most half full; the pre-computed key
+/// hash is the bucket index, so a lookup costs one multiply-free probe
+/// chain and no hashing.
+#[derive(Debug)]
+struct CellTable<V> {
+    slots: Vec<CellSlot<V>>,
+    mask: usize,
+    gen: u32,
+    live: usize,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct CellSlot<V> {
+    key: u128,
+    gen: u32,
+    value: V,
+}
+
+impl<V: Copy + Default> CellTable<V> {
+    fn new() -> Self {
+        // 2048 slots cover a default 1024-op batch of ≤1-cell footprints
+        // without growing; wider footprints double a few times early and
+        // then stay put.
+        Self::with_slots(2048)
+    }
+
+    fn with_slots(slots: usize) -> Self {
+        let n = slots.next_power_of_two();
+        Self {
+            slots: vec![
+                CellSlot {
+                    key: 0,
+                    gen: 0,
+                    value: V::default(),
+                };
+                n
+            ],
+            mask: n - 1,
+            gen: 1,
+            live: 0,
         }
     }
-    out
+
+    /// Invalidates every entry without touching the slots.
+    fn reset(&mut self) {
+        self.live = 0;
+        if self.gen == u32::MAX {
+            // Generation wrap (once per 2³² batches): re-stamp eagerly so
+            // stale entries can never alias the restarted counter.
+            for slot in &mut self.slots {
+                slot.gen = 0;
+            }
+            self.gen = 1;
+        } else {
+            self.gen += 1;
+        }
+    }
+
+    /// Current value under `key`, if this generation inserted one.
+    fn get(&self, key: CellKey) -> Option<V> {
+        let mut i = key.hash() as usize & self.mask;
+        loop {
+            let slot = &self.slots[i];
+            if slot.gen != self.gen {
+                return None;
+            }
+            if slot.key == key.packed() {
+                return Some(slot.value);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// The slot for `key`, inserting `V::default()` if absent.
+    fn entry(&mut self, key: CellKey) -> &mut V {
+        if (self.live + 1) * 2 > self.slots.len() {
+            self.grow();
+        }
+        let mut i = key.hash() as usize & self.mask;
+        loop {
+            let slot = &self.slots[i];
+            if slot.gen != self.gen {
+                self.live += 1;
+                let slot = &mut self.slots[i];
+                *slot = CellSlot {
+                    key: key.packed(),
+                    gen: self.gen,
+                    value: V::default(),
+                };
+                return &mut slot.value;
+            }
+            if slot.key == key.packed() {
+                return &mut self.slots[i].value;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Doubles the slot array, re-inserting this generation's entries.
+    fn grow(&mut self) {
+        let live: Vec<CellSlot<V>> = self
+            .slots
+            .iter()
+            .filter(|s| s.gen == self.gen)
+            .copied()
+            .collect();
+        let n = self.slots.len() * 2;
+        self.slots = vec![
+            CellSlot {
+                key: 0,
+                gen: 0,
+                value: V::default(),
+            };
+            n
+        ];
+        self.mask = n - 1;
+        for old in live {
+            // Re-derive the bucket from the stored key's hash: keys are
+            // packed cells, so re-hashing is the same mix `Cell::key`
+            // used. Probe linearly to the first free slot.
+            let mut i = rehash(old.key) as usize & self.mask;
+            while self.slots[i].gen == self.gen {
+                i = (i + 1) & self.mask;
+            }
+            self.slots[i] = old;
+        }
+    }
+}
+
+/// Recomputes a packed key's bucket hash (only needed on table growth —
+/// steady-state lookups use the pre-computed [`CellKey::hash`]).
+fn rehash(packed: u128) -> u64 {
+    // Must match `Cell::key`'s mix exactly; cheapest way is through the
+    // same public surface.
+    let lo = packed as u64;
+    let hi = (packed >> 64) as u64;
+    let mut z = lo ^ hi ^ 0x9E37_79B9_7F4A_7C15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A reusable scheduling context: owns the per-cell registry, the probe
+/// registry, and the footprint buffer, so batch after batch schedules
+/// with zero steady-state allocation. The engine keeps one per serving
+/// loop; [`schedule`] wraps a throwaway one for one-shot callers.
+#[derive(Debug)]
+pub struct Scheduler {
+    cells: CellTable<CellWaves>,
+    modes: CellTable<u8>,
+    fp: Footprint,
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler {
+    /// A scheduler with freshly allocated (empty) registries.
+    pub fn new() -> Self {
+        Self {
+            cells: CellTable::new(),
+            modes: CellTable::new(),
+            fp: Footprint::new(),
+        }
+    }
+
+    /// Assigns every op of `ops` a wave (or the serial lane) such that
+    /// conflicting ops keep their submission order across waves and
+    /// within the serial lane, while commuting ops share waves. Works for
+    /// any footprinted op alphabet — ERC20, ERC721, ERC1155 traffic all
+    /// schedule through this one method.
+    pub fn schedule<Op: FootprintedOp>(
+        &mut self,
+        ops: &[(ProcessId, Op)],
+        cfg: &ScheduleConfig,
+    ) -> Schedule {
+        let serial_wave = u32::try_from(cfg.max_parallel_waves.max(1)).unwrap_or(NONE - 1);
+        self.cells.reset();
+        let mut out = Schedule::default();
+        for (idx, (caller, op)) in ops.iter().enumerate() {
+            self.fp.clear();
+            op.footprint_into(*caller, &mut self.fp);
+            // Highest wave of any earlier conflicting op (NONE if none).
+            let mut floor = NONE;
+            let mut hits = 0usize;
+            for (cell, access) in self.fp.iter() {
+                let Some(w) = self.cells.get(cell.key()) else {
+                    continue;
+                };
+                let mut bump = |wave: u32| {
+                    if wave != NONE {
+                        hits += 1;
+                        if floor == NONE || wave > floor {
+                            floor = wave;
+                        }
+                    }
+                };
+                // An earlier access conflicts unless it commutes with
+                // ours: exactly the Access::commutes_with table.
+                match access {
+                    Access::Update => {
+                        bump(w.update);
+                        bump(w.credit);
+                        bump(w.read);
+                    }
+                    Access::Credit => {
+                        bump(w.update);
+                        bump(w.read);
+                    }
+                    Access::Read => {
+                        bump(w.update);
+                        bump(w.credit);
+                    }
+                }
+            }
+            out.conflicts += hits;
+            // One past the floor; serial ops saturate at the serial wave
+            // so everything conflicting with them lands serial too.
+            let wave = floor.wrapping_add(1).min(serial_wave);
+            if wave < serial_wave {
+                let wave = wave as usize;
+                if out.waves.len() <= wave {
+                    out.waves.resize(wave + 1, Vec::new());
+                }
+                out.waves[wave].push(idx);
+            } else {
+                out.serial.push(idx);
+            }
+            // Register this op's own accesses at its assigned wave.
+            for (cell, access) in self.fp.iter() {
+                let entry = self.cells.entry(cell.key());
+                let slot = match access {
+                    Access::Update => &mut entry.update,
+                    Access::Credit => &mut entry.credit,
+                    Access::Read => &mut entry.read,
+                };
+                if *slot == NONE || wave > *slot {
+                    *slot = wave;
+                }
+            }
+        }
+        out
+    }
+
+    /// The adaptive-bypass probe: whether every pair of ops in `ops`
+    /// commutes (no cell is touched by two ops in non-commuting modes).
+    /// A `true` answer certifies — *before anything executes* — that
+    /// uncoordinated execution of the batch linearizes in submission
+    /// order, because commuting neighbors can be exchanged freely; the
+    /// engine then skips wave construction entirely. Exits on the first
+    /// conflict found, so the conflicting regimes pay only a prefix scan.
+    ///
+    /// Intra-op repeats (one op charging a cell twice, e.g. an ERC1155
+    /// batch naming a type twice) are not conflicts and are ignored, like
+    /// in the scheduler proper.
+    pub fn batch_commutes<Op: FootprintedOp>(&mut self, ops: &[(ProcessId, Op)]) -> bool {
+        self.modes.reset();
+        for (caller, op) in ops {
+            self.fp.clear();
+            op.footprint_into(*caller, &mut self.fp);
+            // Pass 1: check against *earlier ops'* accesses only (this
+            // op's own cells are not yet registered).
+            for (cell, access) in self.fp.iter() {
+                let seen = self.modes.get(cell.key()).unwrap_or(0);
+                let clash = match access {
+                    Access::Update => seen != 0,
+                    Access::Credit => seen & (M_UPDATE | M_READ) != 0,
+                    Access::Read => seen & (M_UPDATE | M_CREDIT) != 0,
+                };
+                if clash {
+                    return false;
+                }
+            }
+            // Pass 2: register this op's accesses.
+            for (cell, access) in self.fp.iter() {
+                let mode = match access {
+                    Access::Update => M_UPDATE,
+                    Access::Credit => M_CREDIT,
+                    Access::Read => M_READ,
+                };
+                *self.modes.entry(cell.key()) |= mode;
+            }
+        }
+        true
+    }
+}
+
+/// One-shot form of [`Scheduler::schedule`] over a throwaway context —
+/// the convenience entry point tests and small callers use; the engine
+/// itself retains a [`Scheduler`] so its registries persist across
+/// batches.
+pub fn schedule<Op: FootprintedOp>(ops: &[(ProcessId, Op)], cfg: &ScheduleConfig) -> Schedule {
+    Scheduler::new().schedule(ops, cfg)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
     use tokensync_core::analysis::ops_conflict;
     use tokensync_core::erc20::Erc20Op;
     use tokensync_core::standards::erc1155::{Erc1155Op, TypeId};
@@ -333,6 +581,101 @@ mod tests {
         let s = schedule(&ops, &ScheduleConfig::default());
         assert_eq!(s.waves[0], vec![0, 1, 2]);
         assert_eq!(s.waves[1], vec![3]);
+    }
+
+    #[test]
+    fn probe_agrees_with_pairwise_conflicts() {
+        // batch_commutes must answer exactly "no conflicting pair".
+        let mut rng = 0xA5A5_5A5A_0F0F_F0F0u64;
+        let mut next = move |m: usize| {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            (rng as usize) % m
+        };
+        let mut scheduler = Scheduler::new();
+        let mut commuting_seen = false;
+        let mut conflicting_seen = false;
+        for _ in 0..200 {
+            let n = 8;
+            let ops: Vec<(ProcessId, Erc20Op)> = (0..6)
+                .map(|_| match next(3) {
+                    0 => transfer(next(n), n + next(n), next(3) as u64),
+                    1 => spend(next(n), next(n), n + next(n)),
+                    _ => (
+                        p(next(n)),
+                        Erc20Op::Approve {
+                            spender: p(next(n)),
+                            value: next(5) as u64,
+                        },
+                    ),
+                })
+                .collect();
+            let pairwise_clean = (0..ops.len()).all(|x| {
+                (x + 1..ops.len())
+                    .all(|y| !ops_conflict((ops[x].0, &ops[x].1), (ops[y].0, &ops[y].1)))
+            });
+            assert_eq!(
+                scheduler.batch_commutes(&ops),
+                pairwise_clean,
+                "probe disagrees with the pairwise relation on {ops:?}"
+            );
+            commuting_seen |= pairwise_clean;
+            conflicting_seen |= !pairwise_clean;
+        }
+        assert!(
+            commuting_seen && conflicting_seen,
+            "both outcomes exercised"
+        );
+    }
+
+    #[test]
+    fn probe_ignores_intra_op_repeats() {
+        use tokensync_core::standards::erc1155::{Erc1155Op, TypeId};
+        // One op naming the same type twice collides only with itself —
+        // not a conflict. Two such ops from different accounts commute.
+        let dup = |caller: usize, from: usize| {
+            (
+                p(caller),
+                Erc1155Op::BatchTransfer {
+                    from: a(from),
+                    to: a(9),
+                    entries: vec![(TypeId::new(0), 1), (TypeId::new(0), 2)],
+                },
+            )
+        };
+        let mut s = Scheduler::new();
+        assert!(s.batch_commutes(&[dup(0, 0), dup(1, 1)]));
+        // Same source account: update/update, a real conflict.
+        assert!(!s.batch_commutes(&[dup(0, 0), dup(1, 0)]));
+    }
+
+    #[test]
+    fn reused_scheduler_matches_fresh_schedules() {
+        // The generation-stamped registry must not leak state across
+        // batches: a retained Scheduler and a throwaway one agree on a
+        // sequence of batches (including a table-growth-forcing one).
+        let mut retained = Scheduler::new();
+        let cfg = ScheduleConfig {
+            max_parallel_waves: 3,
+        };
+        let batches: Vec<Vec<(ProcessId, Erc20Op)>> = vec![
+            (0..2048).map(|i| transfer(i, 4096 + i, 1)).collect(), // grows the table
+            (1..9).map(|i| spend(i, 0, i)).collect(),
+            (0..8).map(|i| transfer(i, 8 + i, 1)).collect(),
+        ];
+        for ops in &batches {
+            let a = retained.schedule(ops, &cfg);
+            let b = schedule(ops, &cfg);
+            assert_eq!(a.waves, b.waves);
+            assert_eq!(a.serial, b.serial);
+            assert_eq!(a.conflicts, b.conflicts);
+            // The probe sees the same batches without cross-talk either.
+            assert_eq!(
+                retained.batch_commutes(ops),
+                Scheduler::new().batch_commutes(ops)
+            );
+        }
     }
 
     #[test]

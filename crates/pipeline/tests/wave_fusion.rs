@@ -1,0 +1,303 @@
+//! Wave-fusion soundness: fusing a batch's committed waves into one
+//! durability record must not change anything *semantic*.
+//!
+//! `fuse_waves` only changes the granularity at which the commit stage
+//! hands entries to the [`CommitSink`] (one record per batch instead of
+//! one per wave) and lets the executor run consecutive wide waves on one
+//! worker-pool rendezvous instead of re-spawning per wave. The
+//! linearization itself — the commit log, its order, every response —
+//! must be bit-identical between the fused and unfused engines. These
+//! tests pin that equivalence, deterministically and under random
+//! scripts, and pin the record-boundary shape on both sides.
+//!
+//! (The durable half of the satellite — fused records through the
+//! store's WAL, recovery equality, and crashes *mid fused record* —
+//! lives in `crates/store/tests/crash_recovery.rs`, which owns the WAL
+//! fixtures.)
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use tokensync_core::erc20::{Erc20Op, Erc20Spec, Erc20State};
+use tokensync_core::shared::{ConcurrentObject, ShardedErc20};
+use tokensync_core::standards::erc721::{
+    Erc721Op, Erc721Spec, Erc721State, ShardedErc721, TokenId,
+};
+use tokensync_pipeline::{
+    run_script_with_sink, BatchConfig, CommitSink, CommittedOp, PipelineConfig, PipelineRun,
+    ScheduleConfig,
+};
+use tokensync_spec::{AccountId, ObjectType, ProcessId};
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+fn a(i: usize) -> AccountId {
+    AccountId::new(i)
+}
+
+/// Records the length of every `wave_committed` record and each seal.
+#[derive(Default)]
+struct BoundarySink {
+    record_lens: Vec<usize>,
+    seals: u64,
+}
+
+impl<T: ConcurrentObject + ?Sized> CommitSink<T> for BoundarySink {
+    fn wave_committed(&mut self, _token: &T, entries: &[CommittedOp<T::Op, T::Resp>]) {
+        self.record_lens.push(entries.len());
+    }
+    fn batch_sealed(&mut self, _token: &T, _batch: u64) {
+        self.seals += 1;
+    }
+}
+
+fn cfg(batch: usize, fuse: bool, bypass: bool) -> PipelineConfig {
+    let mut cfg = PipelineConfig {
+        batch: BatchConfig {
+            max_ops: batch,
+            ..BatchConfig::default()
+        },
+        schedule: ScheduleConfig {
+            max_parallel_waves: 3,
+        },
+        fuse_waves: fuse,
+        ..PipelineConfig::default()
+    };
+    cfg.bypass.enabled = bypass;
+    cfg
+}
+
+/// Runs `script` twice from identical initial objects — fused and
+/// unfused — and asserts the two commit logs are entry-for-entry
+/// identical (same order, same responses), the objects end identical,
+/// and only the record *boundaries* differ. Returns both runs plus the
+/// boundary sinks.
+fn run_both<T, Build>(
+    build: Build,
+    script: &[(ProcessId, T::Op)],
+    batch: usize,
+    bypass: bool,
+) -> (
+    PipelineRun<T::Op, T::Resp>,
+    PipelineRun<T::Op, T::Resp>,
+    BoundarySink,
+    BoundarySink,
+)
+where
+    T: ConcurrentObject,
+    Build: Fn() -> T,
+    T::State: Eq + std::fmt::Debug,
+    T::Op: PartialEq + std::fmt::Debug,
+{
+    let fused_token = build();
+    let unfused_token = build();
+    let mut fused_sink = BoundarySink::default();
+    let mut unfused_sink = BoundarySink::default();
+    let fused = run_script_with_sink(
+        &fused_token,
+        script,
+        &cfg(batch, true, bypass),
+        &mut fused_sink,
+    );
+    let unfused = run_script_with_sink(
+        &unfused_token,
+        script,
+        &cfg(batch, false, bypass),
+        &mut unfused_sink,
+    );
+
+    // The linearization is identical: same entries, same order, same
+    // responses, same final object state.
+    assert_eq!(
+        fused.log.entries(),
+        unfused.log.entries(),
+        "fused and unfused commit logs diverged"
+    );
+    assert_eq!(fused_token.snapshot(), unfused_token.snapshot());
+
+    // Only the record granularity differs: both sinks see the same ops
+    // in the same order, but the fused side cuts at batch boundaries.
+    assert_eq!(
+        fused_sink.record_lens.iter().sum::<usize>(),
+        unfused_sink.record_lens.iter().sum::<usize>()
+    );
+    assert!(fused_sink.record_lens.len() <= unfused_sink.record_lens.len());
+    assert_eq!(
+        fused_sink.record_lens.len() as u64,
+        fused.stats.commit_records
+    );
+    assert_eq!(
+        unfused_sink.record_lens.len() as u64,
+        unfused.stats.commit_records
+    );
+    // Everything except the record count matches between the two runs.
+    let mut fused_stats = fused.stats;
+    let mut unfused_stats = unfused.stats;
+    fused_stats.commit_records = 0;
+    unfused_stats.commit_records = 0;
+    assert_eq!(fused_stats, unfused_stats, "stats diverged beyond records");
+    (fused, unfused, fused_sink, unfused_sink)
+}
+
+#[test]
+fn fused_runs_commit_one_record_per_batch() {
+    // Mixed traffic that schedules into several waves per batch.
+    let n = 16;
+    let mut initial = Erc20State::from_balances(vec![50; n]);
+    for sp in 1..4 {
+        initial.set_allowance(a(0), p(sp), 20);
+    }
+    let script: Vec<(ProcessId, Erc20Op)> = (0..48)
+        .map(|i| {
+            if i % 4 == 3 {
+                (
+                    p(1 + (i % 3)),
+                    Erc20Op::TransferFrom {
+                        from: a(0),
+                        to: a(1 + (i % 3)),
+                        value: 1,
+                    },
+                )
+            } else {
+                (
+                    p(i % 8),
+                    Erc20Op::Transfer {
+                        to: a(8 + (i % 8)),
+                        value: 1,
+                    },
+                )
+            }
+        })
+        .collect();
+    let make = || ShardedErc20::from_state(initial.clone());
+    let (fused, _, fused_sink, unfused_sink) = run_both(make, &script, 12, false);
+
+    // Fused: exactly one record per (non-empty) batch, each spanning the
+    // whole batch. Unfused: strictly more records (multi-wave batches
+    // split), same total.
+    assert_eq!(fused_sink.record_lens.len() as u64, fused.stats.batches);
+    assert!(fused_sink.record_lens.iter().all(|&l| l == 12));
+    assert!(
+        unfused_sink.record_lens.len() > fused_sink.record_lens.len(),
+        "contended batches must split into multiple unfused records"
+    );
+    // And the log still replays against the oracle's sequential order.
+    let spec = Erc20Spec::new(initial);
+    let replayed = fused.log.replay(&spec).expect("replays");
+    let mut sequential = spec.initial_state();
+    for (caller, op) in &script {
+        spec.apply(&mut sequential, *caller, op);
+    }
+    assert_eq!(replayed, sequential);
+}
+
+#[test]
+fn bypassed_batches_commit_identically_in_both_modes() {
+    // Fully disjoint traffic rides the bypass in both modes: one record
+    // per batch on each side, identical logs.
+    let n = 64;
+    let initial = Erc20State::from_balances(vec![10; n]);
+    let script: Vec<(ProcessId, Erc20Op)> = (0..32)
+        .map(|i| {
+            (
+                p(i % 16),
+                Erc20Op::Transfer {
+                    to: a(32 + (i % 16)),
+                    value: 1,
+                },
+            )
+        })
+        .collect();
+    let make = || ShardedErc20::from_state(initial.clone());
+    let (fused, unfused, fused_sink, unfused_sink) = run_both(make, &script, 16, true);
+    assert_eq!(fused.stats.bypassed_batches, 2);
+    assert_eq!(unfused.stats.bypassed_batches, 2);
+    assert_eq!(fused_sink.record_lens, vec![16, 16]);
+    assert_eq!(unfused_sink.record_lens, vec![16, 16]);
+}
+
+#[test]
+fn erc721_fused_and_unfused_logs_are_identical() {
+    let n = 16;
+    let mut initial = Erc721State::minted_round_robin(n, 64, n);
+    for i in 1..n {
+        initial.set_operator(p(0), p(i), true);
+    }
+    let script: Vec<(ProcessId, Erc721Op)> = (0..40)
+        .map(|i| {
+            if i % 5 == 4 {
+                // Contended claim on token 0.
+                (
+                    p(1 + (i % 7)),
+                    Erc721Op::TransferFrom {
+                        from: p(0),
+                        to: p(1 + (i % 7)),
+                        token: TokenId::new(0),
+                    },
+                )
+            } else {
+                (
+                    p(i % n),
+                    Erc721Op::TransferFrom {
+                        from: p(i % n),
+                        to: p((i + 1) % n),
+                        token: TokenId::new(i % n),
+                    },
+                )
+            }
+        })
+        .collect();
+    let make = || ShardedErc721::from_state(initial.clone());
+    let (fused, _, _, _) = run_both(make, &script, 10, true);
+    fused
+        .log
+        .replay(&Erc721Spec::new(initial))
+        .expect("fused nft log replays");
+}
+
+proptest! {
+    /// Random mixed ERC20 scripts, random batch sizes, bypass on and
+    /// off: the fused and unfused engines must stay indistinguishable
+    /// up to record boundaries.
+    #[test]
+    fn fusion_never_changes_the_linearization(
+        balances in vec(0u64..10, 12),
+        ops in vec(
+            prop_oneof![
+                (0..12usize, 0..12usize, 0u64..4).prop_map(|(c, to, v)| (
+                    c,
+                    Erc20Op::Transfer { to: AccountId::new(to), value: v }
+                )),
+                (0..12usize, 0..12usize, 0..12usize, 0u64..4).prop_map(|(c, from, to, v)| (
+                    c,
+                    Erc20Op::TransferFrom {
+                        from: AccountId::new(from),
+                        to: AccountId::new(to),
+                        value: v,
+                    }
+                )),
+                (0..12usize, 0..12usize, 0u64..6).prop_map(|(c, sp, v)| (
+                    c,
+                    Erc20Op::Approve { spender: ProcessId::new(sp), value: v }
+                )),
+            ],
+            1..60,
+        ),
+        batch in 1usize..14,
+        bypass_bit in 0usize..2,
+    ) {
+        let bypass = bypass_bit == 1;
+        let initial = Erc20State::from_balances(balances);
+        let script: Vec<(ProcessId, Erc20Op)> =
+            ops.into_iter().map(|(c, op)| (p(c), op)).collect();
+        let make = || ShardedErc20::from_state(initial.clone());
+        let (fused, _, _, _) = run_both(make, &script, batch, bypass);
+        let spec = Erc20Spec::new(initial);
+        let replayed = fused.log.replay(&spec).expect("replays");
+        let mut sequential = spec.initial_state();
+        for (caller, op) in &script {
+            spec.apply(&mut sequential, *caller, op);
+        }
+        assert_eq!(replayed, sequential);
+    }
+}

@@ -37,7 +37,12 @@ fn a(i: usize) -> AccountId {
     AccountId::new(i)
 }
 
-fn pipeline_cfg(batch: usize) -> PipelineConfig {
+/// The default engine now fuses each batch's waves into one WAL record
+/// (`fuse_waves: true`), so every proptest below that uses this config
+/// already kills the WAL at arbitrary offsets *inside* fused records;
+/// `fuse: false` restores the record-per-wave granularity for the
+/// equivalence tests.
+fn pipeline_cfg_fused(batch: usize, fuse: bool) -> PipelineConfig {
     PipelineConfig {
         batch: BatchConfig {
             max_ops: batch,
@@ -46,8 +51,13 @@ fn pipeline_cfg(batch: usize) -> PipelineConfig {
         schedule: ScheduleConfig {
             max_parallel_waves: 3,
         },
+        fuse_waves: fuse,
         ..PipelineConfig::default()
     }
+}
+
+fn pipeline_cfg(batch: usize) -> PipelineConfig {
+    pipeline_cfg_fused(batch, true)
 }
 
 /// Runs `script` through the durable pipeline and returns the full
@@ -57,6 +67,33 @@ fn durable_run<T>(
     genesis: &T::State,
     script: &[(ProcessId, T::Op)],
     batch: usize,
+    durability: Durability,
+    snapshot_every_ops: u64,
+    segment_max_bytes: u64,
+) -> Vec<CommittedOp<T::Op, T::Resp>>
+where
+    T: Restorable,
+    T::Op: Codec,
+    T::Resp: Codec,
+    T::State: StateCodec,
+{
+    durable_run_with::<T>(
+        dir,
+        genesis,
+        script,
+        &pipeline_cfg(batch),
+        durability,
+        snapshot_every_ops,
+        segment_max_bytes,
+    )
+}
+
+/// [`durable_run`] with an explicit engine config (fused or unfused).
+fn durable_run_with<T>(
+    dir: &std::path::Path,
+    genesis: &T::State,
+    script: &[(ProcessId, T::Op)],
+    cfg: &PipelineConfig,
     durability: Durability,
     snapshot_every_ops: u64,
     segment_max_bytes: u64,
@@ -79,7 +116,7 @@ where
         },
     )
     .expect("create store");
-    let run = run_script_with_sink(&token, script, &pipeline_cfg(batch), &mut store);
+    let run = run_script_with_sink(&token, script, cfg, &mut store);
     assert_eq!(run.stats.ops as usize, script.len());
     store.close().expect("no parked write errors");
     run.log.entries().to_vec()
@@ -205,6 +242,79 @@ proptest! {
         );
         crash_wal_at(&dir, kill % (wal_total_bytes(&dir) + 1));
         assert_prefix_recovery::<ShardedErc20>(&dir, &genesis, &full_log);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    /// Wave-fusion durability equivalence: the same script written
+    /// through a fused WAL and an unfused WAL must produce the same
+    /// commit log and recover to the same state at the same watermark —
+    /// fusion changes record *boundaries*, never the linearization the
+    /// store preserves.
+    #[test]
+    fn erc20_fused_and_unfused_wals_recover_identically(
+        callers in vec(0..N20, 1..32),
+        ops in vec(arb_erc20_op(), 1..32),
+        batch in 1usize..10,
+        snapshot_every in 0u64..3,
+    ) {
+        let genesis = Erc20State::from_balances(vec![6; N20]);
+        let script: Vec<(ProcessId, Erc20Op)> = callers
+            .iter()
+            .zip(&ops)
+            .map(|(&c, op)| (p(c), op.clone()))
+            .collect();
+        let dir_fused = temp_dir("erc20-fused");
+        let dir_unfused = temp_dir("erc20-unfused");
+        let log_fused = durable_run_with::<ShardedErc20>(
+            &dir_fused, &genesis, &script, &pipeline_cfg_fused(batch, true),
+            Durability::GroupCommit, snapshot_every * 8, 512,
+        );
+        let log_unfused = durable_run_with::<ShardedErc20>(
+            &dir_unfused, &genesis, &script, &pipeline_cfg_fused(batch, false),
+            Durability::GroupCommit, snapshot_every * 8, 512,
+        );
+        prop_assert_eq!(&log_fused, &log_unfused, "fusion changed the commit log");
+        let rec_fused = recover::<ShardedErc20>(&dir_fused).expect("fused recovery");
+        let rec_unfused = recover::<ShardedErc20>(&dir_unfused).expect("unfused recovery");
+        prop_assert_eq!(rec_fused.next_seq as usize, log_fused.len());
+        prop_assert_eq!(rec_unfused.next_seq as usize, log_unfused.len());
+        prop_assert_eq!(rec_fused.state, rec_unfused.state);
+        std::fs::remove_dir_all(&dir_fused).expect("cleanup");
+        std::fs::remove_dir_all(&dir_unfused).expect("cleanup");
+    }
+
+    /// Killing the WAL *mid fused record* must drop the whole batch the
+    /// record carried — recovery can only land on a batch boundary (or
+    /// the end of the stream), never inside one: a fused record is
+    /// atomic in the log.
+    #[test]
+    fn erc20_crash_mid_fused_record_lands_on_batch_boundaries(
+        callers in vec(0..N20, 1..48),
+        ops in vec(arb_erc20_op(), 1..48),
+        batch in 1usize..12,
+        kill in 0u64..1_000_000,
+    ) {
+        let dir = temp_dir("erc20-midfused");
+        let genesis = Erc20State::from_balances(vec![6; N20]);
+        let script: Vec<(ProcessId, Erc20Op)> = callers
+            .iter()
+            .zip(&ops)
+            .map(|(&c, op)| (p(c), op.clone()))
+            .collect();
+        // Snapshots off: the watermark stays 0, so next_seq comes from
+        // replayed WAL records alone and the boundary claim is pure.
+        let full_log = durable_run_with::<ShardedErc20>(
+            &dir, &genesis, &script, &pipeline_cfg_fused(batch, true),
+            Durability::PerWave, 0, 4096,
+        );
+        crash_wal_at(&dir, kill % (wal_total_bytes(&dir) + 1));
+        let next_seq = assert_prefix_recovery::<ShardedErc20>(&dir, &genesis, &full_log)
+            as usize;
+        prop_assert!(
+            next_seq % batch == 0 || next_seq == full_log.len(),
+            "recovery landed inside a fused batch: next_seq={} batch={} len={}",
+            next_seq, batch, full_log.len(),
+        );
         std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 }

@@ -1,0 +1,197 @@
+//! Offline stand-in for the `smallvec` crate (v2 const-generic API).
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the subset of `smallvec 2.x` its hot paths use: a [`SmallVec<T, N>`]
+//! that stores up to `N` elements inline and spills the overflow to a
+//! heap vector. Unlike the real crate this shim is written entirely in
+//! safe Rust (inline slots are `Option<T>`), trading a few bytes of
+//! padding for zero `unsafe` — the property that matters to its users
+//! here is the *allocation profile*: pushing within the inline capacity
+//! never allocates, and [`clear`](SmallVec::clear) keeps both the inline
+//! slots and any spill capacity, so a reused buffer is allocation-free in
+//! steady state no matter how it was filled.
+
+#![forbid(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+/// A vector with `N` inline slots and heap spill-over.
+///
+/// Elements `0..min(len, N)` live inline; elements `N..len` (if any)
+/// live in the spill vector. All operations preserve insertion order.
+///
+/// # Examples
+///
+/// ```
+/// let mut v: smallvec::SmallVec<u32, 4> = smallvec::SmallVec::new();
+/// for i in 0..6 {
+///     v.push(i); // 4 inline, 2 spilled — same observable behavior
+/// }
+/// assert_eq!(v.len(), 6);
+/// assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4, 5]);
+/// v.clear();
+/// assert!(v.is_empty());
+/// ```
+#[derive(Clone)]
+pub struct SmallVec<T, const N: usize> {
+    inline: [Option<T>; N],
+    spill: Vec<T>,
+    len: usize,
+}
+
+impl<T, const N: usize> SmallVec<T, N> {
+    /// An empty vector; allocates nothing.
+    pub const fn new() -> Self {
+        Self {
+            inline: [const { None }; N],
+            spill: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of elements.
+    pub const fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector holds no elements.
+    pub const fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether elements have overflowed the inline capacity.
+    pub const fn spilled(&self) -> bool {
+        self.len > N
+    }
+
+    /// Appends an element; allocates only past the inline capacity.
+    pub fn push(&mut self, value: T) {
+        if self.len < N {
+            self.inline[self.len] = Some(value);
+        } else {
+            self.spill.push(value);
+        }
+        self.len += 1;
+    }
+
+    /// Removes and returns the last element.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        if self.len < N {
+            self.inline[self.len].take()
+        } else {
+            self.spill.pop()
+        }
+    }
+
+    /// Drops every element, keeping the spill allocation (so a reused
+    /// buffer never re-allocates in steady state).
+    pub fn clear(&mut self) {
+        for slot in &mut self.inline[..self.len.min(N)] {
+            *slot = None;
+        }
+        self.spill.clear();
+        self.len = 0;
+    }
+
+    /// Iterates the elements in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> + '_ {
+        self.inline[..self.len.min(N)]
+            .iter()
+            .map(|slot| slot.as_ref().expect("slot below len is filled"))
+            .chain(self.spill.iter())
+    }
+}
+
+impl<T, const N: usize> Default for SmallVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: std::fmt::Debug, const N: usize> std::fmt::Debug for SmallVec<T, N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl<T: PartialEq, const N: usize> PartialEq for SmallVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl<T: Eq, const N: usize> Eq for SmallVec<T, N> {}
+
+impl<T, const N: usize> Extend<T> for SmallVec<T, N> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for value in iter {
+            self.push(value);
+        }
+    }
+}
+
+impl<T, const N: usize> FromIterator<T> for SmallVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut out = Self::new();
+        out.extend(iter);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_then_spill_round_trips() {
+        let mut v: SmallVec<usize, 3> = SmallVec::new();
+        assert!(v.is_empty() && !v.spilled());
+        for i in 0..7 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 7);
+        assert!(v.spilled());
+        assert_eq!(
+            v.iter().copied().collect::<Vec<_>>(),
+            (0..7).collect::<Vec<_>>()
+        );
+        assert_eq!(v.pop(), Some(6));
+        assert_eq!(v.pop(), Some(5));
+        assert_eq!(v.pop(), Some(4));
+        assert_eq!(v.pop(), Some(3)); // back inside the inline region
+        assert_eq!(v.len(), 3);
+        assert!(!v.spilled());
+        v.clear();
+        assert_eq!(v.pop(), None);
+        assert_eq!(v.len(), 0);
+    }
+
+    #[test]
+    fn clear_keeps_working_after_spill() {
+        let mut v: SmallVec<String, 2> = SmallVec::new();
+        for round in 0..3 {
+            v.clear();
+            for i in 0..5 {
+                v.push(format!("{round}:{i}"));
+            }
+            assert_eq!(v.len(), 5);
+            assert_eq!(
+                v.iter().next().map(String::as_str),
+                Some(format!("{round}:0").as_str())
+            );
+        }
+    }
+
+    #[test]
+    fn equality_and_collect() {
+        let a: SmallVec<u8, 2> = (0..4).collect();
+        let b: SmallVec<u8, 2> = (0..4).collect();
+        let c: SmallVec<u8, 2> = (0..3).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(format!("{a:?}"), "[0, 1, 2, 3]");
+    }
+}

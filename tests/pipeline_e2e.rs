@@ -71,6 +71,13 @@ fn owner_disjoint_traffic_executes_with_wave_parallelism() {
     );
     assert_eq!(run.stats.serial_ops, 0);
     assert_eq!(run.stats.conflicts, 0);
+    // Fully commuting traffic engages the adaptive bypass: after the
+    // first certified batch the conflict-density EWMA stays at zero.
+    assert!(
+        run.stats.bypassed_batches > 0,
+        "disjoint traffic must ride the bypass, got {:?}",
+        run.stats
+    );
     let spec = Erc20Spec::new(initial.clone());
     assert_eq!(run.log.replay(&spec).unwrap(), token.state_snapshot());
     assert_eq!(token.state_snapshot(), sequential(&initial, &script));
@@ -91,6 +98,7 @@ fn concurrent_clients_through_the_spawned_engine_linearize() {
             max_ops: 16,
             max_wait: Duration::from_millis(1),
             queue_depth: 64,
+            ..BatchConfig::default()
         },
         ..PipelineConfig::default()
     };

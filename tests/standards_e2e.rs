@@ -228,6 +228,7 @@ fn spawned_engine_serves_concurrent_nft_clients() {
             max_ops: 16,
             max_wait: Duration::from_millis(1),
             queue_depth: 64,
+            ..BatchConfig::default()
         },
         ..PipelineConfig::default()
     };
