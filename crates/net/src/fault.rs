@@ -1,0 +1,268 @@
+//! Seeded fault injection for the simulator — the adversary the
+//! replication layer is built against.
+//!
+//! A [`FaultPlan`] describes, deterministically per seed, everything an
+//! asynchronous network with crash faults may do to replica-to-replica
+//! traffic beyond delaying it:
+//!
+//! * **message drops** — each link `(src, dst)` loses a message with a
+//!   configured probability (a per-link override on top of a default);
+//! * **duplicate delivery** — a message is delivered twice, the copy
+//!   with its own independently drawn delay (so duplicates also
+//!   reorder);
+//! * **partitions** — during `[from, until)` no message crosses between
+//!   the two sides of a node cut (asymmetric cuts are expressible by
+//!   overlapping one-directional intervals);
+//! * **scheduled crash/restart** — node `i` crashes at tick `t` and may
+//!   be restarted at a later tick, modelling machine loss with
+//!   durable-state survival: the node object keeps its fields and its
+//!   on-disk state, and [`Node::on_restart`](crate::Node::on_restart)
+//!   decides what survives.
+//!
+//! The plan's randomness comes from its **own** seed and RNG stream, so
+//! attaching a plan never perturbs the delay policy's draws: a faultless
+//! run with a plan attached is bit-identical to a run without one, and
+//! two runs with the same `(sim seed, plan)` are bit-identical to each
+//! other. Client injections via [`SimNet::post`](crate::SimNet::post)
+//! are never dropped or duplicated (they model the local ingress path,
+//! not the network), but partitions and crashes still apply at delivery.
+
+use std::fmt::Debug;
+
+/// One direction of a link: messages from `src` to `dst`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Link {
+    /// Sending node.
+    pub src: usize,
+    /// Receiving node.
+    pub dst: usize,
+}
+
+/// A network partition active during `[from, until)`: messages between
+/// `side_a` and its complement are dropped at delivery time, in both
+/// directions. Messages within a side pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    /// First tick the cut is active.
+    pub from: u64,
+    /// First tick the cut has healed.
+    pub until: u64,
+    /// One side of the cut; every node not listed is on the other side.
+    pub side_a: Vec<usize>,
+}
+
+impl Partition {
+    /// Whether a message crossing `src → dst` at time `at` is cut.
+    pub fn cuts(&self, src: usize, dst: usize, at: u64) -> bool {
+        if at < self.from || at >= self.until {
+            return false;
+        }
+        let a = self.side_a.contains(&src);
+        let b = self.side_a.contains(&dst);
+        a != b
+    }
+}
+
+/// What a scheduled node event does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeEventKind {
+    /// The node stops receiving and sending (its queued deliveries are
+    /// discarded on arrival).
+    Crash,
+    /// The node resumes; the simulator calls
+    /// [`Node::on_restart`](crate::Node::on_restart) so the node can
+    /// reload whatever survived (its durable state) and re-arm timers.
+    Restart,
+}
+
+/// A scheduled crash or restart.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeEvent {
+    /// Simulated tick at which the event fires (applied before any
+    /// delivery at or after this tick).
+    pub at: u64,
+    /// Affected node.
+    pub node: usize,
+    /// Crash or restart.
+    pub kind: NodeEventKind,
+}
+
+/// The full seeded fault schedule. Build with the chainable setters;
+/// the default plan injects nothing.
+///
+/// # Examples
+///
+/// ```
+/// use tokensync_net::fault::FaultPlan;
+///
+/// let plan = FaultPlan::new(7)
+///     .drop_probability(0.1)
+///     .link_drop_probability(0, 2, 0.5)
+///     .duplicate_probability(0.05)
+///     .partition(100, 200, vec![0])
+///     .crash_at(300, 1)
+///     .restart_at(400, 1);
+/// assert!(plan.link_drop(0, 2) > plan.link_drop(1, 2));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Seed of the plan's private RNG stream (independent of the
+    /// simulator's delay RNG).
+    pub seed: u64,
+    /// Default per-message drop probability on every link.
+    pub default_drop: f64,
+    /// Per-link overrides of the drop probability.
+    pub link_drops: Vec<(Link, f64)>,
+    /// Probability a delivered message is delivered a second time (with
+    /// an independently drawn delay).
+    pub duplicate: f64,
+    /// Active partition intervals.
+    pub partitions: Vec<Partition>,
+    /// Scheduled crashes and restarts, applied in `at` order.
+    pub schedule: Vec<NodeEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan with its own RNG seed: until setters add faults it
+    /// injects nothing.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the default drop probability for every link.
+    pub fn drop_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "drop probability out of [0,1]");
+        self.default_drop = p;
+        self
+    }
+
+    /// Overrides the drop probability of one directed link.
+    pub fn link_drop_probability(mut self, src: usize, dst: usize, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "drop probability out of [0,1]");
+        self.link_drops.push((Link { src, dst }, p));
+        self
+    }
+
+    /// Sets the duplicate-delivery probability.
+    pub fn duplicate_probability(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "duplicate probability out of [0,1]"
+        );
+        self.duplicate = p;
+        self
+    }
+
+    /// Adds a partition separating `side_a` from everyone else during
+    /// `[from, until)`.
+    pub fn partition(mut self, from: u64, until: u64, side_a: Vec<usize>) -> Self {
+        assert!(from <= until, "partition heals before it starts");
+        self.partitions.push(Partition {
+            from,
+            until,
+            side_a,
+        });
+        self
+    }
+
+    /// Schedules a crash of `node` at tick `at`.
+    pub fn crash_at(mut self, at: u64, node: usize) -> Self {
+        self.schedule.push(NodeEvent {
+            at,
+            node,
+            kind: NodeEventKind::Crash,
+        });
+        self
+    }
+
+    /// Schedules a restart of `node` at tick `at`.
+    pub fn restart_at(mut self, at: u64, node: usize) -> Self {
+        self.schedule.push(NodeEvent {
+            at,
+            node,
+            kind: NodeEventKind::Restart,
+        });
+        self
+    }
+
+    /// Effective drop probability of the directed link `src → dst`.
+    pub fn link_drop(&self, src: usize, dst: usize) -> f64 {
+        self.link_drops
+            .iter()
+            .rev() // later overrides win
+            .find(|(l, _)| l.src == src && l.dst == dst)
+            .map_or(self.default_drop, |&(_, p)| p)
+    }
+
+    /// Whether any partition cuts `src → dst` at time `at`.
+    pub fn partitioned(&self, src: usize, dst: usize, at: u64) -> bool {
+        self.partitions.iter().any(|p| p.cuts(src, dst, at))
+    }
+
+    /// The schedule sorted by time (stable, so same-tick events keep
+    /// their declaration order — a crash declared before a restart at
+    /// the same tick crashes first).
+    pub fn sorted_schedule(&self) -> Vec<NodeEvent> {
+        let mut s = self.schedule.clone();
+        s.sort_by_key(|e| e.at);
+        s
+    }
+
+    /// Whether the plan can inject anything at all.
+    pub fn is_active(&self) -> bool {
+        self.default_drop > 0.0
+            || !self.link_drops.is_empty()
+            || self.duplicate > 0.0
+            || !self.partitions.is_empty()
+            || !self.schedule.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_overrides_beat_the_default() {
+        let plan = FaultPlan::new(0)
+            .drop_probability(0.2)
+            .link_drop_probability(1, 2, 0.9)
+            .link_drop_probability(1, 2, 0.0); // later override wins
+        assert_eq!(plan.link_drop(0, 1), 0.2);
+        assert_eq!(plan.link_drop(1, 2), 0.0);
+    }
+
+    #[test]
+    fn partitions_cut_both_directions_between_sides_only() {
+        let plan = FaultPlan::new(0).partition(10, 20, vec![0, 1]);
+        assert!(plan.partitioned(0, 2, 10));
+        assert!(plan.partitioned(2, 0, 19));
+        assert!(!plan.partitioned(0, 1, 15)); // same side
+        assert!(!plan.partitioned(2, 3, 15)); // same side
+        assert!(!plan.partitioned(0, 2, 9)); // before
+        assert!(!plan.partitioned(0, 2, 20)); // healed
+    }
+
+    #[test]
+    fn schedule_sorts_by_time_stably() {
+        let plan = FaultPlan::new(0)
+            .restart_at(50, 1)
+            .crash_at(10, 1)
+            .crash_at(50, 2);
+        let s = plan.sorted_schedule();
+        assert_eq!(s[0].kind, NodeEventKind::Crash);
+        assert_eq!(s[0].at, 10);
+        // Same tick keeps declaration order: restart(1) before crash(2).
+        assert_eq!(s[1].node, 1);
+        assert_eq!(s[2].node, 2);
+    }
+
+    #[test]
+    fn empty_plan_is_inactive() {
+        assert!(!FaultPlan::new(99).is_active());
+        assert!(FaultPlan::new(0).duplicate_probability(0.1).is_active());
+    }
+}

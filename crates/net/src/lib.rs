@@ -11,6 +11,10 @@
 //!
 //! * [`sim`] — a seeded discrete-event simulator with adversarial message
 //!   delays (the asynchronous network).
+//! * [`fault`] — seeded fault injection over the simulator: message
+//!   drops, duplicate delivery, partitions, scheduled crash/restart —
+//!   the adversary `tokensync-replica` proves its replication protocol
+//!   against.
 //! * [`rb`] — Bracha's Byzantine reliable broadcast.
 //! * [`payments`] — consensus-free asset transfer over reliable broadcast
 //!   (the Collins et al. design, simplified to crash faults): per-owner
@@ -43,11 +47,13 @@
 
 pub mod cmd;
 pub mod dynamic;
+pub mod fault;
 mod metrics;
 pub mod ordered;
 pub mod payments;
 pub mod rb;
 pub mod sim;
 
+pub use fault::FaultPlan;
 pub use metrics::Metrics;
 pub use sim::{Context, DelayPolicy, Node, SimNet};

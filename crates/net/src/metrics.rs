@@ -12,6 +12,12 @@ pub struct Metrics {
     pub sent_per_node: Vec<u64>,
     /// Final simulated time.
     pub end_time: u64,
+    /// Messages lost to the fault plan's drop probabilities.
+    pub dropped: u64,
+    /// Extra deliveries injected by the fault plan's duplication.
+    pub duplicated: u64,
+    /// Messages discarded at delivery because a partition cut the link.
+    pub partitioned: u64,
 }
 
 impl Metrics {
@@ -50,6 +56,7 @@ mod tests {
             delivered: 8,
             sent_per_node: vec![2, 2, 2, 2],
             end_time: 10,
+            ..Metrics::default()
         };
         assert!((m.load_imbalance() - 1.0).abs() < 1e-9);
         assert_eq!(m.max_node_load(), 2);

@@ -12,6 +12,7 @@ use std::fmt::Debug;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::fault::{FaultPlan, NodeEvent, NodeEventKind};
 use crate::metrics::Metrics;
 
 /// Message delay policy of the simulated network.
@@ -41,6 +42,7 @@ pub struct Context<M> {
     n: usize,
     time: u64,
     outbox: Vec<(usize, M)>,
+    timers: Vec<(u64, M)>,
 }
 
 impl<M: Clone> Context<M> {
@@ -73,6 +75,15 @@ impl<M: Clone> Context<M> {
         }
     }
 
+    /// Schedules `msg` for delivery **to this node itself** after
+    /// exactly `delay` ticks — a timer. Timers bypass the delay policy
+    /// and the fault plan's drop/duplicate draws (a node's clock is
+    /// local, not a network path), but a node that is crashed when the
+    /// timer fires never sees it.
+    pub fn send_after(&mut self, delay: u64, msg: M) {
+        self.timers.push((delay.max(1), msg));
+    }
+
     /// Creates a nested context with the same identity, network size and
     /// clock, for driving an embedded sub-protocol engine whose message
     /// type the outer protocol wraps (take its outbox afterwards with
@@ -83,6 +94,7 @@ impl<M: Clone> Context<M> {
             n: outer.n,
             time: outer.time,
             outbox: Vec::new(),
+            timers: Vec::new(),
         }
     }
 
@@ -102,6 +114,13 @@ pub trait Node {
 
     /// Called for each delivered message.
     fn on_message(&mut self, from: usize, msg: Self::Msg, ctx: &mut Context<Self::Msg>);
+
+    /// Called when the simulator restarts this node after a crash
+    /// (via [`SimNet::restart`] or a [`FaultPlan`] restart event). The
+    /// node object keeps its fields across the crash — this hook is
+    /// where an implementation models machine loss by discarding its
+    /// volatile state and reloading whatever it had made durable.
+    fn on_restart(&mut self, _ctx: &mut Context<Self::Msg>) {}
 }
 
 /// The simulator: owns the nodes, the event queue and the clock.
@@ -136,6 +155,10 @@ pub struct SimNet<N: Node> {
     seq: u64,
     metrics: Metrics,
     crashed: Vec<bool>,
+    /// Fault injection, when armed: the plan itself, its private RNG
+    /// stream (so arming a plan never perturbs the delay draws), and
+    /// the index of the next unapplied entry of the sorted schedule.
+    plan: Option<(FaultPlan, StdRng, Vec<NodeEvent>, usize)>,
 }
 
 struct Event<M> {
@@ -183,11 +206,22 @@ impl<N: Node> SimNet<N> {
             seq: 0,
             metrics: Metrics::new(n),
             crashed: vec![false; n],
+            plan: None,
         };
         for i in 0..n {
             net.with_ctx(i, |node, ctx| node.on_start(ctx));
         }
         net
+    }
+
+    /// Arms a seeded [`FaultPlan`]. The plan draws from its **own** RNG
+    /// stream, so a plan that never fires leaves the execution
+    /// bit-identical to an unarmed run; identical `(seed, plan)` pairs
+    /// yield identical executions.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        let rng = StdRng::seed_from_u64(plan.seed);
+        let schedule = plan.sorted_schedule();
+        self.plan = Some((plan, rng, schedule, 0));
     }
 
     /// Number of nodes.
@@ -213,17 +247,77 @@ impl<N: Node> SimNet<N> {
         self.crashed[node] = true;
     }
 
+    /// Whether `node` is currently crashed.
+    pub fn is_crashed(&self, node: usize) -> bool {
+        self.crashed[node]
+    }
+
+    /// Restarts a crashed `node`: it resumes receiving and sending, and
+    /// its [`on_restart`](Node::on_restart) hook runs so it can reload
+    /// its durable state. A no-op on a live node.
+    pub fn restart(&mut self, node: usize) {
+        if !self.crashed[node] {
+            return;
+        }
+        self.crashed[node] = false;
+        self.with_ctx(node, |n, ctx| n.on_restart(ctx));
+    }
+
+    /// Applies every scheduled crash/restart whose time is `<= now`.
+    fn apply_schedule(&mut self, now: u64) {
+        loop {
+            let Some((_, _, schedule, next)) = &self.plan else {
+                return;
+            };
+            let Some(event) = schedule.get(*next).copied() else {
+                return;
+            };
+            if event.at > now {
+                return;
+            }
+            if let Some((_, _, _, next)) = &mut self.plan {
+                *next += 1;
+            }
+            match event.kind {
+                NodeEventKind::Crash => self.crash(event.node),
+                NodeEventKind::Restart => self.restart(event.node),
+            }
+        }
+    }
+
     /// Runs until no events remain or `max_events` deliveries happened.
     /// Returns the number of deliveries performed.
     pub fn run(&mut self, max_events: u64) -> u64 {
         let mut delivered = 0;
         while delivered < max_events {
             let Some(Reverse(event)) = self.queue.pop() else {
-                break;
+                // Message queue drained: if scheduled faults remain, the
+                // clock jumps to the next one (a restart may produce new
+                // messages via `on_restart`, so the loop continues).
+                let next_at = self
+                    .plan
+                    .as_ref()
+                    .and_then(|(_, _, schedule, next)| schedule.get(*next))
+                    .map(|e| e.at);
+                match next_at {
+                    Some(at) => {
+                        self.time = self.time.max(at);
+                        self.apply_schedule(self.time);
+                        continue;
+                    }
+                    None => break,
+                }
             };
             self.time = self.time.max(event.at);
+            self.apply_schedule(self.time);
             if self.crashed[event.dst] {
                 continue;
+            }
+            if let Some((plan, _, _, _)) = &self.plan {
+                if event.src != event.dst && plan.partitioned(event.src, event.dst, event.at) {
+                    self.metrics.partitioned += 1;
+                    continue;
+                }
             }
             delivered += 1;
             self.metrics.delivered += 1;
@@ -243,6 +337,13 @@ impl<N: Node> SimNet<N> {
     /// Access to a node (for assertions).
     pub fn node(&self, i: usize) -> &N {
         &self.nodes[i]
+    }
+
+    /// Mutable access to a node — the control-plane escape hatch a
+    /// cluster orchestrator uses for out-of-band surgery (promotion,
+    /// role changes) that no in-protocol message should perform.
+    pub fn node_mut(&mut self, i: usize) -> &mut N {
+        &mut self.nodes[i]
     }
 
     /// Iterates over all nodes.
@@ -266,6 +367,7 @@ impl<N: Node> SimNet<N> {
             n: self.nodes.len(),
             time: self.time,
             outbox: Vec::new(),
+            timers: Vec::new(),
         };
         f(&mut self.nodes[i], &mut ctx);
         if self.crashed[i] {
@@ -276,6 +378,12 @@ impl<N: Node> SimNet<N> {
             self.metrics.sent_per_node[i] += 1;
             self.enqueue(i, dst, msg);
         }
+        for (delay, msg) in ctx.timers {
+            // A timer is the node's local clock: it bypasses the delay
+            // policy and the fault plan entirely (crash still silences
+            // it at delivery).
+            self.push_at(self.time + delay, i, i, msg);
+        }
     }
 
     fn enqueue(&mut self, src: usize, dst: usize, msg: N::Msg) {
@@ -283,6 +391,27 @@ impl<N: Node> SimNet<N> {
             DelayPolicy::Fixed(d) => d,
             DelayPolicy::Uniform { min, max } => self.rng.gen_range(min..=max),
         };
+        // Fault-plan draws come from the plan's own RNG stream so the
+        // delay draws above stay untouched by arming a plan. Self-sends
+        // are exempt: they model in-process handoff, not a network path.
+        if src != dst {
+            if let Some((plan, fault_rng, _, _)) = &mut self.plan {
+                let p_drop = plan.link_drop(src, dst);
+                if p_drop > 0.0 && fault_rng.gen_bool(p_drop) {
+                    self.metrics.dropped += 1;
+                    return;
+                }
+                if plan.duplicate > 0.0 && fault_rng.gen_bool(plan.duplicate) {
+                    let dup_delay = match self.policy {
+                        DelayPolicy::Fixed(d) => d,
+                        DelayPolicy::Uniform { min, max } => fault_rng.gen_range(min..=max),
+                    };
+                    self.metrics.duplicated += 1;
+                    let at = self.time + dup_delay;
+                    self.push_at(at, src, dst, msg.clone());
+                }
+            }
+        }
         self.push_at(self.time + delay, src, dst, msg);
     }
 
@@ -363,6 +492,181 @@ mod tests {
         net.post(0, 0, 50);
         let delivered = net.run(4);
         assert_eq!(delivered, 4);
+    }
+
+    #[test]
+    fn unarmed_and_inactive_plans_change_nothing() {
+        // Arming an *empty* plan must leave the execution bit-identical:
+        // the plan draws from its own RNG stream and an inactive plan
+        // draws nothing.
+        let mut plain = network(5);
+        plain.post(0, 1, 4);
+        plain.run_to_quiescence();
+        let mut armed = network(5);
+        armed.set_fault_plan(FaultPlan::new(123));
+        armed.post(0, 1, 4);
+        armed.run_to_quiescence();
+        assert_eq!(plain.metrics(), armed.metrics());
+        assert_eq!(plain.node(2).seen, armed.node(2).seen);
+    }
+
+    #[test]
+    fn fault_plans_are_deterministic_per_seed() {
+        let run = |plan_seed: u64| {
+            let mut net = network(5);
+            net.set_fault_plan(
+                FaultPlan::new(plan_seed)
+                    .drop_probability(0.2)
+                    .duplicate_probability(0.1)
+                    .partition(3, 9, vec![0]),
+            );
+            net.post(0, 1, 6);
+            net.run_to_quiescence();
+            (
+                net.metrics().clone(),
+                net.nodes().map(|n| n.seen).collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(7), run(7));
+        // A different fault seed drops/duplicates different messages
+        // while the sim seed (and thus the delay stream) is unchanged.
+        let (a, _) = run(7);
+        let (b, _) = run(8);
+        assert!(a.dropped + a.duplicated > 0 || b.dropped + b.duplicated > 0);
+    }
+
+    #[test]
+    fn drops_lose_messages_and_metrics_count_them() {
+        let mut net = network(3);
+        net.set_fault_plan(FaultPlan::new(1).drop_probability(1.0));
+        net.post(0, 0, 3); // post is exempt; the broadcast fallout is not
+        net.run_to_quiescence();
+        // Node 0 sees the injected message; every relayed message to
+        // *other* nodes is dropped (self-sends are exempt).
+        let m = net.metrics();
+        assert!(m.dropped > 0);
+        assert_eq!(net.node(1).seen + net.node(2).seen, 0);
+    }
+
+    #[test]
+    fn duplicates_deliver_twice() {
+        struct Fwd {
+            got: u32,
+        }
+        impl Node for Fwd {
+            type Msg = u32;
+            fn on_message(&mut self, _from: usize, m: u32, ctx: &mut Context<u32>) {
+                if ctx.me() == 0 {
+                    ctx.send(1, m);
+                } else {
+                    self.got += 1;
+                }
+            }
+        }
+        let mut net = SimNet::new(vec![Fwd { got: 0 }, Fwd { got: 0 }], 3);
+        net.set_fault_plan(FaultPlan::new(4).duplicate_probability(1.0));
+        net.post(0, 0, 9);
+        net.run_to_quiescence();
+        assert_eq!(net.node(1).got, 2);
+        assert_eq!(net.metrics().duplicated, 1);
+    }
+
+    #[test]
+    fn partitions_cut_and_heal() {
+        // Fixed delay 3: a message relayed at t=0 arrives at t=3 inside
+        // the cut [0, 10) and is discarded; one relayed after healing
+        // passes.
+        struct Relay {
+            got: Vec<u32>,
+        }
+        impl Node for Relay {
+            type Msg = u32;
+            fn on_message(&mut self, _from: usize, m: u32, ctx: &mut Context<u32>) {
+                if ctx.me() == 0 {
+                    if m == 1 {
+                        // Re-send attempt after the heal.
+                        ctx.send_after(20, 2);
+                    }
+                    ctx.send(1, m);
+                } else {
+                    self.got.push(m);
+                }
+            }
+        }
+        let mut net = SimNet::with_policy(
+            vec![Relay { got: vec![] }, Relay { got: vec![] }],
+            0,
+            DelayPolicy::Fixed(3),
+        );
+        net.set_fault_plan(FaultPlan::new(0).partition(0, 10, vec![0]));
+        net.post(0, 0, 1);
+        net.run_to_quiescence();
+        assert_eq!(
+            net.node(1).got,
+            vec![2],
+            "cut message lost, healed one passed"
+        );
+        assert_eq!(net.metrics().partitioned, 1);
+    }
+
+    #[test]
+    fn scheduled_crash_and_restart_run_the_hook() {
+        struct Phoenix {
+            restarted: bool,
+            seen: u32,
+        }
+        impl Node for Phoenix {
+            type Msg = u32;
+            fn on_message(&mut self, _from: usize, _m: u32, _ctx: &mut Context<u32>) {
+                self.seen += 1;
+            }
+            fn on_restart(&mut self, ctx: &mut Context<u32>) {
+                self.restarted = true;
+                ctx.send(0, 77); // announce rejoin
+            }
+        }
+        let mk = || Phoenix {
+            restarted: false,
+            seen: 0,
+        };
+        let mut net = SimNet::with_policy(vec![mk(), mk()], 0, DelayPolicy::Fixed(2));
+        net.set_fault_plan(FaultPlan::new(0).crash_at(0, 1).restart_at(5, 1));
+        net.post(0, 1, 1); // delivered at t=0 — node 1 already crashed
+        net.run_to_quiescence();
+        assert!(net.node(1).restarted, "restart hook ran");
+        assert_eq!(net.node(1).seen, 0, "message to crashed node was lost");
+        assert_eq!(net.node(0).seen, 1, "rejoin announcement arrived");
+    }
+
+    #[test]
+    fn manual_restart_is_a_noop_on_live_nodes() {
+        let mut net = network(2);
+        net.restart(1); // live: nothing happens
+        assert!(!net.is_crashed(1));
+        net.crash(1);
+        assert!(net.is_crashed(1));
+        net.restart(1);
+        assert!(!net.is_crashed(1));
+    }
+
+    #[test]
+    fn timers_deliver_to_self_after_the_delay() {
+        struct Timed {
+            fired_at: Option<u64>,
+        }
+        impl Node for Timed {
+            type Msg = u32;
+            fn on_start(&mut self, ctx: &mut Context<u32>) {
+                ctx.send_after(9, 1);
+            }
+            fn on_message(&mut self, from: usize, _m: u32, ctx: &mut Context<u32>) {
+                assert_eq!(from, ctx.me());
+                self.fired_at = Some(ctx.time());
+            }
+        }
+        let mut net = SimNet::new(vec![Timed { fired_at: None }], 0);
+        net.run_to_quiescence();
+        assert_eq!(net.node(0).fired_at, Some(9));
     }
 
     #[test]

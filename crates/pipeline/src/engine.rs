@@ -61,6 +61,54 @@ impl<T: ConcurrentObject + ?Sized> CommitSink<T> for () {
     fn batch_sealed(&mut self, _token: &T, _batch: u64) {}
 }
 
+/// A borrowed sink is a sink: lets callers keep ownership (e.g. of a
+/// `Store`) while an engine run observes commits through it, and lets
+/// [`TeeSink`] compose sinks without taking them by value.
+impl<T: ConcurrentObject + ?Sized, S: CommitSink<T> + ?Sized> CommitSink<T> for &mut S {
+    fn wave_committed(&mut self, token: &T, entries: &[CommittedOp<T::Op, T::Resp>]) {
+        (**self).wave_committed(token, entries);
+    }
+    fn batch_sealed(&mut self, token: &T, batch: u64) {
+        (**self).batch_sealed(token, batch);
+    }
+}
+
+/// Fans one commit stream out to two sinks, `a` first — the composition
+/// the replication layer uses to run a durable `Store` and a shipping
+/// observer off the same engine without either knowing about the other.
+/// Order matters for durability claims: put the sink whose side effects
+/// others depend on (the WAL) in `a`, observers in `b`.
+#[derive(Debug, Default)]
+pub struct TeeSink<A, B> {
+    /// The first sink (sees every event before `b`).
+    pub a: A,
+    /// The second sink.
+    pub b: B,
+}
+
+impl<A, B> TeeSink<A, B> {
+    /// Composes `a` and `b` into one sink.
+    pub fn new(a: A, b: B) -> Self {
+        Self { a, b }
+    }
+}
+
+impl<T, A, B> CommitSink<T> for TeeSink<A, B>
+where
+    T: ConcurrentObject + ?Sized,
+    A: CommitSink<T>,
+    B: CommitSink<T>,
+{
+    fn wave_committed(&mut self, token: &T, entries: &[CommittedOp<T::Op, T::Resp>]) {
+        self.a.wave_committed(token, entries);
+        self.b.wave_committed(token, entries);
+    }
+    fn batch_sealed(&mut self, token: &T, batch: u64) {
+        self.a.batch_sealed(token, batch);
+        self.b.batch_sealed(token, batch);
+    }
+}
+
 /// Adaptive-bypass policy: when the engine's measured conflict density
 /// is low it *probes* each batch ([`Scheduler::batch_commutes`]) and, on
 /// a clean probe, routes the batch straight to the object — no wave

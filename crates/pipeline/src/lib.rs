@@ -120,7 +120,7 @@ pub use commit::{CommitLog, CommittedOp, ReplayDivergence};
 pub use dynamic_lane::{drive_dynamic, DynamicDriveReport};
 pub use engine::{
     run_script, run_script_with_sink, BypassConfig, CommitSink, Pipeline, PipelineConfig,
-    PipelineHandle, PipelineRun, PipelineStats, SinkedPipelineHandle,
+    PipelineHandle, PipelineRun, PipelineStats, SinkedPipelineHandle, TeeSink,
 };
 pub use exec::{execute, execute_unordered, ExecConfig};
 // The `schedule` *function* stays at `schedule::schedule` — re-exporting

@@ -1,0 +1,47 @@
+//! Replicated serving: primary/follower WAL shipping over the
+//! simulated network, with fault injection, quorum acknowledgement and
+//! deterministic failover — machine loss becomes a survivable event.
+//!
+//! The layer-3 [`Store`](tokensync_store::Store) made one machine's
+//! serving history durable; this crate makes it **replicated**. The
+//! primary serves scripts through the pipeline exactly as before, then
+//! tails its own WAL with a pinned
+//! [`WalCursor`](tokensync_store::WalCursor) and ships the sealed
+//! records to followers **byte-identically** — a follower appends the
+//! same frame bytes the primary's disk holds, so the replicated log is
+//! bit-equal by construction, and every follower keeps a live
+//! [`ConcurrentObject`](tokensync_core::shared::ConcurrentObject)
+//! serving reads that trail the primary only by replication lag.
+//!
+//! What the simulator is allowed to do to the protocol — drop,
+//! duplicate and reorder messages, partition links, crash and restart
+//! machines (seeded [`FaultPlan`](tokensync_net::FaultPlan)s, fully
+//! deterministic) — and what the protocol guarantees in return:
+//!
+//! - **No acked wave is lost** under [`AckMode::Quorum`]: a position
+//!   only enters [`ReplicaNode::durable_seq`] once a quorum holds it
+//!   fsynced, so the failover winner always holds it.
+//! - **At-most-prefix loss** under [`AckMode::Async`]: a primary loss
+//!   can drop a suffix of unshipped waves, never a middle gap.
+//! - **Fencing**: epochs are stamped into WAL segment headers
+//!   durably; a deposed primary's appends are rejected (`Fenced`) and
+//!   it demotes itself, so no split-brain write survives.
+//! - **Graceful degradation**: a lagging or wiped follower is re-based
+//!   from a shipped snapshot and caught up from the log suffix while
+//!   the primary keeps serving; a silent follower is marked down after
+//!   bounded retries instead of wedging the cluster.
+//!
+//! See `docs/replication.md` for the wire format, the epoch/adoption
+//! rules and the failover algorithm.
+
+#![forbid(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod msg;
+pub mod node;
+
+pub use cluster::Cluster;
+pub use msg::{AckMode, ReplicaConfig, ReplicaMsg};
+pub use node::ReplicaNode;

@@ -1,0 +1,344 @@
+//! Cluster-level replication behaviour: byte-identical shipping, fault
+//! tolerance, snapshot catch-up, failover and fencing — all on the
+//! deterministic simulated network.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tokensync_core::erc20::{Erc20Op, Erc20State};
+use tokensync_core::shared::ShardedErc20;
+use tokensync_net::{FaultPlan, SimNet};
+use tokensync_pipeline::{BatchConfig, PipelineConfig};
+use tokensync_replica::{AckMode, Cluster, ReplicaConfig, ReplicaMsg, ReplicaNode};
+use tokensync_spec::{AccountId, ProcessId};
+use tokensync_store::{recover, StoreConfig};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "tokensync-replica-{name}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn genesis(n: usize) -> Erc20State {
+    Erc20State::from_balances(vec![1_000; n])
+}
+
+fn transfers(accounts: usize, count: usize) -> Vec<(ProcessId, Erc20Op)> {
+    (0..count)
+        .map(|i| {
+            (
+                ProcessId::new(i % accounts),
+                Erc20Op::Transfer {
+                    to: AccountId::new((i + 1) % accounts),
+                    value: 1,
+                },
+            )
+        })
+        .collect()
+}
+
+fn cluster(name: &str, n: usize, cfg: ReplicaConfig, seed: u64) -> Cluster<ShardedErc20> {
+    Cluster::new(&temp_dir(name), n, &genesis(8), cfg, seed).expect("build cluster")
+}
+
+fn assert_in_sync(c: &Cluster<ShardedErc20>) {
+    let lead = c.node(c.primary());
+    for i in 0..c.n() {
+        if c.is_crashed(i) {
+            continue;
+        }
+        let node = c.node(i);
+        assert_eq!(node.next_seq(), lead.next_seq(), "node {i} log length");
+        assert_eq!(node.epoch(), lead.epoch(), "node {i} epoch");
+        assert_eq!(node.state(), lead.state(), "node {i} state");
+        // The replicated log is byte-identical history: recovery from
+        // the follower's directory alone rebuilds the same state.
+        let rec = recover::<ShardedErc20>(node.dir()).expect("recover node dir");
+        assert_eq!(rec.next_seq, lead.next_seq(), "node {i} durable length");
+        assert_eq!(rec.state, lead.state(), "node {i} durable state");
+    }
+}
+
+#[test]
+fn replication_reaches_every_follower() {
+    let mut c = cluster("basic", 3, ReplicaConfig::default(), 11);
+    c.serve(&transfers(8, 100));
+    c.pump();
+    assert_eq!(c.node(0).next_seq(), 100);
+    assert_eq!(c.durable_seq(), 100, "quorum acked everything");
+    assert_in_sync(&c);
+}
+
+#[test]
+fn repeated_serve_pump_rounds_stay_in_sync() {
+    let mut c = cluster("rounds", 3, ReplicaConfig::default(), 7);
+    for _ in 0..5 {
+        c.serve(&transfers(8, 40));
+        c.pump();
+        assert_in_sync(&c);
+    }
+    assert_eq!(c.durable_seq(), 200);
+}
+
+#[test]
+fn drops_duplicates_and_reordering_do_not_break_replication() {
+    // Small batches → many records → many Append/Ack messages for the
+    // fault plan to chew on.
+    let cfg = ReplicaConfig {
+        pipeline: PipelineConfig {
+            batch: BatchConfig {
+                max_ops: 8,
+                ..BatchConfig::default()
+            },
+            ..PipelineConfig::default()
+        },
+        ..ReplicaConfig::default()
+    };
+    for fault_seed in [1u64, 2, 3] {
+        let mut c = cluster("faulty", 3, cfg, 42 + fault_seed);
+        c.set_fault_plan(
+            FaultPlan::new(fault_seed)
+                .drop_probability(0.25)
+                .duplicate_probability(0.15),
+        );
+        c.serve(&transfers(8, 120));
+        c.pump();
+        assert!(
+            c.metrics().dropped + c.metrics().duplicated > 0,
+            "the plan actually fired"
+        );
+        assert_eq!(c.durable_seq(), 120, "retransmission closed every gap");
+        assert_in_sync(&c);
+    }
+}
+
+#[test]
+fn identical_seeds_yield_identical_executions() {
+    let run = |tag: &str| {
+        let mut c = cluster(tag, 3, ReplicaConfig::default(), 99);
+        c.set_fault_plan(
+            FaultPlan::new(5)
+                .drop_probability(0.2)
+                .duplicate_probability(0.1),
+        );
+        c.serve(&transfers(8, 80));
+        c.pump();
+        (c.metrics().clone(), c.node(1).state(), c.node(2).state())
+    };
+    assert_eq!(run("det-a"), run("det-b"));
+}
+
+#[test]
+fn quorum_failover_loses_no_acked_wave() {
+    let mut c = cluster("quorum-failover", 3, ReplicaConfig::default(), 21);
+    c.serve(&transfers(8, 90));
+    c.pump();
+    let claimed = c.durable_seq();
+    assert_eq!(claimed, 90);
+
+    c.crash_primary();
+    let winner = c.fail_over();
+    assert_ne!(winner, 0);
+    assert!(c.node(winner).is_primary());
+    assert_eq!(c.epoch(), 1);
+    assert!(
+        c.node(winner).next_seq() >= claimed,
+        "every quorum-acked wave survived the primary loss"
+    );
+    // The promoted log serves further writes.
+    c.serve(&transfers(8, 30));
+    c.pump();
+    assert_in_sync(&c);
+    assert_eq!(c.node(winner).next_seq(), 120);
+}
+
+#[test]
+fn async_mode_loses_at_most_an_unshipped_suffix() {
+    let cfg = ReplicaConfig {
+        ack_mode: AckMode::Async,
+        ..ReplicaConfig::default()
+    };
+    let mut c = cluster("async-suffix", 3, cfg, 33);
+    c.serve(&transfers(8, 60));
+    c.pump();
+    // A second batch is served but never pumped: the followers have
+    // none of it when the primary dies.
+    c.serve(&transfers(8, 40));
+    assert_eq!(c.durable_seq(), 100, "async claims local seals");
+
+    c.crash_primary();
+    c.fail_over();
+    let survived = c.node(c.primary()).next_seq();
+    assert_eq!(
+        survived, 60,
+        "exactly the shipped prefix survived — a suffix was lost, never a gap"
+    );
+    assert_in_sync(&c);
+}
+
+#[test]
+fn restarted_old_primary_rejoins_fenced_and_catches_up() {
+    let mut c = cluster("rejoin", 3, ReplicaConfig::default(), 55);
+    c.serve(&transfers(8, 80));
+    c.pump();
+    c.crash_primary();
+    let winner = c.fail_over();
+    c.serve(&transfers(8, 40));
+    c.pump();
+
+    // Machine 0 comes back from disk: it must come back a *follower*,
+    // adopt the new epoch, and catch up on the waves it missed.
+    c.restart(0);
+    c.pump();
+    assert!(!c.node(0).is_primary(), "old primary rejoined as follower");
+    assert_eq!(c.node(0).epoch(), c.epoch(), "adopted the new reign");
+    assert_eq!(c.node(0).next_seq(), c.node(winner).next_seq());
+    assert_in_sync(&c);
+}
+
+#[test]
+fn crashed_follower_restarts_and_catches_up_from_the_log() {
+    let mut c = cluster("follower-catchup", 3, ReplicaConfig::default(), 17);
+    c.serve(&transfers(8, 50));
+    c.pump();
+    c.crash(2);
+    c.serve(&transfers(8, 50));
+    c.pump(); // follower 2 misses this round (and is marked down)
+    assert_eq!(c.node(1).next_seq(), 100);
+
+    c.restart(2);
+    c.pump();
+    assert_eq!(c.node(2).next_seq(), 100, "caught up from the log suffix");
+    assert_in_sync(&c);
+}
+
+#[test]
+fn follower_past_retention_is_rebased_from_a_snapshot() {
+    // Aggressive snapshotting + tiny segments: the log a dead follower
+    // missed is garbage-collected, so catch-up must snapshot-ship.
+    let cfg = ReplicaConfig {
+        max_retries: 3,
+        store: StoreConfig {
+            snapshot_every_ops: 32,
+            segment_max_bytes: 512,
+            snapshots_kept: 1,
+            ..StoreConfig::default()
+        },
+        ..ReplicaConfig::default()
+    };
+    let mut c = cluster("snapshot-rebase", 3, cfg, 29);
+    c.serve(&transfers(8, 40));
+    c.pump();
+    c.crash(2);
+    for _ in 0..6 {
+        c.serve(&transfers(8, 40));
+        c.pump();
+    }
+    let primary_rec = recover::<ShardedErc20>(c.node(0).dir()).expect("primary dir");
+    assert!(
+        primary_rec.snapshot_watermark > 40,
+        "GC moved the retention floor past the dead follower's position"
+    );
+
+    c.restart(2);
+    c.pump();
+    assert_eq!(c.node(2).next_seq(), 280, "snapshot + suffix caught it up");
+    assert_in_sync(&c);
+    // The re-based follower's own disk must carry the shipped floor.
+    let rec = recover::<ShardedErc20>(c.node(2).dir()).expect("rebased dir");
+    assert!(rec.snapshot_watermark > 40, "rebased on a shipped snapshot");
+}
+
+#[test]
+fn scheduled_crash_restart_faults_converge() {
+    // The fault plan itself kills and revives a follower mid-round; the
+    // protocol must converge without orchestrator help.
+    let mut c = cluster("scheduled", 3, ReplicaConfig::default(), 61);
+    c.set_fault_plan(
+        FaultPlan::new(9)
+            .drop_probability(0.1)
+            .crash_at(40, 2)
+            .restart_at(900, 2),
+    );
+    c.serve(&transfers(8, 120));
+    c.pump();
+    c.pump(); // one more round so the revived follower fully drains
+    assert_eq!(c.durable_seq(), 120);
+    assert_in_sync(&c);
+}
+
+/// The genuine split-brain: a follower is promoted while the old
+/// primary is still alive and writing. The old primary must be fenced,
+/// and the follower that accepted its divergent suffix must be wiped
+/// and re-based onto the new reign's history.
+#[test]
+fn stale_primary_is_fenced_and_divergent_follower_rebased() {
+    let base = temp_dir("split-brain");
+    let cfg = ReplicaConfig::default();
+    let g = genesis(8);
+    let nodes = vec![
+        ReplicaNode::<ShardedErc20>::create_primary(&base.join("node-0"), &g, cfg, 3).unwrap(),
+        ReplicaNode::<ShardedErc20>::create_follower(&base.join("node-1"), &g, cfg, 3).unwrap(),
+        ReplicaNode::<ShardedErc20>::create_follower(&base.join("node-2"), &g, cfg, 3).unwrap(),
+    ];
+    let mut net = SimNet::new(nodes, 77);
+    net.run_to_quiescence();
+
+    // Epoch 0: 50 waves reach everyone.
+    net.node_mut(0).serve(&transfers(8, 50));
+    net.post(0, 0, ReplicaMsg::Pump);
+    net.run_to_quiescence();
+    assert_eq!(net.node(2).next_seq(), 50);
+
+    // A (wrongly suspected) failover promotes node 1 — node 0 is alive.
+    let start_seq = net.node_mut(1).promote(1);
+    assert_eq!(start_seq, 50);
+
+    // The stale primary keeps writing: node 2 (still epoch 0) accepts
+    // the divergent suffix; node 1 answers Fenced and node 0 demotes.
+    net.node_mut(0).serve(&transfers(8, 20));
+    net.post(0, 0, ReplicaMsg::Pump);
+    net.run_to_quiescence();
+    assert!(!net.node(0).is_primary(), "old primary was fenced");
+
+    // The new reign announces; node 2's divergent log cannot adopt and
+    // gets snapshot-shipped back onto committed history.
+    net.post(
+        1,
+        0,
+        ReplicaMsg::Announce {
+            epoch: 1,
+            start_seq,
+        },
+    );
+    net.post(
+        1,
+        2,
+        ReplicaMsg::Announce {
+            epoch: 1,
+            start_seq,
+        },
+    );
+    net.run_to_quiescence();
+
+    let lead = net.node(1);
+    assert!(lead.is_primary());
+    for i in [0usize, 2] {
+        let node = net.node(i);
+        assert!(!node.is_primary());
+        assert_eq!(node.epoch(), 1, "node {i} adopted the reign");
+        assert_eq!(
+            node.next_seq(),
+            50,
+            "node {i}: the uncommitted divergent suffix was discarded"
+        );
+        assert_eq!(node.state(), lead.state(), "node {i} state");
+    }
+}

@@ -1,0 +1,317 @@
+//! Property-based failover correctness, for all three served
+//! standards. Each case builds a 3-node cluster, serves random traffic
+//! with replication pumped at random points (possibly through a lossy
+//! network), kills the primary at a random point, promotes the
+//! longest-log follower, and checks the durability contract:
+//!
+//! - the survivor's state equals the **oracle replay** of its committed
+//!   log prefix (recovery replays through the sequential spec verifying
+//!   every recorded response — divergence fails the case),
+//! - under [`AckMode::Quorum`], no wave the old primary claimed durable
+//!   is lost,
+//! - under [`AckMode::Async`], at most a suffix is lost — the survivor
+//!   holds a gap-free committed prefix,
+//! - the promoted cluster keeps serving and reconverges.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use tokensync_core::codec::{Codec, StateCodec};
+use tokensync_core::erc20::{Erc20Op, Erc20State};
+use tokensync_core::shared::ShardedErc20;
+use tokensync_core::standards::erc1155::{Erc1155Op, Erc1155State, ShardedErc1155, TypeId};
+use tokensync_core::standards::erc721::{Erc721Op, Erc721State, ShardedErc721, TokenId};
+use tokensync_net::FaultPlan;
+use tokensync_pipeline::{BatchConfig, PipelineConfig};
+use tokensync_replica::{AckMode, Cluster, ReplicaConfig};
+use tokensync_spec::{AccountId, ProcessId};
+use tokensync_store::{recover, Restorable};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "tokensync-replica-prop-{name}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+fn a(i: usize) -> AccountId {
+    AccountId::new(i)
+}
+
+const N: usize = 5;
+const SPAN: usize = 8;
+const TYPES: usize = 3;
+
+/// One generated failover scenario: traffic rounds, which rounds get a
+/// replication pump before the crash, ack mode and network weather.
+struct Scenario<Op> {
+    rounds: Vec<Vec<(ProcessId, Op)>>,
+    pump_after: Vec<bool>,
+    ack_mode: AckMode,
+    seed: u64,
+    fault_seed: u64,
+    drop_p: f64,
+}
+
+/// Runs the scenario and checks the failover contract.
+fn check_failover<T>(name: &str, genesis: &T::State, s: &Scenario<T::Op>)
+where
+    T: Restorable,
+    T::Op: Codec,
+    T::Resp: Codec,
+    T::State: StateCodec,
+{
+    let cfg = ReplicaConfig {
+        ack_mode: s.ack_mode,
+        pipeline: PipelineConfig {
+            batch: BatchConfig {
+                max_ops: 8,
+                ..BatchConfig::default()
+            },
+            ..PipelineConfig::default()
+        },
+        ..ReplicaConfig::default()
+    };
+    let mut c: Cluster<T> =
+        Cluster::new(&temp_dir(name), 3, genesis, cfg, s.seed).expect("build cluster");
+    if s.drop_p > 0.0 {
+        c.set_fault_plan(
+            FaultPlan::new(s.fault_seed)
+                .drop_probability(s.drop_p)
+                .duplicate_probability(0.1),
+        );
+    }
+
+    let mut served = 0u64;
+    for (round, pump) in s.rounds.iter().zip(&s.pump_after) {
+        if round.is_empty() {
+            continue;
+        }
+        c.serve(round);
+        served += round.len() as u64;
+        if *pump {
+            c.pump();
+        }
+    }
+
+    // The kill point: whatever the old primary claimed durable under
+    // its ack mode is the contract the survivor must honour.
+    let claimed = c.durable_seq();
+    c.crash_primary();
+    let winner = c.fail_over();
+    let survived = c.node(winner).next_seq();
+
+    prop_assert!(survived <= served, "survivor cannot invent history");
+    if s.ack_mode == AckMode::Quorum {
+        prop_assert!(
+            survived >= claimed,
+            "quorum-acked wave lost: claimed {claimed}, survived {survived}"
+        );
+    }
+
+    // Oracle replay: recovery replays the survivor's log through the
+    // sequential spec, verifying every recorded response. A survivor
+    // holding anything but a clean committed prefix fails here.
+    let rec = recover::<T>(c.node(winner).dir()).expect("survivor log replays against the oracle");
+    prop_assert_eq!(rec.next_seq, survived, "gap-free prefix");
+    prop_assert!(
+        rec.state == c.node(winner).state(),
+        "served state equals the oracle replay of the committed prefix"
+    );
+
+    // Life goes on: the promoted primary serves and the cluster
+    // reconverges under the new epoch.
+    c.serve(&s.rounds[0]);
+    c.pump();
+    let lead = c.node(c.primary());
+    for i in 0..c.n() {
+        if c.is_crashed(i) {
+            continue;
+        }
+        prop_assert_eq!(c.node(i).epoch(), lead.epoch());
+        prop_assert_eq!(c.node(i).next_seq(), lead.next_seq());
+        prop_assert!(c.node(i).state() == lead.state(), "node {i} reconverged");
+    }
+}
+
+fn arb_20_op() -> impl Strategy<Value = Erc20Op> {
+    prop_oneof![
+        (0..N, 1u64..5).prop_map(|(to, value)| Erc20Op::Transfer { to: a(to), value }),
+        (0..N, 0u64..5).prop_map(|(spender, value)| Erc20Op::Approve {
+            spender: p(spender),
+            value,
+        }),
+        (0..N, 0..N, 1u64..4).prop_map(|(from, to, value)| Erc20Op::TransferFrom {
+            from: a(from),
+            to: a(to),
+            value,
+        }),
+        (0..N).prop_map(|account| Erc20Op::BalanceOf {
+            account: a(account)
+        }),
+    ]
+}
+
+fn arb_721_op() -> impl Strategy<Value = Erc721Op> {
+    prop_oneof![
+        (0..N, 0..SPAN).prop_map(|(to, token)| Erc721Op::Mint {
+            to: p(to),
+            token: TokenId::new(token),
+        }),
+        (0..N, 0..N, 0..SPAN).prop_map(|(from, to, token)| Erc721Op::TransferFrom {
+            from: p(from),
+            to: p(to),
+            token: TokenId::new(token),
+        }),
+        (0..=N, 0..SPAN).prop_map(|(ap, token)| Erc721Op::Approve {
+            approved: (ap < N).then(|| p(ap)),
+            token: TokenId::new(token),
+        }),
+        (0..SPAN).prop_map(|token| Erc721Op::OwnerOf {
+            token: TokenId::new(token)
+        }),
+    ]
+}
+
+fn arb_1155_op() -> impl Strategy<Value = Erc1155Op> {
+    prop_oneof![
+        (0..N, 0..N, 0..TYPES, 0u64..4).prop_map(|(from, to, ty, value)| Erc1155Op::Transfer {
+            from: a(from),
+            to: a(to),
+            type_id: TypeId::new(ty),
+            value,
+        }),
+        (0..N, 0..N, vec((0..TYPES, 0u64..4), 0..3)).prop_map(|(from, to, rows)| {
+            Erc1155Op::BatchTransfer {
+                from: a(from),
+                to: a(to),
+                entries: rows
+                    .into_iter()
+                    .map(|(ty, v)| (TypeId::new(ty), v))
+                    .collect(),
+            }
+        }),
+        (0..N, 0..TYPES).prop_map(|(account, ty)| Erc1155Op::BalanceOf {
+            account: a(account),
+            type_id: TypeId::new(ty),
+        }),
+    ]
+}
+
+/// Builds the per-case scenario out of raw generated material.
+fn scenario<Op: Clone>(
+    callers: &[usize],
+    ops: &[Op],
+    round_cuts: (usize, usize),
+    pumps: usize,
+    quorum: bool,
+    seed: u64,
+    fault_seed: u64,
+    lossy: bool,
+) -> Scenario<Op> {
+    let script: Vec<(ProcessId, Op)> = callers
+        .iter()
+        .zip(ops)
+        .map(|(&c, op)| (p(c), op.clone()))
+        .collect();
+    // Cut the script into up to three rounds at two generated points.
+    let (mut x, mut y) = round_cuts;
+    x %= script.len() + 1;
+    y %= script.len() + 1;
+    if x > y {
+        std::mem::swap(&mut x, &mut y);
+    }
+    let rounds = vec![
+        script[..x].to_vec(),
+        script[x..y].to_vec(),
+        script[y..].to_vec(),
+    ];
+    // `pumps` encodes which of the three rounds replicate before the
+    // crash — the random kill point in replication progress.
+    let pump_after = (0..3).map(|i| pumps >> i & 1 == 1).collect();
+    Scenario {
+        rounds,
+        pump_after,
+        ack_mode: if quorum {
+            AckMode::Quorum
+        } else {
+            AckMode::Async
+        },
+        seed,
+        fault_seed,
+        drop_p: if lossy { 0.2 } else { 0.0 },
+    }
+}
+
+proptest! {
+    /// ERC20: random transfer/approve traffic, random kill point.
+    #[test]
+    fn erc20_failover_preserves_the_committed_prefix(
+        callers in vec(0..N, 4..40),
+        ops in vec(arb_20_op(), 4..40),
+        cuts in (0usize..64, 0usize..64),
+        pumps in 0usize..8,
+        mode in 0u8..4,
+        seed in 0u64..1 << 32,
+        fault_seed in 0u64..1 << 32,
+    ) {
+        // Two mode bits: ack mode × lossy network.
+        let (quorum, lossy) = (mode & 1 == 1, mode & 2 == 2);
+        let s = scenario(&callers, &ops, cuts, pumps, quorum, seed, fault_seed, lossy);
+        let genesis = Erc20State::from_balances(vec![50; N]);
+        check_failover::<ShardedErc20>("erc20", &genesis, &s);
+    }
+
+    /// ERC721: mints, claims and approvals; random kill point.
+    #[test]
+    fn erc721_failover_preserves_the_committed_prefix(
+        callers in vec(0..N, 4..40),
+        ops in vec(arb_721_op(), 4..40),
+        cuts in (0usize..64, 0usize..64),
+        pumps in 0usize..8,
+        mode in 0u8..4,
+        seed in 0u64..1 << 32,
+        fault_seed in 0u64..1 << 32,
+    ) {
+        // Two mode bits: ack mode × lossy network.
+        let (quorum, lossy) = (mode & 1 == 1, mode & 2 == 2);
+        let s = scenario(&callers, &ops, cuts, pumps, quorum, seed, fault_seed, lossy);
+        let genesis = Erc721State::minted_round_robin(N, SPAN, SPAN / 2);
+        check_failover::<ShardedErc721>("erc721", &genesis, &s);
+    }
+
+    /// ERC1155: single and batched multi-token transfers; random kill
+    /// point.
+    #[test]
+    fn erc1155_failover_preserves_the_committed_prefix(
+        callers in vec(0..N, 4..40),
+        ops in vec(arb_1155_op(), 4..40),
+        cuts in (0usize..64, 0usize..64),
+        pumps in 0usize..8,
+        mode in 0u8..4,
+        seed in 0u64..1 << 32,
+        fault_seed in 0u64..1 << 32,
+    ) {
+        // Two mode bits: ack mode × lossy network.
+        let (quorum, lossy) = (mode & 1 == 1, mode & 2 == 2);
+        let s = scenario(&callers, &ops, cuts, pumps, quorum, seed, fault_seed, lossy);
+        let mut genesis = Erc1155State::deploy(N, p(0), &[0; TYPES]);
+        for acct in 0..N {
+            for ty in 0..TYPES {
+                genesis.set_balance(a(acct), TypeId::new(ty), 10);
+            }
+        }
+        check_failover::<ShardedErc1155>("erc1155", &genesis, &s);
+    }
+}

@@ -28,6 +28,16 @@ pub enum StoreError {
     /// [`Store::create`](crate::Store::create) on a directory that
     /// already holds store files.
     AlreadyInitialized,
+    /// A [`WalCursor`](crate::cursor::WalCursor) was asked to start at a
+    /// sequence number the log no longer retains (GC already collected
+    /// it) or that does not fall on a record boundary of the surviving
+    /// chain. The caller must fall back to snapshot shipping.
+    OutOfRetention {
+        /// Sequence number the cursor was asked to start at.
+        requested: u64,
+        /// Oldest sequence number the log can still serve from.
+        available_from: u64,
+    },
     /// Replay of a logged operation produced a response different from
     /// the recorded one: the snapshot and the log disagree, so the
     /// store's history is not trustworthy.
@@ -51,6 +61,13 @@ impl fmt::Display for StoreError {
             StoreError::AlreadyInitialized => {
                 write!(f, "directory already holds an initialized store")
             }
+            StoreError::OutOfRetention {
+                requested,
+                available_from,
+            } => write!(
+                f,
+                "log position {requested} is below retention (oldest served: {available_from})"
+            ),
             StoreError::Divergence { seq } => write!(
                 f,
                 "replayed response of commit {seq} diverges from the logged one"

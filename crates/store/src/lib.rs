@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 mod crc;
+pub mod cursor;
 mod error;
 mod recovery;
 mod snapshot;
@@ -57,7 +58,9 @@ mod store;
 pub mod wal;
 
 pub use crc::crc32;
+pub use cursor::{WalCursor, WalRecord};
 pub use error::StoreError;
 pub use recovery::{recover, Recovered, Restorable};
+pub use snapshot::{install_snapshot, read_latest_snapshot};
 pub use store::{Durability, Store, StoreConfig};
-pub use wal::ScanStop;
+pub use wal::{decode_commits, ScanStop};

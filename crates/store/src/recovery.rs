@@ -79,6 +79,9 @@ pub struct Recovered<T: ConcurrentObject> {
     /// Where the log scan stopped early (torn tail or corruption), if
     /// it did not reach the physical end of the log cleanly.
     pub log_stop: Option<ScanStop>,
+    /// Highest replication epoch stamped into any surviving log segment
+    /// (0 for an unreplicated store).
+    pub epoch: u64,
 }
 
 /// Recovers the store in `dir`: loads the newest valid snapshot,
@@ -107,7 +110,7 @@ where
     T::State: StateCodec,
 {
     let (snapshot_watermark, mut state) = latest_snapshot::<T::State>(dir)?;
-    let (entries, log_stop) = read_entries::<T::Op, T::Resp>(
+    let (entries, scan) = read_entries::<T::Op, T::Resp>(
         dir,
         <T::State as StateCodec>::STANDARD,
         <T::State as StateCodec>::VERSION,
@@ -136,6 +139,7 @@ where
         snapshot_watermark,
         replayed,
         next_seq,
-        log_stop,
+        log_stop: scan.stop,
+        epoch: scan.epoch,
     })
 }

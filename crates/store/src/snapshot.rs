@@ -85,6 +85,37 @@ pub(crate) fn write_snapshot<S: StateCodec>(
     Ok(final_path)
 }
 
+/// Writes and atomically publishes a snapshot of `state` at `watermark`
+/// into `dir` (created if missing) — the installation half of
+/// replication's snapshot shipping: a wiped follower installs the
+/// shipped state here, then opens a fresh log at the watermark.
+///
+/// # Errors
+///
+/// I/O errors from the write or rename.
+pub fn install_snapshot<S: StateCodec>(
+    dir: &Path,
+    watermark: u64,
+    state: &S,
+) -> Result<(), StoreError> {
+    fs::create_dir_all(dir)?;
+    write_snapshot(dir, watermark, state)?;
+    Ok(())
+}
+
+/// Loads the newest snapshot in `dir` that validates — `(watermark,
+/// state)` — skipping corrupt files. The read half of snapshot
+/// shipping: a primary serves a lagging follower from its newest
+/// published snapshot.
+///
+/// # Errors
+///
+/// [`StoreError::NoSnapshot`] when nothing validates;
+/// [`StoreError::WrongStandard`] for a foreign directory; I/O errors.
+pub fn read_latest_snapshot<S: StateCodec>(dir: &Path) -> Result<(u64, S), StoreError> {
+    latest_snapshot(dir)
+}
+
 /// Validates and decodes one snapshot file.
 pub(crate) fn read_snapshot<S: StateCodec>(path: &Path) -> Result<(u64, S), SnapshotDefect> {
     let bytes = fs::read(path).map_err(|_| SnapshotDefect::Unreadable)?;

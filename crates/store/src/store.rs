@@ -207,6 +207,39 @@ where
         self.wal.disk_bytes()
     }
 
+    /// The replication epoch stamped into new WAL segments.
+    pub fn epoch(&self) -> u64 {
+        self.wal.epoch()
+    }
+
+    /// Durably raises the replication epoch — the fencing write of a
+    /// promotion (see [`Wal::set_epoch`](crate::wal::Wal::set_epoch)).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the restamp or roll.
+    pub fn set_epoch(&mut self, epoch: u64) -> Result<(), StoreError> {
+        self.wal.set_epoch(epoch)
+    }
+
+    /// A tailing [`WalCursor`](crate::cursor::WalCursor) over this
+    /// store's log starting at `from_seq`, pinning segments against GC
+    /// while it reads. The replication primary tails its own log here.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::OutOfRetention`] when `from_seq` is below the
+    /// oldest retained record — fall back to snapshot shipping.
+    pub fn cursor(&self, from_seq: u64) -> Result<crate::cursor::WalCursor, StoreError> {
+        self.wal.cursor(from_seq)
+    }
+
+    /// The `first_seq` of the oldest WAL segment still on disk — the
+    /// lower bound [`Store::cursor`] can serve from.
+    pub fn oldest_retained_seq(&self) -> Result<u64, StoreError> {
+        self.wal.oldest_segment_seq()
+    }
+
     /// Syncs outstanding appends and surfaces any parked write error.
     ///
     /// # Errors

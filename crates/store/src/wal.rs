@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! segment  := magic "TSWALSEG" · standard u8 · version u8 · first_seq u64
-//!             · record*
+//!             · epoch u64 · record*
 //! record   := len u32 · crc32(payload) u32 · payload
 //! payload  := kind u8 (1 = commits) · batch u64 · first_seq u64
 //!             · count u32 · count × (caller u32 · op · resp)
@@ -38,12 +38,14 @@ use crate::error::StoreError;
 
 /// Magic prefix of every segment file.
 pub const SEG_MAGIC: &[u8; 8] = b"TSWALSEG";
-/// Bytes of the segment header (magic + standard + version + first_seq).
-pub const SEG_HEADER_LEN: u64 = 8 + 1 + 1 + 8;
+/// Bytes of the segment header (magic + standard + version + first_seq
+/// + epoch).
+pub const SEG_HEADER_LEN: u64 = 8 + 1 + 1 + 8 + 8;
 /// Record kind: a group of committed operations.
 const KIND_COMMITS: u8 = 1;
-/// Frame prefix: payload length + CRC.
-const FRAME_LEN: usize = 8;
+/// Bytes of a record's frame prefix (payload length u32 + CRC u32) —
+/// a shipped frame's payload starts at this offset.
+pub const FRAME_LEN: usize = 8;
 
 fn segment_name(first_seq: u64) -> String {
     format!("wal-{first_seq:020}.seg")
@@ -134,6 +136,10 @@ pub(crate) struct LogScan {
     pub tail: Option<(u64, PathBuf, u64)>,
     /// `Some` iff the scan stopped before the clean end of the log.
     pub stop: Option<ScanStop>,
+    /// Highest replication epoch stamped into any surviving segment
+    /// header (0 on an unreplicated store — epochs only exist once a
+    /// primary is promoted over the directory).
+    pub epoch: u64,
 }
 
 /// Walks every segment in order, handing CRC-valid, seq-continuous
@@ -156,13 +162,21 @@ pub(crate) fn scan_log<E: From<StoreError>>(
 ) -> Result<LogScan, E> {
     let segs = segment_files(dir).map_err(E::from)?;
     let mut next_seq = 0u64;
+    let mut epoch = 0u64;
     let mut tail: Option<(u64, PathBuf, u64)> = None;
     for (i, (first, path)) in segs.iter().enumerate() {
         let bytes = fs::read(path).map_err(|e| E::from(StoreError::Io(e)))?;
+        let seg_epoch = (bytes.len() as u64 >= SEG_HEADER_LEN)
+            .then(|| u64::from_le_bytes(bytes[18..26].try_into().expect("8 bytes")))
+            .unwrap_or(0);
+        // Epochs only ever increase along the chain: a segment stamped
+        // with an *older* epoch after a newer one is a stale primary's
+        // leftover and ends the usable chain, exactly like a backward
+        // sequence overlap.
         let header_ok = bytes.len() as u64 >= SEG_HEADER_LEN
             && &bytes[0..8] == SEG_MAGIC
             && u64::from_le_bytes(bytes[10..18].try_into().expect("8 bytes")) == *first
-            && (i == 0 || *first >= next_seq);
+            && (i == 0 || (*first >= next_seq && seg_epoch >= epoch));
         if header_ok && (bytes[8], bytes[9]) != (standard, version) {
             // Readable header, wrong contents: refuse loudly instead of
             // silently truncating someone else's data.
@@ -181,9 +195,11 @@ pub(crate) fn scan_log<E: From<StoreError>>(
                     segment_first_seq: *first,
                     offset: 0,
                 }),
+                epoch,
             });
         }
         next_seq = *first;
+        epoch = seg_epoch;
         let (valid_end, seq, clean) =
             walk_frames(&bytes[SEG_HEADER_LEN as usize..], next_seq, &mut sink)?;
         next_seq = seq;
@@ -196,6 +212,7 @@ pub(crate) fn scan_log<E: From<StoreError>>(
                     segment_first_seq: *first,
                     offset: SEG_HEADER_LEN + valid_end,
                 }),
+                epoch,
             });
         }
     }
@@ -203,7 +220,20 @@ pub(crate) fn scan_log<E: From<StoreError>>(
         next_seq,
         tail,
         stop: None,
+        epoch,
     })
+}
+
+/// Decodes the committed-operation entries of one record payload whose
+/// framing (CRC, fixed head) has already been validated — the shared
+/// decode path of recovery and of a replication follower unpacking a
+/// shipped frame.
+pub fn decode_commits<Op: Codec, Resp: Codec>(
+    payload: &[u8],
+) -> Result<Vec<CommittedOp<Op, Resp>>, CodecError> {
+    let mut out = Vec::new();
+    decode_record(payload, &mut out)?;
+    Ok(out)
 }
 
 /// Decodes the committed-operation entries of one record payload
@@ -261,7 +291,7 @@ pub(crate) fn read_entries<Op: Codec, Resp: Codec>(
     standard: u8,
     version: u8,
     min_seq: u64,
-) -> Result<(Vec<CommittedOp<Op, Resp>>, Option<ScanStop>), StoreError> {
+) -> Result<(Vec<CommittedOp<Op, Resp>>, LogScan), StoreError> {
     let mut entries = Vec::new();
     let scan = scan_log::<StoreError>(dir, standard, version, |payload| {
         // walk_frames already validated the fixed head fields.
@@ -272,8 +302,18 @@ pub(crate) fn read_entries<Op: Codec, Resp: Codec>(
         }
         decode_record(payload, &mut entries).map_err(StoreError::Codec)
     })?;
-    Ok((entries, scan.stop))
+    Ok((entries, scan))
 }
+
+/// Shared registry of segments pinned by live [`WalCursor`]s (keyed by
+/// the segment's `first_seq`, counted so several cursors may pin one
+/// segment): [`Wal::gc`] treats the oldest pinned segment as a deletion
+/// floor, which closes the old race where GC could delete a segment a
+/// tailing reader was mid-way through (or about to roll into).
+///
+/// [`WalCursor`]: crate::cursor::WalCursor
+pub(crate) type SegmentPins =
+    std::sync::Arc<std::sync::Mutex<std::collections::HashMap<u64, usize>>>;
 
 /// The append side of the log.
 #[derive(Debug)]
@@ -286,6 +326,8 @@ pub struct Wal {
     segment_first: u64,
     segment_bytes: u64,
     next_seq: u64,
+    epoch: u64,
+    pins: SegmentPins,
 }
 
 impl Wal {
@@ -334,12 +376,13 @@ impl Wal {
         // valid prefix STAYS on disk — an older snapshot may still need
         // it — but appends start in a fresh segment at the floor, so
         // sequence numbers a snapshot already covers are never reused.
+        let epoch = scan.epoch;
         let (segment_first, path, valid_end, next_seq) = match scan.tail {
             Some((first, path, valid_end)) if scan.next_seq >= floor_seq => {
                 (first, path, valid_end, scan.next_seq)
             }
             _ => {
-                let path = Self::create_segment(dir, standard, version, floor_seq)?;
+                let path = Self::create_segment(dir, standard, version, floor_seq, epoch)?;
                 (floor_seq, path, SEG_HEADER_LEN, floor_seq)
             }
         };
@@ -355,6 +398,8 @@ impl Wal {
             segment_first,
             segment_bytes: valid_end,
             next_seq,
+            epoch,
+            pins: SegmentPins::default(),
         })
     }
 
@@ -363,6 +408,7 @@ impl Wal {
         standard: u8,
         version: u8,
         first_seq: u64,
+        epoch: u64,
     ) -> Result<PathBuf, StoreError> {
         let path = dir.join(segment_name(first_seq));
         let mut header = Vec::with_capacity(SEG_HEADER_LEN as usize);
@@ -370,6 +416,7 @@ impl Wal {
         header.push(standard);
         header.push(version);
         header.extend_from_slice(&first_seq.to_le_bytes());
+        header.extend_from_slice(&epoch.to_le_bytes());
         let mut file = OpenOptions::new()
             .create_new(true)
             .write(true)
@@ -383,6 +430,67 @@ impl Wal {
     /// First sequence number the next append must carry.
     pub fn next_seq(&self) -> u64 {
         self.next_seq
+    }
+
+    /// The replication epoch new segments are stamped with — the highest
+    /// epoch this log has ever durably seen.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Durably raises the replication epoch — the **fencing write** of a
+    /// promotion or of a follower adopting a new primary. The new epoch
+    /// is stamped into the segment header: an empty tail segment is
+    /// restamped in place, a non-empty one is rolled, so after this
+    /// returns a restart can never rediscover a lower epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch` is lower than the current one (epochs are
+    /// fencing tokens; they only move forward).
+    pub fn set_epoch(&mut self, epoch: u64) -> Result<(), StoreError> {
+        assert!(epoch >= self.epoch, "epochs must not move backwards");
+        if epoch == self.epoch {
+            return Ok(());
+        }
+        self.epoch = epoch;
+        if self.segment_bytes == SEG_HEADER_LEN {
+            // Empty tail segment: restamp its header in place.
+            self.file.seek(SeekFrom::Start(18))?;
+            self.file.write_all(&epoch.to_le_bytes())?;
+            self.file.sync_data()?;
+            self.file.seek(SeekFrom::Start(self.segment_bytes))?;
+        } else {
+            self.roll()?;
+        }
+        Ok(())
+    }
+
+    /// A tailing cursor positioned at `from_seq`, pinning the segments
+    /// it reads against [`Wal::gc`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::OutOfRetention`] when `from_seq` lies below the
+    /// oldest record still on disk (GC already took it — the caller must
+    /// fall back to snapshot shipping) or does not align with a record
+    /// boundary of the surviving chain.
+    pub fn cursor(&self, from_seq: u64) -> Result<crate::cursor::WalCursor, StoreError> {
+        crate::cursor::WalCursor::open(
+            &self.dir,
+            self.standard,
+            self.version,
+            from_seq,
+            self.pins.clone(),
+        )
+    }
+
+    /// The `first_seq` of the oldest segment still on disk — the lower
+    /// bound of what [`Wal::cursor`] can serve.
+    pub fn oldest_segment_seq(&self) -> Result<u64, StoreError> {
+        Ok(segment_files(&self.dir)?
+            .first()
+            .map_or(self.next_seq, |&(first, _)| first))
     }
 
     /// Appends one record holding `entries` (a committed wave). Entry
@@ -440,11 +548,49 @@ impl Wal {
         Ok(())
     }
 
+    /// Appends pre-framed record bytes — the replication fast path: a
+    /// follower receiving shipped WAL frames validates and persists them
+    /// **byte-identically**, without a decode/re-encode round trip. The
+    /// whole byte run must parse as CRC-valid frames continuing this
+    /// log's sequence numbering exactly; nothing is written otherwise.
+    ///
+    /// Returns the sequence number past the appended records.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Codec`] when the bytes do not parse as a clean,
+    /// contiguous frame run (a partially valid run is rejected whole).
+    pub fn append_frames(&mut self, bytes: &[u8]) -> Result<u64, StoreError> {
+        let (valid_end, end_seq, clean) =
+            walk_frames::<StoreError>(bytes, self.next_seq, |_| Ok(()))?;
+        if !clean || valid_end != bytes.len() as u64 {
+            return Err(StoreError::Codec(CodecError::Invalid(
+                "shipped frames are not a clean continuation of the log",
+            )));
+        }
+        if bytes.is_empty() {
+            return Ok(self.next_seq);
+        }
+        if self.segment_bytes >= self.max_segment_bytes {
+            self.roll()?;
+        }
+        self.file.write_all(bytes)?;
+        self.segment_bytes += bytes.len() as u64;
+        self.next_seq = end_seq;
+        Ok(end_seq)
+    }
+
     /// Closes the current segment and starts a fresh one at the current
     /// sequence number.
     fn roll(&mut self) -> Result<(), StoreError> {
         self.file.sync_data()?;
-        let path = Self::create_segment(&self.dir, self.standard, self.version, self.next_seq)?;
+        let path = Self::create_segment(
+            &self.dir,
+            self.standard,
+            self.version,
+            self.next_seq,
+            self.epoch,
+        )?;
         self.file = OpenOptions::new().read(true).write(true).open(&path)?;
         self.file.seek(SeekFrom::End(0))?;
         self.segment_first = self.next_seq;
@@ -454,13 +600,23 @@ impl Wal {
 
     /// Deletes segments wholly below `watermark` (everything they hold
     /// is covered by a published snapshot). The active tail segment is
-    /// never deleted.
+    /// never deleted, and neither is anything a live [`WalCursor`] still
+    /// needs: the oldest pinned segment is a GC *floor* — segments at or
+    /// past a lagging reader's position survive so the reader keeps its
+    /// gap-free view, and the pass after the cursor advances (or drops)
+    /// collects them.
+    ///
+    /// [`WalCursor`]: crate::cursor::WalCursor
     pub fn gc(&mut self, watermark: u64) -> Result<(), StoreError> {
         let segs = segment_files(&self.dir)?;
+        let pin_floor = {
+            let pins = self.pins.lock().expect("pin registry poisoned");
+            pins.keys().copied().min().unwrap_or(u64::MAX)
+        };
         for window in segs.windows(2) {
             let (first, ref path) = window[0];
             let (next_first, _) = window[1];
-            if next_first <= watermark && first < self.segment_first {
+            if next_first <= watermark && first < self.segment_first && next_first <= pin_floor {
                 fs::remove_file(path)?;
             }
         }

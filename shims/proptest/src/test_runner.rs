@@ -13,12 +13,21 @@ pub fn cases() -> usize {
 }
 
 /// A generator seeded from the test name (FNV-1a), so every run of a given
-/// test sees the same case sequence.
+/// test sees the same case sequence. The optional `PROPTEST_SEED_OFFSET`
+/// environment variable (default 0, which reproduces the unoffset
+/// sequence bit-for-bit) shifts every test onto a disjoint case
+/// sequence — CI fault matrices set one offset per leg so the legs
+/// explore different scenario slices, each still reproducible from its
+/// `(test name, offset)` pair.
 pub fn rng_for_test(name: &str) -> TestRng {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for byte in name.bytes() {
         hash ^= byte as u64;
         hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
     }
-    TestRng::seed_from_u64(hash)
+    let offset = std::env::var("PROPTEST_SEED_OFFSET")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0);
+    TestRng::seed_from_u64(hash ^ offset.wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }

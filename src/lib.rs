@@ -20,6 +20,7 @@
 //! | [`net`] | `tokensync-net` | simulator, reliable broadcast, payment + dynamic token protocols |
 //! | [`pipeline`] | `tokensync-pipeline` | standard-generic commutativity-aware batched execution engine (ERC20/721/1155) |
 //! | [`store`] | `tokensync-store` | durable serving: write-ahead commit log, snapshots, crash recovery |
+//! | [`replica`] | `tokensync-replica` | replicated serving: WAL shipping, fault injection, quorum acks, failover |
 //!
 //! ## Quickstart
 //!
@@ -233,6 +234,10 @@
 //!   logging of the commit stream, versioned snapshots, and verified
 //!   crash recovery back to a live sharded object: [`store`] (see
 //!   docs/persistence.md).
+//! * The serving path made *replicated* — the WAL shipped
+//!   byte-identically to followers over a fault-injecting simulated
+//!   network, with epoch fencing, quorum acknowledgement and
+//!   deterministic failover: [`replica`] (see docs/replication.md).
 //! * Every table/figure of the evaluation: `cargo run -p
 //!   tokensync-experiments --bin e1_lower_bound` … `e8_standards`, and
 //!   `cargo bench -p tokensync-bench`; see README.md and ARCHITECTURE.md.
@@ -248,5 +253,6 @@ pub use tokensync_mc as mc;
 pub use tokensync_net as net;
 pub use tokensync_pipeline as pipeline;
 pub use tokensync_registers as registers;
+pub use tokensync_replica as replica;
 pub use tokensync_spec as spec;
 pub use tokensync_store as store;
