@@ -24,14 +24,26 @@
 //! not just its throughput. The bench *asserts* the bypass contract:
 //! disjoint traffic must ride the bypass on (nearly) every batch, and
 //! the hot-row regime must never engage it. The `prior` object embeds
-//! the pre-bypass numbers (same host, engine as of the previous PR) so
-//! the before/after is part of the artifact.
+//! the previous PR's pipeline numbers (same host) so the before/after
+//! is part of the artifact.
+//!
+//! Each pipeline cell is measured twice: with the recorder seam
+//! **disabled** (path `pipeline` — comparable to history, the seam
+//! costs one untaken branch per site) and **enabled** (path
+//! `pipeline-obs` — per-stage and whole-batch latency histograms on).
+//! The enabled rows carry the batch-latency percentiles
+//! (`batch_p50_ns`/`p99`/`p999`), the summary carries the within-run
+//! enabled/disabled throughput ratio (`obs_over_pipeline`), and
+//! `--assert-obs-overhead PCT` gates that ratio — an in-run comparison,
+//! so it holds on any host, unlike cross-run deltas.
 //!
 //! ```sh
 //! cargo run --release -p tokensync-bench --bin pipeline             # full (includes n = 1M)
 //! cargo run --release -p tokensync-bench --bin pipeline -- --quick  # CI smoke: n <= 1k
 //! cargo run --release -p tokensync-bench --bin pipeline -- --out path.json
 //! cargo run --release -p tokensync-bench --bin pipeline -- --quick --assert-min-ratio 0.1
+//! cargo run --release -p tokensync-bench --bin pipeline -- --quick --assert-obs-overhead 5 \
+//!     --metrics-out METRICS_pipeline.prom
 //! ```
 
 use std::sync::Arc;
@@ -43,7 +55,11 @@ use tokensync_bench::workloads::{
 };
 use tokensync_core::erc20::{Erc20Op, Erc20State};
 use tokensync_core::shared::{CoarseErc20, ConcurrentToken, ShardedErc20};
-use tokensync_pipeline::{run_script, BatchConfig, PipelineConfig, PipelineStats, ScheduleConfig};
+use tokensync_obs::{HistogramSnapshot, Registry};
+use tokensync_pipeline::{
+    run_script, run_script_observed, BatchConfig, PipelineConfig, PipelineObs, PipelineStats,
+    ScheduleConfig,
+};
 use tokensync_spec::ProcessId;
 
 /// Zipf skew of the mixed regime (the YCSB hot-spot default).
@@ -55,18 +71,19 @@ const THREADS: usize = 4;
 /// Timed repetitions per cell (min taken, scheduler noise stripped).
 const REPS: usize = 3;
 
-/// Pre-bypass pipeline numbers from the previous full run of this bench
-/// on the same host (engine with per-wave commit records, channel
-/// intake, no bypass). Embedded in the JSON so the artifact carries its
-/// own before/after.
+/// Pipeline numbers from the previous full run of this bench on the
+/// same host (engine as of the previous PR, before the observability
+/// seam was threaded through). Embedded in the JSON so the artifact
+/// carries its own before/after — `over_prior` near 1.0 demonstrates
+/// the disabled recorder costs nothing measurable.
 const PRIOR: &[(usize, &str, f64, f64)] = &[
     // (n, regime, pipeline ops/s, pipeline_over_sharded)
-    (1_000, "disjoint", 2_788_844.0, 0.035),
-    (1_000, "zipf", 2_427_394.0, 0.101),
-    (1_000, "hotrow", 3_909_160.0, 0.088),
-    (1_000_000, "disjoint", 2_126_664.0, 0.031),
-    (1_000_000, "zipf", 2_168_680.0, 0.208),
-    (1_000_000, "hotrow", 2_711_256.0, 0.121),
+    (1_000, "disjoint", 12_834_435.0, 0.211),
+    (1_000, "zipf", 6_271_348.0, 0.259),
+    (1_000, "hotrow", 8_712_257.0, 0.208),
+    (1_000_000, "disjoint", 9_734_687.0, 0.178),
+    (1_000_000, "zipf", 3_693_438.0, 0.474),
+    (1_000_000, "hotrow", 6_765_099.0, 0.342),
 ];
 
 struct Cell {
@@ -78,6 +95,8 @@ struct Cell {
     ops_per_sec: f64,
     /// Pipeline-only scheduling counters (None for the direct paths).
     pipeline: Option<PipelineStats>,
+    /// Whole-batch latency distribution (recorder-enabled rows only).
+    latency: Option<HistogramSnapshot>,
 }
 
 fn ms(from: Instant) -> f64 {
@@ -113,16 +132,20 @@ fn measure_direct<T: ConcurrentToken>(
         workload.len(),
         run_ms,
         None,
+        None,
     );
 }
 
+/// Measures the pipeline cell twice — recorder disabled (`pipeline`)
+/// and enabled (`pipeline-obs`) — and returns the enabled run's
+/// rendered metrics page.
 fn measure_pipeline(
     regime: &'static str,
     initial: &Erc20State,
     workload: &[(ProcessId, Erc20Op)],
     batch: usize,
     out: &mut Vec<Cell>,
-) {
+) -> String {
     let supply = initial.total_supply();
     let cfg = PipelineConfig {
         batch: BatchConfig {
@@ -179,9 +202,40 @@ fn measure_pipeline(
         workload.len(),
         run_ms,
         Some(stats),
+        None,
     );
+
+    // The same cell with the recorder live: every batch records its
+    // stage and whole-batch latency. The in-run delta against the row
+    // above is the true cost of *enabled* observability.
+    let mut obs_ms = f64::INFINITY;
+    let mut page = String::new();
+    let mut latency = None;
+    for _ in 0..REPS {
+        let token = ShardedErc20::from_state(initial.clone());
+        let registry = Registry::new();
+        let obs = PipelineObs::new(&registry, 0);
+        let start = Instant::now();
+        let run = run_script_observed(&token, workload, &cfg, &mut (), &obs);
+        obs_ms = obs_ms.min(ms(start));
+        assert_eq!(run.stats.ops as usize, workload.len(), "ops dropped");
+        latency = obs.batch_latency();
+        page = registry.render_text();
+    }
+    push_cell(
+        out,
+        initial.accounts(),
+        regime,
+        "pipeline-obs",
+        workload.len(),
+        obs_ms,
+        None,
+        latency,
+    );
+    page
 }
 
+#[allow(clippy::too_many_arguments)]
 fn push_cell(
     out: &mut Vec<Cell>,
     n: usize,
@@ -190,6 +244,7 @@ fn push_cell(
     ops: usize,
     run_ms: f64,
     pipeline: Option<PipelineStats>,
+    latency: Option<HistogramSnapshot>,
 ) {
     let cell = Cell {
         n,
@@ -199,6 +254,7 @@ fn push_cell(
         run_ms,
         ops_per_sec: ops as f64 / (run_ms / 1e3),
         pipeline,
+        latency,
     };
     let extra = cell
         .pipeline
@@ -213,9 +269,14 @@ fn push_cell(
             )
         })
         .unwrap_or_default();
+    let lat = cell
+        .latency
+        .as_ref()
+        .map(|l| format!(" batch p50={}ns p99={}ns p999={}ns", l.p50, l.p99, l.p999))
+        .unwrap_or_default();
     eprintln!(
-        "  n={:>9} {:>8} {:>14} run={:>9.1}ms {:>12.0} ops/s{}",
-        cell.n, cell.regime, cell.path, cell.run_ms, cell.ops_per_sec, extra
+        "  n={:>9} {:>8} {:>14} run={:>9.1}ms {:>12.0} ops/s{}{}",
+        cell.n, cell.regime, cell.path, cell.run_ms, cell.ops_per_sec, extra, lat
     );
     out.push(cell);
 }
@@ -242,10 +303,21 @@ fn write_json(path: &str, quick: bool, batch_1k: usize, cells: &[Cell]) {
                 )
             })
             .unwrap_or_default();
+        let latency = c
+            .latency
+            .as_ref()
+            .map(|l| {
+                format!(
+                    ", \"batch_p50_ns\": {}, \"batch_p90_ns\": {}, \"batch_p99_ns\": {}, \
+                     \"batch_p999_ns\": {}, \"batch_max_ns\": {}, \"batches_observed\": {}",
+                    l.p50, l.p90, l.p99, l.p999, l.max, l.count
+                )
+            })
+            .unwrap_or_default();
         rows.push_str(&format!(
             "    {{\"n\": {}, \"regime\": \"{}\", \"path\": \"{}\", \"ops\": {}, \
-             \"run_ms\": {:.3}, \"ops_per_sec\": {:.0}{}}}{}\n",
-            c.n, c.regime, c.path, c.ops, c.run_ms, c.ops_per_sec, pipeline, sep
+             \"run_ms\": {:.3}, \"ops_per_sec\": {:.0}{}{}}}{}\n",
+            c.n, c.regime, c.path, c.ops, c.run_ms, c.ops_per_sec, pipeline, latency, sep
         ));
     }
     // Summary: pipeline speedup over each direct path, per (n, regime).
@@ -273,9 +345,11 @@ fn write_json(path: &str, quick: bool, batch_1k: usize, cells: &[Cell]) {
         summary.push_str(&format!(
             "    {{\"n\": {n}, \"regime\": \"{regime}\", \
              \"pipeline_over_coarse\": {:.3}, \"pipeline_over_sharded\": {:.3}, \
+             \"obs_over_pipeline\": {:.3}, \
              \"wave_parallelism\": {:.2}, \"bypass_rate\": {:.4}{over_prior}}}{sep}\n",
             p.ops_per_sec / find("coarse-direct").ops_per_sec,
             p.ops_per_sec / find("sharded-direct").ops_per_sec,
+            find("pipeline-obs").ops_per_sec / p.ops_per_sec,
             p.pipeline.map(|s| s.wave_parallelism()).unwrap_or(0.0),
             p.pipeline.map(|s| s.bypass_rate()).unwrap_or(0.0),
         ));
@@ -297,8 +371,8 @@ fn write_json(path: &str, quick: bool, batch_1k: usize, cells: &[Cell]) {
         "{{\n  \"bench\": \"pipeline\",\n  {host},\n  \"config\": {{\"quick\": {quick}, \
          \"theta\": {THETA}, \"hot_spenders\": {HOT_SPENDERS}, \"threads\": {THREADS}, \
          \"batch_1k\": {batch_1k}}},\n  \
-         \"prior\": {{\"note\": \"pipeline before allocation-free footprints + sharded \
-         intake + wave fusion + adaptive bypass (previous PR, same host)\", \
+         \"prior\": {{\"note\": \"pipeline before the observability seam was threaded \
+         through the engine (previous PR, same host)\", \
          \"runs\": [\n{prior}  ]}},\n  \
          \"runs\": [\n{rows}  ],\n  \"summary\": [\n{summary}  ]\n}}\n"
     );
@@ -321,8 +395,24 @@ fn main() {
         .position(|a| a == "--assert-min-ratio")
         .and_then(|i| args.get(i + 1))
         .map(|v| v.parse::<f64>().expect("--assert-min-ratio takes a float"));
+    let assert_obs_overhead = args
+        .iter()
+        .position(|a| a == "--assert-obs-overhead")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse::<f64>()
+                .expect("--assert-obs-overhead takes a percentage")
+        });
+    let metrics_out = args
+        .iter()
+        .position(|a| a == "--metrics-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: pipeline [--quick] [--out PATH] [--assert-min-ratio R]");
+        eprintln!(
+            "usage: pipeline [--quick] [--out PATH] [--assert-min-ratio R] \
+             [--assert-obs-overhead PCT] [--metrics-out PATH]"
+        );
         return;
     }
 
@@ -334,6 +424,7 @@ fn main() {
 
     let mut cells = Vec::new();
     let mut batch_1k = 0usize;
+    let mut metrics_page = String::new();
     for &(n, ops) in sizes {
         // Batch bounded by n/2 so a disjoint-regime batch can be fully
         // conflict-free (the generator's window guarantee).
@@ -372,10 +463,16 @@ fn main() {
                 &workload,
                 &mut cells,
             );
-            measure_pipeline(regime, &initial, &workload, batch, &mut cells);
+            metrics_page = measure_pipeline(regime, &initial, &workload, batch, &mut cells);
         }
     }
     write_json(&out, quick, batch_1k, &cells);
+    if let Some(path) = metrics_out {
+        // One representative exposition page (the last cell's enabled
+        // run) — the CI artifact proving the text format renders.
+        std::fs::write(&path, &metrics_page).expect("write metrics page");
+        eprintln!("wrote {path}");
+    }
 
     // CI gate: the disjoint pipeline/sharded-direct ratio at the largest
     // grid size must clear the floor — catches regressions that re-open
@@ -394,5 +491,31 @@ fn main() {
             "disjoint pipeline/sharded ratio {ratio:.3} fell below the floor {floor}"
         );
         eprintln!("ratio gate passed: disjoint n={n_max} pipeline/sharded = {ratio:.3} >= {floor}");
+    }
+
+    // CI gate: recording latency histograms must not tax throughput by
+    // more than PCT percent. Compared within this run (enabled vs
+    // disabled rows of the largest grid size), so the gate holds on any
+    // host — cross-run deltas would just measure the runner.
+    if let Some(pct) = assert_obs_overhead {
+        let n_max = cells.iter().map(|c| c.n).max().expect("grid nonempty");
+        let floor = 1.0 - pct / 100.0;
+        for regime in ["disjoint", "zipf", "hotrow"] {
+            let find = |path: &str| {
+                cells
+                    .iter()
+                    .find(|c| c.n == n_max && c.regime == regime && c.path == path)
+                    .expect("cell grid is complete")
+            };
+            let ratio = find("pipeline-obs").ops_per_sec / find("pipeline").ops_per_sec;
+            assert!(
+                ratio >= floor,
+                "enabled-recorder overhead gate: {regime} n={n_max} \
+                 obs/pipeline = {ratio:.3} < {floor:.3} (--assert-obs-overhead {pct})"
+            );
+            eprintln!(
+                "obs overhead gate passed: {regime} n={n_max} obs/pipeline = {ratio:.3} >= {floor:.3}"
+            );
+        }
     }
 }

@@ -15,6 +15,12 @@
 //!   restarts: wall-clock until it is back in byte-identical sync from
 //!   the log suffix.
 //!
+//! The replicated rows also carry the cluster's replication-health
+//! telemetry — per-follower ack lag after the round plus the primary's
+//! retransmission/down-mark/snapshot-ship/reinvite counters — and the
+//! catch-up row records the lag the dead follower had accumulated
+//! before rejoining.
+//!
 //! ```sh
 //! cargo run --release -p tokensync-bench --bin replica             # full (includes n = 1M)
 //! cargo run --release -p tokensync-bench --bin replica -- --quick  # CI smoke
@@ -28,7 +34,7 @@ use tokensync_bench::harness::host_json;
 use tokensync_bench::workloads::{funded_state, zipf_ops};
 use tokensync_core::shared::ShardedErc20;
 use tokensync_pipeline::{run_script_with_sink, BatchConfig, PipelineConfig};
-use tokensync_replica::{Cluster, ReplicaConfig};
+use tokensync_replica::{Cluster, ReplicaConfig, ReplicationStats};
 use tokensync_store::{Durability, Store, StoreConfig};
 
 /// Zipf skew of the workload (the YCSB default the other benches use).
@@ -45,6 +51,9 @@ struct IngestCell {
     ops: usize,
     run_ms: f64,
     ops_per_sec: f64,
+    /// Replication-health counters + worst follower lag after the round
+    /// (replicated rows only; a healthy round should show all zeros).
+    repl: Option<(ReplicationStats, u64)>,
 }
 
 struct CatchUpCell {
@@ -52,6 +61,11 @@ struct CatchUpCell {
     missed_ops: u64,
     catch_up_ms: f64,
     ops_per_sec: f64,
+    /// Ack lag the dead follower had accumulated before rejoining.
+    lag_before: u64,
+    /// Primary counters after the catch-up round: retransmissions spent
+    /// probing the corpse, the down-mark, and the reinvite that healed it.
+    stats: ReplicationStats,
 }
 
 fn ms(from: Instant) -> f64 {
@@ -95,6 +109,7 @@ fn push_ingest(
     policy: &'static str,
     ops: usize,
     run_ms: f64,
+    repl: Option<(ReplicationStats, u64)>,
 ) {
     let cell = IngestCell {
         n,
@@ -103,11 +118,19 @@ fn push_ingest(
         ops,
         run_ms,
         ops_per_sec: ops as f64 / (run_ms / 1e3),
+        repl,
     };
-    eprintln!(
+    eprint!(
         "  ingest n={:>9} {:>12}/{:>12} run={:>9.1}ms {:>12.0} ops/s",
         cell.n, cell.mode, cell.policy, cell.run_ms, cell.ops_per_sec
     );
+    if let Some((stats, max_lag)) = cell.repl {
+        eprint!(
+            " retx={} down={} lag={max_lag}",
+            stats.retransmissions, stats.down_marks
+        );
+    }
+    eprintln!();
     out.push(cell);
 }
 
@@ -144,7 +167,7 @@ fn measure_ingest(n: usize, ops: usize, ingest: &mut Vec<IngestCell>) {
             store.close().expect("store close");
             let _ = std::fs::remove_dir_all(dir);
         }
-        push_ingest(ingest, n, "unreplicated", policy, ops, best);
+        push_ingest(ingest, n, "unreplicated", policy, ops, best, None);
     }
 
     // Replicated: serve on the primary, then drain one full replication
@@ -152,6 +175,7 @@ fn measure_ingest(n: usize, ops: usize, ingest: &mut Vec<IngestCell>) {
     // measured window includes shipping, follower fsyncs and quorum
     // acks. (Replication tails the WAL, so it runs on group-commit.)
     let mut best = f64::INFINITY;
+    let mut repl = None;
     for rep in 0..REPS {
         let base = scratch(&format!("cluster-{n}-{rep}"));
         let mut cluster: Cluster<ShardedErc20> = Cluster::new(
@@ -168,9 +192,11 @@ fn measure_ingest(n: usize, ops: usize, ingest: &mut Vec<IngestCell>) {
         best = best.min(ms(start));
         assert_eq!(run.stats.ops as usize, workload.len());
         assert_eq!(cluster.durable_seq(), workload.len() as u64);
+        let max_lag = cluster.follower_lags().into_iter().max().unwrap_or(0);
+        repl = Some((cluster.replication_stats(), max_lag));
         let _ = std::fs::remove_dir_all(base);
     }
-    push_ingest(ingest, n, "replicated", "group-commit", ops, best);
+    push_ingest(ingest, n, "replicated", "group-commit", ops, best, repl);
 }
 
 fn measure_catch_up(n: usize, missed: usize, out: &mut Vec<CatchUpCell>) {
@@ -190,12 +216,14 @@ fn measure_catch_up(n: usize, missed: usize, out: &mut Vec<CatchUpCell>) {
     cluster.crash(2);
     cluster.serve(&workload);
     cluster.pump();
+    let lag_before = cluster.follower_lags()[2];
     let start = Instant::now();
     cluster.restart(2);
     cluster.pump();
     let catch_up_ms = ms(start);
     assert_eq!(cluster.node(2).next_seq(), missed as u64, "caught up");
     assert!(cluster.node(2).state() == cluster.node(0).state());
+    let stats = cluster.replication_stats();
     let _ = std::fs::remove_dir_all(base);
 
     let cell = CatchUpCell {
@@ -203,21 +231,43 @@ fn measure_catch_up(n: usize, missed: usize, out: &mut Vec<CatchUpCell>) {
         missed_ops: missed as u64,
         catch_up_ms,
         ops_per_sec: missed as f64 / (catch_up_ms / 1e3),
+        lag_before,
+        stats,
     };
     eprintln!(
-        "  catch-up n={:>9} missed={:>8} {:>9.1}ms {:>12.0} ops/s",
-        cell.n, cell.missed_ops, cell.catch_up_ms, cell.ops_per_sec
+        "  catch-up n={:>9} missed={:>8} {:>9.1}ms {:>12.0} ops/s \
+         lag-before={} retx={} reinvites={}",
+        cell.n,
+        cell.missed_ops,
+        cell.catch_up_ms,
+        cell.ops_per_sec,
+        cell.lag_before,
+        cell.stats.retransmissions,
+        cell.stats.reinvites
     );
     out.push(cell);
 }
 
 fn write_json(path: &Path, quick: bool, ingest: &[IngestCell], catch_up: &[CatchUpCell]) {
+    let stats_json = |s: &ReplicationStats| {
+        format!(
+            "\"retransmissions\": {}, \"down_marks\": {}, \
+             \"snapshot_ships\": {}, \"reinvites\": {}",
+            s.retransmissions, s.down_marks, s.snapshot_ships, s.reinvites
+        )
+    };
     let mut rows = String::new();
     for (i, c) in ingest.iter().enumerate() {
         let sep = if i + 1 < ingest.len() { "," } else { "" };
+        let repl = match &c.repl {
+            Some((stats, max_lag)) => {
+                format!(", {}, \"max_follower_lag\": {max_lag}", stats_json(stats))
+            }
+            None => String::new(),
+        };
         rows.push_str(&format!(
             "    {{\"n\": {}, \"mode\": \"{}\", \"policy\": \"{}\", \"ops\": {}, \
-             \"run_ms\": {:.3}, \"ops_per_sec\": {:.0}}}{sep}\n",
+             \"run_ms\": {:.3}, \"ops_per_sec\": {:.0}{repl}}}{sep}\n",
             c.n, c.mode, c.policy, c.ops, c.run_ms, c.ops_per_sec
         ));
     }
@@ -226,8 +276,13 @@ fn write_json(path: &Path, quick: bool, ingest: &[IngestCell], catch_up: &[Catch
         let sep = if i + 1 < catch_up.len() { "," } else { "" };
         catches.push_str(&format!(
             "    {{\"n\": {}, \"missed_ops\": {}, \"catch_up_ms\": {:.3}, \
-             \"ops_per_sec\": {:.0}}}{sep}\n",
-            c.n, c.missed_ops, c.catch_up_ms, c.ops_per_sec
+             \"ops_per_sec\": {:.0}, \"lag_before\": {}, {}}}{sep}\n",
+            c.n,
+            c.missed_ops,
+            c.catch_up_ms,
+            c.ops_per_sec,
+            c.lag_before,
+            stats_json(&c.stats)
         ));
     }
     // Summary: replication throughput relative to each unreplicated

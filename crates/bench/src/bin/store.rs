@@ -14,6 +14,11 @@
 //!   to the pre-crash object (the acceptance criterion, run here on
 //!   every invocation).
 //!
+//! Every durable run carries a live `StoreObs` recorder, so each policy
+//! row also reports the WAL I/O it actually did — fsyncs, bytes,
+//! records, segment rolls, snapshots — and the append/fsync latency
+//! percentiles (p50/p99/p999) from the recorder's histograms.
+//!
 //! ```sh
 //! cargo run --release -p tokensync-bench --bin store             # full (includes n = 1M)
 //! cargo run --release -p tokensync-bench --bin store -- --quick  # CI smoke: n <= 1k
@@ -27,16 +32,42 @@ use tokensync_bench::harness::host_json;
 use tokensync_bench::workloads::{funded_state, zipf_ops};
 use tokensync_core::erc20::{Erc20Op, Erc20State};
 use tokensync_core::shared::{ConcurrentObject, ShardedErc20};
+use tokensync_obs::{HistogramSnapshot, Registry};
 use tokensync_pipeline::{
     run_script, run_script_with_sink, BatchConfig, PipelineConfig, PipelineRun,
 };
 use tokensync_spec::ProcessId;
-use tokensync_store::{recover, Durability, Store, StoreConfig};
+use tokensync_store::{recover, Durability, Store, StoreConfig, StoreObs};
 
 /// Zipf skew of the workload (the YCSB default the other benches use).
 const THETA: f64 = 0.6;
 /// Timed repetitions per cell (min taken).
 const REPS: usize = 3;
+
+/// WAL/snapshot I/O a durable run performed, read off its [`StoreObs`].
+struct IoStats {
+    fsyncs: u64,
+    bytes_appended: u64,
+    records_appended: u64,
+    segments_created: u64,
+    snapshots: u64,
+    append: HistogramSnapshot,
+    fsync: HistogramSnapshot,
+}
+
+impl IoStats {
+    fn read(obs: &StoreObs) -> Self {
+        Self {
+            fsyncs: obs.fsyncs(),
+            bytes_appended: obs.bytes_appended(),
+            records_appended: obs.records_appended(),
+            segments_created: obs.segments_created(),
+            snapshots: obs.snapshots_taken(),
+            append: obs.append_latency().expect("recorder enabled"),
+            fsync: obs.fsync_latency().expect("recorder enabled"),
+        }
+    }
+}
 
 struct IngestCell {
     n: usize,
@@ -45,6 +76,8 @@ struct IngestCell {
     run_ms: f64,
     ops_per_sec: f64,
     wal_bytes: u64,
+    /// I/O counters + latency percentiles (None for the volatile row).
+    io: Option<IoStats>,
 }
 
 struct RecoveryCell {
@@ -106,16 +139,19 @@ fn durable_run(
     f64,
     PathBuf,
     u64,
+    IoStats,
 ) {
     let dir = scratch(tag);
     let token = ShardedErc20::from_state(initial.clone());
     let mut store: Store<ShardedErc20> =
         Store::create(&dir, initial, store_cfg(durability, workload.len())).expect("create store");
+    store.set_obs(StoreObs::new(&Registry::new()));
     let start = Instant::now();
     let run = run_script_with_sink(&token, workload, cfg, &mut store);
     let wal_bytes = store.wal_bytes().expect("wal size");
+    let io = IoStats::read(store.obs());
     store.close().expect("store close");
-    (run, ms(start), dir, wal_bytes)
+    (run, ms(start), dir, wal_bytes, io)
 }
 
 fn push_ingest(
@@ -125,6 +161,7 @@ fn push_ingest(
     ops: usize,
     run_ms: f64,
     wal_bytes: u64,
+    io: Option<IoStats>,
 ) {
     let cell = IngestCell {
         n,
@@ -133,10 +170,21 @@ fn push_ingest(
         run_ms,
         ops_per_sec: ops as f64 / (run_ms / 1e3),
         wal_bytes,
+        io,
     };
+    let extra = cell
+        .io
+        .as_ref()
+        .map(|io| {
+            format!(
+                " fsyncs={} fsync-p99={}ns append-p99={}ns",
+                io.fsyncs, io.fsync.p99, io.append.p99
+            )
+        })
+        .unwrap_or_default();
     eprintln!(
-        "  ingest n={:>9} {:>12} run={:>9.1}ms {:>12.0} ops/s wal={:>10} B",
-        cell.n, cell.policy, cell.run_ms, cell.ops_per_sec, cell.wal_bytes
+        "  ingest n={:>9} {:>12} run={:>9.1}ms {:>12.0} ops/s wal={:>10} B{}",
+        cell.n, cell.policy, cell.run_ms, cell.ops_per_sec, cell.wal_bytes, extra
     );
     out.push(cell);
 }
@@ -155,7 +203,7 @@ fn measure(n: usize, ops: usize, ingest: &mut Vec<IngestCell>, recovery: &mut Ve
         best = best.min(ms(start));
         assert_eq!(run.stats.ops as usize, workload.len());
     }
-    push_ingest(ingest, n, "volatile", ops, best, 0);
+    push_ingest(ingest, n, "volatile", ops, best, 0, None);
 
     // Store sink per policy.
     for (policy, durability) in [
@@ -165,9 +213,10 @@ fn measure(n: usize, ops: usize, ingest: &mut Vec<IngestCell>, recovery: &mut Ve
     ] {
         let mut best = f64::INFINITY;
         let mut wal_bytes = 0;
+        let mut io = None;
         let mut keep: Option<(PathBuf, Erc20State)> = None;
         for rep in 0..REPS {
-            let (run, run_ms, dir, bytes) = durable_run(
+            let (run, run_ms, dir, bytes, rep_io) = durable_run(
                 &format!("{policy}-{n}-{rep}"),
                 &initial,
                 &workload,
@@ -176,6 +225,7 @@ fn measure(n: usize, ops: usize, ingest: &mut Vec<IngestCell>, recovery: &mut Ve
             );
             best = best.min(run_ms);
             wal_bytes = bytes;
+            io = Some(rep_io);
             assert_eq!(run.stats.ops as usize, workload.len());
             // Keep the last group-commit directory for the recovery
             // measurement; drop the others.
@@ -191,7 +241,7 @@ fn measure(n: usize, ops: usize, ingest: &mut Vec<IngestCell>, recovery: &mut Ve
                 let _ = std::fs::remove_dir_all(dir);
             }
         }
-        push_ingest(ingest, n, policy, ops, best, wal_bytes);
+        push_ingest(ingest, n, policy, ops, best, wal_bytes, io);
 
         if let Some((dir, expected_state)) = keep {
             // Recovery: rebuild the live object from disk alone.
@@ -225,9 +275,31 @@ fn write_json(path: &Path, quick: bool, ingest: &[IngestCell], recovery: &[Recov
     let mut rows = String::new();
     for (i, c) in ingest.iter().enumerate() {
         let sep = if i + 1 < ingest.len() { "," } else { "" };
+        let io =
+            c.io.as_ref()
+                .map(|io| {
+                    format!(
+                        ", \"fsyncs\": {}, \"bytes_appended\": {}, \"records_appended\": {}, \
+                     \"segments_created\": {}, \"snapshots\": {}, \
+                     \"append_p50_ns\": {}, \"append_p99_ns\": {}, \"append_p999_ns\": {}, \
+                     \"fsync_p50_ns\": {}, \"fsync_p99_ns\": {}, \"fsync_p999_ns\": {}",
+                        io.fsyncs,
+                        io.bytes_appended,
+                        io.records_appended,
+                        io.segments_created,
+                        io.snapshots,
+                        io.append.p50,
+                        io.append.p99,
+                        io.append.p999,
+                        io.fsync.p50,
+                        io.fsync.p99,
+                        io.fsync.p999
+                    )
+                })
+                .unwrap_or_default();
         rows.push_str(&format!(
             "    {{\"n\": {}, \"policy\": \"{}\", \"ops\": {}, \"run_ms\": {:.3}, \
-             \"ops_per_sec\": {:.0}, \"wal_bytes\": {}}}{sep}\n",
+             \"ops_per_sec\": {:.0}, \"wal_bytes\": {}{io}}}{sep}\n",
             c.n, c.policy, c.ops, c.run_ms, c.ops_per_sec, c.wal_bytes
         ));
     }

@@ -1,0 +1,53 @@
+//! Zero-dependency observability for the tokensync serving stack.
+//!
+//! Three layers, smallest first:
+//!
+//! * **Primitives** ([`Counter`], [`Gauge`], [`Histogram`]) — cloneable
+//!   handles over shared atomics; recording is lock-free and safe from
+//!   any thread. The histogram is log₂-bucketed with 32 linear
+//!   sub-buckets per octave, so `p50/p90/p99/p999` read out within
+//!   ~2% relative error at any magnitude.
+//! * **Registry** ([`Registry`]) — names the primitives and exposes
+//!   them two ways: a Prometheus-style text page
+//!   ([`Registry::render_text`]) and a JSON snapshot
+//!   ([`Registry::snapshot`]) whose [`ObsSnapshot::diff`] yields
+//!   interval rates.
+//! * **Spans** ([`SpanRing`]) — a bounded ring of per-batch stage
+//!   events ([`SpanEvent`], keyed by batch seq) for "why was this
+//!   batch slow" forensics on sampled batches.
+//!
+//! The serving crates thread these through behind recorder handles
+//! (`PipelineObs`, `StoreObs`) whose disabled form is an `Option`
+//! holding `None` — the cost of a disabled recorder at a hot-path
+//! call site is one inlined branch, no clock reads, no allocation.
+//!
+//! ```
+//! use tokensync_obs::Registry;
+//!
+//! let reg = Registry::new();
+//! let ops = reg.counter("demo_ops_total", &[], "Operations served.");
+//! let lat = reg.histogram("demo_latency_ns", &[], "Op latency.");
+//! ops.add(2);
+//! lat.record(1_200);
+//! lat.record(90_000);
+//!
+//! let page = reg.render_text();
+//! assert!(page.contains("# TYPE demo_ops_total counter"));
+//! assert!(page.contains("demo_latency_ns_count 2"));
+//!
+//! let before = reg.snapshot();
+//! ops.add(3);
+//! assert_eq!(reg.snapshot().diff(&before).counter("demo_ops_total"), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod registry;
+pub mod span;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use registry::{Labels, ObsSnapshot, Registry, SeriesSnapshot, SnapshotValue};
+pub use span::{SpanEvent, SpanRing, Stage};

@@ -1,0 +1,386 @@
+//! The three metric primitives: [`Counter`], [`Gauge`] and
+//! [`Histogram`]. All of them are cheap cloneable handles around
+//! shared atomics, safe to record from any number of threads without
+//! locks; readers see a consistent-enough view for monitoring (each
+//! individual cell is atomic, cross-cell skew is bounded by whatever
+//! is in flight).
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing `u64` counter.
+///
+/// Increments are relaxed atomic adds — a handful of nanoseconds, no
+/// contention beyond the cache line itself.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the running total. Intended for pull-style export
+    /// where some single-threaded component (e.g. a replica node that
+    /// keeps plain integers on its own event loop) owns the
+    /// authoritative count and periodically publishes it; do not mix
+    /// with [`Counter::add`] on the same counter.
+    #[inline]
+    pub fn set_total(&self, total: u64) {
+        self.cell.store(total, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed gauge: a value that goes up and down (queue depth, lag).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    cell: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.cell.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Sub-bucket resolution: each power-of-two octave is split into
+/// `2^SUB_BITS` linear sub-buckets, bounding the relative quantization
+/// error at `2^-(SUB_BITS+1)` of the value (~±1.6% at the midpoint).
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per octave.
+const SUBS: u64 = 1 << SUB_BITS;
+/// Total bucket count: values `< SUBS` get exact unit buckets
+/// (group 0), then one group of `SUBS` buckets per remaining octave of
+/// the `u64` range (octaves `SUB_BITS..=63`, hence the `+ 1`).
+const BUCKETS: usize = (SUBS as usize) * (64 - SUB_BITS as usize + 1);
+
+/// A lock-free log-linear latency histogram.
+///
+/// Values (nanoseconds by convention, but any `u64` works) are binned
+/// into power-of-two octaves, each split into 32 linear sub-buckets:
+/// values below 32 are exact, everything above lands within ~2% of its
+/// bucket's representative midpoint. Recording is a single relaxed
+/// `fetch_add` on the bucket plus bookkeeping for `count`/`sum`/`max`
+/// — multi-writer safe with no locks anywhere.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        let buckets = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            inner: Arc::new(HistogramInner {
+                buckets,
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+/// Bucket index for a value: identity below [`SUBS`], otherwise the
+/// octave group plus the top [`SUB_BITS`] bits below the leading one.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUBS {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros(); // >= SUB_BITS
+        let group = (msb - SUB_BITS + 1) as u64;
+        let sub = (v >> (msb - SUB_BITS)) - SUBS;
+        (group * SUBS + sub) as usize
+    }
+}
+
+/// Representative value for a bucket: exact for group 0, the bucket
+/// midpoint otherwise (keeps quantile readout within ~2%).
+fn bucket_value(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUBS {
+        idx
+    } else {
+        let group = idx / SUBS;
+        let sub = idx % SUBS;
+        let scale = 1u64 << (group - 1);
+        let low = (SUBS + sub) * scale;
+        low + scale / 2
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram (~15 KiB of buckets).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` observations of the same value (bulk attribution,
+    /// e.g. one batch latency credited to each op it carried).
+    #[inline]
+    pub fn record_n(&self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let inner = &*self.inner;
+        inner.buckets[bucket_index(v)].fetch_add(n, Ordering::Relaxed);
+        inner.count.fetch_add(n, Ordering::Relaxed);
+        inner.sum.fetch_add(v.saturating_mul(n), Ordering::Relaxed);
+        inner.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time summary with percentile readout.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let inner = &*self.inner;
+        let count = inner.count.load(Ordering::Relaxed);
+        let sum = inner.sum.load(Ordering::Relaxed);
+        let max = inner.max.load(Ordering::Relaxed);
+        if count == 0 {
+            return HistogramSnapshot::default();
+        }
+        let mut targets = [
+            (percentile_rank(count, 0.50), 0u64),
+            (percentile_rank(count, 0.90), 0),
+            (percentile_rank(count, 0.99), 0),
+            (percentile_rank(count, 0.999), 0),
+        ];
+        let mut seen = 0u64;
+        let mut next = 0usize;
+        'walk: for (idx, bucket) in inner.buckets.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
+            }
+            seen += n;
+            while targets[next].0 <= seen {
+                targets[next].1 = bucket_value(idx);
+                next += 1;
+                if next == targets.len() {
+                    break 'walk;
+                }
+            }
+        }
+        // Concurrent writers can leave the walk short of every target;
+        // fall back to the max for the unfilled tails.
+        for t in &mut targets[next..] {
+            t.1 = max;
+        }
+        HistogramSnapshot {
+            count,
+            sum,
+            max,
+            p50: targets[0].1,
+            p90: targets[1].1,
+            p99: targets[2].1,
+            p999: targets[3].1,
+        }
+    }
+}
+
+/// The 1-based rank of quantile `q` among `count` observations.
+fn percentile_rank(count: u64, q: f64) -> u64 {
+    #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+    let rank = (q * count as f64).ceil() as u64;
+    rank.clamp(1, count)
+}
+
+/// A point-in-time histogram summary.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Largest recorded value (exact, not bucketed).
+    pub max: u64,
+    /// Median (bucket representative, ~2% relative error).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the recorded values (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.sum as f64 / self.count as f64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..32 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 32);
+        assert_eq!(s.sum, (0..32).sum::<u64>());
+        assert_eq!(s.max, 31);
+        assert_eq!(s.p50, 15); // rank 16 of 0..=31
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_contiguous() {
+        // Exhaustive over the first octaves, then spot-check by powers.
+        let mut last = bucket_index(0);
+        for v in 1..4096u64 {
+            let idx = bucket_index(v);
+            assert!(idx == last || idx == last + 1, "gap at {v}");
+            last = idx;
+        }
+        for shift in 5..63 {
+            let v = 1u64 << shift;
+            assert_eq!(bucket_index(v), bucket_index(v - 1) + 1);
+        }
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for v in [
+            37u64,
+            100,
+            999,
+            12_345,
+            1_000_000,
+            987_654_321,
+            u64::MAX / 3,
+        ] {
+            let rep = bucket_value(bucket_index(v));
+            #[allow(clippy::cast_precision_loss)]
+            let err = ((rep as f64) - (v as f64)).abs() / (v as f64);
+            assert!(err <= 0.02, "value {v} rep {rep} err {err}");
+        }
+    }
+
+    #[test]
+    fn percentiles_track_a_known_distribution() {
+        let h = Histogram::new();
+        // 1..=1000 microseconds-ish values.
+        for v in 1..=1000u64 {
+            h.record(v * 1000);
+        }
+        let s = h.snapshot();
+        let close = |got: u64, want: u64| {
+            #[allow(clippy::cast_precision_loss)]
+            let err = ((got as f64) - (want as f64)).abs() / (want as f64);
+            assert!(err < 0.03, "got {got} want {want}");
+        };
+        close(s.p50, 500_000);
+        close(s.p90, 900_000);
+        close(s.p99, 990_000);
+        close(s.p999, 999_000);
+        assert_eq!(s.max, 1_000_000);
+    }
+
+    #[test]
+    fn multi_writer_record_totals_add_up() {
+        let h = Histogram::new();
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1000 + i % 97);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.snapshot().count, 40_000);
+    }
+
+    #[test]
+    fn record_n_bulk_matches_loop() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record_n(777, 5);
+        for _ in 0..5 {
+            b.record(777);
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+}

@@ -1,0 +1,403 @@
+//! The metric registry and its two exposition surfaces: a
+//! Prometheus-style text page ([`Registry::render_text`]) and a JSON
+//! snapshot ([`Registry::snapshot`]) that supports interval-rate
+//! computation via [`ObsSnapshot::diff`].
+//!
+//! Registration is get-or-create and goes through a mutex — it is the
+//! cold path, done once per metric at wiring time. The returned
+//! handles ([`Counter`], [`Gauge`], [`Histogram`]) record without
+//! touching the registry again.
+
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+/// A label set: `(key, value)` pairs rendered as
+/// `{key="value",...}`. Order is preserved as given.
+pub type Labels = Vec<(String, String)>;
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Entry {
+    name: String,
+    labels: Labels,
+    help: String,
+    metric: Metric,
+}
+
+/// A shared, cloneable registry of named metrics.
+#[derive(Clone, Default)]
+pub struct Registry {
+    entries: Arc<Mutex<Vec<Entry>>>,
+}
+
+/// Turns `&[("k", "v")]` into an owned [`Labels`].
+fn own_labels(labels: &[(&str, &str)]) -> Labels {
+    labels
+        .iter()
+        .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+        .collect()
+}
+
+/// Renders `name{k="v",...}`; bare `name` when there are no labels.
+fn series_key(name: &str, labels: &Labels) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut out = String::from(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{v}\"");
+    }
+    out.push('}');
+    out
+}
+
+/// Like [`series_key`] but with an extra label appended — used for the
+/// `quantile="..."` lines of summaries.
+fn series_key_plus(name: &str, labels: &Labels, extra_k: &str, extra_v: &str) -> String {
+    let mut all = labels.clone();
+    all.push((extra_k.to_string(), extra_v.to_string()));
+    series_key(name, &all)
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        make: Metric,
+    ) -> Metric {
+        let labels = own_labels(labels);
+        let mut entries = self.entries.lock().expect("registry poisoned");
+        if let Some(e) = entries
+            .iter()
+            .find(|e| e.name == name && e.labels == labels)
+        {
+            return e.metric.clone();
+        }
+        entries.push(Entry {
+            name: name.to_string(),
+            labels,
+            help: help.to_string(),
+            metric: make.clone(),
+        });
+        make
+    }
+
+    /// Returns the counter registered under `name`+`labels`, creating
+    /// it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series is already registered as another type.
+    #[must_use]
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Counter {
+        match self.get_or_insert(name, labels, help, Metric::Counter(Counter::new())) {
+            Metric::Counter(c) => c,
+            _ => panic!("{name} is registered as a non-counter"),
+        }
+    }
+
+    /// Returns the gauge registered under `name`+`labels`, creating it
+    /// on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series is already registered as another type.
+    #[must_use]
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Gauge {
+        match self.get_or_insert(name, labels, help, Metric::Gauge(Gauge::new())) {
+            Metric::Gauge(g) => g,
+            _ => panic!("{name} is registered as a non-gauge"),
+        }
+    }
+
+    /// Returns the histogram registered under `name`+`labels`,
+    /// creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series is already registered as another type.
+    #[must_use]
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Histogram {
+        match self.get_or_insert(name, labels, help, Metric::Histogram(Histogram::new())) {
+            Metric::Histogram(h) => h,
+            _ => panic!("{name} is registered as a non-histogram"),
+        }
+    }
+
+    /// Renders every registered series as a Prometheus-style text
+    /// page: `# HELP` / `# TYPE` headers once per metric family (in
+    /// registration order), histograms as `summary` families with
+    /// `quantile` labels plus `_sum`/`_count`.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let entries = self.entries.lock().expect("registry poisoned");
+        let mut out = String::new();
+        let mut last_family: Option<&str> = None;
+        for e in entries.iter() {
+            if last_family != Some(e.name.as_str()) {
+                let kind = match e.metric {
+                    Metric::Counter(_) => "counter",
+                    Metric::Gauge(_) => "gauge",
+                    Metric::Histogram(_) => "summary",
+                };
+                let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
+                let _ = writeln!(out, "# TYPE {} {}", e.name, kind);
+                last_family = Some(e.name.as_str());
+            }
+            match &e.metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "{} {}", series_key(&e.name, &e.labels), c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "{} {}", series_key(&e.name, &e.labels), g.get());
+                }
+                Metric::Histogram(h) => {
+                    let s = h.snapshot();
+                    for (q, v) in [
+                        ("0.5", s.p50),
+                        ("0.9", s.p90),
+                        ("0.99", s.p99),
+                        ("0.999", s.p999),
+                    ] {
+                        let _ = writeln!(
+                            out,
+                            "{} {}",
+                            series_key_plus(&e.name, &e.labels, "quantile", q),
+                            v
+                        );
+                    }
+                    let sum_name = format!("{}_sum", e.name);
+                    let count_name = format!("{}_count", e.name);
+                    let _ = writeln!(out, "{} {}", series_key(&sum_name, &e.labels), s.sum);
+                    let _ = writeln!(out, "{} {}", series_key(&count_name, &e.labels), s.count);
+                }
+            }
+        }
+        out
+    }
+
+    /// Captures every series' current value.
+    #[must_use]
+    pub fn snapshot(&self) -> ObsSnapshot {
+        let entries = self.entries.lock().expect("registry poisoned");
+        ObsSnapshot {
+            series: entries
+                .iter()
+                .map(|e| SeriesSnapshot {
+                    key: series_key(&e.name, &e.labels),
+                    value: match &e.metric {
+                        Metric::Counter(c) => SnapshotValue::Counter(c.get()),
+                        Metric::Gauge(g) => SnapshotValue::Gauge(g.get()),
+                        Metric::Histogram(h) => SnapshotValue::Histogram(h.snapshot()),
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One series' value inside an [`ObsSnapshot`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SnapshotValue {
+    /// A counter total.
+    Counter(u64),
+    /// A gauge reading.
+    Gauge(i64),
+    /// A histogram summary.
+    Histogram(HistogramSnapshot),
+}
+
+/// One named series in a snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SeriesSnapshot {
+    /// `name{labels}` series key.
+    pub key: String,
+    /// The captured value.
+    pub value: SnapshotValue,
+}
+
+/// A point-in-time capture of a whole [`Registry`], diffable against
+/// an earlier capture to get interval rates.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ObsSnapshot {
+    /// Captured series, in registration order.
+    pub series: Vec<SeriesSnapshot>,
+}
+
+impl ObsSnapshot {
+    /// Looks up one series by its `name{labels}` key.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&SnapshotValue> {
+        self.series.iter().find(|s| s.key == key).map(|s| &s.value)
+    }
+
+    /// Convenience: the counter total under `key`, or 0.
+    #[must_use]
+    pub fn counter(&self, key: &str) -> u64 {
+        match self.get(key) {
+            Some(SnapshotValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Convenience: the gauge reading under `key`, or 0.
+    #[must_use]
+    pub fn gauge(&self, key: &str) -> i64 {
+        match self.get(key) {
+            Some(SnapshotValue::Gauge(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Convenience: the histogram summary under `key`, if any.
+    #[must_use]
+    pub fn histogram(&self, key: &str) -> Option<HistogramSnapshot> {
+        match self.get(key) {
+            Some(SnapshotValue::Histogram(h)) => Some(*h),
+            _ => None,
+        }
+    }
+
+    /// The change since `earlier`: counters and histogram
+    /// `count`/`sum` subtract (saturating); gauges and histogram
+    /// percentiles keep their *current* reading — percentiles are
+    /// cumulative-distribution properties and do not subtract.
+    /// Series absent from `earlier` pass through unchanged.
+    #[must_use]
+    pub fn diff(&self, earlier: &ObsSnapshot) -> ObsSnapshot {
+        ObsSnapshot {
+            series: self
+                .series
+                .iter()
+                .map(|s| {
+                    let value = match (&s.value, earlier.get(&s.key)) {
+                        (SnapshotValue::Counter(now), Some(SnapshotValue::Counter(then))) => {
+                            SnapshotValue::Counter(now.saturating_sub(*then))
+                        }
+                        (SnapshotValue::Histogram(now), Some(SnapshotValue::Histogram(then))) => {
+                            SnapshotValue::Histogram(HistogramSnapshot {
+                                count: now.count.saturating_sub(then.count),
+                                sum: now.sum.saturating_sub(then.sum),
+                                ..*now
+                            })
+                        }
+                        (v, _) => *v,
+                    };
+                    SeriesSnapshot {
+                        key: s.key.clone(),
+                        value,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders the snapshot as a JSON object keyed by series:
+    /// counters/gauges as numbers, histograms as objects with
+    /// `count`/`sum`/`max`/`p50`/`p90`/`p99`/`p999`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, s) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n  \"{}\": ", s.key.replace('"', "\\\""));
+            match &s.value {
+                SnapshotValue::Counter(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                SnapshotValue::Gauge(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                SnapshotValue::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        "{{\"count\": {}, \"sum\": {}, \"max\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"p999\": {}}}",
+                        h.count, h.sum, h.max, h.p50, h.p90, h.p99, h.p999
+                    );
+                }
+            }
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_the_same_series() {
+        let reg = Registry::new();
+        let a = reg.counter("x_total", &[], "X.");
+        let b = reg.counter("x_total", &[], "X.");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        // Different labels are a different series.
+        let c = reg.counter("x_total", &[("shard", "1")], "X.");
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as a non-counter")]
+    fn type_confusion_panics() {
+        let reg = Registry::new();
+        let _ = reg.gauge("y", &[], "Y.");
+        let _ = reg.counter("y", &[], "Y.");
+    }
+
+    #[test]
+    fn diff_subtracts_counters_and_keeps_gauges() {
+        let reg = Registry::new();
+        let c = reg.counter("ops_total", &[], "Ops.");
+        let g = reg.gauge("depth", &[], "Depth.");
+        let h = reg.histogram("lat_ns", &[], "Latency.");
+        c.add(10);
+        g.set(4);
+        h.record(100);
+        let before = reg.snapshot();
+        c.add(5);
+        g.set(9);
+        h.record(200);
+        let after = reg.snapshot();
+        let d = after.diff(&before);
+        assert_eq!(d.counter("ops_total"), 5);
+        assert_eq!(d.gauge("depth"), 9);
+        let dh = d.histogram("lat_ns").unwrap();
+        assert_eq!(dh.count, 1);
+        assert_eq!(dh.sum, 200);
+    }
+
+    #[test]
+    fn json_snapshot_is_well_formed_enough() {
+        let reg = Registry::new();
+        reg.counter("a_total", &[("k", "v")], "A.").add(7);
+        reg.histogram("b_ns", &[], "B.").record(50);
+        let json = reg.snapshot().to_json();
+        assert!(json.contains("\"a_total{k=\\\"v\\\"}\": 7"));
+        assert!(json.contains("\"p999\": 50"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

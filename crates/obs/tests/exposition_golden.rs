@@ -1,0 +1,69 @@
+//! Golden test pinning the text exposition format byte-for-byte.
+//!
+//! The page is what scrapers parse; accidental format drift (header
+//! order, label rendering, quantile set) should fail loudly, not ship.
+
+use tokensync_obs::Registry;
+
+#[test]
+fn render_text_matches_golden() {
+    let reg = Registry::new();
+
+    let served = reg.counter("tokensync_demo_served_total", &[], "Batches served.");
+    served.add(3);
+
+    // Two shards of the same gauge family: one HELP/TYPE header, two samples.
+    let d0 = reg.gauge(
+        "tokensync_demo_queue_depth",
+        &[("shard", "0")],
+        "Ops waiting per intake shard.",
+    );
+    let d1 = reg.gauge(
+        "tokensync_demo_queue_depth",
+        &[("shard", "1")],
+        "Ops waiting per intake shard.",
+    );
+    d0.set(5);
+    d1.set(-2);
+
+    let lat = reg.histogram("tokensync_demo_latency_ns", &[], "Batch latency.");
+    // Values below 32 land in exact unit buckets, so every quantile is
+    // deterministic and round.
+    lat.record(10);
+    lat.record(20);
+    lat.record(30);
+
+    let golden = "\
+# HELP tokensync_demo_served_total Batches served.
+# TYPE tokensync_demo_served_total counter
+tokensync_demo_served_total 3
+# HELP tokensync_demo_queue_depth Ops waiting per intake shard.
+# TYPE tokensync_demo_queue_depth gauge
+tokensync_demo_queue_depth{shard=\"0\"} 5
+tokensync_demo_queue_depth{shard=\"1\"} -2
+# HELP tokensync_demo_latency_ns Batch latency.
+# TYPE tokensync_demo_latency_ns summary
+tokensync_demo_latency_ns{quantile=\"0.5\"} 20
+tokensync_demo_latency_ns{quantile=\"0.9\"} 30
+tokensync_demo_latency_ns{quantile=\"0.99\"} 30
+tokensync_demo_latency_ns{quantile=\"0.999\"} 30
+tokensync_demo_latency_ns_sum 60
+tokensync_demo_latency_ns_count 3
+";
+    assert_eq!(reg.render_text(), golden);
+}
+
+#[test]
+fn labelled_histogram_merges_quantile_label() {
+    let reg = Registry::new();
+    let h = reg.histogram(
+        "tokensync_demo_stage_ns",
+        &[("stage", "execute")],
+        "Per-stage latency.",
+    );
+    h.record(7);
+    let page = reg.render_text();
+    assert!(page.contains("tokensync_demo_stage_ns{stage=\"execute\",quantile=\"0.5\"} 7"));
+    assert!(page.contains("tokensync_demo_stage_ns_sum{stage=\"execute\"} 7"));
+    assert!(page.contains("tokensync_demo_stage_ns_count{stage=\"execute\"} 1"));
+}

@@ -339,6 +339,21 @@ impl<Op> Batcher<Op> {
             .sum()
     }
 
+    /// Number of intake shards.
+    pub fn shards(&self) -> usize {
+        self.intake.shards.len()
+    }
+
+    /// Operations currently buffered in shard `i` — feeds the per-shard
+    /// queue-depth gauges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.shards()`.
+    pub fn shard_depth(&self, i: usize) -> usize {
+        self.intake.shards[i].queue.lock().unwrap().len()
+    }
+
     /// Blocks for the next batch; `None` once every client handle is
     /// dropped and the shards are drained (engine shutdown).
     pub fn next_batch(&mut self) -> Option<Batch<Op>> {

@@ -27,11 +27,13 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use tokensync_core::shared::ConcurrentObject;
+use tokensync_obs::Stage;
 use tokensync_spec::ProcessId;
 
 use crate::batch::{intake, BatchConfig, Batcher, IntakeClient};
 use crate::commit::{CommitLog, CommittedOp};
 use crate::exec::{execute, execute_unordered, ExecConfig};
+use crate::obs::PipelineObs;
 use crate::schedule::{Schedule, ScheduleConfig, Scheduler};
 
 /// A durability hook on the commit stage: the engine hands every wave's
@@ -306,6 +308,8 @@ impl EngineCore {
 
 /// One batch through analyze → (bypass | schedule → execute) → commit,
 /// streaming each committed record (and the batch seal) into `sink`.
+/// `obs` is the recorder seam: disabled, each instrumentation point is
+/// one inlined branch.
 fn process_batch<T: ConcurrentObject + ?Sized, K: CommitSink<T>>(
     core: &mut EngineCore,
     token: &T,
@@ -314,34 +318,47 @@ fn process_batch<T: ConcurrentObject + ?Sized, K: CommitSink<T>>(
     cfg: &PipelineConfig,
     run: &mut PipelineRun<T::Op, T::Resp>,
     sink: &mut K,
+    obs: &PipelineObs,
 ) {
+    let mut clock = obs.batch_clock(seq);
     // Speculation gate: probe only while measured density is low, and
     // execute unordered only on a *certified* all-commuting batch. The
     // certification precedes every effect, so the fallback below re-runs
     // the identical buffered ops with nothing to roll back.
     if cfg.bypass.enabled && core.density <= cfg.bypass.max_density && !ops.is_empty() {
         if core.scheduler.batch_commutes(ops) {
+            clock.lap(Stage::BypassProbe);
+            obs.bypass_engaged();
             let responses = execute_unordered(token, ops, &cfg.exec);
+            clock.lap(Stage::Execute);
             run.stats.absorb_bypass(ops.len());
             core.observe(cfg.bypass.alpha, 0.0);
             let start = run.log.append_sequential(seq, ops, &responses);
             run.stats.commit_records += 1;
+            clock.lap(Stage::Commit);
             sink.wave_committed(token, &run.log.entries()[start..]);
             sink.batch_sealed(token, seq);
+            clock.lap(Stage::Seal);
+            clock.finish(ops.len());
             return;
         }
         // Misprediction caught before execution: fall through to the
         // scheduled path on the same buffered batch.
         run.stats.bypass_aborts += 1;
+        clock.lap(Stage::BypassProbe);
+        obs.bypass_aborted();
     }
     let plan = core.scheduler.schedule(ops, &cfg.schedule);
+    clock.lap(Stage::Schedule);
     let responses = execute(token, ops, &plan, &cfg.exec);
+    clock.lap(Stage::Execute);
     run.stats.absorb(&plan);
     core.observe(
         cfg.bypass.alpha,
         plan.conflicts as f64 / ops.len().max(1) as f64,
     );
     let start = run.log.append_batch(seq, ops, &responses, &plan);
+    clock.lap(Stage::Commit);
     // The appended slice is waves in order, then the serial lane: one
     // fused record for the whole batch, or (unfused) one contiguous
     // group per wave.
@@ -367,6 +384,8 @@ fn process_batch<T: ConcurrentObject + ?Sized, K: CommitSink<T>>(
         }
     }
     sink.batch_sealed(token, seq);
+    clock.lap(Stage::Seal);
+    clock.finish(ops.len());
 }
 
 /// Synchronously executes `script` through the pipeline stages against
@@ -405,11 +424,26 @@ pub fn run_script_with_sink<T: ConcurrentObject + ?Sized, K: CommitSink<T>>(
     cfg: &PipelineConfig,
     sink: &mut K,
 ) -> PipelineRun<T::Op, T::Resp> {
+    run_script_observed(token, script, cfg, sink, &PipelineObs::disabled())
+}
+
+/// [`run_script_with_sink`] with a [`PipelineObs`] recorder: per-stage
+/// and whole-batch latency histograms, bypass counters and sampled
+/// span traces land in the recorder's registry as the run executes.
+/// Pass [`PipelineObs::disabled`] to record nothing (that is exactly
+/// what the plain entry points do).
+pub fn run_script_observed<T: ConcurrentObject + ?Sized, K: CommitSink<T>>(
+    token: &T,
+    script: &[(ProcessId, T::Op)],
+    cfg: &PipelineConfig,
+    sink: &mut K,
+    obs: &PipelineObs,
+) -> PipelineRun<T::Op, T::Resp> {
     let mut core = EngineCore::new();
     let mut run = PipelineRun::default();
     let size = cfg.batch.max_ops.max(1);
     for (seq, ops) in script.chunks(size).enumerate() {
-        process_batch(&mut core, token, seq as u64, ops, cfg, &mut run, sink);
+        process_batch(&mut core, token, seq as u64, ops, cfg, &mut run, sink, obs);
     }
     run
 }
@@ -456,17 +490,28 @@ impl<Op, Resp, K> SinkedPipelineHandle<Op, Resp, K> {
 /// The engine's serving shape.
 pub struct Pipeline;
 
-/// The engine thread body shared by both spawn shapes.
+/// The engine thread body shared by the spawn shapes.
 fn engine_loop<T: ConcurrentObject, K: CommitSink<T>>(
     token: &T,
     batcher: &mut Batcher<T::Op>,
     cfg: &PipelineConfig,
     sink: &mut K,
+    obs: &PipelineObs,
 ) -> PipelineRun<T::Op, T::Resp> {
     let mut core = EngineCore::new();
     let mut run = PipelineRun::default();
-    while let Some(batch) = batcher.next_batch() {
-        process_batch(&mut core, token, batch.seq, &batch.ops, cfg, &mut run, sink);
+    loop {
+        // The wait for a batch is itself a stage: it is the intake
+        // (queueing) component of an op's end-to-end latency.
+        let waiting_since = obs.now();
+        let Some(batch) = batcher.next_batch() else {
+            break;
+        };
+        obs.record_stage(batch.seq, Stage::IntakeWait, waiting_since);
+        obs.sample_queue_depths(|i| batcher.shard_depth(i));
+        process_batch(
+            &mut core, token, batch.seq, &batch.ops, cfg, &mut run, sink, obs,
+        );
     }
     run
 }
@@ -479,8 +524,15 @@ impl Pipeline {
         cfg: PipelineConfig,
     ) -> (IntakeClient<T::Op>, PipelineHandle<T::Op, T::Resp>) {
         let (client, mut batcher) = intake(cfg.batch);
-        let join =
-            std::thread::spawn(move || engine_loop(token.as_ref(), &mut batcher, &cfg, &mut ()));
+        let join = std::thread::spawn(move || {
+            engine_loop(
+                token.as_ref(),
+                &mut batcher,
+                &cfg,
+                &mut (),
+                &PipelineObs::disabled(),
+            )
+        });
         (client, PipelineHandle { join })
     }
 
@@ -490,7 +542,24 @@ impl Pipeline {
     pub fn spawn_with_sink<T, K>(
         token: Arc<T>,
         cfg: PipelineConfig,
+        sink: K,
+    ) -> (IntakeClient<T::Op>, SinkedPipelineHandle<T::Op, T::Resp, K>)
+    where
+        T: ConcurrentObject + 'static,
+        K: CommitSink<T> + Send + 'static,
+    {
+        Self::spawn_observed(token, cfg, sink, PipelineObs::disabled())
+    }
+
+    /// [`Pipeline::spawn_with_sink`] with a [`PipelineObs`] recorder on
+    /// the engine thread. The recorder handle is cloneable: keep one on
+    /// the caller side to read the registry / span ring while the
+    /// engine serves.
+    pub fn spawn_observed<T, K>(
+        token: Arc<T>,
+        cfg: PipelineConfig,
         mut sink: K,
+        obs: PipelineObs,
     ) -> (IntakeClient<T::Op>, SinkedPipelineHandle<T::Op, T::Resp, K>)
     where
         T: ConcurrentObject + 'static,
@@ -498,7 +567,7 @@ impl Pipeline {
     {
         let (client, mut batcher) = intake(cfg.batch);
         let join = std::thread::spawn(move || {
-            let run = engine_loop(token.as_ref(), &mut batcher, &cfg, &mut sink);
+            let run = engine_loop(token.as_ref(), &mut batcher, &cfg, &mut sink, &obs);
             (run, sink)
         });
         (client, SinkedPipelineHandle { join })

@@ -53,6 +53,11 @@
 //!   [`check_linearizable`](tokensync_spec::check_linearizable).
 //! * [`engine`] — the assembled [`Pipeline`]: a synchronous
 //!   [`run_script`] for benchmarks/tests and a spawned serving loop.
+//! * [`obs`] — the recorder seam: [`PipelineObs`] threads per-stage
+//!   latency histograms, queue-depth gauges, bypass counters and
+//!   sampled span traces (`tokensync-obs`) through the engine; the
+//!   disabled default costs one inlined branch per instrumentation
+//!   point.
 //! * [`dynamic_lane`] — scheduled ERC20 batches driving the §7 dynamic
 //!   protocol: one quiescence barrier per commuting wave on the
 //!   consensus-free lane.
@@ -113,16 +118,18 @@ pub mod commit;
 pub mod dynamic_lane;
 pub mod engine;
 pub mod exec;
+pub mod obs;
 pub mod schedule;
 
 pub use batch::{intake, Batch, BatchConfig, Batcher, IntakeClient, PipelineClosed};
 pub use commit::{CommitLog, CommittedOp, ReplayDivergence};
 pub use dynamic_lane::{drive_dynamic, DynamicDriveReport};
 pub use engine::{
-    run_script, run_script_with_sink, BypassConfig, CommitSink, Pipeline, PipelineConfig,
-    PipelineHandle, PipelineRun, PipelineStats, SinkedPipelineHandle, TeeSink,
+    run_script, run_script_observed, run_script_with_sink, BypassConfig, CommitSink, Pipeline,
+    PipelineConfig, PipelineHandle, PipelineRun, PipelineStats, SinkedPipelineHandle, TeeSink,
 };
 pub use exec::{execute, execute_unordered, ExecConfig};
+pub use obs::PipelineObs;
 // The `schedule` *function* stays at `schedule::schedule` — re-exporting
 // it at the root would collide with the module of the same name.
 pub use schedule::{Schedule, ScheduleConfig, Scheduler};

@@ -1,0 +1,221 @@
+//! Accounting identities of [`PipelineStats`], locked down across the
+//! {bypass} × {fusion} config matrix on three contention regimes.
+//!
+//! The invariants:
+//!
+//! * `ops == parallel_ops + serial_ops` — every committed op took
+//!   exactly one of the two execution routes;
+//! * `bypassed_ops <= parallel_ops` and
+//!   `bypassed_batches <= batches` — the bypass path is a subset of
+//!   the parallel route;
+//! * `commit_records` arithmetic: what the engine counted is exactly
+//!   what the sink saw; fused, one record per (non-empty) batch;
+//!   unfused, one per non-empty wave plus one per non-empty serial
+//!   lane, which brackets to `waves <= records <= waves + batches`;
+//! * the sink sees every op exactly once (`entries == ops`) and every
+//!   batch seal exactly once (`seals == batches`);
+//! * with the bypass disabled, every bypass counter is zero;
+//! * the committed result is identical across all four configs.
+
+use tokensync_core::erc20::{Erc20Op, Erc20Spec, Erc20State};
+use tokensync_core::shared::{ConcurrentObject, ConcurrentToken, ShardedErc20};
+use tokensync_pipeline::{
+    run_script_with_sink, BatchConfig, BypassConfig, CommitSink, CommittedOp, PipelineConfig,
+};
+use tokensync_spec::{AccountId, ProcessId};
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+fn a(i: usize) -> AccountId {
+    AccountId::new(i)
+}
+
+/// Counts exactly what crosses the sink seam.
+#[derive(Default)]
+struct CountingSink {
+    records: u64,
+    entries: u64,
+    seals: u64,
+}
+
+impl<T: ConcurrentObject + ?Sized> CommitSink<T> for CountingSink {
+    fn wave_committed(&mut self, _token: &T, entries: &[CommittedOp<T::Op, T::Resp>]) {
+        assert!(!entries.is_empty(), "engine must not emit empty records");
+        self.records += 1;
+        self.entries += entries.len() as u64;
+    }
+    fn batch_sealed(&mut self, _token: &T, _batch: u64) {
+        self.seals += 1;
+    }
+}
+
+fn cfg(max_ops: usize, bypass: bool, fuse: bool) -> PipelineConfig {
+    PipelineConfig {
+        batch: BatchConfig {
+            max_ops,
+            ..BatchConfig::default()
+        },
+        bypass: BypassConfig {
+            enabled: bypass,
+            ..BypassConfig::default()
+        },
+        fuse_waves: fuse,
+        ..PipelineConfig::default()
+    }
+}
+
+/// Owner-disjoint transfers: everything commutes.
+fn disjoint_script(n: usize) -> (Erc20State, Vec<(ProcessId, Erc20Op)>) {
+    let state = Erc20State::from_balances(vec![1_000; 2 * n]);
+    let script = (0..n)
+        .map(|i| {
+            (
+                p(i),
+                Erc20Op::Transfer {
+                    to: a(n + i),
+                    value: 1,
+                },
+            )
+        })
+        .collect();
+    (state, script)
+}
+
+/// A few senders reused: moderate conflict density.
+fn mixed_script(n: usize) -> (Erc20State, Vec<(ProcessId, Erc20Op)>) {
+    let state = Erc20State::from_balances(vec![1_000; 16]);
+    let script = (0..n)
+        .map(|i| {
+            (
+                p(i % 5),
+                Erc20Op::Transfer {
+                    to: a(5 + (i % 11)),
+                    value: 1 + (i as u64 % 3),
+                },
+            )
+        })
+        .collect();
+    (state, script)
+}
+
+/// Spenders hammering one allowance row: almost everything conflicts.
+fn hotrow_script(n: usize) -> (Erc20State, Vec<(ProcessId, Erc20Op)>) {
+    let mut state = Erc20State::from_balances(vec![10_000; 8]);
+    for sp in 1..8 {
+        state.set_allowance(a(0), p(sp), 5_000);
+    }
+    let script = (0..n)
+        .map(|i| {
+            (
+                p(1 + (i % 7)),
+                Erc20Op::TransferFrom {
+                    from: a(0),
+                    to: a(1 + ((i + 1) % 7)),
+                    value: 1,
+                },
+            )
+        })
+        .collect();
+    (state, script)
+}
+
+fn check_matrix(name: &str, state: &Erc20State, script: &[(ProcessId, Erc20Op)], max_ops: usize) {
+    let expected_batches = script.len().div_ceil(max_ops) as u64;
+    let mut final_states = Vec::new();
+    for bypass in [false, true] {
+        for fuse in [false, true] {
+            let case = format!("{name} bypass={bypass} fuse={fuse}");
+            let token = ShardedErc20::from_state(state.clone());
+            let mut sink = CountingSink::default();
+            let run = run_script_with_sink(&token, script, &cfg(max_ops, bypass, fuse), &mut sink);
+            let s = run.stats;
+
+            // Route partition.
+            assert_eq!(s.ops, script.len() as u64, "{case}: ops");
+            assert_eq!(s.ops, s.parallel_ops + s.serial_ops, "{case}: partition");
+            assert_eq!(s.batches, expected_batches, "{case}: batches");
+
+            // Bypass is a subset of the parallel route.
+            assert!(
+                s.bypassed_ops <= s.parallel_ops,
+                "{case}: bypass ⊆ parallel"
+            );
+            assert!(s.bypassed_batches <= s.batches, "{case}: bypass batches");
+            if !bypass {
+                assert_eq!(
+                    (s.bypassed_batches, s.bypassed_ops, s.bypass_aborts),
+                    (0, 0, 0),
+                    "{case}: bypass off must count nothing"
+                );
+            }
+
+            // The sink saw exactly what the stats claim.
+            assert_eq!(sink.records, s.commit_records, "{case}: records");
+            assert_eq!(sink.entries, s.ops, "{case}: entries exactly once");
+            assert_eq!(sink.seals, s.batches, "{case}: seals");
+
+            // Record-count arithmetic. Every batch here is non-empty.
+            if fuse {
+                assert_eq!(s.commit_records, s.batches, "{case}: fused = per batch");
+            } else {
+                assert!(s.commit_records >= s.waves, "{case}: unfused >= waves");
+                assert!(
+                    s.commit_records <= s.waves + s.batches,
+                    "{case}: unfused <= waves + serial lanes"
+                );
+            }
+
+            final_states.push((case, token.state_snapshot()));
+        }
+    }
+    // Same input, same committed state, regardless of config.
+    let (first_case, first) = &final_states[0];
+    for (case, st) in &final_states[1..] {
+        assert_eq!(st, first, "{case} diverged from {first_case}");
+    }
+    // And the whole thing replays against the sequential oracle.
+    let token = ShardedErc20::from_state(state.clone());
+    let run = run_script_with_sink(
+        &token,
+        script,
+        &cfg(max_ops, true, true),
+        &mut CountingSink::default(),
+    );
+    let replayed = run
+        .log
+        .replay(&Erc20Spec::new(state.clone()))
+        .expect("consistent responses");
+    assert_eq!(replayed, token.state_snapshot());
+}
+
+#[test]
+fn disjoint_regime_identities() {
+    let (state, script) = disjoint_script(256);
+    check_matrix("disjoint", &state, &script, 64);
+}
+
+#[test]
+fn mixed_regime_identities() {
+    let (state, script) = mixed_script(300);
+    check_matrix("mixed", &state, &script, 64);
+}
+
+#[test]
+fn hotrow_regime_identities() {
+    let (state, script) = hotrow_script(256);
+    check_matrix("hotrow", &state, &script, 64);
+}
+
+#[test]
+fn ragged_tail_batch_identities() {
+    // A last batch smaller than max_ops must not skew any identity.
+    let (state, script) = mixed_script(101);
+    check_matrix("ragged", &state, &script, 25);
+}
+
+#[test]
+fn single_op_batches_identities() {
+    let (state, script) = disjoint_script(7);
+    check_matrix("unit-batches", &state, &script, 1);
+}

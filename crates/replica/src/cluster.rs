@@ -4,15 +4,17 @@
 //! benchmarks talk to this; the nodes only ever talk to each other.
 
 use std::path::Path;
+use std::time::Instant;
 
 use tokensync_core::codec::{Codec, StateCodec};
 use tokensync_net::{FaultPlan, Metrics, SimNet};
+use tokensync_obs::{Registry, SpanEvent, SpanRing, Stage};
 use tokensync_pipeline::PipelineRun;
 use tokensync_spec::ProcessId;
 use tokensync_store::{Restorable, StoreError};
 
 use crate::msg::{ReplicaConfig, ReplicaMsg};
-use crate::node::ReplicaNode;
+use crate::node::{ReplicaNode, ReplicationStats};
 
 /// A replicated serving cluster over the simulated network.
 ///
@@ -30,6 +32,9 @@ where
     net: SimNet<ReplicaNode<T>>,
     primary: usize,
     epoch: u64,
+    /// Optional span sink: each [`Cluster::pump`] round records its
+    /// wall-clock duration as a `QuorumAck` event.
+    spans: Option<(SpanRing, Instant)>,
 }
 
 impl<T> Cluster<T>
@@ -68,7 +73,17 @@ where
             net,
             primary: 0,
             epoch: 0,
+            spans: None,
         })
+    }
+
+    /// Attaches a span ring: every subsequent [`Cluster::pump`] pushes
+    /// one [`Stage::QuorumAck`] event whose duration is the wall-clock
+    /// time the replication round took to reach quiescence, keyed by
+    /// the primary's durable position after the round. Offsets are
+    /// relative to this call.
+    pub fn attach_span_ring(&mut self, ring: SpanRing) {
+        self.spans = Some((ring, Instant::now()));
     }
 
     /// Arms a seeded [`FaultPlan`] on the underlying network.
@@ -92,10 +107,20 @@ where
     /// the network to quiescence (streaming, acks, retransmissions and
     /// any scheduled faults all play out).
     pub fn pump(&mut self) {
+        let started = self.spans.as_ref().map(|_| Instant::now());
         if !self.net.is_crashed(self.primary) {
             self.net.post(self.primary, self.primary, ReplicaMsg::Pump);
         }
         self.net.run_to_quiescence();
+        if let (Some((ring, epoch)), Some(started)) = (&self.spans, started) {
+            let ns = |d: std::time::Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+            ring.push(SpanEvent {
+                batch: self.durable_seq(),
+                stage: Stage::QuorumAck,
+                start_ns: ns(started.duration_since(*epoch)),
+                dur_ns: ns(started.elapsed()),
+            });
+        }
     }
 
     /// Crashes `node` (primary or follower): it stops sending and
@@ -193,5 +218,89 @@ where
     /// Network metrics (drops, duplicates, partition discards, …).
     pub fn metrics(&self) -> &Metrics {
         self.net.metrics()
+    }
+
+    /// The current primary's reign counters (zeroed on failover).
+    pub fn replication_stats(&self) -> ReplicationStats {
+        self.net
+            .node(self.primary)
+            .replication_stats()
+            .unwrap_or_default()
+    }
+
+    /// Per-node acknowledgement lag behind the primary's log head
+    /// (`next_seq − acked`; the primary's own slot is 0). A node that
+    /// never introduced itself this reign shows the full log length.
+    pub fn follower_lags(&self) -> Vec<u64> {
+        self.net
+            .node(self.primary)
+            .follower_lags()
+            .unwrap_or_else(|| vec![0; self.net.n()])
+    }
+
+    /// Publishes the cluster's replication health into `registry`:
+    /// reign counters (`tokensync_replica_retransmissions_total`,
+    /// `…_down_marks_total`, `…_snapshot_ships_total`,
+    /// `…_reinvites_total`), per-follower ack-lag gauges
+    /// (`tokensync_replica_follower_lag{follower="i"}`), and the
+    /// `tokensync_replica_epoch` / `tokensync_replica_durable_seq`
+    /// gauges. Pull-style: call it after each [`Cluster::pump`]; the
+    /// counters are overwritten with the current totals
+    /// ([`Counter::set_total`](tokensync_obs::Counter::set_total)), so
+    /// do not mix the same registry names with push-style `add`s.
+    pub fn publish_obs(&self, registry: &Registry) {
+        let stats = self.replication_stats();
+        registry
+            .counter(
+                "tokensync_replica_retransmissions_total",
+                &[],
+                "Timed-out transmissions resent by the primary (go-back-N rewinds and snapshot resends).",
+            )
+            .set_total(stats.retransmissions);
+        registry
+            .counter(
+                "tokensync_replica_down_marks_total",
+                &[],
+                "Followers marked down after exhausting their retry budget.",
+            )
+            .set_total(stats.down_marks);
+        registry
+            .counter(
+                "tokensync_replica_snapshot_ships_total",
+                &[],
+                "Snapshots shipped to re-base lagging or divergent followers.",
+            )
+            .set_total(stats.snapshot_ships);
+        registry
+            .counter(
+                "tokensync_replica_reinvites_total",
+                &[],
+                "Repeated Announce invitations to silent peers.",
+            )
+            .set_total(stats.reinvites);
+        registry
+            .gauge(
+                "tokensync_replica_epoch",
+                &[],
+                "Current replication epoch (bumped once per failover).",
+            )
+            .set(i64::try_from(self.epoch).unwrap_or(i64::MAX));
+        registry
+            .gauge(
+                "tokensync_replica_durable_seq",
+                &[],
+                "Position the primary claims durable under its ack mode.",
+            )
+            .set(i64::try_from(self.durable_seq()).unwrap_or(i64::MAX));
+        for (i, lag) in self.follower_lags().into_iter().enumerate() {
+            let follower = i.to_string();
+            registry
+                .gauge(
+                    "tokensync_replica_follower_lag",
+                    &[("follower", follower.as_str())],
+                    "Acknowledgement lag behind the primary's log head, in records.",
+                )
+                .set(i64::try_from(lag).unwrap_or(i64::MAX));
+        }
     }
 }

@@ -44,4 +44,4 @@ pub mod node;
 
 pub use cluster::Cluster;
 pub use msg::{AckMode, ReplicaConfig, ReplicaMsg};
-pub use node::ReplicaNode;
+pub use node::{ReplicaNode, ReplicationStats};

@@ -62,6 +62,27 @@ impl<T: ConcurrentObject + ?Sized> CommitSink<T> for SealClaims {
     }
 }
 
+/// Replication-health counters of a primary's reign (reset on
+/// promotion — they describe the current epoch's leadership, the
+/// natural scope: a new primary starts with a clean slate of peers).
+///
+/// [`Cluster::pump`](crate::Cluster::pump) publishes these into a
+/// metrics [`Registry`](tokensync_obs::Registry) — see
+/// [`Cluster::publish_obs`](crate::Cluster::publish_obs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplicationStats {
+    /// Timed-out transmissions resent (go-back-N rewinds and snapshot
+    /// resends alike).
+    pub retransmissions: u64,
+    /// Peers marked down after exhausting their retry budget.
+    pub down_marks: u64,
+    /// Snapshots shipped to re-base lagging or divergent followers.
+    pub snapshot_ships: u64,
+    /// Repeated `Announce` invitations to peers that never introduced
+    /// themselves this reign.
+    pub reinvites: u64,
+}
+
 /// Per-follower replication state on the primary.
 struct Peer {
     /// Introduced itself (Hello/Ack) under a compatible epoch.
@@ -117,6 +138,8 @@ struct Primary<T: ConcurrentObject> {
     peers: Vec<Peer>,
     /// Whether a self-addressed Pump timer is already in flight.
     pump_armed: bool,
+    /// Replication-health counters of this reign.
+    stats: ReplicationStats,
 }
 
 struct Follower<T> {
@@ -182,6 +205,7 @@ where
                 sealed_seq: 0,
                 peers: (0..n).map(|_| Peer::idle(cfg.retry_after)).collect(),
                 pump_armed: false,
+                stats: ReplicationStats::default(),
             }),
         })
     }
@@ -270,6 +294,40 @@ where
     pub fn peer_acked(&self, i: usize) -> Option<u64> {
         match &self.role {
             Role::Primary(p) => Some(p.peers[i].acked),
+            _ => None,
+        }
+    }
+
+    /// This reign's replication-health counters (primary only).
+    pub fn replication_stats(&self) -> Option<ReplicationStats> {
+        match &self.role {
+            Role::Primary(p) => Some(p.stats),
+            _ => None,
+        }
+    }
+
+    /// Per-peer acknowledgement lag, `primary next_seq − peer acked`
+    /// (primary only; the primary's own slot reads 0). A peer that
+    /// never introduced itself this reign shows the full log length —
+    /// exactly the catch-up debt it owes.
+    pub fn follower_lags(&self) -> Option<Vec<u64>> {
+        match &self.role {
+            Role::Primary(p) => {
+                let head = p.store.next_seq();
+                Some(
+                    p.peers
+                        .iter()
+                        .enumerate()
+                        .map(|(i, peer)| {
+                            if i == self.id {
+                                0
+                            } else {
+                                head.saturating_sub(peer.acked)
+                            }
+                        })
+                        .collect(),
+                )
+            }
             _ => None,
         }
     }
@@ -363,6 +421,7 @@ where
                 .map(|_| Peer::idle(self.cfg.retry_after))
                 .collect(),
             pump_armed: false,
+            stats: ReplicationStats::default(),
             store,
         });
         start
@@ -524,10 +583,12 @@ where
                 peer.retries += 1;
                 if peer.retries > cfg.max_retries {
                     peer.down = true;
+                    p.stats.down_marks += 1;
                     continue;
                 }
                 peer.backoff = (peer.backoff * 2).min(cfg.max_backoff);
                 peer.sent_at = now;
+                p.stats.reinvites += 1;
                 ctx.send(
                     dst,
                     ReplicaMsg::Announce {
@@ -551,10 +612,12 @@ where
                     peer.down = true;
                     peer.cursor = None;
                     peer.inflight.clear();
+                    p.stats.down_marks += 1;
                     continue;
                 }
                 peer.backoff = (peer.backoff * 2).min(cfg.max_backoff);
                 peer.sent_at = now;
+                p.stats.retransmissions += 1;
                 let resend_snapshot = peer.snapshot_pending.is_some();
                 if resend_snapshot {
                     p.ship_snapshot(&cfg, dst, now, ctx);
@@ -864,6 +927,7 @@ where
         now: u64,
         ctx: &mut Context<ReplicaMsg>,
     ) {
+        self.stats.snapshot_ships += 1;
         self.store
             .publish_snapshot(&self.object.snapshot())
             .expect("publish snapshot for shipping");

@@ -1,0 +1,160 @@
+//! Replication observability: the primary's reign counters and
+//! per-follower lag must reflect what the simulated network actually
+//! did, and `Cluster::publish_obs` must expose them.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tokensync_core::erc20::{Erc20Op, Erc20State};
+use tokensync_core::shared::ShardedErc20;
+use tokensync_obs::{Registry, SpanRing, Stage};
+use tokensync_replica::{Cluster, ReplicaConfig, ReplicationStats};
+use tokensync_spec::{AccountId, ProcessId};
+use tokensync_store::StoreConfig;
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "tokensync-replica-obs-{name}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn transfers(accounts: usize, count: usize) -> Vec<(ProcessId, Erc20Op)> {
+    (0..count)
+        .map(|i| {
+            (
+                ProcessId::new(i % accounts),
+                Erc20Op::Transfer {
+                    to: AccountId::new((i + 1) % accounts),
+                    value: 1,
+                },
+            )
+        })
+        .collect()
+}
+
+fn cluster(name: &str, n: usize, cfg: ReplicaConfig, seed: u64) -> Cluster<ShardedErc20> {
+    Cluster::new(
+        &temp_dir(name),
+        n,
+        &Erc20State::from_balances(vec![1_000; 8]),
+        cfg,
+        seed,
+    )
+    .expect("build cluster")
+}
+
+#[test]
+fn healthy_rounds_report_zero_lag_and_clean_stats() {
+    let mut c = cluster("healthy", 3, ReplicaConfig::default(), 11);
+    let ring = SpanRing::new(64);
+    c.attach_span_ring(ring.clone());
+    c.serve(&transfers(8, 100));
+    c.pump();
+
+    assert_eq!(c.replication_stats(), ReplicationStats::default());
+    assert_eq!(c.follower_lags(), vec![0, 0, 0]);
+
+    // One QuorumAck span per pump, keyed by the durable position.
+    let events = ring.dump();
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].stage, Stage::QuorumAck);
+    assert_eq!(events[0].batch, 100);
+
+    let registry = Registry::new();
+    c.publish_obs(&registry);
+    let page = registry.render_text();
+    for name in [
+        "tokensync_replica_retransmissions_total 0",
+        "tokensync_replica_down_marks_total 0",
+        "tokensync_replica_snapshot_ships_total 0",
+        "tokensync_replica_reinvites_total 0",
+        "tokensync_replica_durable_seq 100",
+        "tokensync_replica_follower_lag{follower=\"1\"} 0",
+        "tokensync_replica_follower_lag{follower=\"2\"} 0",
+    ] {
+        assert!(page.contains(name), "exposition lacks `{name}`:\n{page}");
+    }
+}
+
+#[test]
+fn a_silent_follower_is_counted_down_and_its_lag_shows() {
+    let mut c = cluster("down", 3, ReplicaConfig::default(), 17);
+    c.serve(&transfers(8, 50));
+    c.pump();
+    c.crash(2);
+    c.serve(&transfers(8, 50));
+    c.pump(); // retransmissions climb until node 2 is marked down
+
+    let stats = c.replication_stats();
+    assert!(
+        stats.retransmissions > 0,
+        "timeouts retransmitted: {stats:?}"
+    );
+    assert_eq!(stats.down_marks, 1, "node 2 marked down once: {stats:?}");
+    let lags = c.follower_lags();
+    assert_eq!(lags[0], 0, "the primary's own slot");
+    assert_eq!(lags[1], 0, "live follower caught up");
+    assert_eq!(lags[2], 50, "dead follower owes the second round");
+
+    // Revival clears the lag but the reign counters keep their history.
+    c.restart(2);
+    c.pump();
+    assert_eq!(c.follower_lags(), vec![0, 0, 0]);
+    assert_eq!(c.replication_stats().down_marks, 1);
+}
+
+#[test]
+fn snapshot_rebasing_is_counted() {
+    let cfg = ReplicaConfig {
+        max_retries: 3,
+        store: StoreConfig {
+            snapshot_every_ops: 32,
+            segment_max_bytes: 512,
+            snapshots_kept: 1,
+            ..StoreConfig::default()
+        },
+        ..ReplicaConfig::default()
+    };
+    let mut c = cluster("snap-ship", 3, cfg, 29);
+    c.serve(&transfers(8, 40));
+    c.pump();
+    c.crash(2);
+    for _ in 0..6 {
+        c.serve(&transfers(8, 40));
+        c.pump();
+    }
+    c.restart(2);
+    c.pump();
+    assert_eq!(c.node(2).next_seq(), 280, "snapshot + suffix caught it up");
+    let stats = c.replication_stats();
+    assert!(
+        stats.snapshot_ships >= 1,
+        "catch-up required a snapshot ship: {stats:?}"
+    );
+}
+
+#[test]
+fn failover_resets_the_reign_counters() {
+    let mut c = cluster("reign", 3, ReplicaConfig::default(), 55);
+    c.serve(&transfers(8, 50));
+    c.pump();
+    c.crash(2);
+    c.serve(&transfers(8, 50));
+    c.pump();
+    assert!(c.replication_stats().down_marks > 0);
+
+    c.fail_over();
+    // The new primary starts a clean reign; the dead node's debt shows
+    // up as lag (or a fresh down-mark) under the *new* epoch's counters.
+    assert_eq!(c.replication_stats().snapshot_ships, 0);
+    let registry = Registry::new();
+    c.publish_obs(&registry);
+    assert!(registry.render_text().contains("tokensync_replica_epoch 1"));
+}

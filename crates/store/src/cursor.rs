@@ -9,7 +9,8 @@
 //! is simply not yet visible.
 //!
 //! **GC safety:** the cursor *pins* the segment it is positioned in (a
-//! shared counted registry with [`Wal::gc`]), which closes the
+//! shared counted registry with [`Wal::gc`](crate::wal::Wal::gc)),
+//! which closes the
 //! previously-open race where a snapshot publish could garbage-collect
 //! a segment out from under a slow reader. Pins move with the cursor
 //! and are released on drop, so a lagging cursor delays GC of old

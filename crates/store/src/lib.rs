@@ -44,6 +44,11 @@
 //! `tests/crash_recovery.rs` by truncating WAL bytes at random offsets
 //! and replaying the prefix oracle; docs/persistence.md walks the
 //! formats and invariants.
+//!
+//! Durability cost is observable: attach a [`StoreObs`] recorder
+//! ([`Store::set_obs`]) to count fsyncs/bytes/segments/snapshots and
+//! time appends, fsyncs, and snapshot publishes (see [`obs`] and
+//! docs/observability.md).
 
 #![forbid(unsafe_code)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -52,6 +57,7 @@
 mod crc;
 pub mod cursor;
 mod error;
+pub mod obs;
 mod recovery;
 mod snapshot;
 mod store;
@@ -60,6 +66,7 @@ pub mod wal;
 pub use crc::crc32;
 pub use cursor::{WalCursor, WalRecord};
 pub use error::StoreError;
+pub use obs::StoreObs;
 pub use recovery::{recover, Recovered, Restorable};
 pub use snapshot::{install_snapshot, read_latest_snapshot};
 pub use store::{Durability, Store, StoreConfig};

@@ -8,7 +8,10 @@ use tokensync_core::codec::{Codec, StateCodec};
 use tokensync_core::shared::ConcurrentObject;
 use tokensync_pipeline::{CommitSink, CommittedOp};
 
+use tokensync_obs::Stage;
+
 use crate::error::StoreError;
+use crate::obs::StoreObs;
 use crate::snapshot::{
     clear_tmp, latest_snapshot, prune_snapshots, snapshot_files, write_snapshot,
 };
@@ -116,6 +119,9 @@ pub struct Store<T: ConcurrentObject> {
     /// writing (the commit-sink interface is infallible, so errors are
     /// parked here for the owner to inspect).
     error: Option<StoreError>,
+    /// Recorder seam (disabled by default): snapshot timing and span
+    /// events; the WAL holds its own clone for append/fsync I/O.
+    obs: StoreObs,
     _object: PhantomData<fn(T)>,
 }
 
@@ -175,8 +181,23 @@ where
             ops_since_snapshot,
             base,
             error: None,
+            obs: StoreObs::disabled(),
             _object: PhantomData,
         })
+    }
+
+    /// Attaches a recorder: WAL append/fsync latency, byte/segment
+    /// counters and snapshot timing record into it from then on (see
+    /// [`StoreObs`]).
+    pub fn set_obs(&mut self, obs: StoreObs) {
+        self.wal.set_obs(obs.clone());
+        self.obs = obs;
+    }
+
+    /// The attached recorder (disabled unless [`Store::set_obs`] was
+    /// called) — read counters and latency summaries here.
+    pub fn obs(&self) -> &StoreObs {
+        &self.obs
     }
 
     /// The store directory.
@@ -264,6 +285,7 @@ where
     ///
     /// I/O errors from the write, rename, or GC.
     pub fn publish_snapshot(&mut self, state: &T::State) -> Result<(), StoreError> {
+        let started = self.obs.clock();
         // The log must be on disk before the snapshot that supersedes
         // it: a snapshot may outlive the segments GC deletes.
         self.wal.sync()?;
@@ -279,6 +301,7 @@ where
             .first()
             .map_or(0, |&(mark, _)| mark);
         self.wal.gc(gc_floor)?;
+        self.obs.record_snapshot(started);
         Ok(())
     }
 
@@ -288,26 +311,38 @@ where
         // handle has already appended marks a *new* run on the same
         // store: rebase to the current durable position instead of
         // tripping the WAL's contiguity assert.
-        if let Some(head) = entries.first() {
-            if head.seq == 0 && self.wal.next_seq() > self.base {
-                self.base = self.wal.next_seq();
+        let batch = match entries.first() {
+            Some(head) => {
+                if head.seq == 0 && self.wal.next_seq() > self.base {
+                    self.base = self.wal.next_seq();
+                }
+                head.batch
             }
-        }
+            None => 0,
+        };
+        let started = self.obs.clock();
         self.wal.append(self.base, entries)?;
+        self.obs.span(batch, Stage::WalAppend, started);
         self.ops_since_snapshot += entries.len() as u64;
         if self.cfg.durability == Durability::PerWave {
+            let started = self.obs.clock();
             self.wal.sync()?;
+            self.obs.span(batch, Stage::Fsync, started);
         }
         Ok(())
     }
 
-    fn try_seal(&mut self, token: &T) -> Result<(), StoreError> {
+    fn try_seal(&mut self, token: &T, batch: u64) -> Result<(), StoreError> {
         if self.cfg.durability == Durability::GroupCommit {
+            let started = self.obs.clock();
             self.wal.sync()?;
+            self.obs.span(batch, Stage::Fsync, started);
         }
         if self.cfg.snapshot_every_ops > 0 && self.ops_since_snapshot >= self.cfg.snapshot_every_ops
         {
+            let started = self.obs.clock();
             self.publish_snapshot(&token.snapshot())?;
+            self.obs.span(batch, Stage::SnapshotWrite, started);
         }
         Ok(())
     }
@@ -329,11 +364,11 @@ where
         }
     }
 
-    fn batch_sealed(&mut self, token: &T, _batch: u64) {
+    fn batch_sealed(&mut self, token: &T, batch: u64) {
         if self.error.is_some() || self.cfg.durability == Durability::Off {
             return;
         }
-        if let Err(e) = self.try_seal(token) {
+        if let Err(e) = self.try_seal(token, batch) {
             self.error = Some(e);
         }
     }

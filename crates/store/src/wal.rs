@@ -35,6 +35,7 @@ use tokensync_spec::ProcessId;
 
 use crate::crc::crc32;
 use crate::error::StoreError;
+use crate::obs::StoreObs;
 
 /// Magic prefix of every segment file.
 pub const SEG_MAGIC: &[u8; 8] = b"TSWALSEG";
@@ -328,6 +329,9 @@ pub struct Wal {
     next_seq: u64,
     epoch: u64,
     pins: SegmentPins,
+    /// Recorder seam (disabled by default): append/fsync latency and
+    /// byte/record/segment counters.
+    obs: StoreObs,
 }
 
 impl Wal {
@@ -400,7 +404,13 @@ impl Wal {
             next_seq,
             epoch,
             pins: SegmentPins::default(),
+            obs: StoreObs::disabled(),
         })
+    }
+
+    /// Attaches a recorder; WAL I/O records into it from then on.
+    pub fn set_obs(&mut self, obs: StoreObs) {
+        self.obs = obs;
     }
 
     fn create_segment(
@@ -511,6 +521,7 @@ impl Wal {
             self.next_seq,
             "append must continue the log's sequence numbering"
         );
+        let started = self.obs.clock();
         if self.segment_bytes >= self.max_segment_bytes {
             self.roll()?;
         }
@@ -534,6 +545,7 @@ impl Wal {
         self.file.write_all(&frame)?;
         self.segment_bytes += frame.len() as u64;
         self.next_seq += entries.len() as u64;
+        self.obs.record_append(started, frame.len());
         Ok(())
     }
 
@@ -544,7 +556,9 @@ impl Wal {
     /// [`Durability::PerWave`]: crate::Durability::PerWave
     /// [`Durability::GroupCommit`]: crate::Durability::GroupCommit
     pub fn sync(&mut self) -> Result<(), StoreError> {
+        let started = self.obs.clock();
         self.file.sync_data()?;
+        self.obs.record_fsync(started);
         Ok(())
     }
 
@@ -561,8 +575,11 @@ impl Wal {
     /// [`StoreError::Codec`] when the bytes do not parse as a clean,
     /// contiguous frame run (a partially valid run is rejected whole).
     pub fn append_frames(&mut self, bytes: &[u8]) -> Result<u64, StoreError> {
-        let (valid_end, end_seq, clean) =
-            walk_frames::<StoreError>(bytes, self.next_seq, |_| Ok(()))?;
+        let mut frames = 0u64;
+        let (valid_end, end_seq, clean) = walk_frames::<StoreError>(bytes, self.next_seq, |_| {
+            frames += 1;
+            Ok(())
+        })?;
         if !clean || valid_end != bytes.len() as u64 {
             return Err(StoreError::Codec(CodecError::Invalid(
                 "shipped frames are not a clean continuation of the log",
@@ -577,6 +594,7 @@ impl Wal {
         self.file.write_all(bytes)?;
         self.segment_bytes += bytes.len() as u64;
         self.next_seq = end_seq;
+        self.obs.record_append_raw(bytes.len(), frames);
         Ok(end_seq)
     }
 
@@ -595,6 +613,7 @@ impl Wal {
         self.file.seek(SeekFrom::End(0))?;
         self.segment_first = self.next_seq;
         self.segment_bytes = SEG_HEADER_LEN;
+        self.obs.record_segment();
         Ok(())
     }
 

@@ -1,0 +1,189 @@
+//! The store's recorder: WAL/snapshot I/O counters and latency
+//! histograms must agree with what is actually on disk, and span
+//! events must land in a shared ring keyed by batch.
+
+mod common;
+
+use common::{temp_dir, wal_segments, wal_total_bytes};
+use tokensync_core::erc20::{Erc20Op, Erc20State};
+use tokensync_core::shared::ShardedErc20;
+use tokensync_obs::{Registry, SpanRing, Stage};
+use tokensync_pipeline::{run_script_with_sink, BatchConfig, PipelineConfig};
+use tokensync_spec::{AccountId, ProcessId};
+use tokensync_store::wal::SEG_HEADER_LEN;
+use tokensync_store::{Durability, Store, StoreConfig, StoreObs};
+
+fn transfers(n: usize, count: usize) -> Vec<(ProcessId, Erc20Op)> {
+    (0..count)
+        .map(|i| {
+            (
+                ProcessId::new(i % n),
+                Erc20Op::Transfer {
+                    to: AccountId::new((i + 1) % n),
+                    value: 1,
+                },
+            )
+        })
+        .collect()
+}
+
+fn cfg(batch: usize) -> PipelineConfig {
+    PipelineConfig {
+        batch: BatchConfig {
+            max_ops: batch,
+            ..BatchConfig::default()
+        },
+        ..PipelineConfig::default()
+    }
+}
+
+#[test]
+fn group_commit_counters_match_the_disk() {
+    let dir = temp_dir("obs-gc");
+    let genesis = Erc20State::from_balances(vec![100; 8]);
+    let token = ShardedErc20::from_state(genesis.clone());
+    let mut store: Store<ShardedErc20> = Store::create(
+        &dir,
+        &genesis,
+        StoreConfig {
+            snapshot_every_ops: 0, // no snapshots, no GC: exact byte identity
+            ..StoreConfig::default()
+        },
+    )
+    .unwrap();
+    let registry = Registry::new();
+    store.set_obs(StoreObs::new(&registry));
+
+    let run = run_script_with_sink(&token, &transfers(8, 50), &cfg(16), &mut store);
+    let obs = store.obs().clone();
+
+    // One fsync per sealed batch (group commit), none yet for close.
+    assert_eq!(obs.fsyncs(), run.stats.batches);
+    // One WAL record per committed wave.
+    assert_eq!(obs.records_appended(), run.stats.commit_records);
+    // Frame bytes on disk = total segment bytes minus the headers.
+    let segments = wal_segments(&dir);
+    assert_eq!(
+        obs.bytes_appended(),
+        wal_total_bytes(&dir) - segments.len() as u64 * SEG_HEADER_LEN
+    );
+    // No rolls with the default 64 MiB segment cap.
+    assert_eq!(obs.segments_created(), 0);
+    assert_eq!(segments.len(), 1);
+    assert_eq!(obs.snapshots_taken(), 0);
+
+    // Latency histograms observed exactly the counted events.
+    assert_eq!(obs.append_latency().unwrap().count, obs.records_appended());
+    assert_eq!(obs.fsync_latency().unwrap().count, obs.fsyncs());
+    assert_eq!(obs.snapshot_latency().unwrap().count, 0);
+
+    store.close().unwrap();
+    // Close is the final durability point: exactly one more fsync.
+    assert_eq!(obs.fsyncs(), run.stats.batches + 1);
+
+    // The registry exposes the whole catalog.
+    let page = registry.render_text();
+    for name in [
+        "tokensync_store_fsyncs_total",
+        "tokensync_store_bytes_appended_total",
+        "tokensync_store_records_appended_total",
+        "tokensync_store_segments_created_total",
+        "tokensync_store_snapshots_total",
+        "tokensync_store_append_ns",
+        "tokensync_store_fsync_ns",
+        "tokensync_store_snapshot_ns",
+    ] {
+        assert!(page.contains(name), "exposition lacks {name}:\n{page}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn snapshots_and_segment_rolls_are_counted() {
+    let dir = temp_dir("obs-snap");
+    let genesis = Erc20State::from_balances(vec![100; 8]);
+    let token = ShardedErc20::from_state(genesis.clone());
+    let mut store: Store<ShardedErc20> = Store::create(
+        &dir,
+        &genesis,
+        StoreConfig {
+            snapshot_every_ops: 64,
+            segment_max_bytes: 512, // tiny: force rolls
+            snapshots_kept: 2,
+            ..StoreConfig::default()
+        },
+    )
+    .unwrap();
+    store.set_obs(StoreObs::new(&Registry::new()));
+
+    let run = run_script_with_sink(&token, &transfers(8, 300), &cfg(32), &mut store);
+    let obs = store.obs().clone();
+
+    assert!(obs.snapshots_taken() >= 2, "several snapshots published");
+    assert_eq!(obs.snapshots_taken(), obs.snapshot_latency().unwrap().count);
+    assert!(obs.segments_created() > 1, "tiny cap forced rolls");
+    // Group-commit seal per batch + the log-first sync inside each
+    // snapshot publish; close adds the last one.
+    assert_eq!(obs.fsyncs(), run.stats.batches + obs.snapshots_taken());
+    store.close().unwrap();
+    assert_eq!(obs.fsyncs(), run.stats.batches + obs.snapshots_taken() + 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn per_wave_spans_join_a_shared_ring() {
+    let dir = temp_dir("obs-span");
+    let genesis = Erc20State::from_balances(vec![100; 4]);
+    let token = ShardedErc20::from_state(genesis.clone());
+    let mut store: Store<ShardedErc20> = Store::create(
+        &dir,
+        &genesis,
+        StoreConfig {
+            durability: Durability::PerWave,
+            ..StoreConfig::default()
+        },
+    )
+    .unwrap();
+    let ring = SpanRing::new(256);
+    store.set_obs(StoreObs::new(&Registry::new()).with_spans(ring.clone(), 1));
+
+    let run = run_script_with_sink(&token, &transfers(4, 40), &cfg(10), &mut store);
+    assert_eq!(run.stats.batches, 4);
+
+    let events = ring.dump();
+    let appends = events
+        .iter()
+        .filter(|e| e.stage == Stage::WalAppend)
+        .count() as u64;
+    let fsyncs = events.iter().filter(|e| e.stage == Stage::Fsync).count() as u64;
+    // Per-wave durability: every wave appends and fsyncs, and with
+    // sample_every = 1 every one of them is traced.
+    assert_eq!(appends, run.stats.commit_records);
+    assert_eq!(fsyncs, run.stats.commit_records);
+    // Every batch of the run shows up in the trace.
+    for batch in 0..run.stats.batches {
+        assert!(
+            events.iter().any(|e| e.batch == batch),
+            "batch {batch} missing from the span ring"
+        );
+    }
+    store.close().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn disabled_recorder_stays_inert() {
+    let dir = temp_dir("obs-off");
+    let genesis = Erc20State::from_balances(vec![10; 4]);
+    let token = ShardedErc20::from_state(genesis.clone());
+    let mut store: Store<ShardedErc20> =
+        Store::create(&dir, &genesis, StoreConfig::default()).unwrap();
+    run_script_with_sink(&token, &transfers(4, 20), &cfg(8), &mut store);
+    let obs = store.obs();
+    assert!(!obs.is_enabled());
+    assert_eq!(obs.fsyncs(), 0);
+    assert_eq!(obs.bytes_appended(), 0);
+    assert!(obs.append_latency().is_none());
+    store.close().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}

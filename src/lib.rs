@@ -21,6 +21,7 @@
 //! | [`pipeline`] | `tokensync-pipeline` | standard-generic commutativity-aware batched execution engine (ERC20/721/1155) |
 //! | [`store`] | `tokensync-store` | durable serving: write-ahead commit log, snapshots, crash recovery |
 //! | [`replica`] | `tokensync-replica` | replicated serving: WAL shipping, fault injection, quorum acks, failover |
+//! | [`obs`] | `tokensync-obs` | observability: counters/gauges, latency histograms, span ring, metrics exposition |
 //!
 //! ## Quickstart
 //!
@@ -251,6 +252,7 @@ pub use tokensync_core as core;
 pub use tokensync_kat as kat;
 pub use tokensync_mc as mc;
 pub use tokensync_net as net;
+pub use tokensync_obs as obs;
 pub use tokensync_pipeline as pipeline;
 pub use tokensync_registers as registers;
 pub use tokensync_replica as replica;
