@@ -25,9 +25,9 @@
 
 use tokensync_spec::{AccountId, Amount, ProcessId};
 
-use crate::erc20::{Erc20Op, Erc20Resp, Erc20State};
-use crate::standards::erc1155::{Erc1155Op, Erc1155Resp, Erc1155State, TypeId};
-use crate::standards::erc721::{Erc721Op, Erc721Resp, Erc721State, TokenId};
+use crate::erc20::{Erc20Delta, Erc20Op, Erc20Resp, Erc20State, SpenderMap};
+use crate::standards::erc1155::{Erc1155Delta, Erc1155Op, Erc1155Resp, Erc1155State, TypeId};
+use crate::standards::erc721::{Erc721Delta, Erc721Op, Erc721Resp, Erc721State, TokenId};
 
 /// Why a decode failed. The store layer wraps this into its record /
 /// snapshot errors; nothing in the codec panics on bad input.
@@ -710,6 +710,167 @@ impl StateCodec for Erc1155State {
     const VERSION: u8 = 1;
 }
 
+// ── incremental-snapshot deltas ────────────────────────────────────────
+//
+// The deltas are canonical like the states (strictly sorted rows), but
+// carry no id-space bound of their own — range checking happens when a
+// delta is folded onto a concrete base state (`apply_to`), which is the
+// only place the bound is known.
+
+/// Shared `(u32, u32, bool)` row list encoding for the operator-pair
+/// deltas of ERC721 and ERC1155.
+fn put_pair_rows(out: &mut Vec<u8>, rows: &[(u32, u32, bool)]) {
+    put_u32(
+        out,
+        u32::try_from(rows.len()).expect("row count exceeds u32"),
+    );
+    for &(a, b, on) in rows {
+        put_u32(out, a);
+        put_u32(out, b);
+        put_u8(out, u8::from(on));
+    }
+}
+
+fn get_pair_rows(input: &mut &[u8]) -> Result<Vec<(u32, u32, bool)>, CodecError> {
+    let count = get_u32(input)? as usize;
+    let mut rows = Vec::with_capacity(count.min(input.len() / 9 + 1));
+    let mut last = None;
+    for _ in 0..count {
+        let a = get_u32(input)?;
+        let b = get_u32(input)?;
+        let on = get_bool(input)?;
+        if last.is_some_and(|l| (a, b) <= l) {
+            return Err(CodecError::Invalid("pair rows not strictly sorted"));
+        }
+        last = Some((a, b));
+        rows.push((a, b, on));
+    }
+    Ok(rows)
+}
+
+impl Codec for Erc20Delta {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        put_u32(
+            out,
+            u32::try_from(self.rows.len()).expect("row count exceeds u32"),
+        );
+        for (account, balance, row) in &self.rows {
+            put_u32(out, *account);
+            put_u64(out, *balance);
+            put_u32(out, u32::try_from(row.len()).expect("row exceeds u32"));
+            for (spender, value) in row.iter() {
+                put_id(out, spender.index());
+                put_u64(out, value);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let count = get_u32(input)? as usize;
+        let mut rows = Vec::with_capacity(count.min(input.len() / 16 + 1));
+        let mut last_account = None;
+        for _ in 0..count {
+            let account = get_u32(input)?;
+            if last_account.is_some_and(|l| account <= l) {
+                return Err(CodecError::Invalid("delta rows not strictly sorted"));
+            }
+            last_account = Some(account);
+            let balance = get_u64(input)?;
+            let entries = get_u32(input)? as usize;
+            let mut map = SpenderMap::new();
+            let mut last_spender = None;
+            for _ in 0..entries {
+                let spender = get_id(input)?;
+                let value = get_u64(input)?;
+                if value == 0 {
+                    return Err(CodecError::Invalid("zero allowance entry not canonical"));
+                }
+                if last_spender.is_some_and(|l| spender <= l) {
+                    return Err(CodecError::Invalid("allowance entries not strictly sorted"));
+                }
+                last_spender = Some(spender);
+                map.set(spender, value);
+            }
+            rows.push((account, balance, map));
+        }
+        Ok(Erc20Delta { rows })
+    }
+}
+
+impl Codec for Erc721Delta {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        put_u32(
+            out,
+            u32::try_from(self.tokens.len()).expect("row count exceeds u32"),
+        );
+        for &(token, owner, approved) in &self.tokens {
+            put_u32(out, token);
+            put_u32(out, owner);
+            put_opt_process(out, approved.map(|a| ProcessId::new(a as usize)));
+        }
+        put_pair_rows(out, &self.operators);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let count = get_u32(input)? as usize;
+        let mut tokens = Vec::with_capacity(count.min(input.len() / 9 + 1));
+        let mut last_token = None;
+        for _ in 0..count {
+            let token = get_u32(input)?;
+            if last_token.is_some_and(|l| token <= l) {
+                return Err(CodecError::Invalid("delta token rows not strictly sorted"));
+            }
+            last_token = Some(token);
+            let owner = get_u32(input)?;
+            let approved =
+                get_opt_process(input)?.map(|p| u32::try_from(p.index()).expect("u32-decoded id"));
+            tokens.push((token, owner, approved));
+        }
+        let operators = get_pair_rows(input)?;
+        Ok(Erc721Delta { tokens, operators })
+    }
+}
+
+impl Codec for Erc1155Delta {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        put_u32(
+            out,
+            u32::try_from(self.balances.len()).expect("row count exceeds u32"),
+        );
+        for &(type_id, account, value) in &self.balances {
+            put_u32(out, type_id);
+            put_u32(out, account);
+            put_u64(out, value);
+        }
+        put_pair_rows(out, &self.operators);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let count = get_u32(input)? as usize;
+        let mut balances = Vec::with_capacity(count.min(input.len() / 16 + 1));
+        let mut last = None;
+        for _ in 0..count {
+            let type_id = get_u32(input)?;
+            let account = get_u32(input)?;
+            // Zero values are meaningful here (the cell is now empty),
+            // unlike the state encoding's positive-only entries.
+            let value = get_u64(input)?;
+            if last.is_some_and(|l| (type_id, account) <= l) {
+                return Err(CodecError::Invalid(
+                    "delta balance rows not strictly sorted",
+                ));
+            }
+            last = Some((type_id, account));
+            balances.push((type_id, account, value));
+        }
+        let operators = get_pair_rows(input)?;
+        Ok(Erc1155Delta {
+            balances,
+            operators,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -722,6 +883,40 @@ mod tests {
         assert!(input.is_empty(), "decode left trailing bytes");
         // Canonical: re-encoding is byte-identical.
         assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn deltas_round_trip() {
+        let mut row = SpenderMap::new();
+        row.set(3, 9);
+        roundtrip(Erc20Delta {
+            rows: vec![(1, 50, row), (4, 0, SpenderMap::new())],
+        });
+        roundtrip(Erc721Delta {
+            tokens: vec![(0, 1, None), (7, 2, Some(3))],
+            operators: vec![(1, 2, true), (2, 1, false)],
+        });
+        roundtrip(Erc1155Delta {
+            balances: vec![(0, 1, 5), (0, 2, 0), (1, 0, 7)],
+            operators: vec![(0, 3, true)],
+        });
+        roundtrip(Erc20Delta::default());
+        roundtrip(Erc721Delta::default());
+        roundtrip(Erc1155Delta::default());
+    }
+
+    #[test]
+    fn unsorted_delta_rows_rejected() {
+        let good = Erc1155Delta {
+            balances: vec![(1, 0, 7), (0, 1, 5)], // out of order
+            operators: Vec::new(),
+        };
+        let bytes = good.encode();
+        let mut input = bytes.as_slice();
+        assert!(matches!(
+            Erc1155Delta::decode(&mut input),
+            Err(CodecError::Invalid(_))
+        ));
     }
 
     #[test]

@@ -24,5 +24,5 @@ mod token;
 pub use ops::{Erc20Op, Erc20Resp};
 pub use sparse::SpenderMap;
 pub use spec::Erc20Spec;
-pub use state::Erc20State;
+pub use state::{Erc20Delta, Erc20State};
 pub use token::{Erc20Token, TokenMetadata};

@@ -334,6 +334,51 @@ impl Erc20State {
         }
         Ok(())
     }
+
+    /// Overwrites one account's full row — balance plus allowance row —
+    /// with current values (the delta-snapshot apply path). Keeps the
+    /// supply cache and approval index exact.
+    fn replace_account_row(&mut self, account: usize, balance: Amount, row: SpenderMap) {
+        self.supply = self.supply - self.balances[account] + balance;
+        self.balances[account] = balance;
+        self.allowances[account] = row;
+        self.index_transition(account);
+    }
+}
+
+/// An incremental copy-on-write snapshot of an ERC20 object: the full
+/// current `(balance, allowance row)` of every account touched since the
+/// previous snapshot watermark, drained from the live sharded object by
+/// [`ShardedErc20::drain_delta`](crate::shared::ShardedErc20::drain_delta)
+/// and folded back onto a base [`Erc20State`] at recovery time.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Erc20Delta {
+    /// `(account, balance, allowance row)` — current values, one row per
+    /// touched account, in increasing account order.
+    pub rows: Vec<(u32, Amount, SpenderMap)>,
+}
+
+impl Erc20Delta {
+    /// Whether the delta carries no rows (nothing was touched).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Folds the delta onto `state`, overwriting every carried row with
+    /// its current value. Returns `false` (state only partially
+    /// meaningful — the caller must discard it) if any row is out of the
+    /// state's account range; a valid producer never emits such a row,
+    /// so `false` means a corrupt or foreign delta file.
+    pub fn apply_to(&self, state: &mut Erc20State) -> bool {
+        let n = state.accounts();
+        if self.rows.iter().any(|&(a, _, _)| a as usize >= n) {
+            return false;
+        }
+        for (a, balance, row) in &self.rows {
+            state.replace_account_row(*a as usize, *balance, row.clone());
+        }
+        true
+    }
 }
 
 #[cfg(test)]

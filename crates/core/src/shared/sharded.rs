@@ -21,7 +21,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use parking_lot::{Mutex, MutexGuard};
 use tokensync_spec::{AccountId, Amount, ProcessId};
 
-use crate::erc20::{Erc20Op, Erc20Resp, Erc20State, SpenderMap};
+use crate::erc20::{Erc20Delta, Erc20Op, Erc20Resp, Erc20State, SpenderMap};
 use crate::error::TokenError;
 use crate::util::CacheLine;
 
@@ -33,6 +33,19 @@ use super::interface::{apply_erc20, ConcurrentObject, ConcurrentToken};
 struct Shard {
     balances: Vec<Amount>,
     allowances: Vec<SpenderMap>,
+    /// Copy-on-write tracking for incremental snapshots: bit `s` set iff
+    /// slot `s` was mutated since the last [`ShardedErc20::drain_delta`].
+    /// Two OR-stores on the transfer hot path; drained (and cleared)
+    /// under the same shard lock, so a drain at a quiescent point sees
+    /// exactly the slots touched since the previous drain.
+    dirty: Vec<u64>,
+}
+
+impl Shard {
+    #[inline]
+    fn mark(&mut self, slot: usize) {
+        self.dirty[slot >> 6] |= 1 << (slot & 63);
+    }
 }
 
 /// An ERC20 token striped across `min(n, 4 × cores)` lock shards.
@@ -132,6 +145,7 @@ impl ShardedErc20 {
             .map(|_| Shard {
                 balances: Vec::with_capacity(n / shards + 1),
                 allowances: Vec::with_capacity(n / shards + 1),
+                dirty: Vec::new(),
             })
             .collect();
         for i in 0..n {
@@ -139,6 +153,9 @@ impl ShardedErc20 {
             let shard = &mut built[i % shards];
             shard.balances.push(state.balance(account));
             shard.allowances.push(state.approval_row(account).clone());
+        }
+        for shard in &mut built {
+            shard.dirty = vec![0; shard.balances.len().div_ceil(64)];
         }
         Self {
             shards: built
@@ -156,6 +173,38 @@ impl ShardedErc20 {
     /// The stripe count (diagnostic; benchmarks record it).
     pub fn shard_count(&self) -> usize {
         self.stripe
+    }
+
+    /// Drains the copy-on-write dirty set: the full current
+    /// `(balance, allowance row)` of every account touched since the
+    /// previous drain, clearing the tracking bits.
+    ///
+    /// Each shard is visited under its own lock — serving continues on the
+    /// other shards throughout. At a quiescent point (a sealed batch) the
+    /// drained rows together with the previous snapshot reconstruct
+    /// `snapshot()` exactly; mid-traffic the rows are each individually
+    /// consistent but need not form an atomic cut.
+    pub fn drain_delta(&self) -> Erc20Delta {
+        let mut rows = Vec::new();
+        for (shard_idx, cell) in self.shards.iter().enumerate() {
+            let shard = &mut *cell.0.lock();
+            for (word_idx, word) in shard.dirty.iter_mut().enumerate() {
+                let mut bits = *word;
+                *word = 0;
+                while bits != 0 {
+                    let slot = (word_idx << 6) | bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let account = ((slot << self.shift) | shard_idx) as u32;
+                    rows.push((
+                        account,
+                        shard.balances[slot],
+                        shard.allowances[slot].clone(),
+                    ));
+                }
+            }
+        }
+        rows.sort_unstable_by_key(|&(a, _, _)| a);
+        Erc20Delta { rows }
     }
 
     #[inline]
@@ -244,6 +293,8 @@ impl ConcurrentToken for ShardedErc20 {
             }
             shard.balances[fi] = balance - value;
             shard.balances[ti] += value;
+            shard.mark(fi);
+            shard.mark(ti);
         } else {
             let (lo, hi) = (fs.min(ts), fs.max(ts));
             let mut lo_guard = self.shards[lo].0.lock();
@@ -263,6 +314,8 @@ impl ConcurrentToken for ShardedErc20 {
             }
             src.balances[fi] = balance - value;
             dst.balances[ti] += value;
+            src.mark(fi);
+            dst.mark(ti);
         }
         Ok(())
     }
@@ -307,6 +360,8 @@ impl ConcurrentToken for ShardedErc20 {
             let (balances, allowances) = (&mut shard.balances, &mut shard.allowances);
             spend(&mut balances[fi], &mut allowances[fi])?;
             balances[ti] += value;
+            shard.mark(fi);
+            shard.mark(ti);
         } else {
             let (lo, hi) = (fs.min(ts), fs.max(ts));
             let mut lo_guard = self.shards[lo].0.lock();
@@ -318,6 +373,8 @@ impl ConcurrentToken for ShardedErc20 {
             };
             spend(&mut src.balances[fi], &mut src.allowances[fi])?;
             dst.balances[ti] += value;
+            src.mark(fi);
+            dst.mark(ti);
         }
         Ok(())
     }
@@ -334,6 +391,7 @@ impl ConcurrentToken for ShardedErc20 {
         let mut shard = self.shards[self.shard_of(account.index())].0.lock();
         let slot = self.slot_of(account.index());
         shard.allowances[slot].set(spender.index(), value);
+        shard.mark(slot);
         Ok(())
     }
 
@@ -484,6 +542,33 @@ mod tests {
         })
         .unwrap();
         assert_eq!(t.state_snapshot().total_supply(), 400);
+    }
+
+    #[test]
+    fn drain_delta_tracks_touched_rows_and_folds_onto_base() {
+        let t = ShardedErc20::with_shards(Erc20State::with_deployer(8, p(0), 100), 4);
+        assert!(t.drain_delta().is_empty(), "fresh object has no dirty rows");
+        let base = t.state_snapshot();
+        t.transfer(p(0), a(5), 10).unwrap();
+        t.approve(p(3), p(1), 7).unwrap();
+        t.transfer_from(p(1), a(3), a(6), 0).unwrap();
+        let delta = t.drain_delta();
+        let touched: Vec<u32> = delta.rows.iter().map(|&(acc, _, _)| acc).collect();
+        assert_eq!(touched, vec![0, 3, 5, 6]);
+        let mut folded = base;
+        assert!(delta.apply_to(&mut folded));
+        assert_eq!(folded, t.state_snapshot());
+        assert!(t.drain_delta().is_empty(), "drain clears the tracking bits");
+    }
+
+    #[test]
+    fn delta_apply_rejects_out_of_range_rows() {
+        let mut state = Erc20State::with_deployer(2, p(0), 5);
+        let delta = Erc20Delta {
+            rows: vec![(7, 1, SpenderMap::new())],
+        };
+        assert!(!delta.apply_to(&mut state));
+        assert_eq!(state, Erc20State::with_deployer(2, p(0), 5));
     }
 
     #[test]

@@ -401,13 +401,82 @@ impl ObjectType for Erc1155Spec {
     }
 }
 
+/// An incremental copy-on-write snapshot of an ERC1155 object: the
+/// current value of every `(type, account)` balance cell and the current
+/// membership of every operator pair touched since the previous snapshot
+/// watermark, drained by [`ShardedErc1155::drain_delta`] and folded back
+/// onto a base [`Erc1155State`] at recovery time.
+///
+/// The delta carries no supplies row: the op alphabet has no mint/burn,
+/// so folding full-row balance cells through the supply-adjusting
+/// replacement leaves every cached per-type supply exactly where the
+/// base had it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Erc1155Delta {
+    /// `(type, account, amount)` — current values (zero means the cell
+    /// is now empty), increasing `(type, account)` order.
+    pub balances: Vec<(u32, u32, Amount)>,
+    /// `(holder, operator, enabled)` — current membership of every
+    /// toggled pair, increasing pair order.
+    pub operators: Vec<(u32, u32, bool)>,
+}
+
+impl Erc1155Delta {
+    /// Whether the delta carries no rows (nothing was touched).
+    pub fn is_empty(&self) -> bool {
+        self.balances.is_empty() && self.operators.is_empty()
+    }
+
+    /// Folds the delta onto `state`, overwriting every carried cell with
+    /// its current value. Returns `false` (caller must discard the
+    /// state) if any row is outside the state's id spaces — a valid
+    /// producer never emits such a row, so `false` means a corrupt or
+    /// foreign delta file.
+    pub fn apply_to(&self, state: &mut Erc1155State) -> bool {
+        let (types, accounts) = (state.types(), state.accounts);
+        if self
+            .balances
+            .iter()
+            .any(|&(t, a, _)| t as usize >= types || a as usize >= accounts)
+            || self
+                .operators
+                .iter()
+                .any(|&(h, o, _)| h as usize >= accounts || o as usize >= accounts)
+        {
+            return false;
+        }
+        for &(t, a, v) in &self.balances {
+            let old = if v == 0 {
+                state.balances.remove(&(t, a)).unwrap_or(0)
+            } else {
+                state.balances.insert((t, a), v).unwrap_or(0)
+            };
+            let supply = &mut state.supplies[t as usize];
+            *supply = *supply - old + v;
+        }
+        for &(h, o, on) in &self.operators {
+            if on {
+                state.operators.insert((h, o));
+            } else {
+                state.operators.remove(&(h, o));
+            }
+        }
+        true
+    }
+}
+
 /// The accounts striped onto one lock: per-slot sparse typed balances
 /// (a [`SpenderMap`] keyed by type id — the same sorted-vec sparse row
-/// the ERC20 allowance layer uses) and the slot's operator set.
+/// the ERC20 allowance layer uses) and the slot's operator set, plus the
+/// copy-on-write dirty sets of `(slot, type)` balance cells and
+/// `(slot, operator)` pairs touched since the last
+/// [`ShardedErc1155::drain_delta`].
 #[derive(Debug, Default)]
 struct Shard1155 {
     balances: Vec<SpenderMap>,
     operators: Vec<BTreeSet<u32>>,
+    dirty_bal: BTreeSet<(u32, u32)>,
+    dirty_ops: BTreeSet<(u32, u32)>,
 }
 
 /// An ERC1155 contract lock-striped by **account**, scaling to ~1M
@@ -477,6 +546,8 @@ impl ShardedErc1155 {
             .map(|_| Shard1155 {
                 balances: Vec::with_capacity(per),
                 operators: Vec::with_capacity(per),
+                dirty_bal: BTreeSet::new(),
+                dirty_ops: BTreeSet::new(),
             })
             .collect();
         for i in 0..n {
@@ -548,6 +619,37 @@ impl ShardedErc1155 {
         account >> self.shift
     }
 
+    /// Drains the copy-on-write dirty sets: the current value of every
+    /// `(type, account)` balance cell and the current membership of
+    /// every operator pair touched since the previous drain, clearing
+    /// the tracking sets.
+    ///
+    /// Each shard is visited under its own lock — serving continues on
+    /// the other shards throughout. At a quiescent point the drained
+    /// rows together with the previous snapshot reconstruct `snapshot()`
+    /// exactly.
+    pub fn drain_delta(&self) -> Erc1155Delta {
+        let mut balances = Vec::new();
+        let mut operators = Vec::new();
+        for (shard_idx, cell) in self.shards.iter().enumerate() {
+            let shard = &mut *cell.0.lock();
+            for (slot, t) in std::mem::take(&mut shard.dirty_bal) {
+                let account = ((slot as usize) << self.shift | shard_idx) as u32;
+                balances.push((t, account, shard.balances[slot as usize].get(t as usize)));
+            }
+            for (slot, o) in std::mem::take(&mut shard.dirty_ops) {
+                let holder = ((slot as usize) << self.shift | shard_idx) as u32;
+                operators.push((holder, o, shard.operators[slot as usize].contains(&o)));
+            }
+        }
+        balances.sort_unstable_by_key(|&(t, a, _)| (t, a));
+        operators.sort_unstable_by_key(|&(h, o, _)| (h, o));
+        Erc1155Delta {
+            balances,
+            operators,
+        }
+    }
+
     /// Validates and applies `rows` under the proper shard locks —
     /// all-or-nothing, one linearization point.
     fn transfer(
@@ -582,7 +684,10 @@ impl ShardedErc1155 {
         };
         let debit = |shard: &mut Shard1155| {
             for (&t, &v) in &required {
-                shard.balances[fi].debit(t as usize, v);
+                if v > 0 {
+                    shard.balances[fi].debit(t as usize, v);
+                    shard.dirty_bal.insert((fi as u32, t));
+                }
             }
         };
         let credit = |shard: &mut Shard1155, slot: usize| {
@@ -590,6 +695,7 @@ impl ShardedErc1155 {
                 if v > 0 {
                     let old = shard.balances[slot].get(t as usize);
                     shard.balances[slot].set(t as usize, old + v);
+                    shard.dirty_bal.insert((slot as u32, t));
                 }
             }
         };
@@ -653,6 +759,9 @@ impl ConcurrentObject for ShardedErc1155 {
                 } else {
                     shard.operators[slot].remove(&cell_index(operator.index()));
                 }
+                shard
+                    .dirty_ops
+                    .insert((slot as u32, cell_index(operator.index())));
                 Erc1155Resp::TRUE
             }
             Erc1155Op::BalanceOf { account, type_id } => {
@@ -707,6 +816,47 @@ mod tests {
     }
     fn t(i: usize) -> TypeId {
         TypeId::new(i)
+    }
+
+    #[test]
+    fn drain_delta_tracks_touched_cells_and_folds_onto_base() {
+        let m = ShardedErc1155::with_shards(Erc1155State::deploy(8, p(0), &[10, 5]), 4);
+        assert!(m.drain_delta().is_empty(), "fresh object has no dirty rows");
+        let base = m.snapshot();
+        m.apply(
+            p(0),
+            &Erc1155Op::Transfer {
+                from: a(0),
+                to: a(5),
+                type_id: t(0),
+                value: 4,
+            },
+        );
+        m.apply(
+            p(3),
+            &Erc1155Op::SetApprovalForAll {
+                operator: p(1),
+                on: true,
+            },
+        );
+        let delta = m.drain_delta();
+        assert!(!delta.balances.is_empty() && !delta.operators.is_empty());
+        let mut folded = base;
+        assert!(delta.apply_to(&mut folded));
+        assert_eq!(folded, m.snapshot());
+        assert_eq!(folded.total_supply(t(0)), 10, "supply cache stays exact");
+        assert!(m.drain_delta().is_empty(), "drain clears the tracking sets");
+    }
+
+    #[test]
+    fn delta_apply_rejects_out_of_range_rows() {
+        let mut state = Erc1155State::deploy(2, p(0), &[5]);
+        let delta = Erc1155Delta {
+            balances: vec![(7, 0, 1)],
+            operators: Vec::new(),
+        };
+        assert!(!delta.apply_to(&mut state));
+        assert_eq!(state, Erc1155State::deploy(2, p(0), &[5]));
     }
 
     #[test]

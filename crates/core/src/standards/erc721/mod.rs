@@ -23,7 +23,7 @@ use super::race;
 
 mod object;
 
-pub use object::{Erc721Op, Erc721Resp, Erc721Spec, Erc721State, ShardedErc721};
+pub use object::{Erc721Delta, Erc721Op, Erc721Resp, Erc721Spec, Erc721State, ShardedErc721};
 
 /// Identifier of a non-fungible token.
 #[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default)]

@@ -315,6 +315,14 @@ impl Erc721State {
         }
     }
 
+    /// Whether `token`, `owner` and `approved` are all inside the state's
+    /// id spaces (delta-apply pre-validation).
+    fn token_row_in_range(&self, token: u32, owner: u32, approved: Option<u32>) -> bool {
+        (token as usize) < self.token_span
+            && (owner as usize) < self.processes
+            && approved.map_or(true, |a| (a as usize) < self.processes)
+    }
+
     fn may_manage(&self, caller: ProcessId, owner: ProcessId, token: u32) -> bool {
         caller == owner
             || self.approved.get(&token) == Some(&cell_index(caller.index()))
@@ -419,11 +427,89 @@ impl ObjectType for Erc721Spec {
     }
 }
 
+/// An incremental copy-on-write snapshot of an ERC721 object: the
+/// current cell of every token touched since the previous snapshot
+/// watermark plus the current membership of every operator pair toggled
+/// since then, drained by [`ShardedErc721::drain_delta`] and folded back
+/// onto a base [`Erc721State`] at recovery time.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Erc721Delta {
+    /// `(token, owner, approved)` — current cell values, increasing
+    /// token order. Tokens are never unminted, so a touched token always
+    /// carries a full row.
+    pub tokens: Vec<(u32, u32, Option<u32>)>,
+    /// `(holder, operator, enabled)` — current membership of every
+    /// toggled pair, increasing pair order.
+    pub operators: Vec<(u32, u32, bool)>,
+}
+
+impl Erc721Delta {
+    /// Whether the delta carries no rows (nothing was touched).
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty() && self.operators.is_empty()
+    }
+
+    /// Folds the delta onto `state`, overwriting every carried cell with
+    /// its current value. Returns `false` (caller must discard the
+    /// state) if any row is outside the state's id spaces — a valid
+    /// producer never emits such a row, so `false` means a corrupt or
+    /// foreign delta file.
+    pub fn apply_to(&self, state: &mut Erc721State) -> bool {
+        let procs = state.processes;
+        if self
+            .tokens
+            .iter()
+            .any(|&(t, o, a)| !state.token_row_in_range(t, o, a))
+            || self
+                .operators
+                .iter()
+                .any(|&(h, o, _)| (h as usize) >= procs || (o as usize) >= procs)
+        {
+            return false;
+        }
+        for &(t, owner, approved) in &self.tokens {
+            state.owners.insert(t, owner);
+            match approved {
+                Some(a) => {
+                    state.approved.insert(t, a);
+                }
+                None => {
+                    state.approved.remove(&t);
+                }
+            }
+        }
+        for &(h, o, on) in &self.operators {
+            if on {
+                state.operators.insert((h, o));
+            } else {
+                state.operators.remove(&(h, o));
+            }
+        }
+        true
+    }
+}
+
 /// One minted token's mutable cell.
 #[derive(Clone, Copy, Debug)]
 struct NftCell {
     owner: u32,
     approved: Option<u32>,
+}
+
+/// One token shard: its minted cells plus the copy-on-write dirty set of
+/// token ids mutated since the last [`ShardedErc721::drain_delta`].
+#[derive(Clone, Debug, Default)]
+struct TokenShard {
+    cells: HashMap<u32, NftCell>,
+    dirty: BTreeSet<u32>,
+}
+
+/// One operator stripe: its enabled pairs plus the dirty set of pairs
+/// toggled since the last drain.
+#[derive(Clone, Debug, Default)]
+struct OpStripe {
+    pairs: BTreeSet<(u32, u32)>,
+    dirty: BTreeSet<(u32, u32)>,
 }
 
 /// An ERC721 contract lock-striped by **token id**, scaling to ~1M
@@ -461,10 +547,11 @@ struct NftCell {
 #[derive(Debug)]
 pub struct ShardedErc721 {
     /// Minted tokens of shard `s`: `tokenId → cell` for ids with
-    /// `id & mask == s`.
-    token_shards: Vec<CacheLine<Mutex<HashMap<u32, NftCell>>>>,
-    /// Operator pairs `(holder, operator)` of holder stripe `h & op_mask`.
-    operator_stripes: Vec<CacheLine<Mutex<BTreeSet<(u32, u32)>>>>,
+    /// `id & mask == s`, plus the shard's dirty set.
+    token_shards: Vec<CacheLine<Mutex<TokenShard>>>,
+    /// Operator pairs `(holder, operator)` of holder stripe `h & op_mask`,
+    /// plus the stripe's dirty set.
+    operator_stripes: Vec<CacheLine<Mutex<OpStripe>>>,
     mask: usize,
     op_mask: usize,
     processes: usize,
@@ -491,9 +578,9 @@ impl ShardedErc721 {
             "shard count must be a power of two (got {shards})"
         );
         let op_stripes = crate::util::default_stripe(state.processes.max(1));
-        let mut token_shards: Vec<HashMap<u32, NftCell>> = vec![HashMap::new(); shards];
+        let mut token_shards: Vec<TokenShard> = vec![TokenShard::default(); shards];
         for (&t, &owner) in &state.owners {
-            token_shards[t as usize & (shards - 1)].insert(
+            token_shards[t as usize & (shards - 1)].cells.insert(
                 t,
                 NftCell {
                     owner,
@@ -501,9 +588,11 @@ impl ShardedErc721 {
                 },
             );
         }
-        let mut operator_stripes: Vec<BTreeSet<(u32, u32)>> = vec![BTreeSet::new(); op_stripes];
+        let mut operator_stripes: Vec<OpStripe> = vec![OpStripe::default(); op_stripes];
         for &(h, o) in &state.operators {
-            operator_stripes[h as usize & (op_stripes - 1)].insert((h, o));
+            operator_stripes[h as usize & (op_stripes - 1)]
+                .pairs
+                .insert((h, o));
         }
         Self {
             token_shards: token_shards
@@ -531,7 +620,7 @@ impl ShardedErc721 {
         self.processes
     }
 
-    fn token_shard(&self, token: u32) -> MutexGuard<'_, HashMap<u32, NftCell>> {
+    fn token_shard(&self, token: u32) -> MutexGuard<'_, TokenShard> {
         self.token_shards[token as usize & self.mask].0.lock()
     }
 
@@ -542,11 +631,42 @@ impl ShardedErc721 {
         self.operator_stripes[holder as usize & self.op_mask]
             .0
             .lock()
+            .pairs
             .contains(&(holder, operator))
     }
 
     fn in_range(&self, p: ProcessId) -> bool {
         p.index() < self.processes
+    }
+
+    /// Drains the copy-on-write dirty sets: the current cell of every
+    /// token and the current membership of every operator pair touched
+    /// since the previous drain, clearing the tracking sets.
+    ///
+    /// Each shard/stripe is visited under its own lock — serving
+    /// continues elsewhere throughout. At a quiescent point the drained
+    /// rows together with the previous snapshot reconstruct `snapshot()`
+    /// exactly.
+    pub fn drain_delta(&self) -> Erc721Delta {
+        let mut tokens = Vec::new();
+        for cell in &self.token_shards {
+            let shard = &mut *cell.0.lock();
+            for t in std::mem::take(&mut shard.dirty) {
+                if let Some(c) = shard.cells.get(&t) {
+                    tokens.push((t, c.owner, c.approved));
+                }
+            }
+        }
+        let mut operators = Vec::new();
+        for cell in &self.operator_stripes {
+            let stripe = &mut *cell.0.lock();
+            for pair in std::mem::take(&mut stripe.dirty) {
+                operators.push((pair.0, pair.1, stripe.pairs.contains(&pair)));
+            }
+        }
+        tokens.sort_unstable_by_key(|&(t, _, _)| t);
+        operators.sort_unstable_by_key(|&(h, o, _)| (h, o));
+        Erc721Delta { tokens, operators }
     }
 }
 
@@ -565,16 +685,17 @@ impl ConcurrentObject for ShardedErc721 {
                     return Erc721Resp::FALSE;
                 }
                 let mut shard = self.token_shard(t);
-                if shard.contains_key(&t) {
+                if shard.cells.contains_key(&t) {
                     return Erc721Resp::FALSE;
                 }
-                shard.insert(
+                shard.cells.insert(
                     t,
                     NftCell {
                         owner: cell_index(to.index()),
                         approved: None,
                     },
                 );
+                shard.dirty.insert(t);
                 Erc721Resp::TRUE
             }
             Erc721Op::TransferFrom { from, to, token } => {
@@ -585,7 +706,7 @@ impl ConcurrentObject for ShardedErc721 {
                     return Erc721Resp::FALSE;
                 }
                 let mut shard = self.token_shard(t);
-                let Some(cell) = shard.get_mut(&t) else {
+                let Some(&cell) = shard.cells.get(&t) else {
                     return Erc721Resp::FALSE;
                 };
                 if cell.owner != cell_index(from.index()) {
@@ -598,8 +719,14 @@ impl ConcurrentObject for ShardedErc721 {
                 if !authorized {
                     return Erc721Resp::FALSE;
                 }
-                cell.owner = cell_index(to.index());
-                cell.approved = None;
+                shard.cells.insert(
+                    t,
+                    NftCell {
+                        owner: cell_index(to.index()),
+                        approved: None,
+                    },
+                );
+                shard.dirty.insert(t);
                 Erc721Resp::TRUE
             }
             Erc721Op::Approve { approved, token } => {
@@ -610,14 +737,17 @@ impl ConcurrentObject for ShardedErc721 {
                     return Erc721Resp::FALSE;
                 }
                 let mut shard = self.token_shard(t);
-                let Some(cell) = shard.get_mut(&t) else {
+                let Some(&cell) = shard.cells.get(&t) else {
                     return Erc721Resp::FALSE;
                 };
                 let caller = cell_index(process.index());
                 if cell.owner != caller && !self.operator_enabled(cell.owner, caller) {
                     return Erc721Resp::FALSE;
                 }
-                cell.approved = approved.map(|p| cell_index(p.index()));
+                if let Some(c) = shard.cells.get_mut(&t) {
+                    c.approved = approved.map(|p| cell_index(p.index()));
+                }
+                shard.dirty.insert(t);
                 Erc721Resp::TRUE
             }
             Erc721Op::SetApprovalForAll { operator, on } => {
@@ -629,10 +759,11 @@ impl ConcurrentObject for ShardedErc721 {
                     .0
                     .lock();
                 if on {
-                    stripe.insert(pair);
+                    stripe.pairs.insert(pair);
                 } else {
-                    stripe.remove(&pair);
+                    stripe.pairs.remove(&pair);
                 }
+                stripe.dirty.insert(pair);
                 Erc721Resp::TRUE
             }
             Erc721Op::OwnerOf { token } => {
@@ -641,6 +772,7 @@ impl ConcurrentObject for ShardedErc721 {
                 };
                 Erc721Resp::Process(
                     self.token_shard(t)
+                        .cells
                         .get(&t)
                         .map(|c| ProcessId::new(c.owner as usize)),
                 )
@@ -651,6 +783,7 @@ impl ConcurrentObject for ShardedErc721 {
                 };
                 Erc721Resp::Process(
                     self.token_shard(t)
+                        .cells
                         .get(&t)
                         .and_then(|c| c.approved)
                         .map(|p| ProcessId::new(p as usize)),
@@ -666,7 +799,7 @@ impl ConcurrentObject for ShardedErc721 {
         let operator_guards: Vec<_> = self.operator_stripes.iter().map(|s| s.0.lock()).collect();
         let mut state = Erc721State::new(self.processes, self.token_span);
         for shard in &token_guards {
-            for (&t, cell) in shard.iter() {
+            for (&t, cell) in shard.cells.iter() {
                 state.owners.insert(t, cell.owner);
                 if let Some(a) = cell.approved {
                     state.approved.insert(t, a);
@@ -674,7 +807,7 @@ impl ConcurrentObject for ShardedErc721 {
             }
         }
         for stripe in &operator_guards {
-            state.operators.extend(stripe.iter().copied());
+            state.operators.extend(stripe.pairs.iter().copied());
         }
         state
     }
@@ -691,6 +824,65 @@ mod tests {
     }
     fn t(i: usize) -> TokenId {
         TokenId::new(i)
+    }
+
+    #[test]
+    fn drain_delta_tracks_touched_cells_and_folds_onto_base() {
+        let nft = ShardedErc721::with_shards(Erc721State::minted_round_robin(4, 64, 8), 4);
+        assert!(
+            nft.drain_delta().is_empty(),
+            "fresh object has no dirty rows"
+        );
+        let base = nft.snapshot();
+        nft.apply(
+            p(1),
+            &Erc721Op::TransferFrom {
+                from: p(1),
+                to: p(2),
+                token: t(1),
+            },
+        );
+        nft.apply(
+            p(0),
+            &Erc721Op::Mint {
+                to: p(3),
+                token: t(20),
+            },
+        );
+        nft.apply(
+            p(2),
+            &Erc721Op::SetApprovalForAll {
+                operator: p(0),
+                on: true,
+            },
+        );
+        nft.apply(
+            p(3),
+            &Erc721Op::Approve {
+                approved: Some(p(0)),
+                token: t(3),
+            },
+        );
+        let delta = nft.drain_delta();
+        assert!(!delta.tokens.is_empty() && !delta.operators.is_empty());
+        let mut folded = base;
+        assert!(delta.apply_to(&mut folded));
+        assert_eq!(folded, nft.snapshot());
+        assert!(
+            nft.drain_delta().is_empty(),
+            "drain clears the tracking sets"
+        );
+    }
+
+    #[test]
+    fn delta_apply_rejects_out_of_range_rows() {
+        let mut state = Erc721State::new(2, 4);
+        let delta = Erc721Delta {
+            tokens: vec![(9, 0, None)],
+            operators: Vec::new(),
+        };
+        assert!(!delta.apply_to(&mut state));
+        assert_eq!(state, Erc721State::new(2, 4));
     }
 
     #[test]

@@ -54,7 +54,22 @@ pub trait CommitSink<T: ConcurrentObject + ?Sized> {
     /// `token` is quiescent here (no wave in flight), so a
     /// [`snapshot`](ConcurrentObject::snapshot) taken now corresponds
     /// exactly to the log prefix.
+    ///
+    /// A seal is an *acknowledgement* boundary, not necessarily a
+    /// durability one: a pipelined sink may hand the actual fsync to a
+    /// background thread and return immediately. The gap is observable
+    /// through [`CommitSink::durable_seq`].
     fn batch_sealed(&mut self, token: &T, batch: u64);
+
+    /// The sink's durable watermark, if it maintains one: the highest
+    /// global sequence number guaranteed to survive a crash. `None` for
+    /// sinks without durability (the unit sink, pure observers). The
+    /// engine samples this at the end of a run into
+    /// [`PipelineStats::durable_seq`], exposing the sealed-vs-durable
+    /// window without a store round trip.
+    fn durable_seq(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// The volatile engine: no durability.
@@ -72,6 +87,9 @@ impl<T: ConcurrentObject + ?Sized, S: CommitSink<T> + ?Sized> CommitSink<T> for 
     }
     fn batch_sealed(&mut self, token: &T, batch: u64) {
         (**self).batch_sealed(token, batch);
+    }
+    fn durable_seq(&self) -> Option<u64> {
+        (**self).durable_seq()
     }
 }
 
@@ -108,6 +126,9 @@ where
     fn batch_sealed(&mut self, token: &T, batch: u64) {
         self.a.batch_sealed(token, batch);
         self.b.batch_sealed(token, batch);
+    }
+    fn durable_seq(&self) -> Option<u64> {
+        self.a.durable_seq().or_else(|| self.b.durable_seq())
     }
 }
 
@@ -211,6 +232,12 @@ pub struct PipelineStats {
     /// one per non-empty batch, without it one per non-empty wave plus
     /// one for a non-empty serial lane.
     pub commit_records: u64,
+    /// The sink's [`durable_seq`](CommitSink::durable_seq) sampled when
+    /// the run ended — `None` for sinks without one. Compared against
+    /// [`ops`](Self::ops), this is the sealed-vs-durable window a
+    /// pipelined group-commit store leaves open at the end of a run
+    /// (close or flush the store to shrink it to zero).
+    pub durable_seq: Option<u64>,
 }
 
 impl PipelineStats {
@@ -445,6 +472,7 @@ pub fn run_script_observed<T: ConcurrentObject + ?Sized, K: CommitSink<T>>(
     for (seq, ops) in script.chunks(size).enumerate() {
         process_batch(&mut core, token, seq as u64, ops, cfg, &mut run, sink, obs);
     }
+    run.stats.durable_seq = sink.durable_seq();
     run
 }
 
@@ -513,6 +541,7 @@ fn engine_loop<T: ConcurrentObject, K: CommitSink<T>>(
             &mut core, token, batch.seq, &batch.ops, cfg, &mut run, sink, obs,
         );
     }
+    run.stats.durable_seq = sink.durable_seq();
     run
 }
 

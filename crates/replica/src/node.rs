@@ -21,9 +21,8 @@ use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 
 use tokensync_core::codec::{Codec, StateCodec};
-use tokensync_core::shared::ConcurrentObject;
 use tokensync_net::{Context, Node};
-use tokensync_pipeline::{run_script_with_sink, CommitSink, CommittedOp, PipelineRun, TeeSink};
+use tokensync_pipeline::{run_script_with_sink, PipelineRun};
 use tokensync_spec::ProcessId;
 use tokensync_store::wal::{Wal, FRAME_LEN};
 use tokensync_store::{
@@ -32,35 +31,6 @@ use tokensync_store::{
 };
 
 use crate::msg::{AckMode, ReplicaConfig, ReplicaMsg};
-
-/// Maps batch seals to global log positions: the engine numbers a run's
-/// commits from 0, so `base` (the store's durable position when the run
-/// began) translates the running entry count into the sequence number a
-/// seal made locally durable.
-struct SealClaims {
-    base: u64,
-    seen: u64,
-    sealed: u64,
-}
-
-impl SealClaims {
-    fn new(base: u64) -> Self {
-        Self {
-            base,
-            seen: 0,
-            sealed: base,
-        }
-    }
-}
-
-impl<T: ConcurrentObject + ?Sized> CommitSink<T> for SealClaims {
-    fn wave_committed(&mut self, _token: &T, entries: &[CommittedOp<T::Op, T::Resp>]) {
-        self.seen += entries.len() as u64;
-    }
-    fn batch_sealed(&mut self, _token: &T, _batch: u64) {
-        self.sealed = self.base + self.seen;
-    }
-}
 
 /// Replication-health counters of a primary's reign (reset on
 /// promotion — they describe the current epoch's leadership, the
@@ -126,7 +96,7 @@ impl Peer {
     }
 }
 
-struct Primary<T: ConcurrentObject> {
+struct Primary<T: Restorable> {
     store: Store<T>,
     object: T,
     epoch: u64,
@@ -150,7 +120,7 @@ struct Follower<T> {
     leader: Option<usize>,
 }
 
-enum Role<T: ConcurrentObject> {
+enum Role<T: Restorable> {
     Primary(Primary<T>),
     Follower(Follower<T>),
     /// Transient placeholder while files are being reopened; never
@@ -376,17 +346,16 @@ where
         let Role::Primary(p) = &mut self.role else {
             panic!("serve() on a non-primary replica");
         };
-        let mut claims = SealClaims::new(p.store.next_seq());
-        let run = run_script_with_sink(
-            &p.object,
-            script,
-            &self.cfg.pipeline,
-            &mut TeeSink::new(&mut p.store, &mut claims),
-        );
-        if let Some(e) = p.store.error() {
+        let run = run_script_with_sink(&p.object, script, &self.cfg.pipeline, &mut p.store);
+        // The primary's durability claim is the store's own watermark
+        // now: under pipelined group commit the run's final batch may
+        // still be in the background fsync queue, so drain it before
+        // claiming — replication acks must never outrun local
+        // durability.
+        if let Err(e) = p.store.flush() {
             panic!("primary store write path failed: {e}");
         }
-        p.sealed_seq = p.sealed_seq.max(claims.sealed);
+        p.sealed_seq = p.sealed_seq.max(p.store.durable_seq());
         run
     }
 

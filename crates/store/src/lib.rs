@@ -14,6 +14,22 @@
 //! (cf. SmartSync's log-replay state reconstruction and Sergey &
 //! Hobor's concurrent-object reading of contracts; see PAPERS.md).
 //!
+//! Durability runs **off the hot path**: each store owns a background
+//! durability thread. Under the default pipelined group commit, batch
+//! seals *post* their fsync and return — the thread coalesces a backlog
+//! into one `sync_data` and advances the explicit
+//! [`Store::durable_seq`] watermark (acknowledge-at-commit,
+//! durable-at-fsync; [`Store::wait_durable`]/[`Store::flush`] close the
+//! window). Periodic snapshots drain only the **rows touched** since
+//! the last drain ([`Restorable::drain_delta`] — per-shard locks, no
+//! quiescence) and the thread folds them onto its materialized state,
+//! publishing a chained `snap-<mark>.delta` series with periodic full
+//! compaction. Recovery replays the surviving log suffix in parallel:
+//! it re-derives each record's conflict footprint and fans
+//! non-conflicting stretches across a scoped worker pool, verifying
+//! recorded responses exactly as the sequential oracle
+//! ([`recover_sequential`]) does.
+//!
 //! Three pieces, all generic over the served standard through the
 //! [`Codec`](tokensync_core::codec::Codec) /
 //! [`StateCodec`](tokensync_core::codec::StateCodec) bounds — one store
@@ -56,6 +72,7 @@
 
 mod crc;
 pub mod cursor;
+mod durability;
 mod error;
 pub mod obs;
 mod recovery;
@@ -67,7 +84,9 @@ pub use crc::crc32;
 pub use cursor::{WalCursor, WalRecord};
 pub use error::StoreError;
 pub use obs::StoreObs;
-pub use recovery::{recover, Recovered, Restorable};
+pub use recovery::{
+    recover, recover_sequential, recover_with, RecoverOptions, Recovered, Restorable,
+};
 pub use snapshot::{install_snapshot, read_latest_snapshot};
 pub use store::{Durability, Store, StoreConfig};
 pub use wal::{decode_commits, ScanStop};

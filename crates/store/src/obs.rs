@@ -9,9 +9,14 @@
 //!   `tokensync_store_bytes_appended_total`,
 //!   `tokensync_store_records_appended_total`,
 //!   `tokensync_store_segments_created_total`,
-//!   `tokensync_store_snapshots_total`;
+//!   `tokensync_store_snapshots_total`,
+//!   `tokensync_store_delta_snapshots_total`;
+//! * the `tokensync_store_durable_seq` gauge — the pipelined
+//!   group-commit watermark: everything at or below it survives any
+//!   crash;
 //! * latency histograms — `tokensync_store_append_ns`,
-//!   `tokensync_store_fsync_ns`, `tokensync_store_snapshot_ns`;
+//!   `tokensync_store_fsync_ns`, `tokensync_store_snapshot_ns`
+//!   (delta publishes record into the same snapshot histogram);
 //! * optionally, `WalAppend`/`Fsync`/`SnapshotWrite` span events into a
 //!   [`SpanRing`] shared with the pipeline's recorder, so one sampled
 //!   batch's trace shows its durability cost next to its execution
@@ -20,7 +25,9 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use tokensync_obs::{Counter, Histogram, HistogramSnapshot, Registry, SpanEvent, SpanRing, Stage};
+use tokensync_obs::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Registry, SpanEvent, SpanRing, Stage,
+};
 
 struct Inner {
     /// Time base for span `start_ns` offsets.
@@ -30,6 +37,8 @@ struct Inner {
     records_appended: Counter,
     segments_created: Counter,
     snapshots: Counter,
+    delta_snapshots: Counter,
+    durable_seq: Gauge,
     append_ns: Histogram,
     fsync_ns: Histogram,
     snapshot_ns: Histogram,
@@ -83,7 +92,18 @@ impl StoreObs {
                 snapshots: registry.counter(
                     "tokensync_store_snapshots_total",
                     &[],
-                    "Snapshots published.",
+                    "Full snapshots published.",
+                ),
+                delta_snapshots: registry.counter(
+                    "tokensync_store_delta_snapshots_total",
+                    &[],
+                    "Incremental (delta) snapshots published.",
+                ),
+                durable_seq: registry.gauge(
+                    "tokensync_store_durable_seq",
+                    &[],
+                    "Highest sequence number known durable (fsynced WAL \
+                     prefix or published snapshot chain).",
                 ),
                 append_ns: registry.histogram(
                     "tokensync_store_append_ns",
@@ -124,6 +144,8 @@ impl StoreObs {
                     records_appended: arc.records_appended.clone(),
                     segments_created: arc.segments_created.clone(),
                     snapshots: arc.snapshots.clone(),
+                    delta_snapshots: arc.delta_snapshots.clone(),
+                    durable_seq: arc.durable_seq.clone(),
                     append_ns: arc.append_ns.clone(),
                     fsync_ns: arc.fsync_ns.clone(),
                     snapshot_ns: arc.snapshot_ns.clone(),
@@ -173,10 +195,24 @@ impl StoreObs {
             .map_or(0, |i| i.segments_created.get())
     }
 
-    /// Snapshots published so far (0 when disabled).
+    /// Full snapshots published so far (0 when disabled).
     #[must_use]
     pub fn snapshots_taken(&self) -> u64 {
         self.inner.as_deref().map_or(0, |i| i.snapshots.get())
+    }
+
+    /// Incremental (delta) snapshots published so far (0 when disabled).
+    #[must_use]
+    pub fn delta_snapshots_taken(&self) -> u64 {
+        self.inner.as_deref().map_or(0, |i| i.delta_snapshots.get())
+    }
+
+    /// The recorded durable watermark (0 when disabled).
+    #[must_use]
+    pub fn durable_seq(&self) -> u64 {
+        self.inner
+            .as_deref()
+            .map_or(0, |i| i.durable_seq.get().max(0) as u64)
     }
 
     /// Append-latency summary, when enabled.
@@ -243,7 +279,7 @@ impl StoreObs {
         }
     }
 
-    /// Records one snapshot publish.
+    /// Records one full-snapshot publish.
     #[inline]
     pub(crate) fn record_snapshot(&self, started: Option<Instant>) {
         let (Some(i), Some(started)) = (self.inner.as_deref(), started) else {
@@ -251,6 +287,25 @@ impl StoreObs {
         };
         i.snapshot_ns.record(saturating_ns(started.elapsed()));
         i.snapshots.inc();
+    }
+
+    /// Records one delta-snapshot publish (same latency histogram as
+    /// fulls, its own counter).
+    #[inline]
+    pub(crate) fn record_delta_snapshot(&self, started: Option<Instant>) {
+        let (Some(i), Some(started)) = (self.inner.as_deref(), started) else {
+            return;
+        };
+        i.snapshot_ns.record(saturating_ns(started.elapsed()));
+        i.delta_snapshots.inc();
+    }
+
+    /// Publishes the durable watermark.
+    #[inline]
+    pub(crate) fn record_durable(&self, seq: u64) {
+        if let Some(i) = self.inner.as_deref() {
+            i.durable_seq.set(i64::try_from(seq).unwrap_or(i64::MAX));
+        }
     }
 
     /// Pushes a `stage` span for `batch` into the shared ring, if one

@@ -1,27 +1,51 @@
-//! Crash recovery: latest snapshot + verified log-suffix replay →
+//! Crash recovery: snapshot chain + verified log-suffix replay →
 //! a live sharded object.
+//!
+//! Recovery resolves the newest valid **snapshot chain** — a full
+//! snapshot plus any incremental deltas published on top of it — and
+//! then replays the surviving log suffix. The replay re-derives each
+//! logged operation's conflict footprint with the same
+//! [`FootprintedOp`] analysis the pipeline scheduler uses, partitions
+//! the suffix into maximal runs of pairwise-commuting operations, and
+//! applies each run concurrently on a scoped worker pool
+//! ([`recover`]). Because operations within a run commute at every
+//! state, the final state and every verified response are identical to
+//! the one-at-a-time replay ([`recover_sequential`], kept as the
+//! oracle).
 
+use std::collections::HashMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
+use tokensync_core::analysis::{Access, Footprint, FootprintedOp};
 use tokensync_core::codec::{Codec, StateCodec};
-use tokensync_core::erc20::Erc20Spec;
+use tokensync_core::erc20::{Erc20Delta, Erc20Spec};
 use tokensync_core::shared::{ConcurrentObject, ShardedErc20};
-use tokensync_core::standards::erc1155::{Erc1155Spec, ShardedErc1155};
-use tokensync_core::standards::erc721::{Erc721Spec, ShardedErc721};
+use tokensync_core::standards::erc1155::{Erc1155Delta, Erc1155Spec, ShardedErc1155};
+use tokensync_core::standards::erc721::{Erc721Delta, Erc721Spec, ShardedErc721};
+use tokensync_pipeline::CommittedOp;
 use tokensync_spec::ObjectType;
 
 use crate::error::StoreError;
-use crate::snapshot::latest_snapshot;
+use crate::snapshot::{delta_files, latest_snapshot, read_delta, SnapshotDefect};
 use crate::wal::{read_entries, ScanStop};
 
 /// A servable object that can be rebuilt from its oracle state — the
 /// recovery-side counterpart of [`ConcurrentObject::snapshot`]. The
 /// associated [`Restorable::Spec`] is the sequential oracle the log
 /// suffix replays through (and is verified against) before the live
-/// object is constructed.
-pub trait Restorable: ConcurrentObject + Sized {
+/// object is constructed; the associated [`Restorable::Delta`] is the
+/// standard's row-level change set, the currency of incremental
+/// snapshots.
+pub trait Restorable: ConcurrentObject + Sized + 'static {
     /// The sequential oracle of this standard.
     type Spec: ObjectType<Op = Self::Op, Resp = Self::Resp, State = Self::State>;
+
+    /// The row-level change set of this standard: everything touched
+    /// since the last [`Restorable::drain_delta`], foldable onto the
+    /// state the tracking started from.
+    type Delta: Codec + Send + 'static;
 
     /// Builds the live object holding exactly `state`.
     fn restore(state: Self::State) -> Self;
@@ -29,35 +53,163 @@ pub trait Restorable: ConcurrentObject + Sized {
     /// An oracle instance (the initial state is irrelevant to replay;
     /// only the transition function is used).
     fn spec(initial: Self::State) -> Self::Spec;
+
+    /// Takes the rows touched since the last drain (or since
+    /// construction), clearing the tracking. Only shard locks are held,
+    /// one at a time — serving continues concurrently.
+    fn drain_delta(&self) -> Self::Delta;
+
+    /// Folds `delta` onto `state` (which must be the state the delta's
+    /// tracking window started from). Returns `false` — leaving `state`
+    /// untouched — when the delta names rows outside the state's
+    /// dimensions, i.e. the chain link is inconsistent.
+    fn apply_delta(state: &mut Self::State, delta: &Self::Delta) -> bool;
+
+    /// Whether `delta` carries no rows.
+    fn delta_is_empty(delta: &Self::Delta) -> bool;
 }
 
 impl Restorable for ShardedErc20 {
     type Spec = Erc20Spec;
+    type Delta = Erc20Delta;
     fn restore(state: Self::State) -> Self {
         ShardedErc20::from_state(state)
     }
     fn spec(initial: Self::State) -> Erc20Spec {
         Erc20Spec::new(initial)
     }
+    fn drain_delta(&self) -> Erc20Delta {
+        self.drain_delta()
+    }
+    fn apply_delta(state: &mut Self::State, delta: &Erc20Delta) -> bool {
+        delta.apply_to(state)
+    }
+    fn delta_is_empty(delta: &Erc20Delta) -> bool {
+        delta.is_empty()
+    }
 }
 
 impl Restorable for ShardedErc721 {
     type Spec = Erc721Spec;
+    type Delta = Erc721Delta;
     fn restore(state: Self::State) -> Self {
         ShardedErc721::from_state(state)
     }
     fn spec(initial: Self::State) -> Erc721Spec {
         Erc721Spec::new(initial)
     }
+    fn drain_delta(&self) -> Erc721Delta {
+        self.drain_delta()
+    }
+    fn apply_delta(state: &mut Self::State, delta: &Erc721Delta) -> bool {
+        delta.apply_to(state)
+    }
+    fn delta_is_empty(delta: &Erc721Delta) -> bool {
+        delta.is_empty()
+    }
 }
 
 impl Restorable for ShardedErc1155 {
     type Spec = Erc1155Spec;
+    type Delta = Erc1155Delta;
     fn restore(state: Self::State) -> Self {
         ShardedErc1155::from_state(state)
     }
     fn spec(initial: Self::State) -> Erc1155Spec {
         Erc1155Spec::new(initial)
+    }
+    fn drain_delta(&self) -> Erc1155Delta {
+        self.drain_delta()
+    }
+    fn apply_delta(state: &mut Self::State, delta: &Erc1155Delta) -> bool {
+        delta.apply_to(state)
+    }
+    fn delta_is_empty(delta: &Erc1155Delta) -> bool {
+        delta.is_empty()
+    }
+}
+
+/// The resolved snapshot chain: the newest full snapshot that validates
+/// plus the longest run of delta links that validate *and* apply.
+pub(crate) struct ResolvedChain<S> {
+    /// State after `mark` committed operations.
+    pub state: S,
+    /// Watermark the chain reaches (the WAL replay floor).
+    pub mark: u64,
+    /// Delta links folded on top of the base full snapshot.
+    pub links: u64,
+}
+
+/// Resolves the snapshot chain in `dir`: newest valid full snapshot,
+/// then greedily follows delta links (`base == current mark`, largest
+/// watermark first on forks — a fork only arises when an older link was
+/// already unreadable). A corrupt or inapplicable link simply ends the
+/// chain: the WAL suffix below the break is retained exactly because of
+/// this fallback, so recovery replays more log instead of failing.
+pub(crate) fn resolve_chain<T>(dir: &Path) -> Result<ResolvedChain<T::State>, StoreError>
+where
+    T: Restorable,
+    T::State: StateCodec,
+{
+    let (full_mark, mut state) = latest_snapshot::<T::State>(dir)?;
+    let standard = <T::State as StateCodec>::STANDARD;
+    let version = <T::State as StateCodec>::VERSION;
+    let deltas = delta_files(dir)?;
+    let mut mark = full_mark;
+    let mut links = 0u64;
+    loop {
+        let mut advanced = false;
+        // Newest-first among candidates above the current mark.
+        for (w, path) in deltas.iter().rev() {
+            if *w <= mark {
+                break;
+            }
+            match read_delta::<T::Delta>(path, standard, version) {
+                Ok((_, base, delta)) if base == mark => {
+                    if T::apply_delta(&mut state, &delta) {
+                        mark = *w;
+                        links += 1;
+                        advanced = true;
+                        break;
+                    }
+                }
+                Err(SnapshotDefect::WrongStandard { found }) => {
+                    return Err(StoreError::WrongStandard {
+                        found,
+                        expected: (standard, version),
+                    });
+                }
+                _ => {}
+            }
+        }
+        if !advanced {
+            break;
+        }
+    }
+    Ok(ResolvedChain { state, mark, links })
+}
+
+/// How [`recover_with`] replays the log suffix.
+#[derive(Clone, Copy, Debug)]
+pub struct RecoverOptions {
+    /// Replay non-conflicting records concurrently (the default). The
+    /// sequential path remains available as the verification oracle.
+    pub parallel: bool,
+    /// Worker threads for the parallel replay (`0` = the machine's
+    /// available parallelism).
+    pub threads: usize,
+    /// Below this many surviving log entries the sequential path is
+    /// used regardless — thread fan-out costs more than it saves.
+    pub min_parallel_ops: usize,
+}
+
+impl Default for RecoverOptions {
+    fn default() -> Self {
+        Self {
+            parallel: true,
+            threads: 0,
+            min_parallel_ops: 4096,
+        }
     }
 }
 
@@ -66,12 +218,15 @@ impl Restorable for ShardedErc1155 {
 pub struct Recovered<T: ConcurrentObject> {
     /// The live object, holding the state after every recovered commit.
     pub object: T,
-    /// The oracle state the object was built from (snapshot + verified
-    /// replay).
+    /// The oracle state the object was built from (snapshot chain +
+    /// verified replay).
     pub state: T::State,
-    /// Watermark of the snapshot recovery started from.
+    /// Watermark the snapshot chain reached (full snapshot + deltas) —
+    /// where the log replay started.
     pub snapshot_watermark: u64,
-    /// Log entries replayed on top of that snapshot.
+    /// Delta-snapshot links folded on top of the full snapshot.
+    pub delta_links: u64,
+    /// Log entries replayed on top of the chain.
     pub replayed: u64,
     /// First sequence number *not* recovered — the length of the
     /// recovered history prefix.
@@ -82,12 +237,18 @@ pub struct Recovered<T: ConcurrentObject> {
     /// Highest replication epoch stamped into any surviving log segment
     /// (0 for an unreplicated store).
     pub epoch: u64,
+    /// Wall time resolving and decoding the snapshot chain.
+    pub snapshot_load: Duration,
+    /// Wall time scanning, footprint-partitioning and replaying the log
+    /// suffix (verification included).
+    pub replay: Duration,
 }
 
-/// Recovers the store in `dir`: loads the newest valid snapshot,
-/// replays the surviving log suffix through the standard's sequential
-/// oracle — verifying every recorded response on the way — and rebuilds
-/// the live sharded object.
+/// Recovers the store in `dir`: resolves the newest valid snapshot
+/// chain, replays the surviving log suffix — verifying every recorded
+/// response on the way — and rebuilds the live sharded object.
+/// Non-conflicting stretches of the log replay concurrently; see
+/// [`recover_with`] to tune or disable that.
 ///
 /// The recovered history is always a *prefix* of the committed history:
 /// record framing is CRC-checked and sequence numbers are gap-free, so
@@ -109,37 +270,186 @@ where
     T::Resp: Codec,
     T::State: StateCodec,
 {
-    let (snapshot_watermark, mut state) = latest_snapshot::<T::State>(dir)?;
+    recover_with(dir, RecoverOptions::default())
+}
+
+/// [`recover`] restricted to the one-at-a-time oracle replay — the
+/// reference the parallel path is property-tested against.
+///
+/// # Errors
+///
+/// As [`recover`].
+pub fn recover_sequential<T>(dir: &Path) -> Result<Recovered<T>, StoreError>
+where
+    T: Restorable,
+    T::Op: Codec,
+    T::Resp: Codec,
+    T::State: StateCodec,
+{
+    recover_with(
+        dir,
+        RecoverOptions {
+            parallel: false,
+            ..RecoverOptions::default()
+        },
+    )
+}
+
+/// [`recover`] with explicit [`RecoverOptions`].
+///
+/// # Errors
+///
+/// As [`recover`].
+pub fn recover_with<T>(dir: &Path, opts: RecoverOptions) -> Result<Recovered<T>, StoreError>
+where
+    T: Restorable,
+    T::Op: Codec,
+    T::Resp: Codec,
+    T::State: StateCodec,
+{
+    let load_started = Instant::now();
+    let chain = resolve_chain::<T>(dir)?;
+    let snapshot_load = load_started.elapsed();
+
+    let replay_started = Instant::now();
     let (entries, scan) = read_entries::<T::Op, T::Resp>(
         dir,
         <T::State as StateCodec>::STANDARD,
         <T::State as StateCodec>::VERSION,
-        snapshot_watermark,
+        chain.mark,
     )?;
-    let spec = T::spec(state.clone());
-    let mut replayed = 0u64;
-    let mut next_seq = snapshot_watermark;
-    for entry in &entries {
-        if entry.seq < snapshot_watermark {
-            continue; // already folded into the snapshot
-        }
-        if entry.seq != next_seq {
-            break; // gap: the segments between were GC'd or lost
-        }
-        let resp = spec.apply(&mut state, entry.caller, &entry.op);
-        if resp != entry.resp {
-            return Err(StoreError::Divergence { seq: entry.seq });
-        }
-        replayed += 1;
-        next_seq += 1;
+    // The contiguous replay slice: records below the chain mark are
+    // already folded in; a gap past it ends the recoverable prefix.
+    let mut lo = 0usize;
+    while lo < entries.len() && entries[lo].seq < chain.mark {
+        lo += 1;
     }
+    let mut hi = lo;
+    let mut expect = chain.mark;
+    while hi < entries.len() && entries[hi].seq == expect {
+        expect += 1;
+        hi += 1;
+    }
+    let live = &entries[lo..hi];
+
+    let threads = if opts.threads == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        opts.threads
+    };
+    let (object, state) = if opts.parallel && threads > 1 && live.len() >= opts.min_parallel_ops {
+        let object = T::restore(chain.state);
+        replay_parallel(&object, live, threads).map_err(|seq| StoreError::Divergence { seq })?;
+        let state = object.snapshot();
+        (object, state)
+    } else {
+        let mut state = chain.state;
+        let spec = T::spec(state.clone());
+        for entry in live {
+            let resp = spec.apply(&mut state, entry.caller, &entry.op);
+            if resp != entry.resp {
+                return Err(StoreError::Divergence { seq: entry.seq });
+            }
+        }
+        (T::restore(state.clone()), state)
+    };
+    let replay = replay_started.elapsed();
+
     Ok(Recovered {
-        object: T::restore(state.clone()),
+        object,
         state,
-        snapshot_watermark,
-        replayed,
-        next_seq,
+        snapshot_watermark: chain.mark,
+        delta_links: chain.links,
+        replayed: live.len() as u64,
+        next_seq: chain.mark + live.len() as u64,
         log_stop: scan.stop,
         epoch: scan.epoch,
+        snapshot_load,
+        replay,
     })
+}
+
+/// Replays `entries` onto the live `object` concurrently: re-derives
+/// each op's footprint, greedily cuts the sequence into maximal runs of
+/// pairwise-commuting ops (the same commutativity analysis the pipeline
+/// scheduler applies at serve time), and fans each run out across
+/// `threads` scoped workers. Commuting ops produce the same responses
+/// and final state in any order, so verification against the recorded
+/// responses is exact; on mismatch the smallest diverging sequence
+/// number is returned — the same one the sequential oracle reports.
+fn replay_parallel<T>(
+    object: &T,
+    entries: &[CommittedOp<T::Op, T::Resp>],
+    threads: usize,
+) -> Result<(), u64>
+where
+    T: Restorable,
+{
+    // Partition into waves. A cell's merged access within a wave stays
+    // its class while all charges agree (read/read, credit/credit) and
+    // hardens to `Update` when one op both reads and writes the cell
+    // (self-collisions commute with nothing).
+    let mut waves: Vec<(usize, usize)> = Vec::new();
+    let mut accesses: HashMap<u128, Access> = HashMap::new();
+    let mut fp = Footprint::new();
+    let mut wave_start = 0usize;
+    for (i, entry) in entries.iter().enumerate() {
+        fp.clear();
+        entry.op.footprint_into(entry.caller, &mut fp);
+        let conflicts = fp.iter().any(|(cell, access)| {
+            accesses
+                .get(&cell.key().packed())
+                .map_or(false, |prev| !prev.commutes_with(access))
+        });
+        if conflicts {
+            waves.push((wave_start, i));
+            wave_start = i;
+            accesses.clear();
+        }
+        for (cell, access) in fp.iter() {
+            accesses
+                .entry(cell.key().packed())
+                .and_modify(|prev| {
+                    if *prev != access {
+                        *prev = Access::Update;
+                    }
+                })
+                .or_insert(access);
+        }
+    }
+    if wave_start < entries.len() {
+        waves.push((wave_start, entries.len()));
+    }
+
+    let diverged = AtomicU64::new(u64::MAX);
+    for &(start, end) in &waves {
+        let wave = &entries[start..end];
+        if wave.len() < 2 * threads {
+            for entry in wave {
+                if object.apply(entry.caller, &entry.op) != entry.resp {
+                    diverged.fetch_min(entry.seq, Ordering::Relaxed);
+                }
+            }
+        } else {
+            let chunk = wave.len().div_ceil(threads);
+            crossbeam::scope(|s| {
+                for part in wave.chunks(chunk) {
+                    let diverged = &diverged;
+                    s.spawn(move |_| {
+                        for entry in part {
+                            if object.apply(entry.caller, &entry.op) != entry.resp {
+                                diverged.fetch_min(entry.seq, Ordering::Relaxed);
+                            }
+                        }
+                    });
+                }
+            })
+            .expect("recovery replay worker panicked");
+        }
+        let seq = diverged.load(Ordering::Relaxed);
+        if seq != u64::MAX {
+            return Err(seq);
+        }
+    }
+    Ok(())
 }

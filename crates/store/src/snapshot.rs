@@ -9,27 +9,46 @@
 //!             · state_len u64 · state bytes
 //! ```
 //!
+//! An **incremental** snapshot `snap-<watermark>.delta` holds only the
+//! rows touched since a predecessor snapshot (full or delta) at `base`,
+//! forming a chain `full(F) ← delta(base=F) ← delta(base=W₁) ← …`:
+//!
+//! ```text
+//! delta   := magic "TSSNAPD1" · payload · crc32(payload) u32
+//! payload := standard u8 · version u8 · watermark u64 · base u64
+//!            · delta_len u64 · delta bytes
+//! ```
+//!
 //! Publishing is crash-atomic: the bytes are written to a `.tmp` file,
 //! fsynced, then renamed into place (rename is atomic on POSIX), then
 //! the directory is fsynced. A reader therefore sees either the
 //! complete old set of snapshots or the complete new one — never a half
-//! snapshot — and recovery simply takes the newest file that validates.
+//! snapshot — and recovery simply takes the newest file that validates
+//! (for deltas: the longest chain whose every link validates and
+//! applies; a broken link just means a longer WAL replay).
 
 use std::fs::{self, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
-use tokensync_core::codec::StateCodec;
+use tokensync_core::codec::{Codec, StateCodec};
 
 use crate::crc::crc32;
 use crate::error::StoreError;
 use crate::wal::sync_dir;
 
-/// Magic prefix of every snapshot file.
+/// Magic prefix of every full snapshot file.
 pub const SNAP_MAGIC: &[u8; 8] = b"TSSNAP01";
+
+/// Magic prefix of every incremental (delta) snapshot file.
+pub const DELTA_MAGIC: &[u8; 8] = b"TSSNAPD1";
 
 fn snapshot_name(watermark: u64) -> String {
     format!("snap-{watermark:020}.snap")
+}
+
+fn delta_name(watermark: u64) -> String {
+    format!("snap-{watermark:020}.delta")
 }
 
 /// The sorted `(watermark, path)` list of snapshot files in `dir`.
@@ -69,20 +88,114 @@ pub(crate) fn write_snapshot<S: StateCodec>(
     payload[state_start - 8..state_start].copy_from_slice(&state_len.to_le_bytes());
 
     let final_path = dir.join(snapshot_name(watermark));
+    publish_bytes(dir, &final_path, watermark, SNAP_MAGIC, &payload)?;
+    Ok(final_path)
+}
+
+/// Crash-atomic publish shared by full and delta snapshots:
+/// `.tmp` → fsync → rename → directory fsync.
+fn publish_bytes(
+    dir: &Path,
+    final_path: &Path,
+    watermark: u64,
+    magic: &[u8; 8],
+    payload: &[u8],
+) -> Result<(), StoreError> {
     let tmp_path = dir.join(format!("snap-{watermark:020}.tmp"));
     let mut file = OpenOptions::new()
         .create(true)
         .truncate(true)
         .write(true)
         .open(&tmp_path)?;
-    file.write_all(SNAP_MAGIC)?;
-    file.write_all(&payload)?;
-    file.write_all(&crc32(&payload).to_le_bytes())?;
+    file.write_all(magic)?;
+    file.write_all(payload)?;
+    file.write_all(&crc32(payload).to_le_bytes())?;
     file.sync_all()?;
     drop(file);
-    fs::rename(&tmp_path, &final_path)?;
+    fs::rename(&tmp_path, final_path)?;
     sync_dir(dir);
+    Ok(())
+}
+
+/// The sorted `(watermark, path)` list of delta-snapshot files in `dir`.
+pub(crate) fn delta_files(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StoreError> {
+    let mut deltas = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(mark) = name
+            .strip_prefix("snap-")
+            .and_then(|rest| rest.strip_suffix(".delta"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        {
+            deltas.push((mark, entry.path()));
+        }
+    }
+    deltas.sort();
+    Ok(deltas)
+}
+
+/// Writes and atomically publishes a delta snapshot at `watermark`
+/// chained onto the snapshot at `base`; returns its path.
+pub(crate) fn write_delta_snapshot<D: Codec>(
+    dir: &Path,
+    standard: u8,
+    version: u8,
+    watermark: u64,
+    base: u64,
+    delta: &D,
+) -> Result<PathBuf, StoreError> {
+    let mut payload = Vec::new();
+    payload.push(standard);
+    payload.push(version);
+    payload.extend_from_slice(&watermark.to_le_bytes());
+    payload.extend_from_slice(&base.to_le_bytes());
+    let delta_start = payload.len() + 8;
+    payload.extend_from_slice(&0u64.to_le_bytes()); // placeholder
+    delta.encode_into(&mut payload);
+    let delta_len = (payload.len() - delta_start) as u64;
+    payload[delta_start - 8..delta_start].copy_from_slice(&delta_len.to_le_bytes());
+
+    let final_path = dir.join(delta_name(watermark));
+    publish_bytes(dir, &final_path, watermark, DELTA_MAGIC, &payload)?;
     Ok(final_path)
+}
+
+/// Validates and decodes one delta-snapshot file into
+/// `(watermark, base, delta)`.
+pub(crate) fn read_delta<D: Codec>(
+    path: &Path,
+    standard: u8,
+    version: u8,
+) -> Result<(u64, u64, D), SnapshotDefect> {
+    let bytes = fs::read(path).map_err(|_| SnapshotDefect::Unreadable)?;
+    if bytes.len() < 8 + 2 + 8 + 8 + 8 + 4 || &bytes[0..8] != DELTA_MAGIC {
+        return Err(SnapshotDefect::Unreadable);
+    }
+    let payload = &bytes[8..bytes.len() - 4];
+    let crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+    if crc32(payload) != crc {
+        return Err(SnapshotDefect::Unreadable);
+    }
+    if (payload[0], payload[1]) != (standard, version) {
+        return Err(SnapshotDefect::WrongStandard {
+            found: (payload[0], payload[1]),
+        });
+    }
+    let watermark = u64::from_le_bytes(payload[2..10].try_into().expect("8 bytes"));
+    let base = u64::from_le_bytes(payload[10..18].try_into().expect("8 bytes"));
+    let delta_len = u64::from_le_bytes(payload[18..26].try_into().expect("8 bytes")) as usize;
+    let delta_bytes = &payload[26..];
+    if delta_bytes.len() != delta_len {
+        return Err(SnapshotDefect::Unreadable);
+    }
+    let mut input = delta_bytes;
+    let delta = D::decode(&mut input).map_err(|_| SnapshotDefect::Unreadable)?;
+    if !input.is_empty() {
+        return Err(SnapshotDefect::Unreadable);
+    }
+    Ok((watermark, base, delta))
 }
 
 /// Writes and atomically publishes a snapshot of `state` at `watermark`
@@ -190,6 +303,28 @@ pub(crate) fn prune_snapshots(dir: &Path, keep: usize) -> Result<(), StoreError>
         sync_dir(dir);
     }
     Ok(())
+}
+
+/// Prunes the snapshot chain down to the newest `keep` full snapshots
+/// plus every delta above the oldest kept full (deltas at or below it
+/// are wholly covered by that full and can never be a useful fallback).
+/// Returns the oldest kept full's watermark — the WAL GC floor: if the
+/// newest full or any delta link is later found corrupt, recovery falls
+/// back no further than that full, and needs its log suffix intact.
+pub(crate) fn prune_chain(dir: &Path, keep: usize) -> Result<u64, StoreError> {
+    prune_snapshots(dir, keep.max(1))?;
+    let floor = snapshot_files(dir)?.first().map_or(0, |&(mark, _)| mark);
+    let mut removed = false;
+    for (mark, path) in delta_files(dir)? {
+        if mark <= floor {
+            fs::remove_file(&path)?;
+            removed = true;
+        }
+    }
+    if removed {
+        sync_dir(dir);
+    }
+    Ok(floor)
 }
 
 /// Leftover `.tmp` files from a crash mid-publish are dead weight;

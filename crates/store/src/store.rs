@@ -1,20 +1,21 @@
-//! The durable store: the pipeline's [`CommitSink`], wired to the WAL
-//! and the snapshotter under a [`Durability`] policy.
+//! The durable store: the pipeline's [`CommitSink`], wired to the WAL,
+//! a background durability thread, and the snapshotter under a
+//! [`Durability`] policy.
 
 use std::marker::PhantomData;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use tokensync_core::codec::{Codec, StateCodec};
-use tokensync_core::shared::ConcurrentObject;
 use tokensync_pipeline::{CommitSink, CommittedOp};
 
 use tokensync_obs::Stage;
 
+use crate::durability::{self, DurHandle, DurMsg, DurShared};
 use crate::error::StoreError;
 use crate::obs::StoreObs;
-use crate::snapshot::{
-    clear_tmp, latest_snapshot, prune_snapshots, snapshot_files, write_snapshot,
-};
+use crate::recovery::{resolve_chain, Restorable};
+use crate::snapshot::{clear_tmp, prune_chain, snapshot_files, write_snapshot};
 use crate::wal::Wal;
 
 /// When committed operations reach stable storage.
@@ -29,8 +30,13 @@ pub enum Durability {
     PerWave,
     /// Waves are appended as they commit but fsynced **once per batch
     /// seal** — durability rides the batch cuts the ingest stage already
-    /// makes, so the fsync cost amortizes over the whole batch. A crash
-    /// can lose at most the current batch. This is the default.
+    /// makes, so the fsync cost amortizes over the whole batch. With
+    /// [`StoreConfig::pipeline_fsync`] (the default) the fsync itself
+    /// moves to the background durability thread: the seal only *posts*
+    /// the sync and serving continues; the explicit
+    /// [`Store::durable_seq`] watermark reports how far durability has
+    /// caught up. A crash can lose at most the batches between that
+    /// watermark and the commit point. This is the default.
     #[default]
     GroupCommit,
 }
@@ -46,9 +52,26 @@ pub struct StoreConfig {
     pub snapshot_every_ops: u64,
     /// Roll to a fresh WAL segment once the current one exceeds this.
     pub segment_max_bytes: u64,
-    /// How many published snapshots to keep (older ones are pruned;
-    /// at least 1).
+    /// How many published **full** snapshots to keep (older fulls and
+    /// the deltas they cover are pruned; at least 1).
     pub snapshots_kept: usize,
+    /// [`Durability::GroupCommit`] only: hand batch fsyncs to the
+    /// background durability thread instead of syncing inline at the
+    /// seal. Commits are acknowledged immediately; they become durable
+    /// when the thread's fsync lands (observable via
+    /// [`Store::durable_seq`]). Off = the pre-pipelined behavior, one
+    /// inline fsync per seal.
+    pub pipeline_fsync: bool,
+    /// Publish periodic snapshots incrementally: drain the touched rows
+    /// from the live object (per-shard locks only — serving continues)
+    /// and let the durability thread fold and publish them as a
+    /// `snap-<mark>.delta` chain. Off = the pre-incremental behavior,
+    /// a full state encode on the serving thread at every trigger.
+    pub incremental_snapshots: bool,
+    /// Every `compact_every`-th incremental publish is rewritten as a
+    /// full snapshot from the thread's materialized state, bounding
+    /// chain length (at least 1; 1 = every publish is full).
+    pub compact_every: u64,
 }
 
 impl Default for StoreConfig {
@@ -58,6 +81,9 @@ impl Default for StoreConfig {
             snapshot_every_ops: 0,
             segment_max_bytes: 64 << 20,
             snapshots_kept: 2,
+            pipeline_fsync: true,
+            incremental_snapshots: true,
+            compact_every: 4,
         }
     }
 }
@@ -72,6 +98,14 @@ impl Default for StoreConfig {
 /// or [`Pipeline::spawn_with_sink`](tokensync_pipeline::Pipeline::spawn_with_sink)
 /// and every committed wave streams into the WAL as it enters the
 /// commit log.
+///
+/// Each store owns a background **durability thread** (see [`store`
+/// module](self) docs): under the default pipelined group commit the
+/// serving thread never fsyncs, it posts sync requests and the thread
+/// coalesces them; periodic snapshots are drained as row deltas and
+/// folded off-thread. [`Store::durable_seq`] is the explicit watermark
+/// separating *acknowledged* from *crash-proof*;
+/// [`Store::wait_durable`]/[`Store::flush`] block on it.
 ///
 /// # Examples
 ///
@@ -103,13 +137,14 @@ impl Default for StoreConfig {
 /// # std::fs::remove_dir_all(&dir).unwrap();
 /// ```
 #[derive(Debug)]
-pub struct Store<T: ConcurrentObject> {
+pub struct Store<T: Restorable> {
     dir: PathBuf,
     cfg: StoreConfig,
     wal: Wal,
-    /// Watermark of the newest published snapshot.
+    /// Watermark of the newest snapshot trigger (the last delta drain
+    /// point / full publish position).
     watermark: u64,
-    /// Ops appended since that snapshot.
+    /// Ops appended since that point.
     ops_since_snapshot: u64,
     /// The durable position when this store handle was opened: engine
     /// runs number their commits from 0, so WAL appends translate a
@@ -119,6 +154,13 @@ pub struct Store<T: ConcurrentObject> {
     /// writing (the commit-sink interface is infallible, so errors are
     /// parked here for the owner to inspect).
     error: Option<StoreError>,
+    /// Watermark state shared with the durability thread.
+    shared: Arc<DurShared>,
+    /// The durability thread (taken at shutdown).
+    dur: Option<DurHandle<T>>,
+    /// Newest WAL GC floor this handle has applied (the thread only
+    /// publishes floors; the serving thread owns the `Wal`).
+    applied_gc_floor: u64,
     /// Recorder seam (disabled by default): snapshot timing and span
     /// events; the WAL holds its own clone for append/fsync I/O.
     obs: StoreObs,
@@ -127,7 +169,7 @@ pub struct Store<T: ConcurrentObject> {
 
 impl<T> Store<T>
 where
-    T: ConcurrentObject,
+    T: Restorable,
     T::Op: Codec,
     T::Resp: Codec,
     T::State: StateCodec,
@@ -149,8 +191,9 @@ where
     }
 
     /// Opens an existing store for appending: truncates any torn WAL
-    /// tail, clears stale `.tmp` files, and positions the writer after
-    /// the last valid record.
+    /// tail, clears stale `.tmp` files, positions the writer after the
+    /// last valid record, and spawns the durability thread seeded with
+    /// the resolved snapshot chain.
     ///
     /// # Errors
     ///
@@ -159,38 +202,58 @@ where
     /// different standard or codec version; I/O errors otherwise.
     pub fn open(dir: &Path, cfg: StoreConfig) -> Result<Self, StoreError> {
         clear_tmp(dir)?;
-        // The *validated* newest snapshot (corrupt files are skipped,
-        // a foreign directory errors): its watermark is both the GC
+        // The *validated* newest snapshot chain (corrupt links are
+        // skipped, a foreign directory errors): its mark is both the GC
         // bookkeeping floor and the sequence floor the WAL may never
-        // restart below.
-        let (watermark, _state) = latest_snapshot::<T::State>(dir)?;
+        // restart below — and its state seeds the durability thread's
+        // materialized copy.
+        let chain = resolve_chain::<T>(dir)?;
         let wal = Wal::open(
             dir,
             <T::State as StateCodec>::STANDARD,
             <T::State as StateCodec>::VERSION,
             cfg.segment_max_bytes,
-            watermark,
+            chain.mark,
         )?;
-        let ops_since_snapshot = wal.next_seq().saturating_sub(watermark);
+        let ops_since_snapshot = wal.next_seq().saturating_sub(chain.mark);
         let base = wal.next_seq();
+        // Everything scanned at open sits on disk: the handle starts
+        // with its whole history durable.
+        let shared = Arc::new(DurShared::new(base));
+        let obs = StoreObs::disabled();
+        let dur = durability::spawn::<T>(
+            dir.to_path_buf(),
+            chain.mark,
+            chain.state,
+            base,
+            cfg.snapshots_kept,
+            cfg.compact_every,
+            obs.clone(),
+            Arc::clone(&shared),
+        );
         Ok(Self {
             dir: dir.to_path_buf(),
             cfg,
             wal,
-            watermark,
+            watermark: chain.mark,
             ops_since_snapshot,
             base,
             error: None,
-            obs: StoreObs::disabled(),
+            shared,
+            dur: Some(dur),
+            applied_gc_floor: 0,
+            obs,
             _object: PhantomData,
         })
     }
 
     /// Attaches a recorder: WAL append/fsync latency, byte/segment
-    /// counters and snapshot timing record into it from then on (see
-    /// [`StoreObs`]).
+    /// counters, snapshot timing and the durable-watermark gauge record
+    /// into it from then on (see [`StoreObs`]).
     pub fn set_obs(&mut self, obs: StoreObs) {
         self.wal.set_obs(obs.clone());
+        self.post(DurMsg::SetObs(obs.clone()));
+        obs.record_durable(self.shared.durable());
         self.obs = obs;
     }
 
@@ -211,15 +274,76 @@ where
         self.wal.next_seq()
     }
 
-    /// Watermark of the newest published snapshot.
+    /// Watermark of the newest snapshot trigger (full publish or delta
+    /// drain point).
     pub fn snapshot_watermark(&self) -> u64 {
         self.watermark
     }
 
+    /// The durable watermark: every operation at or below this sequence
+    /// number survives any crash (its WAL prefix is fsynced, or a
+    /// published snapshot chain covers it). Under pipelined group
+    /// commit this trails [`Store::next_seq`] by the batches whose
+    /// background fsync has not landed yet — that gap *is* the
+    /// acknowledge-at-commit / durable-at-fsync window.
+    pub fn durable_seq(&self) -> u64 {
+        self.shared.durable()
+    }
+
+    /// Blocks until [`Store::durable_seq`] reaches `seq`. The caller is
+    /// responsible for `seq` being covered by posted work (at most
+    /// [`Store::next_seq`], with a seal or [`Store::flush`] behind it).
+    ///
+    /// # Errors
+    ///
+    /// If the durability thread parked an error, it is surfaced via
+    /// [`Store::error`] and an `Interrupted` I/O error is returned.
+    pub fn wait_durable(&mut self, seq: u64) -> Result<(), StoreError> {
+        if self.shared.wait_durable(seq).is_ok() {
+            // The durability thread records the gauge *after* the
+            // advance that woke this waiter; re-record here so the
+            // exported watermark is exact the moment the wait returns.
+            self.obs.record_durable(self.shared.durable());
+            return Ok(());
+        }
+        self.poll_thread_error();
+        Err(StoreError::Io(std::io::Error::new(
+            std::io::ErrorKind::Interrupted,
+            "durability thread failed or was killed; see Store::error",
+        )))
+    }
+
+    /// Makes everything appended so far durable: posts a sync covering
+    /// [`Store::next_seq`] and blocks until the watermark reaches it.
+    /// No-op under [`Durability::Off`].
+    ///
+    /// # Errors
+    ///
+    /// The first parked write error; thread failures as
+    /// [`Store::wait_durable`].
+    pub fn flush(&mut self) -> Result<(), StoreError> {
+        self.poll_thread_error();
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        if self.cfg.durability == Durability::Off {
+            return Ok(());
+        }
+        let target = self.wal.next_seq();
+        if self.shared.durable() >= target {
+            return Ok(());
+        }
+        let file = self.wal.tail_handle()?;
+        self.post(DurMsg::Sync { target, file });
+        self.wait_durable(target)
+    }
+
     /// The first write-path error, if the store is poisoned. Writes
     /// stop at the first error; callers that care about durability must
-    /// check this (or use [`Store::close`]) after a run.
-    pub fn error(&self) -> Option<&StoreError> {
+    /// check this (or use [`Store::close`]) after a run. Background
+    /// (durability-thread) errors are folded in here too.
+    pub fn error(&mut self) -> Option<&StoreError> {
+        self.poll_thread_error();
         self.error.as_ref()
     }
 
@@ -261,47 +385,137 @@ where
         self.wal.oldest_segment_seq()
     }
 
-    /// Syncs outstanding appends and surfaces any parked write error.
+    /// Simulates a crash of the durability machinery: queued fsyncs and
+    /// snapshot publishes are dropped, the durable watermark freezes
+    /// where it is, and neither close nor drop will sync anything
+    /// further. Crash-window tests kill a store here and assert that
+    /// recovery reaches at least [`Store::durable_seq`].
+    #[doc(hidden)]
+    pub fn abandon(&mut self) {
+        self.shared.kill();
+        self.error.get_or_insert(StoreError::Io(std::io::Error::new(
+            std::io::ErrorKind::Interrupted,
+            "store abandoned (simulated crash)",
+        )));
+    }
+
+    /// Syncs outstanding appends, retires the durability thread, and
+    /// surfaces any parked write error.
     ///
     /// # Errors
     ///
     /// The first parked write error, or the final sync's.
     pub fn close(mut self) -> Result<(), StoreError> {
+        self.poll_thread_error();
         if let Some(e) = self.error.take() {
+            self.shutdown_thread();
             return Err(e);
         }
         if self.cfg.durability != Durability::Off {
-            self.wal.sync()?;
+            match self.wal.sync() {
+                Ok(()) => self.advance_durable(self.wal.next_seq()),
+                Err(e) => {
+                    self.shutdown_thread();
+                    return Err(e);
+                }
+            }
+        }
+        self.shutdown_thread();
+        if let Some(e) = self.shared.take_error() {
+            return Err(e);
         }
         Ok(())
     }
 
-    /// Publishes a snapshot of `state` at the current log position and
-    /// garbage-collects segments and snapshots it supersedes. The state
-    /// must reflect exactly the operations appended so far (the engine
-    /// guarantees this at batch seals).
+    /// Publishes a full snapshot of `state` at the current log position
+    /// and garbage-collects segments and snapshots it supersedes. The
+    /// state must reflect exactly the operations appended so far (the
+    /// engine guarantees this at batch seals). Synchronous: the
+    /// snapshot is on disk when this returns — under incremental
+    /// snapshots the write itself happens on the durability thread
+    /// (whose materialized state it also re-bases), with this call
+    /// blocking on the acknowledgement.
     ///
     /// # Errors
     ///
     /// I/O errors from the write, rename, or GC.
     pub fn publish_snapshot(&mut self, state: &T::State) -> Result<(), StoreError> {
-        let started = self.obs.clock();
         // The log must be on disk before the snapshot that supersedes
         // it: a snapshot may outlive the segments GC deletes.
         self.wal.sync()?;
+        self.advance_durable(self.wal.next_seq());
         let watermark = self.wal.next_seq();
-        write_snapshot(&self.dir, watermark, state)?;
-        self.watermark = watermark;
-        self.ops_since_snapshot = 0;
-        prune_snapshots(&self.dir, self.cfg.snapshots_kept.max(1))?;
-        // GC only below the *oldest kept* snapshot: if the newest one is
-        // later found corrupt, recovery falls back to an older snapshot
-        // and still needs that snapshot's log suffix on disk.
-        let gc_floor = snapshot_files(&self.dir)?
-            .first()
-            .map_or(0, |&(mark, _)| mark);
-        self.wal.gc(gc_floor)?;
-        self.obs.record_snapshot(started);
+        if self.cfg.incremental_snapshots {
+            let (ack_tx, ack_rx) = std::sync::mpsc::channel();
+            self.post(DurMsg::Full {
+                watermark,
+                state: state.clone(),
+                ack: ack_tx,
+            });
+            match ack_rx.recv() {
+                Ok(res) => res?,
+                Err(_) => {
+                    return Err(StoreError::Io(std::io::Error::new(
+                        std::io::ErrorKind::Interrupted,
+                        "durability thread gone before acknowledging the snapshot",
+                    )))
+                }
+            }
+            self.watermark = watermark;
+            self.ops_since_snapshot = 0;
+            self.apply_gc_floor()?;
+        } else {
+            let started = self.obs.clock();
+            write_snapshot(&self.dir, watermark, state)?;
+            self.watermark = watermark;
+            self.ops_since_snapshot = 0;
+            // GC only below the *oldest kept* snapshot: if the newest
+            // one is later found corrupt, recovery falls back to an
+            // older snapshot and still needs that snapshot's log suffix
+            // on disk.
+            let gc_floor = prune_chain(&self.dir, self.cfg.snapshots_kept)?;
+            self.wal.gc(gc_floor)?;
+            self.applied_gc_floor = self.applied_gc_floor.max(gc_floor);
+            self.obs.record_snapshot(started);
+        }
+        Ok(())
+    }
+
+    /// Posts to the durability thread; a dead thread parks an error.
+    fn post(&mut self, msg: DurMsg<T>) {
+        let alive = match &self.dur {
+            Some(d) => d.tx.send(msg).is_ok(),
+            None => false,
+        };
+        if !alive && self.error.is_none() {
+            self.error = Some(StoreError::Io(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "durability thread is gone",
+            )));
+        }
+    }
+
+    /// Moves a background error into the write-path slot (first wins).
+    fn poll_thread_error(&mut self) {
+        if self.error.is_none() {
+            if let Some(e) = self.shared.take_error() {
+                self.error = Some(e);
+            }
+        }
+    }
+
+    fn advance_durable(&self, to: u64) {
+        self.shared.advance(to);
+        self.obs.record_durable(self.shared.durable());
+    }
+
+    /// Applies the thread-published WAL GC floor, if it moved.
+    fn apply_gc_floor(&mut self) -> Result<(), StoreError> {
+        let floor = self.shared.gc_floor();
+        if floor > self.applied_gc_floor {
+            self.wal.gc(floor)?;
+            self.applied_gc_floor = floor;
+        }
         Ok(())
     }
 
@@ -328,34 +542,82 @@ where
             let started = self.obs.clock();
             self.wal.sync()?;
             self.obs.span(batch, Stage::Fsync, started);
+            self.advance_durable(self.wal.next_seq());
         }
         Ok(())
     }
 
     fn try_seal(&mut self, token: &T, batch: u64) -> Result<(), StoreError> {
         if self.cfg.durability == Durability::GroupCommit {
-            let started = self.obs.clock();
-            self.wal.sync()?;
-            self.obs.span(batch, Stage::Fsync, started);
+            if self.cfg.pipeline_fsync {
+                // Pipelined group commit: post the sync, keep serving.
+                // The thread coalesces a backlog into one fsync.
+                let target = self.wal.next_seq();
+                if self.shared.durable() < target {
+                    let file = self.wal.tail_handle()?;
+                    self.post(DurMsg::Sync { target, file });
+                }
+            } else {
+                let started = self.obs.clock();
+                self.wal.sync()?;
+                self.obs.span(batch, Stage::Fsync, started);
+                self.advance_durable(self.wal.next_seq());
+            }
         }
         if self.cfg.snapshot_every_ops > 0 && self.ops_since_snapshot >= self.cfg.snapshot_every_ops
         {
-            let started = self.obs.clock();
-            self.publish_snapshot(&token.snapshot())?;
-            self.obs.span(batch, Stage::SnapshotWrite, started);
+            if self.cfg.incremental_snapshots {
+                // Drain only the rows touched since the last drain —
+                // per-shard locks, no quiescence, no full-state encode —
+                // and let the thread fold and publish them.
+                let started = self.obs.clock();
+                let watermark = self.wal.next_seq();
+                let delta = token.drain_delta();
+                if !T::delta_is_empty(&delta) {
+                    self.post(DurMsg::Delta { watermark, delta });
+                }
+                // An all-read window dirties nothing: skipping the
+                // publish is safe (the next delta's wider window covers
+                // the unchanged stretch), but the drain point advances
+                // either way.
+                self.watermark = watermark;
+                self.ops_since_snapshot = 0;
+                self.obs.span(batch, Stage::SnapshotWrite, started);
+            } else {
+                let started = self.obs.clock();
+                self.publish_snapshot(&token.snapshot())?;
+                self.obs.span(batch, Stage::SnapshotWrite, started);
+            }
         }
+        self.apply_gc_floor()?;
         Ok(())
+    }
+}
+
+impl<T: Restorable> Store<T> {
+    fn shutdown_thread(&mut self) {
+        if let Some(d) = self.dur.take() {
+            let _ = d.tx.send(DurMsg::Shutdown);
+            let _ = d.handle.join();
+        }
+    }
+}
+
+impl<T: Restorable> Drop for Store<T> {
+    fn drop(&mut self) {
+        self.shutdown_thread();
     }
 }
 
 impl<T> CommitSink<T> for Store<T>
 where
-    T: ConcurrentObject,
+    T: Restorable,
     T::Op: Codec,
     T::Resp: Codec,
     T::State: StateCodec,
 {
     fn wave_committed(&mut self, _token: &T, entries: &[CommittedOp<T::Op, T::Resp>]) {
+        self.poll_thread_error();
         if self.error.is_some() || self.cfg.durability == Durability::Off {
             return;
         }
@@ -365,11 +627,16 @@ where
     }
 
     fn batch_sealed(&mut self, token: &T, batch: u64) {
+        self.poll_thread_error();
         if self.error.is_some() || self.cfg.durability == Durability::Off {
             return;
         }
         if let Err(e) = self.try_seal(token, batch) {
             self.error = Some(e);
         }
+    }
+
+    fn durable_seq(&self) -> Option<u64> {
+        Some(self.shared.durable())
     }
 }

@@ -549,6 +549,16 @@ impl Wal {
         Ok(())
     }
 
+    /// A second handle to the active tail segment's file, for syncing
+    /// it from another thread (the pipelined group-commit fsync
+    /// thread). Safe to sync out-of-band because [`Wal::roll`] fsyncs
+    /// the old segment *before* switching files — at any moment only
+    /// the current tail can hold unsynced bytes, so `sync_data` on the
+    /// newest handle posted covers every append up to its post time.
+    pub(crate) fn tail_handle(&self) -> Result<File, StoreError> {
+        Ok(self.file.try_clone()?)
+    }
+
     /// Forces everything appended so far onto stable storage — the
     /// durability point of [`Durability::PerWave`] (after every append)
     /// and [`Durability::GroupCommit`] (once per batch seal).

@@ -72,6 +72,60 @@ pub fn crash_wal_at(dir: &Path, offset: u64) {
     }
 }
 
+/// The smallest offset of the concatenated WAL stream at which every
+/// committed operation with sequence number below `seq` is contained in
+/// a record lying wholly before it — i.e. truncating ("crashing") at or
+/// past this offset can never lose an entry below `seq`. Returns the
+/// total stream length if the log's records do not reach `seq`.
+///
+/// Parses the on-disk frame format directly (segment header of
+/// `SEG_HEADER_LEN` bytes, then `len u32 · crc u32 · payload` with the
+/// record's `first_seq` at payload bytes 9..17 and `count` at 17..21),
+/// so the helper stays honest about what is physically on disk.
+pub fn offset_of_seq(dir: &Path, seq: u64) -> u64 {
+    use tokensync_store::wal::{FRAME_LEN, SEG_HEADER_LEN};
+    if seq == 0 {
+        return 0;
+    }
+    let mut base = 0u64;
+    for path in wal_segments(dir) {
+        let bytes = fs::read(&path).expect("read segment");
+        let mut local = SEG_HEADER_LEN as usize;
+        while local + FRAME_LEN <= bytes.len() {
+            let len = u32::from_le_bytes(bytes[local..local + 4].try_into().unwrap()) as usize;
+            let payload = local + FRAME_LEN;
+            let end = payload + len;
+            if end > bytes.len() || len < 21 {
+                break; // torn tail
+            }
+            let first_seq =
+                u64::from_le_bytes(bytes[payload + 9..payload + 17].try_into().unwrap());
+            let count = u32::from_le_bytes(bytes[payload + 17..payload + 21].try_into().unwrap());
+            if first_seq + u64::from(count) >= seq {
+                return base + end as u64;
+            }
+            local = end;
+        }
+        base += bytes.len() as u64;
+    }
+    base
+}
+
+/// The store's delta-snapshot chain links, sorted by watermark.
+pub fn delta_links(dir: &Path) -> Vec<PathBuf> {
+    let mut links: Vec<PathBuf> = fs::read_dir(dir)
+        .expect("read store dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("snap-") && n.ends_with(".delta"))
+        })
+        .collect();
+    links.sort();
+    links
+}
+
 /// Flips one bit of `path` at byte `offset` (wrapped into range).
 pub fn flip_byte(path: &Path, offset: u64) {
     let mut bytes = fs::read(path).expect("read file");

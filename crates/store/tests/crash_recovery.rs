@@ -16,7 +16,7 @@
 
 mod common;
 
-use common::{crash_wal_at, temp_dir, wal_total_bytes};
+use common::{crash_wal_at, delta_links, flip_byte, offset_of_seq, temp_dir, wal_total_bytes};
 use proptest::collection::vec;
 use proptest::prelude::*;
 use tokensync_core::codec::{Codec, StateCodec};
@@ -28,7 +28,7 @@ use tokensync_pipeline::{
     run_script_with_sink, BatchConfig, CommittedOp, PipelineConfig, ScheduleConfig,
 };
 use tokensync_spec::{AccountId, ObjectType, ProcessId};
-use tokensync_store::{recover, Durability, Restorable, Store, StoreConfig};
+use tokensync_store::{recover, recover_sequential, Durability, Restorable, Store, StoreConfig};
 
 fn p(i: usize) -> ProcessId {
     ProcessId::new(i)
@@ -113,6 +113,7 @@ where
             snapshot_every_ops,
             segment_max_bytes,
             snapshots_kept: 2,
+            ..StoreConfig::default()
         },
     )
     .expect("create store");
@@ -124,6 +125,12 @@ where
 
 /// Recovers `dir` and checks the prefix-replay oracle against the
 /// pre-crash log. Returns the number of operations recovered.
+///
+/// Every call recovers **twice** — once with the default
+/// footprint-parallel replay and once with the sequential oracle — and
+/// demands the two agree byte-for-byte in their encoded state, so every
+/// crash-point case in this suite doubles as a parallel-replay
+/// equivalence witness.
 fn assert_prefix_recovery<T>(
     dir: &std::path::Path,
     genesis: &T::State,
@@ -136,6 +143,20 @@ where
     T::State: StateCodec,
 {
     let recovered = recover::<T>(dir).expect("recovery succeeds");
+    let sequential = recover_sequential::<T>(dir).expect("sequential recovery succeeds");
+    assert_eq!(
+        recovered.next_seq, sequential.next_seq,
+        "parallel and sequential recovery disagree on the replay horizon"
+    );
+    assert_eq!(
+        recovered.snapshot_watermark, sequential.snapshot_watermark,
+        "the snapshot chain resolved differently across recovery modes"
+    );
+    assert_eq!(
+        recovered.state.encode(),
+        sequential.state.encode(),
+        "parallel replay diverged from the sequential oracle"
+    );
     let prefix = usize::try_from(recovered.next_seq).expect("prefix fits");
     assert!(
         prefix <= full_log.len(),
@@ -317,6 +338,173 @@ proptest! {
         );
         std::fs::remove_dir_all(&dir).expect("cleanup");
     }
+}
+
+proptest! {
+    /// The pipelined group-commit window — acknowledge at commit,
+    /// durable at fsync — makes `durable_seq()` a *promise*: killing
+    /// the process at any byte offset at or past the record covering
+    /// the observed watermark must recover at least that many
+    /// operations. The window above the watermark may be lost; the
+    /// watermark itself never is.
+    #[test]
+    fn erc20_crash_inside_ack_window_never_loses_durable_data(
+        callers in vec(0..N20, 1..48),
+        ops in vec(arb_erc20_op(), 1..48),
+        batch in 1usize..12,
+        snapshot_every in 0u64..3,
+        kill in 0u64..1_000_000,
+        flush_sel in 0u8..2,
+    ) {
+        let dir = temp_dir("erc20-ackwin");
+        let genesis = Erc20State::from_balances(vec![6; N20]);
+        let script: Vec<(ProcessId, Erc20Op)> = callers
+            .iter()
+            .zip(&ops)
+            .map(|(&c, op)| (p(c), op.clone()))
+            .collect();
+        let token = ShardedErc20::restore(genesis.clone());
+        let mut store: Store<ShardedErc20> = Store::create(
+            &dir,
+            &genesis,
+            StoreConfig {
+                snapshot_every_ops: snapshot_every * 8,
+                segment_max_bytes: 512,
+                snapshots_kept: 2,
+                ..StoreConfig::default() // pipelined group commit
+            },
+        )
+        .expect("create store");
+        let run = run_script_with_sink(&token, &script, &pipeline_cfg(batch), &mut store);
+        prop_assert_eq!(run.stats.ops as usize, script.len());
+        let flush_first = flush_sel == 1;
+        if flush_first {
+            store.flush().expect("flush");
+        }
+        let durable = store.durable_seq();
+        store.abandon(); // kill the durability thread: no final sync
+        drop(store);
+        let full_log = run.log.entries().to_vec();
+        if flush_first {
+            // flush() waited for the whole log to become durable.
+            prop_assert_eq!(durable as usize, full_log.len());
+        }
+        let total = wal_total_bytes(&dir);
+        let floor = offset_of_seq(&dir, durable);
+        prop_assert!(floor <= total, "watermark covers bytes the log does not have");
+        let offset = floor + kill % (total - floor + 1);
+        crash_wal_at(&dir, offset);
+        let next_seq = assert_prefix_recovery::<ShardedErc20>(&dir, &genesis, &full_log);
+        prop_assert!(
+            next_seq >= durable,
+            "recovery lost durable data: durable_seq promised {}, recovered {}",
+            durable, next_seq,
+        );
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    /// A corrupt link mid delta-chain must degrade, never fail:
+    /// resolution falls back to the longest intact prefix of the chain
+    /// (at worst the base full snapshot) and replays a longer WAL
+    /// suffix instead. With an intact log the recovered state is still
+    /// exactly the full oracle replay.
+    #[test]
+    fn erc20_recovery_survives_a_corrupt_delta_link(
+        callers in vec(0..N20, 16..64),
+        ops in vec(arb_erc20_op(), 16..64),
+        batch in 1usize..10,
+        which in 0usize..64,
+        at in 0u64..4096,
+    ) {
+        let dir = temp_dir("erc20-badlink");
+        let genesis = Erc20State::from_balances(vec![6; N20]);
+        let script: Vec<(ProcessId, Erc20Op)> = callers
+            .iter()
+            .zip(&ops)
+            .map(|(&c, op)| (p(c), op.clone()))
+            .collect();
+        let token = ShardedErc20::restore(genesis.clone());
+        let mut store: Store<ShardedErc20> = Store::create(
+            &dir,
+            &genesis,
+            StoreConfig {
+                snapshot_every_ops: 8, // dense chain
+                segment_max_bytes: 512,
+                snapshots_kept: 2,
+                compact_every: 1_000_000, // never compact: pure chain
+                ..StoreConfig::default()
+            },
+        )
+        .expect("create store");
+        let run = run_script_with_sink(&token, &script, &pipeline_cfg(batch), &mut store);
+        let full_log = run.log.entries().to_vec();
+        store.close().expect("clean close");
+
+        let links = delta_links(&dir);
+        prop_assume!(!links.is_empty()); // all-read scripts publish none
+        flip_byte(&links[which % links.len()], at);
+
+        // The log is intact, so a clean recovery reaches the end of it
+        // regardless of how deep the chain break was.
+        let next_seq = assert_prefix_recovery::<ShardedErc20>(&dir, &genesis, &full_log);
+        prop_assert_eq!(next_seq as usize, full_log.len(),
+            "an intact WAL must cover whatever the broken chain cannot");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}
+
+/// Snapshots publish while serving continues: three consecutive runs
+/// against one store keep committing while the durability thread chains
+/// delta links behind them. The serving loop never waits for a
+/// snapshot (no quiescence point exists in the incremental path), the
+/// chain exists on disk, and final recovery still passes the oracle.
+#[test]
+fn serve_during_snapshot_requires_no_quiescence() {
+    let dir = temp_dir("erc20-noquiesce");
+    let genesis = Erc20State::from_balances(vec![50; N20]);
+    let token = ShardedErc20::restore(genesis.clone());
+    let mut store: Store<ShardedErc20> = Store::create(
+        &dir,
+        &genesis,
+        StoreConfig {
+            snapshot_every_ops: 24,
+            segment_max_bytes: 1024,
+            snapshots_kept: 2,
+            compact_every: 1_000_000, // chain of deltas over the genesis full
+            ..StoreConfig::default()
+        },
+    )
+    .expect("create store");
+    let mut full_log = Vec::new();
+    for phase in 0..3usize {
+        let script: Vec<(ProcessId, Erc20Op)> = (0..60)
+            .map(|i| {
+                (
+                    p((i + phase) % N20),
+                    Erc20Op::Transfer {
+                        to: a((i + 2) % N20),
+                        value: 1,
+                    },
+                )
+            })
+            .collect();
+        let run = run_script_with_sink(&token, &script, &pipeline_cfg(5), &mut store);
+        assert_eq!(
+            run.stats.ops as usize,
+            script.len(),
+            "serving never stalled"
+        );
+        full_log.extend(run.log.entries().iter().cloned());
+    }
+    store.flush().expect("flush");
+    assert!(
+        !delta_links(&dir).is_empty(),
+        "the durability thread chained incremental snapshots behind serving"
+    );
+    store.close().expect("clean close");
+    let next_seq = assert_prefix_recovery::<ShardedErc20>(&dir, &genesis, &full_log);
+    assert_eq!(next_seq as usize, full_log.len());
+    std::fs::remove_dir_all(&dir).expect("cleanup");
 }
 
 // ── ERC721 ─────────────────────────────────────────────────────────────

@@ -47,6 +47,7 @@ fn group_commit_counters_match_the_disk() {
         &genesis,
         StoreConfig {
             snapshot_every_ops: 0, // no snapshots, no GC: exact byte identity
+            pipeline_fsync: false, // inline syncs: exact fsync identity
             ..StoreConfig::default()
         },
     )
@@ -57,7 +58,8 @@ fn group_commit_counters_match_the_disk() {
     let run = run_script_with_sink(&token, &transfers(8, 50), &cfg(16), &mut store);
     let obs = store.obs().clone();
 
-    // One fsync per sealed batch (group commit), none yet for close.
+    // One fsync per sealed batch (inline group commit), none yet for
+    // close.
     assert_eq!(obs.fsyncs(), run.stats.batches);
     // One WAL record per committed wave.
     assert_eq!(obs.records_appended(), run.stats.commit_records);
@@ -71,6 +73,9 @@ fn group_commit_counters_match_the_disk() {
     assert_eq!(obs.segments_created(), 0);
     assert_eq!(segments.len(), 1);
     assert_eq!(obs.snapshots_taken(), 0);
+    assert_eq!(obs.delta_snapshots_taken(), 0);
+    // Inline syncs advance the durable watermark with the seal.
+    assert_eq!(obs.durable_seq(), run.stats.ops);
 
     // Latency histograms observed exactly the counted events.
     assert_eq!(obs.append_latency().unwrap().count, obs.records_appended());
@@ -89,12 +94,67 @@ fn group_commit_counters_match_the_disk() {
         "tokensync_store_records_appended_total",
         "tokensync_store_segments_created_total",
         "tokensync_store_snapshots_total",
+        "tokensync_store_delta_snapshots_total",
+        "tokensync_store_durable_seq",
         "tokensync_store_append_ns",
         "tokensync_store_fsync_ns",
         "tokensync_store_snapshot_ns",
     ] {
         assert!(page.contains(name), "exposition lacks {name}:\n{page}");
     }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The pipelined fsync thread coalesces: it can only sync *fewer* times
+/// than batches were sealed, never more, and once the caller waits for
+/// durability the watermark covers every committed operation.
+#[test]
+fn pipelined_group_commit_coalesces_fsyncs() {
+    let dir = temp_dir("obs-gc-pipe");
+    let genesis = Erc20State::from_balances(vec![100; 8]);
+    let token = ShardedErc20::from_state(genesis.clone());
+    let mut store: Store<ShardedErc20> = Store::create(
+        &dir,
+        &genesis,
+        StoreConfig {
+            snapshot_every_ops: 0,
+            ..StoreConfig::default() // pipeline_fsync: true
+        },
+    )
+    .unwrap();
+    let registry = Registry::new();
+    store.set_obs(StoreObs::new(&registry));
+
+    let run = run_script_with_sink(&token, &transfers(8, 50), &cfg(16), &mut store);
+    store.flush().unwrap();
+    let obs = store.obs().clone();
+
+    // flush() blocks until the watermark reaches the log head.
+    assert_eq!(store.durable_seq(), run.stats.ops);
+    assert_eq!(obs.durable_seq(), run.stats.ops);
+    // Fsync-thread identity: syncs coalesce, so at most one per sealed
+    // batch plus the explicit flush — and at least one happened.
+    assert!(obs.fsyncs() >= 1, "something must have synced");
+    assert!(
+        obs.fsyncs() <= run.stats.batches + 1,
+        "coalescing can never sync more often than the inline path: \
+         {} fsyncs for {} batches",
+        obs.fsyncs(),
+        run.stats.batches
+    );
+    // Appends are untouched by pipelining: same records, same bytes.
+    assert_eq!(obs.records_appended(), run.stats.commit_records);
+    let segments = wal_segments(&dir);
+    assert_eq!(
+        obs.bytes_appended(),
+        wal_total_bytes(&dir) - segments.len() as u64 * SEG_HEADER_LEN
+    );
+    assert_eq!(obs.fsync_latency().unwrap().count, obs.fsyncs());
+
+    let fsyncs_before_close = obs.fsyncs();
+    store.close().unwrap();
+    // Close syncs inline at most once more (skipped if already durable).
+    assert!(obs.fsyncs() <= fsyncs_before_close + 1);
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -110,6 +170,8 @@ fn snapshots_and_segment_rolls_are_counted() {
             snapshot_every_ops: 64,
             segment_max_bytes: 512, // tiny: force rolls
             snapshots_kept: 2,
+            pipeline_fsync: false,        // inline syncs: exact identity
+            incremental_snapshots: false, // legacy full snapshots
             ..StoreConfig::default()
         },
     )
@@ -120,6 +182,7 @@ fn snapshots_and_segment_rolls_are_counted() {
     let obs = store.obs().clone();
 
     assert!(obs.snapshots_taken() >= 2, "several snapshots published");
+    assert_eq!(obs.delta_snapshots_taken(), 0);
     assert_eq!(obs.snapshots_taken(), obs.snapshot_latency().unwrap().count);
     assert!(obs.segments_created() > 1, "tiny cap forced rolls");
     // Group-commit seal per batch + the log-first sync inside each
@@ -127,6 +190,58 @@ fn snapshots_and_segment_rolls_are_counted() {
     assert_eq!(obs.fsyncs(), run.stats.batches + obs.snapshots_taken());
     store.close().unwrap();
     assert_eq!(obs.fsyncs(), run.stats.batches + obs.snapshots_taken() + 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Incremental snapshots ride the durability thread: the serving loop
+/// never fsyncs for them (the delta chain file is its own durability
+/// point), so the fsync-thread identity tightens to
+/// `fsyncs <= batches + 1` even while a snapshot chain is being built.
+#[test]
+fn incremental_snapshots_publish_deltas_off_the_hot_path() {
+    let dir = temp_dir("obs-snap-delta");
+    let genesis = Erc20State::from_balances(vec![100; 8]);
+    let token = ShardedErc20::from_state(genesis.clone());
+    let mut store: Store<ShardedErc20> = Store::create(
+        &dir,
+        &genesis,
+        StoreConfig {
+            snapshot_every_ops: 64,
+            segment_max_bytes: 512,
+            snapshots_kept: 2,
+            compact_every: 3,         // every third publish compacts to a full
+            ..StoreConfig::default()  // pipelined + incremental
+        },
+    )
+    .unwrap();
+    store.set_obs(StoreObs::new(&Registry::new()));
+
+    let run = run_script_with_sink(&token, &transfers(8, 300), &cfg(32), &mut store);
+    store.flush().unwrap();
+    let obs = store.obs().clone();
+
+    let published = obs.snapshots_taken() + obs.delta_snapshots_taken();
+    assert!(published >= 2, "several chain links published");
+    assert!(
+        obs.delta_snapshots_taken() >= 1,
+        "the chain must contain at least one incremental link"
+    );
+    // Every publish (full or delta) lands in the snapshot histogram.
+    assert_eq!(published, obs.snapshot_latency().unwrap().count);
+    assert!(obs.segments_created() > 1, "tiny cap forced rolls");
+    // Fsync-thread identity: snapshot publishes no longer cost a WAL
+    // sync; only sealed batches and the explicit flush do, coalesced.
+    assert!(
+        obs.fsyncs() <= run.stats.batches + 1,
+        "{} fsyncs for {} batches and {} chain links",
+        obs.fsyncs(),
+        run.stats.batches,
+        published
+    );
+    // The durability thread advanced the watermark through the chain
+    // (and flush pinned it to the log head).
+    assert_eq!(obs.durable_seq(), run.stats.ops);
+    store.close().unwrap();
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

@@ -100,6 +100,11 @@ fn segments_roll_and_snapshots_garbage_collect_them() {
             snapshot_every_ops: 64,
             segment_max_bytes: 256, // tiny: force many segments
             snapshots_kept: 2,
+            // Legacy synchronous path: inline publish + immediate GC,
+            // so the mid-run segment assertions are deterministic. The
+            // async path's lazy GC floor has its own tests.
+            pipeline_fsync: false,
+            incremental_snapshots: false,
             ..StoreConfig::default()
         },
     )
@@ -357,6 +362,12 @@ fn floor_repair_preserves_the_valid_prefix_for_snapshot_fallback() {
             snapshot_every_ops: 64,
             segment_max_bytes: 512, // many segments
             snapshots_kept: 2,
+            // Legacy monolithic snapshots: the fallback-to-older-full
+            // scenario below is specific to the `.snap`-only layout
+            // (the delta chain's corrupt-link fallback is pinned by
+            // `erc20_recovery_survives_a_corrupt_delta_link`).
+            pipeline_fsync: false,
+            incremental_snapshots: false,
             ..StoreConfig::default()
         },
     )
