@@ -37,6 +37,12 @@ use std::time::{Duration, Instant};
 
 use tokensync_spec::ProcessId;
 
+/// The ticket value of an untagged submission. Plain
+/// [`IntakeClient::submit`] stamps every op with it; response-routing
+/// sinks skip it, so in-process producers pay nothing for the tagging
+/// machinery the network front end rides on.
+pub const NO_TICKET: u64 = 0;
+
 /// Batch-cut policy of the intake stage.
 #[derive(Clone, Copy, Debug)]
 pub struct BatchConfig {
@@ -71,6 +77,13 @@ pub struct Batch<Op> {
     pub seq: u64,
     /// The operations, in submission order.
     pub ops: Vec<(ProcessId, Op)>,
+    /// Routing tickets parallel to `ops` ([`NO_TICKET`] for untagged
+    /// submissions): an opaque per-op correlation id the engine carries
+    /// to the commit sink ([`CommitSink::wave_committed_tagged`]) so a
+    /// serving front end can resolve response futures at wave commit.
+    ///
+    /// [`CommitSink::wave_committed_tagged`]: crate::engine::CommitSink::wave_committed_tagged
+    pub tickets: Vec<u64>,
 }
 
 /// Error returned by [`IntakeClient::submit`] when the engine has shut
@@ -86,10 +99,11 @@ impl std::fmt::Display for PipelineClosed {
 
 impl std::error::Error for PipelineClosed {}
 
-/// One bounded producer queue.
+/// One bounded producer queue. Each element carries its routing ticket
+/// ([`NO_TICKET`] when untagged).
 #[derive(Debug)]
 struct Shard<Op> {
-    queue: Mutex<VecDeque<(ProcessId, Op)>>,
+    queue: Mutex<VecDeque<(ProcessId, Op, u64)>>,
     /// Signalled when the consumer frees shard slots (and on shutdown).
     not_full: Condvar,
 }
@@ -166,6 +180,23 @@ impl<Op> IntakeClient<Op> {
     ///
     /// [`PipelineClosed`] if the engine stopped consuming.
     pub fn submit(&self, caller: ProcessId, op: Op) -> Result<(), PipelineClosed> {
+        self.submit_tagged(caller, op, NO_TICKET)
+    }
+
+    /// [`submit`](IntakeClient::submit) with a routing `ticket` the
+    /// commit sink receives alongside the committed entry — the seam a
+    /// network front end uses to resolve per-request response futures
+    /// at wave commit.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineClosed`] if the engine stopped consuming.
+    pub fn submit_tagged(
+        &self,
+        caller: ProcessId,
+        op: Op,
+        ticket: u64,
+    ) -> Result<(), PipelineClosed> {
         let shard = &self.intake.shards[self.shard];
         let mut queue = shard.queue.lock().unwrap();
         loop {
@@ -177,7 +208,7 @@ impl<Op> IntakeClient<Op> {
             }
             queue = shard.not_full.wait(queue).unwrap();
         }
-        queue.push_back((caller, op));
+        queue.push_back((caller, op, ticket));
         drop(queue);
         self.intake.ring();
         Ok(())
@@ -190,6 +221,23 @@ impl<Op> IntakeClient<Op> {
     ///
     /// [`PipelineClosed`] if the engine stopped consuming.
     pub fn try_submit(&self, caller: ProcessId, op: Op) -> Result<bool, PipelineClosed> {
+        self.try_submit_tagged(caller, op, NO_TICKET)
+    }
+
+    /// Non-blocking [`submit_tagged`](IntakeClient::submit_tagged):
+    /// `Ok(false)` when the shard is momentarily full — the
+    /// admission-control probe a front end turns into a `Busy` reply
+    /// instead of buffering without bound.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineClosed`] if the engine stopped consuming.
+    pub fn try_submit_tagged(
+        &self,
+        caller: ProcessId,
+        op: Op,
+        ticket: u64,
+    ) -> Result<bool, PipelineClosed> {
         if self.intake.closed.load(Ordering::SeqCst) {
             return Err(PipelineClosed);
         }
@@ -201,7 +249,7 @@ impl<Op> IntakeClient<Op> {
         if queue.len() >= self.intake.shard_cap {
             return Ok(false);
         }
-        queue.push_back((caller, op));
+        queue.push_back((caller, op, ticket));
         drop(queue);
         self.intake.ring();
         Ok(true)
@@ -264,10 +312,16 @@ impl<Op> Drop for Batcher<Op> {
 }
 
 impl<Op> Batcher<Op> {
-    /// Drains queued operations round-robin across shards into `ops`,
-    /// up to `max`. Each shard is drained front-to-back, preserving
-    /// per-producer FIFO. Returns how many were taken.
-    fn drain_into(&mut self, ops: &mut Vec<(ProcessId, Op)>, max: usize) -> usize {
+    /// Drains queued operations round-robin across shards into `ops`
+    /// and their routing tickets into `tickets`, up to `max`. Each
+    /// shard is drained front-to-back, preserving per-producer FIFO.
+    /// Returns how many were taken.
+    fn drain_into(
+        &mut self,
+        ops: &mut Vec<(ProcessId, Op)>,
+        tickets: &mut Vec<u64>,
+        max: usize,
+    ) -> usize {
         let shards = &self.intake.shards;
         let mut taken = 0;
         for visit in 0..shards.len() {
@@ -279,7 +333,10 @@ impl<Op> Batcher<Op> {
             let mut queue = shard.queue.lock().unwrap();
             let was_full = queue.len() >= self.intake.shard_cap;
             let take = queue.len().min(max - taken);
-            ops.extend(queue.drain(..take));
+            for (caller, op, ticket) in queue.drain(..take) {
+                ops.push((caller, op));
+                tickets.push(ticket);
+            }
             taken += take;
             if was_full && take > 0 {
                 shard.not_full.notify_all();
@@ -359,6 +416,7 @@ impl<Op> Batcher<Op> {
     pub fn next_batch(&mut self) -> Option<Batch<Op>> {
         let max_ops = self.cfg.max_ops.max(1);
         let mut ops = Vec::with_capacity(max_ops.min(1024));
+        let mut tickets = Vec::with_capacity(max_ops.min(1024));
         // Block indefinitely for the batch's first op: an idle pipeline
         // burns no CPU.
         loop {
@@ -366,7 +424,7 @@ impl<Op> Batcher<Op> {
             // already-departed producer is then visible to the scan, so
             // `0 clients + empty scan` really means end of stream.
             let clients = self.intake.clients.load(Ordering::SeqCst);
-            if self.drain_into(&mut ops, max_ops) > 0 {
+            if self.drain_into(&mut ops, &mut tickets, max_ops) > 0 {
                 break;
             }
             if clients == 0 {
@@ -378,7 +436,7 @@ impl<Op> Batcher<Op> {
         while ops.len() < max_ops {
             let clients = self.intake.clients.load(Ordering::SeqCst);
             let room = max_ops - ops.len();
-            if self.drain_into(&mut ops, room) > 0 {
+            if self.drain_into(&mut ops, &mut tickets, room) > 0 {
                 continue;
             }
             if clients == 0 {
@@ -392,7 +450,7 @@ impl<Op> Batcher<Op> {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
-        Some(Batch { seq, ops })
+        Some(Batch { seq, ops, tickets })
     }
 }
 

@@ -49,6 +49,27 @@ pub trait CommitSink<T: ConcurrentObject + ?Sized> {
     /// the commit log this wave appended.
     fn wave_committed(&mut self, token: &T, entries: &[CommittedOp<T::Op, T::Resp>]);
 
+    /// [`wave_committed`](CommitSink::wave_committed) plus the routing
+    /// tickets the producers attached via
+    /// [`IntakeClient::submit_tagged`]: `tickets` parallels `entries`
+    /// (same permutation into commit order), or is empty when the batch
+    /// carried no tickets (the synchronous [`run_script`] paths). A
+    /// response-routing sink overrides this to resolve per-request
+    /// futures at wave commit; every other sink keeps the default,
+    /// which drops the tickets and forwards to `wave_committed` — so
+    /// ack-at-commit semantics cost existing sinks nothing.
+    ///
+    /// [`IntakeClient::submit_tagged`]: crate::batch::IntakeClient::submit_tagged
+    fn wave_committed_tagged(
+        &mut self,
+        token: &T,
+        entries: &[CommittedOp<T::Op, T::Resp>],
+        tickets: &[u64],
+    ) {
+        let _ = tickets;
+        self.wave_committed(token, entries);
+    }
+
     /// The batch boundary after all of a batch's waves committed — where
     /// group-commit durability syncs and snapshot policies trigger.
     /// `token` is quiescent here (no wave in flight), so a
@@ -84,6 +105,14 @@ impl<T: ConcurrentObject + ?Sized> CommitSink<T> for () {
 impl<T: ConcurrentObject + ?Sized, S: CommitSink<T> + ?Sized> CommitSink<T> for &mut S {
     fn wave_committed(&mut self, token: &T, entries: &[CommittedOp<T::Op, T::Resp>]) {
         (**self).wave_committed(token, entries);
+    }
+    fn wave_committed_tagged(
+        &mut self,
+        token: &T,
+        entries: &[CommittedOp<T::Op, T::Resp>],
+        tickets: &[u64],
+    ) {
+        (**self).wave_committed_tagged(token, entries, tickets);
     }
     fn batch_sealed(&mut self, token: &T, batch: u64) {
         (**self).batch_sealed(token, batch);
@@ -122,6 +151,15 @@ where
     fn wave_committed(&mut self, token: &T, entries: &[CommittedOp<T::Op, T::Resp>]) {
         self.a.wave_committed(token, entries);
         self.b.wave_committed(token, entries);
+    }
+    fn wave_committed_tagged(
+        &mut self,
+        token: &T,
+        entries: &[CommittedOp<T::Op, T::Resp>],
+        tickets: &[u64],
+    ) {
+        self.a.wave_committed_tagged(token, entries, tickets);
+        self.b.wave_committed_tagged(token, entries, tickets);
     }
     fn batch_sealed(&mut self, token: &T, batch: u64) {
         self.a.batch_sealed(token, batch);
@@ -336,12 +374,15 @@ impl EngineCore {
 /// One batch through analyze → (bypass | schedule → execute) → commit,
 /// streaming each committed record (and the batch seal) into `sink`.
 /// `obs` is the recorder seam: disabled, each instrumentation point is
-/// one inlined branch.
+/// one inlined branch. `tickets` parallels `ops` in submission order
+/// (empty when the batch carries none); the sink sees it permuted into
+/// the same commit order as the entries it receives.
 fn process_batch<T: ConcurrentObject + ?Sized, K: CommitSink<T>>(
     core: &mut EngineCore,
     token: &T,
     seq: u64,
     ops: &[(ProcessId, T::Op)],
+    tickets: &[u64],
     cfg: &PipelineConfig,
     run: &mut PipelineRun<T::Op, T::Resp>,
     sink: &mut K,
@@ -363,7 +404,9 @@ fn process_batch<T: ConcurrentObject + ?Sized, K: CommitSink<T>>(
             let start = run.log.append_sequential(seq, ops, &responses);
             run.stats.commit_records += 1;
             clock.lap(Stage::Commit);
-            sink.wave_committed(token, &run.log.entries()[start..]);
+            // The bypass commits in submission order, so the tickets
+            // already align with the appended entries.
+            sink.wave_committed_tagged(token, &run.log.entries()[start..], tickets);
             sink.batch_sealed(token, seq);
             clock.lap(Stage::Seal);
             clock.finish(ops.len());
@@ -388,11 +431,17 @@ fn process_batch<T: ConcurrentObject + ?Sized, K: CommitSink<T>>(
     clock.lap(Stage::Commit);
     // The appended slice is waves in order, then the serial lane: one
     // fused record for the whole batch, or (unfused) one contiguous
-    // group per wave.
+    // group per wave. The tickets follow the entries through the same
+    // permutation so `tagged[i]` still names `committed[i]`'s producer.
     let committed = &run.log.entries()[start..];
+    let tagged: Vec<u64> = if tickets.is_empty() {
+        Vec::new()
+    } else {
+        plan.commit_order().map(|idx| tickets[idx]).collect()
+    };
     if cfg.fuse_waves {
         if !committed.is_empty() {
-            sink.wave_committed(token, committed);
+            sink.wave_committed_tagged(token, committed, &tagged);
             run.stats.commit_records += 1;
         }
     } else {
@@ -404,7 +453,13 @@ fn process_batch<T: ConcurrentObject + ?Sized, K: CommitSink<T>>(
             .chain(std::iter::once(plan.serial.len()))
         {
             if len > 0 {
-                sink.wave_committed(token, &committed[cursor..cursor + len]);
+                let slice = cursor..cursor + len;
+                let wave_tags = if tagged.is_empty() {
+                    &[]
+                } else {
+                    &tagged[slice.clone()]
+                };
+                sink.wave_committed_tagged(token, &committed[slice], wave_tags);
                 run.stats.commit_records += 1;
                 cursor += len;
             }
@@ -470,7 +525,17 @@ pub fn run_script_observed<T: ConcurrentObject + ?Sized, K: CommitSink<T>>(
     let mut run = PipelineRun::default();
     let size = cfg.batch.max_ops.max(1);
     for (seq, ops) in script.chunks(size).enumerate() {
-        process_batch(&mut core, token, seq as u64, ops, cfg, &mut run, sink, obs);
+        process_batch(
+            &mut core,
+            token,
+            seq as u64,
+            ops,
+            &[],
+            cfg,
+            &mut run,
+            sink,
+            obs,
+        );
     }
     run.stats.durable_seq = sink.durable_seq();
     run
@@ -538,7 +603,15 @@ fn engine_loop<T: ConcurrentObject, K: CommitSink<T>>(
         obs.record_stage(batch.seq, Stage::IntakeWait, waiting_since);
         obs.sample_queue_depths(|i| batcher.shard_depth(i));
         process_batch(
-            &mut core, token, batch.seq, &batch.ops, cfg, &mut run, sink, obs,
+            &mut core,
+            token,
+            batch.seq,
+            &batch.ops,
+            &batch.tickets,
+            cfg,
+            &mut run,
+            sink,
+            obs,
         );
     }
     run.stats.durable_seq = sink.durable_seq();

@@ -121,7 +121,7 @@ pub mod exec;
 pub mod obs;
 pub mod schedule;
 
-pub use batch::{intake, Batch, BatchConfig, Batcher, IntakeClient, PipelineClosed};
+pub use batch::{intake, Batch, BatchConfig, Batcher, IntakeClient, PipelineClosed, NO_TICKET};
 pub use commit::{CommitLog, CommittedOp, ReplayDivergence};
 pub use dynamic_lane::{drive_dynamic, DynamicDriveReport};
 pub use engine::{

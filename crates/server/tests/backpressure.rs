@@ -1,0 +1,304 @@
+//! Slow-client and admission-control behavior: a connection that stops
+//! reading (or never finishes a frame) is disconnected with bounded
+//! memory, and a connection that saturates its intake shard is the only
+//! one that sees `Busy` — the server never lets one client's behavior
+//! become every client's problem.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use tokensync_core::erc20::{Erc20Op, Erc20Resp, Erc20State};
+use tokensync_core::shared::{ConcurrentObject, ShardedErc20};
+use tokensync_obs::Registry;
+use tokensync_pipeline::{CommitSink, CommittedOp};
+use tokensync_server::wire::{decode_response, encode_request, FrameDecoder, WireStandard};
+use tokensync_server::{Client, Reply, Server, ServerConfig, ServerHandle};
+use tokensync_spec::{AccountId, ProcessId};
+
+fn base_config() -> ServerConfig {
+    let mut cfg = ServerConfig::default();
+    cfg.pipeline.batch.max_wait = Duration::from_micros(200);
+    cfg.read_poll = Duration::from_millis(10);
+    cfg
+}
+
+fn spawn_with<S>(cfg: ServerConfig, sink: S) -> ServerHandle<ShardedErc20, S>
+where
+    S: CommitSink<ShardedErc20> + Send + 'static,
+{
+    let token = Arc::new(ShardedErc20::from_state(Erc20State::from_balances(vec![
+        1_000_000;
+        64
+    ])));
+    Server::spawn(token, sink, cfg, &Registry::new()).unwrap()
+}
+
+/// A client that pipelines tens of thousands of requests and never reads
+/// a byte must be disconnected once kernel socket buffers and the
+/// bounded write queue fill — not buffered without bound — while a
+/// well-behaved client on the same server keeps getting answers.
+#[test]
+fn non_reading_client_is_disconnected_not_buffered() {
+    let mut cfg = base_config();
+    cfg.write_queue_frames = 64;
+    let handle = spawn_with(cfg, ());
+    let addr = handle.addr();
+
+    let mut slow = TcpStream::connect(addr).unwrap();
+    slow.set_nodelay(true).unwrap();
+    let req = encode_request(
+        1,
+        ShardedErc20::STANDARD,
+        ProcessId::new(1),
+        &Erc20Op::BalanceOf {
+            account: AccountId::new(1),
+        },
+    );
+    // Kernel send + receive buffers absorb roughly 400 KiB ≈ 16k small
+    // response frames; 60k requests overflow the bounded queue behind
+    // them several times over.
+    let mut dropped = false;
+    for _ in 0..60_000 {
+        if slow.write_all(&req).is_err() {
+            dropped = true; // server reset us mid-send: exactly the point
+            break;
+        }
+    }
+    if !dropped {
+        // All requests squeezed in; the drop must then arrive as
+        // EOF/reset instead of a response stream we never read.
+        slow.set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut sink = [0u8; 4096];
+        loop {
+            match slow.read(&mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => continue,
+            }
+        }
+    }
+
+    // The firewall tripped: overflow counter up, and a healthy client is
+    // still served promptly.
+    assert!(handle.obs().write_overflows.get() >= 1);
+    let mut healthy = Client::<ShardedErc20>::connect(addr).unwrap();
+    healthy
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let reply = healthy
+        .call(
+            ProcessId::new(2),
+            &Erc20Op::BalanceOf {
+                account: AccountId::new(2),
+            },
+        )
+        .unwrap();
+    assert_eq!(reply, Reply::Ok(Erc20Resp::Amount(1_000_000)));
+    handle.finish();
+}
+
+/// Slowloris: a frame left incomplete past the read grace drops the
+/// connection. An idle connection with *no* partial frame pending is
+/// never timed out — only mid-frame stalls are hostile.
+#[test]
+fn slowloris_dropped_idle_connection_kept() {
+    let mut cfg = base_config();
+    cfg.read_grace = Duration::from_millis(200);
+    let handle = spawn_with(cfg, ());
+    let addr = handle.addr();
+
+    // Idle-but-honest: connect, stay silent well past the grace, then
+    // speak a full request — must be served.
+    let idle = TcpStream::connect(addr).unwrap();
+    // Slowloris: four bytes of a frame, then silence.
+    let mut loris = TcpStream::connect(addr).unwrap();
+    loris.write_all(&[0xEE, 0x00, 0x00, 0x00]).unwrap();
+
+    std::thread::sleep(Duration::from_millis(700));
+
+    // The slowloris connection is gone...
+    loris
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut buf = [0u8; 64];
+    match loris.read(&mut buf) {
+        Ok(0) | Err(_) => {}
+        Ok(n) => panic!("slowloris got {n} bytes instead of a disconnect"),
+    }
+    assert!(handle.obs().slow_disconnects.get() >= 1);
+
+    // ...while the idle one still gets an answer.
+    let mut idle = idle;
+    idle.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let req = encode_request(
+        9,
+        ShardedErc20::STANDARD,
+        ProcessId::new(3),
+        &Erc20Op::TotalSupply,
+    );
+    idle.write_all(&req).unwrap();
+    let mut dec = FrameDecoder::new();
+    let body = loop {
+        if let Some(b) = dec.try_frame().unwrap() {
+            break b;
+        }
+        let n = idle.read(&mut buf).unwrap();
+        assert!(n > 0, "idle connection was dropped");
+        dec.feed(&buf[..n]);
+    };
+    let (id, reply) = decode_response::<Erc20Resp>(&body).unwrap();
+    assert_eq!(id, 9);
+    assert_eq!(reply, Reply::Ok(Erc20Resp::Amount(64_000_000)));
+    handle.finish();
+}
+
+/// A sink whose first commit blocks until the test opens a gate: stalls
+/// the engine with work admitted, so intake shards fill deterministically.
+struct GateSink {
+    gate: Arc<(Mutex<bool>, Condvar)>,
+}
+
+impl<T: ConcurrentObject + ?Sized> CommitSink<T> for GateSink {
+    fn wave_committed(&mut self, _token: &T, _entries: &[CommittedOp<T::Op, T::Resp>]) {
+        let (lock, cvar) = &*self.gate;
+        let mut open = lock.lock().unwrap();
+        while !*open {
+            open = cvar.wait(open).unwrap();
+        }
+    }
+
+    fn batch_sealed(&mut self, _token: &T, _batch: u64) {}
+}
+
+/// Shard-pinned admission: with the engine stalled, a connection that
+/// saturates its own intake shard collects `Busy` — while a second
+/// connection (pinned round-robin to the other shard) gets everything
+/// admitted and, once the engine resumes, everything committed.
+#[test]
+fn saturating_connection_does_not_starve_others() {
+    let mut cfg = base_config();
+    cfg.pipeline.batch.intake_shards = 2;
+    cfg.pipeline.batch.queue_depth = 64; // 32 per shard
+    cfg.pipeline.batch.max_ops = 8;
+    let gate = Arc::new((Mutex::new(false), Condvar::new()));
+    let handle = spawn_with(
+        cfg,
+        GateSink {
+            gate: Arc::clone(&gate),
+        },
+    );
+    let addr = handle.addr();
+
+    let op = Erc20Op::BalanceOf {
+        account: AccountId::new(1),
+    };
+
+    // Connection A floods: 200 pipelined requests against a stalled
+    // engine overfill its 32-slot shard no matter how the first batch
+    // was carved.
+    let mut a = Client::<ShardedErc20>::connect(addr).unwrap();
+    a.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    for _ in 0..200 {
+        a.send(ProcessId::new(1), &op).unwrap();
+    }
+    // Busy rejections are answered by the reader thread immediately —
+    // no commit needed — so they are readable while the engine sleeps.
+    let mut saw_busy = false;
+    for _ in 0..200 {
+        if let (_, Reply::Busy) = a.recv().unwrap() {
+            saw_busy = true;
+            break;
+        }
+    }
+    assert!(saw_busy, "flooding a 32-slot shard never produced Busy");
+
+    // Connection B, pinned to the other shard, is admitted in full: no
+    // Busy within a generous window (commits can't arrive — the engine
+    // is stalled — so *any* readable reply would be a rejection).
+    let mut b = Client::<ShardedErc20>::connect(addr).unwrap();
+    let b_ids: Vec<u64> = (0..5)
+        .map(|_| b.send(ProcessId::new(2), &op).unwrap())
+        .collect();
+    b.set_read_timeout(Some(Duration::from_millis(300)))
+        .unwrap();
+    match b.recv() {
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut => {}
+        Ok((id, reply)) => panic!("request {id} answered {reply:?} while the engine was stalled"),
+        Err(e) => panic!("connection B broke: {e}"),
+    }
+
+    // Open the gate: everything admitted commits; B's five requests all
+    // come back Ok.
+    {
+        let (lock, cvar) = &*gate;
+        *lock.lock().unwrap() = true;
+        cvar.notify_all();
+    }
+    b.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut answered = std::collections::HashSet::new();
+    while answered.len() < b_ids.len() {
+        let (id, reply) = b.recv().unwrap();
+        assert_eq!(
+            reply,
+            Reply::Ok(Erc20Resp::Amount(1_000_000)),
+            "request {id}"
+        );
+        answered.insert(id);
+    }
+    assert_eq!(answered.len(), b_ids.len());
+    handle.finish();
+}
+
+/// Drain-on-EOF: a client that half-closes after sending is still owed
+/// every admitted response — the server flushes them all, then closes.
+#[test]
+fn half_close_drains_pending_responses() {
+    let handle = spawn_with(base_config(), ());
+    let mut s = TcpStream::connect(handle.addr()).unwrap();
+    s.set_nodelay(true).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    for id in 1..=3u64 {
+        let req = encode_request(
+            id,
+            ShardedErc20::STANDARD,
+            ProcessId::new(4),
+            &Erc20Op::TotalSupply,
+        );
+        s.write_all(&req).unwrap();
+    }
+    s.shutdown(Shutdown::Write).unwrap();
+
+    let mut dec = FrameDecoder::new();
+    let mut buf = [0u8; 1024];
+    let mut got = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    'outer: while got.len() < 3 {
+        while let Some(body) = dec.try_frame().unwrap() {
+            let (id, reply) = decode_response::<Erc20Resp>(&body).unwrap();
+            assert_eq!(reply, Reply::Ok(Erc20Resp::Amount(64_000_000)));
+            got.push(id);
+            if got.len() == 3 {
+                break 'outer;
+            }
+        }
+        assert!(Instant::now() < deadline, "responses never drained");
+        match s.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => dec.feed(&buf[..n]),
+            Err(e) => panic!("read failed before the drain finished: {e}"),
+        }
+    }
+    got.sort_unstable();
+    assert_eq!(got, vec![1, 2, 3]);
+    // After the drain the server closes its side.
+    match s.read(&mut buf) {
+        Ok(0) | Err(_) => {}
+        Ok(n) => panic!("unexpected {n} extra bytes after the drain"),
+    }
+    handle.finish();
+}

@@ -100,7 +100,7 @@ impl Default for StoreConfig {
 /// commit log.
 ///
 /// Each store owns a background **durability thread** (see [`store`
-/// module](self) docs): under the default pipelined group commit the
+/// module](crate) docs): under the default pipelined group commit the
 /// serving thread never fsyncs, it posts sync requests and the thread
 /// coalesces them; periodic snapshots are drained as row deltas and
 /// folded off-thread. [`Store::durable_seq`] is the explicit watermark

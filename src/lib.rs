@@ -22,6 +22,7 @@
 //! | [`store`] | `tokensync-store` | durable serving: write-ahead commit log, snapshots, crash recovery |
 //! | [`replica`] | `tokensync-replica` | replicated serving: WAL shipping, fault injection, quorum acks, failover |
 //! | [`obs`] | `tokensync-obs` | observability: counters/gauges, latency histograms, span ring, metrics exposition |
+//! | [`server`] | `tokensync-server` | TCP serving: CRC-framed wire protocol, bounded admission, commit-resolved acks |
 //!
 //! ## Quickstart
 //!
@@ -239,6 +240,10 @@
 //!   byte-identically to followers over a fault-injecting simulated
 //!   network, with epoch fencing, quorum acknowledgement and
 //!   deterministic failover: [`replica`] (see docs/replication.md).
+//! * The serving path put *on the network* — a TCP front end speaking a
+//!   CRC-framed binary protocol over the same codec the WAL persists,
+//!   with bounded admission and acks resolved at wave commit:
+//!   [`server`] (see docs/server.md).
 //! * Every table/figure of the evaluation: `cargo run -p
 //!   tokensync-experiments --bin e1_lower_bound` … `e8_standards`, and
 //!   `cargo bench -p tokensync-bench`; see README.md and ARCHITECTURE.md.
@@ -256,5 +261,6 @@ pub use tokensync_obs as obs;
 pub use tokensync_pipeline as pipeline;
 pub use tokensync_registers as registers;
 pub use tokensync_replica as replica;
+pub use tokensync_server as server;
 pub use tokensync_spec as spec;
 pub use tokensync_store as store;
